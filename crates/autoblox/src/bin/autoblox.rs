@@ -1,0 +1,314 @@
+//! `autoblox` — command-line front end for the framework.
+//!
+//! ```text
+//! autoblox generate <workload> <events> <seed> [out.csv]
+//! autoblox profile <trace-file> [csv|blkparse|msr]
+//! autoblox classify <trace-file> [csv|blkparse|msr]
+//! autoblox simulate <workload|trace-file> [config.json]
+//! autoblox tune <workload> [--iterations N] [--capacity GIB]
+//!               [--interface nvme|sata] [--flash slc|mlc|tlc] [--power W]
+//! autoblox whatif <workload> --goal latency|throughput --factor F
+//! ```
+//!
+//! Trace files are auto-detected by extension when the format argument is
+//! omitted (`.csv`, `.blk`, `.msr`).
+
+use autoblox::clustering::{ClusterDecision, WorkloadClusterer};
+use autoblox::constraints::Constraints;
+use autoblox::tuner::{Tuner, TunerOptions};
+use autoblox::validator::{Validator, ValidatorOptions};
+use autoblox::whatif::{what_if, WhatIfGoal, WhatIfOptions};
+use iotrace::gen::WorkloadKind;
+use iotrace::parse::{parse_blkparse, parse_csv, parse_msr, write_csv};
+use iotrace::stats::TraceProfile;
+use iotrace::window::WindowOptions;
+use iotrace::Trace;
+use ssdsim::config::{presets, FlashTechnology, Interface, SsdConfig};
+use ssdsim::Simulator;
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: autoblox <command> ...\n\
+         \n\
+         commands:\n\
+         \x20 generate <workload> <events> <seed> [out.csv]   synthesize a trace\n\
+         \x20 profile  <trace-file> [csv|blkparse|msr]        print workload statistics\n\
+         \x20 classify <trace-file> [csv|blkparse|msr]        match against the studied clusters\n\
+         \x20 simulate <workload|trace-file> [config.json]    run the SSD simulator\n\
+         \x20 tune     <workload> [--iterations N] [--capacity GIB]\n\
+         \x20          [--interface nvme|sata] [--flash slc|mlc|tlc] [--power W]\n\
+         \x20 whatif   <workload> --goal latency|throughput --factor F\n\
+         \n\
+         workloads: {}",
+        WorkloadKind::STUDIED
+            .iter()
+            .chain(WorkloadKind::NEW.iter())
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    ExitCode::from(2)
+}
+
+fn load_trace(path: &str, format: Option<&str>) -> Result<Trace, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let reader = BufReader::new(file);
+    let fmt = format
+        .map(str::to_string)
+        .unwrap_or_else(|| {
+            if path.ends_with(".msr") {
+                "msr".into()
+            } else if path.ends_with(".blk") {
+                "blkparse".into()
+            } else {
+                "csv".into()
+            }
+        });
+    let result = match fmt.as_str() {
+        "csv" => parse_csv(path, reader),
+        "blkparse" => parse_blkparse(path, reader),
+        "msr" => parse_msr(path, reader),
+        other => return Err(format!("unknown trace format {other:?}")),
+    };
+    result.map_err(|e| format!("failed to parse {path}: {e}"))
+}
+
+fn parse_workload(name: &str) -> Result<WorkloadKind, String> {
+    name.parse()
+        .map_err(|_| format!("unknown workload {name:?}; see `autoblox` for the list"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let [workload, events, seed, rest @ ..] = args else {
+        return Err("generate needs <workload> <events> <seed> [out.csv]".into());
+    };
+    let kind = parse_workload(workload)?;
+    let events: usize = events.parse().map_err(|e| format!("bad event count: {e}"))?;
+    let seed: u64 = seed.parse().map_err(|e| format!("bad seed: {e}"))?;
+    let trace = kind.spec().generate(events, seed);
+    match rest.first() {
+        Some(path) => {
+            let f = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            write_csv(&trace, f).map_err(|e| format!("write failed: {e}"))?;
+            eprintln!("wrote {} events to {path}", trace.len());
+        }
+        None => {
+            write_csv(&trace, std::io::stdout()).map_err(|e| format!("write failed: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let [path, rest @ ..] = args else {
+        return Err("profile needs <trace-file> [format]".into());
+    };
+    let trace = load_trace(path, rest.first().map(String::as_str))?;
+    println!("{}", TraceProfile::of(&trace));
+    Ok(())
+}
+
+fn cmd_classify(args: &[String]) -> Result<(), String> {
+    let [path, rest @ ..] = args else {
+        return Err("classify needs <trace-file> [format]".into());
+    };
+    let trace = load_trace(path, rest.first().map(String::as_str))?;
+    eprintln!("training the clustering front end on the studied categories ...");
+    let window = WindowOptions { window_len: 1_000 };
+    let train: Vec<Trace> = WorkloadKind::STUDIED
+        .iter()
+        .map(|k| k.spec().generate(6_000, 42))
+        .collect();
+    let model = WorkloadClusterer::fit(&train, WorkloadKind::STUDIED.len(), window, 7)
+        .map_err(|e| format!("clustering failed: {e}"))?;
+    // Identify which studied category owns each cluster id.
+    let mut owners = vec![String::from("?"); model.k()];
+    for (kind, t) in WorkloadKind::STUDIED.iter().zip(&train) {
+        if let Ok(ClusterDecision::Existing { cluster, .. }) = model.classify(t) {
+            owners[cluster] = kind.name().to_string();
+        }
+    }
+    match model.classify(&trace).map_err(|e| e.to_string())? {
+        ClusterDecision::Existing { cluster, distance } => println!(
+            "trace matches cluster {cluster} ({}) at distance {distance:.2} (threshold {:.2})",
+            owners[cluster],
+            model.threshold()
+        ),
+        ClusterDecision::New { nearest, distance } => println!(
+            "trace is a NEW workload: nearest cluster {nearest} ({}) at distance {distance:.2} > threshold {:.2}",
+            owners[nearest],
+            model.threshold()
+        ),
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let [source, rest @ ..] = args else {
+        return Err("simulate needs <workload|trace-file> [config.json]".into());
+    };
+    let trace = match parse_workload(source) {
+        Ok(kind) => kind.spec().generate(5_000, 0xB10C5),
+        Err(_) => load_trace(source, None)?,
+    };
+    let cfg: SsdConfig = match rest.first() {
+        Some(path) => {
+            let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            serde_json::from_reader(f).map_err(|e| format!("bad config JSON: {e}"))?
+        }
+        None => presets::intel_750(),
+    };
+    cfg.validate().map_err(|e| e.to_string())?;
+    let mut sim = Simulator::new(cfg);
+    sim.warm_up(0.5);
+    let report = sim.run(&trace);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        let value = args
+            .get(pos + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        return value
+            .parse()
+            .map(Some)
+            .map_err(|e| format!("bad value for {flag}: {e}"));
+    }
+    Ok(None)
+}
+
+fn constraints_from(args: &[String]) -> Result<Constraints, String> {
+    let capacity: u64 = parse_flag(args, "--capacity")?.unwrap_or(512);
+    let power: f64 = parse_flag(args, "--power")?.unwrap_or(25.0);
+    let interface = match parse_flag::<String>(args, "--interface")?.as_deref() {
+        None | Some("nvme") => Interface::Nvme,
+        Some("sata") => Interface::Sata,
+        Some(other) => return Err(format!("unknown interface {other:?}")),
+    };
+    let flash = match parse_flag::<String>(args, "--flash")?.as_deref() {
+        Some("slc") => FlashTechnology::Slc,
+        None | Some("mlc") => FlashTechnology::Mlc,
+        Some("tlc") => FlashTechnology::Tlc,
+        Some(other) => return Err(format!("unknown flash type {other:?}")),
+    };
+    Ok(Constraints::new(capacity, interface, flash, power))
+}
+
+fn reference_for(constraints: &Constraints) -> SsdConfig {
+    let mut reference = match (constraints.interface, constraints.flash_type) {
+        (Interface::Sata, _) => presets::samsung_850_pro(),
+        (Interface::Nvme, FlashTechnology::Slc) => presets::samsung_z_ssd(),
+        _ => presets::intel_750(),
+    };
+    constraints.pin(&mut reference);
+    reference
+}
+
+fn cmd_tune(args: &[String]) -> Result<(), String> {
+    let [workload, rest @ ..] = args else {
+        return Err("tune needs <workload> [flags]".into());
+    };
+    let kind = parse_workload(workload)?;
+    let constraints = constraints_from(rest)?;
+    let iterations: usize = parse_flag(rest, "--iterations")?.unwrap_or(20);
+    let validator = Validator::new(ValidatorOptions::default());
+    let opts = TunerOptions {
+        max_iterations: iterations,
+        non_target: WorkloadKind::STUDIED
+            .iter()
+            .copied()
+            .filter(|&w| w != kind)
+            .take(3)
+            .collect(),
+        ..TunerOptions::default()
+    };
+    let reference = reference_for(&constraints);
+    eprintln!("tuning {kind} for up to {iterations} iterations ...");
+    let tuner = Tuner::new(constraints, &validator, opts);
+    let outcome = tuner.tune(kind, &reference, &[], None);
+    eprintln!(
+        "converged after {} iterations ({} validations); grade {:+.4}; \
+         latency {:.2}x, throughput {:.2}x vs reference",
+        outcome.iterations,
+        outcome.validations,
+        outcome.best.grade,
+        outcome.best.measurement.latency_speedup(&outcome.reference),
+        outcome.best.measurement.throughput_speedup(&outcome.reference),
+    );
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&outcome.best.config).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+fn cmd_whatif(args: &[String]) -> Result<(), String> {
+    let [workload, rest @ ..] = args else {
+        return Err("whatif needs <workload> --goal latency|throughput --factor F".into());
+    };
+    let kind = parse_workload(workload)?;
+    let factor: f64 = parse_flag(rest, "--factor")?.unwrap_or(3.0);
+    let goal = match parse_flag::<String>(rest, "--goal")?.as_deref() {
+        None | Some("latency") => WhatIfGoal::LatencyReduction(factor),
+        Some("throughput") => WhatIfGoal::ThroughputImprovement(factor),
+        Some(other) => return Err(format!("unknown goal {other:?}")),
+    };
+    let constraints = constraints_from(rest)?;
+    let validator = Validator::new(ValidatorOptions::default());
+    let reference = reference_for(&constraints);
+    eprintln!("running what-if analysis for {kind} ...");
+    let out = what_if(
+        kind,
+        goal,
+        constraints,
+        &reference,
+        &validator,
+        WhatIfOptions::default(),
+    );
+    eprintln!(
+        "achieved {:.2}x ({}) in {} iterations",
+        out.achieved,
+        if out.met { "goal met" } else { "goal NOT met" },
+        out.tuning.iterations
+    );
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&out.tuning.best.config).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "generate" => cmd_generate(rest),
+        "profile" => cmd_profile(rest),
+        "classify" => cmd_classify(rest),
+        "simulate" => cmd_simulate(rest),
+        "tune" => cmd_tune(rest),
+        "whatif" => cmd_whatif(rest),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! The unified efficiency metrics: Formula 1 (performance) and Formula 2
+//! (grade) of the paper.
+
+use serde::{Deserialize, Serialize};
+use ssdsim::SimReport;
+
+/// Default latency/throughput balance coefficient (α in Formula 1), chosen
+/// by the paper's sensitivity study (§4.6, Figure 11).
+pub const DEFAULT_ALPHA: f64 = 0.5;
+
+/// Default target/non-target penalty balance (β in Formula 2), the sweet
+/// spot of Figure 12.
+pub const DEFAULT_BETA: f64 = 0.1;
+
+/// A latency/throughput measurement for one workload on one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Mean request latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Host throughput in bytes per second.
+    pub throughput_bps: f64,
+    /// Average device power in watts.
+    pub power_w: f64,
+    /// Total energy in millijoules.
+    pub energy_mj: f64,
+}
+
+impl Measurement {
+    /// Extracts the measurement from a simulator report.
+    pub fn from_report(report: &SimReport) -> Self {
+        Measurement {
+            latency_ns: report.latency.mean_ns.max(1.0),
+            throughput_bps: report.throughput_bps.max(1.0),
+            power_w: report.average_power_w,
+            energy_mj: report.energy.total_mj(),
+        }
+    }
+
+    /// Latency speedup of `self` relative to `reference` (>1 is better).
+    pub fn latency_speedup(&self, reference: &Measurement) -> f64 {
+        reference.latency_ns / self.latency_ns
+    }
+
+    /// Throughput speedup of `self` relative to `reference` (>1 is better).
+    pub fn throughput_speedup(&self, reference: &Measurement) -> f64 {
+        self.throughput_bps / reference.throughput_bps
+    }
+}
+
+/// Formula 1: the unified performance of a target configuration relative to
+/// a reference, balancing latency and throughput with coefficient `alpha`.
+///
+/// `Performance_W(target) = (1-α)·ln(Lat_ref/Lat_target) +
+/// α·ln(Tp_target/Tp_ref)`
+///
+/// Positive values mean the target outperforms the reference.
+///
+/// # Panics
+///
+/// Panics in debug builds if `alpha` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use autoblox::metrics::{performance, Measurement};
+/// let reference = Measurement { latency_ns: 100.0, throughput_bps: 100.0, power_w: 5.0, energy_mj: 1.0 };
+/// let twice_as_fast = Measurement { latency_ns: 50.0, throughput_bps: 200.0, power_w: 5.0, energy_mj: 1.0 };
+/// let p = performance(&twice_as_fast, &reference, 0.5);
+/// assert!((p - (2.0f64).ln()).abs() < 1e-12);
+/// ```
+pub fn performance(target: &Measurement, reference: &Measurement, alpha: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+    (1.0 - alpha) * (reference.latency_ns / target.latency_ns).ln()
+        + alpha * (target.throughput_bps / reference.throughput_bps).ln()
+}
+
+/// Formula 2: the grade of a configuration, mixing target-workload
+/// performance with the mean non-target performance using the penalty
+/// balance `beta`.
+///
+/// `Grade_W(conf) = (1-β)·Perf_W(conf) + β·mean(Perf_W'(conf))`
+///
+/// `non_target_performances` holds one Formula-1 value per non-target
+/// workload cluster; the paper divides by `NumClusters - 1`, i.e. averages
+/// across them. An empty slice yields the pure target performance.
+pub fn grade(target_performance: f64, non_target_performances: &[f64], beta: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+    if non_target_performances.is_empty() {
+        return target_performance;
+    }
+    let mean_non_target: f64 =
+        non_target_performances.iter().sum::<f64>() / non_target_performances.len() as f64;
+    (1.0 - beta) * target_performance + beta * mean_non_target
+}
+
+/// Geometric mean of a slice of positive ratios (used for the non-target
+/// summary rows of Tables 1/4/8/9). Returns 0 for an empty slice.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(lat: f64, tp: f64) -> Measurement {
+        Measurement {
+            latency_ns: lat,
+            throughput_bps: tp,
+            power_w: 5.0,
+            energy_mj: 100.0,
+        }
+    }
+
+    #[test]
+    fn identical_config_scores_zero() {
+        let r = m(100.0, 1e9);
+        assert_eq!(performance(&r, &r, 0.5), 0.0);
+    }
+
+    #[test]
+    fn better_latency_scores_positive() {
+        let reference = m(100.0, 1e9);
+        let faster = m(50.0, 1e9);
+        assert!(performance(&faster, &reference, 0.5) > 0.0);
+        let slower = m(200.0, 1e9);
+        assert!(performance(&slower, &reference, 0.5) < 0.0);
+    }
+
+    #[test]
+    fn alpha_extremes_isolate_metrics() {
+        let reference = m(100.0, 1e9);
+        // Better latency, worse throughput.
+        let mixed = m(50.0, 5e8);
+        // alpha = 0: only latency counts.
+        assert!(performance(&mixed, &reference, 0.0) > 0.0);
+        // alpha = 1: only throughput counts.
+        assert!(performance(&mixed, &reference, 1.0) < 0.0);
+    }
+
+    #[test]
+    fn grade_blends_target_and_non_target() {
+        let g = grade(1.0, &[0.0, 0.0], 0.1);
+        assert!((g - 0.9).abs() < 1e-12);
+        let g2 = grade(1.0, &[], 0.1);
+        assert_eq!(g2, 1.0);
+        // beta = 1 ignores the target entirely.
+        let g3 = grade(5.0, &[1.0, 3.0], 1.0);
+        assert!((g3 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedups() {
+        let reference = m(100.0, 1e9);
+        let target = m(50.0, 2e9);
+        assert!((target.latency_speedup(&reference) - 2.0).abs() < 1e-12);
+        assert!((target.throughput_speedup(&reference) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_known() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn performance_is_antisymmetric() {
+        let a = m(80.0, 1.5e9);
+        let b = m(120.0, 0.9e9);
+        let ab = performance(&a, &b, 0.5);
+        let ba = performance(&b, &a, 0.5);
+        assert!((ab + ba).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,760 @@
+//! The tunable SSD parameter space (§3.2 of the paper).
+//!
+//! Every hardware parameter is formulated as one of four ML parameter kinds
+//! — *continuous* (a range divided into N endpoints), *discrete* (an explicit
+//! value list), *boolean*, or *categorical* — and a configuration is
+//! vectorized as one grid index per parameter. The catalog below covers the
+//! 48 device specifications the paper's model tunes, including the
+//! deliberately performance-inert ones its coarse pruning discovers.
+
+use serde::{Deserialize, Serialize};
+use ssdsim::config::{
+    CacheMode, FlashTechnology, GcPolicy, Interface, PlaneAllocationScheme, SsdConfig,
+};
+use std::fmt;
+
+/// The four ML parameter kinds of §3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// A numeric range divided uniformly into endpoints.
+    Continuous,
+    /// An explicit list of legal numeric values (e.g. PCIe widths).
+    Discrete,
+    /// An on/off feature flag.
+    Boolean,
+    /// An unordered choice (e.g. the plane-allocation scheme).
+    Categorical,
+}
+
+/// Definition of one tunable parameter.
+pub struct ParamDef {
+    /// Stable snake_case name (used in reports and Figures 4/5).
+    pub name: &'static str,
+    /// ML kind.
+    pub kind: ParamKind,
+    /// The value grid as display numbers (grid index -> value). Booleans use
+    /// `[0, 1]`; categoricals use `0..k`.
+    pub grid: Vec<f64>,
+    /// Reads the current grid index out of a configuration.
+    pub get: fn(&SsdConfig) -> usize,
+    /// Writes the value at a grid index into a configuration.
+    pub set: fn(&mut SsdConfig, usize),
+}
+
+impl fmt::Debug for ParamDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParamDef")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("grid_len", &self.grid.len())
+            .finish()
+    }
+}
+
+impl ParamDef {
+    /// Number of grid points.
+    pub fn cardinality(&self) -> usize {
+        self.grid.len()
+    }
+
+    /// Nearest grid index for a raw value.
+    pub fn nearest_index(&self, value: f64) -> usize {
+        self.grid
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                (*a - value)
+                    .abs()
+                    .partial_cmp(&(*b - value).abs())
+                    .expect("finite grid")
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+macro_rules! numeric_param {
+    ($name:literal, $kind:expr, $grid:expr, $field:ident, $ty:ty) => {
+        ParamDef {
+            name: $name,
+            kind: $kind,
+            grid: $grid,
+            get: |c| {
+                let grid = param_grid($name);
+                let v = c.$field as f64;
+                nearest(&grid, v)
+            },
+            set: |c, i| {
+                let grid = param_grid($name);
+                c.$field = grid[i.min(grid.len() - 1)] as $ty;
+            },
+        }
+    };
+}
+
+fn nearest(grid: &[f64], value: f64) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, &g) in grid.iter().enumerate() {
+        let d = (g - value).abs();
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+fn lin_grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2);
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+/// The value grid for a named parameter (panics on unknown names).
+///
+/// # Panics
+///
+/// Panics if `name` is not in the catalog.
+pub fn param_grid(name: &str) -> Vec<f64> {
+    match name {
+        "channel_count" => vec![1., 2., 4., 6., 8., 10., 12., 16., 20., 24., 32., 48., 64.],
+        "chip_no_per_channel" => vec![1., 2., 3., 4., 5., 6., 8., 10., 12., 16., 24., 32., 64.],
+        "die_no_per_chip" => vec![1., 2., 4., 8., 16.],
+        "plane_no_per_die" => vec![1., 2., 3., 4., 8., 16.],
+        "block_no_per_plane" => vec![128., 256., 512., 1024., 2048., 4096.],
+        "page_no_per_block" => vec![128., 256., 384., 512., 768., 1024.],
+        "page_capacity" => vec![2048., 4096., 8192., 16384.],
+        // Flash timing parameters are expressed as factors of the flash
+        // technology's baseline latency (Table 7 bounds e.g. MLC reads to
+        // 41-83 us, i.e. factors ~0.5-1.0 of the 83 us baseline).
+        "read_latency" => lin_grid(0.5, 1.0, 43),
+        "program_latency" => lin_grid(0.5, 1.0, 40),
+        "erase_latency" => lin_grid(0.5, 1.0, 17),
+        "channel_transfer_rate" => {
+            vec![67., 100., 133., 166., 200., 266., 333., 400., 533., 667., 800., 1066., 1200.]
+        }
+        "channel_width" => vec![8., 16., 32.],
+        "flash_cmd_overhead" => lin_grid(100., 2_000., 20),
+        "suspend_program_time" => lin_grid(1_000., 20_000., 20),
+        "suspend_erase_time" => lin_grid(2_000., 40_000., 20),
+        "data_cache_size" => lin_grid(64., 2048., 32),
+        "cmt_capacity" => lin_grid(64., 2048., 32),
+        "dram_data_rate" => vec![800., 1066., 1333., 1600., 1866., 2133., 2400.],
+        "dram_burst_size" => vec![16., 32., 64., 128.],
+        "cmt_entry_size" => vec![4., 8., 16.],
+        "overprovisioning_ratio" => lin_grid(0.03, 0.40, 20),
+        "gc_threshold" => lin_grid(0.01, 0.30, 20),
+        "gc_hard_threshold" => lin_grid(0.001, 0.01, 10),
+        "static_wearleveling_threshold" => lin_grid(10., 2_000., 20),
+        "io_queue_depth" => vec![1., 2., 4., 8., 16., 32., 64., 128., 256.],
+        "queue_count" => vec![1., 2., 4., 8., 16.],
+        "pcie_lane_count" => vec![1., 2., 4., 8., 16.],
+        "pcie_lane_bandwidth" => vec![2., 5., 8., 16., 32.],
+        "host_cmd_overhead" => lin_grid(500., 20_000., 20),
+        "page_metadata_capacity" => lin_grid(64., 2048., 16),
+        "ecc_engine_count" => vec![1., 2., 4., 8., 16., 32.],
+        "read_retry_limit" => lin_grid(1., 16., 16),
+        "background_scan_interval" => lin_grid(100., 10_000., 16),
+        "init_delay" => lin_grid(100., 5_000., 16),
+        "firmware_sram_size" => vec![128., 256., 512., 1024., 2048.],
+        "thermal_throttle_threshold" => lin_grid(50., 110., 13),
+        "pfail_flush_budget" => lin_grid(500., 10_000., 16),
+        "dram_refresh_interval" => vec![16., 32., 64., 128., 256.],
+        "nand_vcc" => lin_grid(2500., 3600., 12),
+        other => panic!("unknown parameter {other:?}"),
+    }
+}
+
+/// Builds the full 48-parameter catalog.
+pub fn catalog() -> Vec<ParamDef> {
+    use ParamKind::*;
+    let mut params = vec![
+        // ---- Layout (7) ----
+        numeric_param!("channel_count", Discrete, param_grid("channel_count"), channel_count, u32),
+        numeric_param!(
+            "chip_no_per_channel",
+            Discrete,
+            param_grid("chip_no_per_channel"),
+            chips_per_channel,
+            u32
+        ),
+        numeric_param!("die_no_per_chip", Discrete, param_grid("die_no_per_chip"), dies_per_chip, u32),
+        numeric_param!("plane_no_per_die", Discrete, param_grid("plane_no_per_die"), planes_per_die, u32),
+        numeric_param!(
+            "block_no_per_plane",
+            Discrete,
+            param_grid("block_no_per_plane"),
+            blocks_per_plane,
+            u32
+        ),
+        numeric_param!(
+            "page_no_per_block",
+            Discrete,
+            param_grid("page_no_per_block"),
+            pages_per_block,
+            u32
+        ),
+        numeric_param!("page_capacity", Discrete, param_grid("page_capacity"), page_size_bytes, u32),
+        // ---- Flash timing (factors of the technology baseline) ----
+        ParamDef {
+            name: "read_latency",
+            kind: Continuous,
+            grid: param_grid("read_latency"),
+            get: |c| {
+                let base = c.flash_technology.base_read_ns() as f64;
+                nearest(&param_grid("read_latency"), c.read_latency_ns as f64 / base)
+            },
+            set: |c, i| {
+                let g = param_grid("read_latency");
+                let base = c.flash_technology.base_read_ns() as f64;
+                c.read_latency_ns = (g[i.min(g.len() - 1)] * base) as u64;
+            },
+        },
+        ParamDef {
+            name: "program_latency",
+            kind: Continuous,
+            grid: param_grid("program_latency"),
+            get: |c| {
+                let base = c.flash_technology.base_program_ns() as f64;
+                nearest(&param_grid("program_latency"), c.program_latency_ns as f64 / base)
+            },
+            set: |c, i| {
+                let g = param_grid("program_latency");
+                let base = c.flash_technology.base_program_ns() as f64;
+                c.program_latency_ns = (g[i.min(g.len() - 1)] * base) as u64;
+            },
+        },
+        ParamDef {
+            name: "erase_latency",
+            kind: Continuous,
+            grid: param_grid("erase_latency"),
+            get: |c| {
+                let base = c.flash_technology.base_erase_ns() as f64;
+                nearest(&param_grid("erase_latency"), c.erase_latency_ns as f64 / base)
+            },
+            set: |c, i| {
+                let g = param_grid("erase_latency");
+                let base = c.flash_technology.base_erase_ns() as f64;
+                c.erase_latency_ns = (g[i.min(g.len() - 1)] * base) as u64;
+            },
+        },
+        numeric_param!(
+            "channel_transfer_rate",
+            Discrete,
+            param_grid("channel_transfer_rate"),
+            channel_transfer_rate_mts,
+            u32
+        ),
+        numeric_param!("channel_width", Discrete, param_grid("channel_width"), channel_width_bits, u32),
+        numeric_param!(
+            "flash_cmd_overhead",
+            Continuous,
+            param_grid("flash_cmd_overhead"),
+            flash_cmd_overhead_ns,
+            u64
+        ),
+        numeric_param!(
+            "suspend_program_time",
+            Continuous,
+            param_grid("suspend_program_time"),
+            suspend_program_ns,
+            u64
+        ),
+        numeric_param!(
+            "suspend_erase_time",
+            Continuous,
+            param_grid("suspend_erase_time"),
+            suspend_erase_ns,
+            u64
+        ),
+        // ---- Controller DRAM ----
+        numeric_param!("data_cache_size", Continuous, param_grid("data_cache_size"), data_cache_mb, u32),
+        numeric_param!("cmt_capacity", Continuous, param_grid("cmt_capacity"), cmt_capacity_mb, u32),
+        numeric_param!("dram_data_rate", Discrete, param_grid("dram_data_rate"), dram_data_rate_mts, u32),
+        numeric_param!("dram_burst_size", Discrete, param_grid("dram_burst_size"), dram_burst_bytes, u32),
+        numeric_param!("cmt_entry_size", Discrete, param_grid("cmt_entry_size"), cmt_entry_bytes, u32),
+        // ---- FTL / GC ----
+        ParamDef {
+            name: "overprovisioning_ratio",
+            kind: Continuous,
+            grid: param_grid("overprovisioning_ratio"),
+            get: |c| nearest(&param_grid("overprovisioning_ratio"), c.overprovisioning_ratio),
+            set: |c, i| {
+                let g = param_grid("overprovisioning_ratio");
+                c.overprovisioning_ratio = g[i.min(g.len() - 1)];
+            },
+        },
+        ParamDef {
+            name: "gc_threshold",
+            kind: Continuous,
+            grid: param_grid("gc_threshold"),
+            get: |c| nearest(&param_grid("gc_threshold"), c.gc_threshold),
+            set: |c, i| {
+                let g = param_grid("gc_threshold");
+                c.gc_threshold = g[i.min(g.len() - 1)];
+                // Maintain the validation invariant.
+                c.gc_hard_threshold = c.gc_hard_threshold.min(c.gc_threshold);
+            },
+        },
+        ParamDef {
+            name: "gc_hard_threshold",
+            kind: Continuous,
+            grid: param_grid("gc_hard_threshold"),
+            get: |c| nearest(&param_grid("gc_hard_threshold"), c.gc_hard_threshold),
+            set: |c, i| {
+                let g = param_grid("gc_hard_threshold");
+                c.gc_hard_threshold = g[i.min(g.len() - 1)].min(c.gc_threshold);
+            },
+        },
+        numeric_param!(
+            "static_wearleveling_threshold",
+            Continuous,
+            param_grid("static_wearleveling_threshold"),
+            static_wearleveling_threshold,
+            u32
+        ),
+        // ---- Host interface ----
+        numeric_param!("io_queue_depth", Discrete, param_grid("io_queue_depth"), io_queue_depth, u32),
+        numeric_param!("queue_count", Discrete, param_grid("queue_count"), queue_count, u32),
+        numeric_param!("pcie_lane_count", Discrete, param_grid("pcie_lane_count"), pcie_lane_count, u32),
+        numeric_param!(
+            "pcie_lane_bandwidth",
+            Discrete,
+            param_grid("pcie_lane_bandwidth"),
+            pcie_lane_gtps,
+            u32
+        ),
+        numeric_param!(
+            "host_cmd_overhead",
+            Continuous,
+            param_grid("host_cmd_overhead"),
+            host_cmd_overhead_ns,
+            u64
+        ),
+        // ---- Performance-inert numerics ----
+        numeric_param!(
+            "page_metadata_capacity",
+            Continuous,
+            param_grid("page_metadata_capacity"),
+            page_metadata_bytes,
+            u32
+        ),
+        numeric_param!("ecc_engine_count", Discrete, param_grid("ecc_engine_count"), ecc_engine_count, u32),
+        numeric_param!("read_retry_limit", Continuous, param_grid("read_retry_limit"), read_retry_limit, u32),
+        numeric_param!(
+            "background_scan_interval",
+            Continuous,
+            param_grid("background_scan_interval"),
+            background_scan_interval_ms,
+            u32
+        ),
+        numeric_param!("init_delay", Continuous, param_grid("init_delay"), init_delay_us, u32),
+        numeric_param!(
+            "firmware_sram_size",
+            Discrete,
+            param_grid("firmware_sram_size"),
+            firmware_sram_kb,
+            u32
+        ),
+        numeric_param!(
+            "thermal_throttle_threshold",
+            Continuous,
+            param_grid("thermal_throttle_threshold"),
+            thermal_throttle_c,
+            u32
+        ),
+        numeric_param!(
+            "pfail_flush_budget",
+            Continuous,
+            param_grid("pfail_flush_budget"),
+            pfail_flush_budget_uj,
+            u32
+        ),
+        numeric_param!(
+            "dram_refresh_interval",
+            Discrete,
+            param_grid("dram_refresh_interval"),
+            dram_refresh_interval_us,
+            u32
+        ),
+        numeric_param!("nand_vcc", Continuous, param_grid("nand_vcc"), nand_vcc_mv, u32),
+    ];
+
+    // ---- Booleans (5) ----
+    params.push(ParamDef {
+        name: "greedy_gc",
+        kind: Boolean,
+        grid: vec![0., 1.],
+        get: |c| (c.gc_policy == GcPolicy::Greedy) as usize,
+        set: |c, i| {
+            c.gc_policy = if i > 0 { GcPolicy::Greedy } else { GcPolicy::Random };
+        },
+    });
+    params.push(ParamDef {
+        name: "preemptible_gc",
+        kind: Boolean,
+        grid: vec![0., 1.],
+        get: |c| c.preemptible_gc as usize,
+        set: |c, i| c.preemptible_gc = i > 0,
+    });
+    params.push(ParamDef {
+        name: "static_wearleveling",
+        kind: Boolean,
+        grid: vec![0., 1.],
+        get: |c| c.static_wearleveling_enabled as usize,
+        set: |c, i| c.static_wearleveling_enabled = i > 0,
+    });
+    params.push(ParamDef {
+        name: "program_suspension",
+        kind: Boolean,
+        grid: vec![0., 1.],
+        get: |c| c.program_suspension_enabled as usize,
+        set: |c, i| c.program_suspension_enabled = i > 0,
+    });
+    params.push(ParamDef {
+        name: "erase_suspension",
+        kind: Boolean,
+        grid: vec![0., 1.],
+        get: |c| c.erase_suspension_enabled as usize,
+        set: |c, i| c.erase_suspension_enabled = i > 0,
+    });
+
+    // ---- Categoricals ----
+    params.push(ParamDef {
+        name: "plane_allocation_scheme",
+        kind: Categorical,
+        grid: (0..16).map(|i| i as f64).collect(),
+        get: |c| c.plane_allocation_scheme.index(),
+        set: |c, i| c.plane_allocation_scheme = PlaneAllocationScheme::ALL[i.min(15)],
+    });
+    params.push(ParamDef {
+        name: "write_back_cache",
+        kind: Boolean,
+        grid: vec![0., 1.],
+        get: |c| (c.cache_mode == CacheMode::WriteBack) as usize,
+        set: |c, i| {
+            c.cache_mode = if i > 0 { CacheMode::WriteBack } else { CacheMode::WriteThrough };
+        },
+    });
+    params.push(ParamDef {
+        name: "flash_technology",
+        kind: Categorical,
+        grid: vec![0., 1., 2.],
+        get: |c| match c.flash_technology {
+            FlashTechnology::Slc => 0,
+            FlashTechnology::Mlc => 1,
+            FlashTechnology::Tlc => 2,
+        },
+        set: |c, i| {
+            c.flash_technology = match i {
+                0 => FlashTechnology::Slc,
+                1 => FlashTechnology::Mlc,
+                _ => FlashTechnology::Tlc,
+            };
+        },
+    });
+    params.push(ParamDef {
+        name: "interface",
+        kind: Categorical,
+        grid: vec![0., 1.],
+        get: |c| match c.interface {
+            Interface::Nvme => 0,
+            Interface::Sata => 1,
+        },
+        set: |c, i| {
+            c.interface = if i == 0 { Interface::Nvme } else { Interface::Sata };
+        },
+    });
+    params
+}
+
+/// The parameter space: the catalog plus vectorization and neighbor moves.
+#[derive(Debug)]
+pub struct ParamSpace {
+    params: Vec<ParamDef>,
+}
+
+impl Default for ParamSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ParamSpace {
+    /// Builds the full catalog.
+    pub fn new() -> Self {
+        ParamSpace { params: catalog() }
+    }
+
+    /// Builds a space restricted to the named parameters (used after
+    /// pruning). Unknown names are ignored.
+    pub fn with_params(names: &[&str]) -> Self {
+        let params = catalog()
+            .into_iter()
+            .filter(|p| names.contains(&p.name))
+            .collect();
+        ParamSpace { params }
+    }
+
+    /// All parameter definitions.
+    pub fn params(&self) -> &[ParamDef] {
+        &self.params
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// `true` for an empty space.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Looks up a parameter by name.
+    pub fn param(&self, name: &str) -> Option<&ParamDef> {
+        self.params.iter().find(|p| p.name == name)
+    }
+
+    /// Index of a parameter by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name == name)
+    }
+
+    /// Vectorizes a configuration as one grid index per parameter.
+    pub fn vectorize(&self, cfg: &SsdConfig) -> Vec<usize> {
+        self.params.iter().map(|p| (p.get)(cfg)).collect()
+    }
+
+    /// Vectorizes as normalized floats in `[0, 1]` (GPR feature space).
+    pub fn vectorize_normalized(&self, cfg: &SsdConfig) -> Vec<f64> {
+        self.params
+            .iter()
+            .map(|p| {
+                let idx = (p.get)(cfg);
+                if p.cardinality() > 1 {
+                    idx as f64 / (p.cardinality() - 1) as f64
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Applies a grid-index vector onto a base configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vec.len()` differs from the parameter count.
+    pub fn apply(&self, base: &SsdConfig, vec: &[usize]) -> SsdConfig {
+        assert_eq!(vec.len(), self.params.len(), "vector length mismatch");
+        let mut cfg = base.clone();
+        for (p, &idx) in self.params.iter().zip(vec) {
+            (p.set)(&mut cfg, idx);
+        }
+        cfg
+    }
+
+    /// Manhattan distance between two grid-index vectors (the exploration
+    /// bound of §3.4). Categorical mismatches count 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors' lengths differ from the parameter count.
+    pub fn manhattan(&self, a: &[usize], b: &[usize]) -> u64 {
+        assert_eq!(a.len(), self.params.len());
+        assert_eq!(b.len(), self.params.len());
+        self.params
+            .iter()
+            .zip(a.iter().zip(b))
+            .map(|(p, (&x, &y))| match p.kind {
+                ParamKind::Categorical => u64::from(x != y),
+                _ => (x as i64 - y as i64).unsigned_abs(),
+            })
+            .sum()
+    }
+
+    /// Enumerates the single-step neighbor moves of `vec` for parameter
+    /// `param_idx`: ±1 for ordered kinds, every other category for
+    /// categoricals. Returns full neighbor vectors.
+    pub fn neighbors_of_param(&self, vec: &[usize], param_idx: usize) -> Vec<Vec<usize>> {
+        let p = &self.params[param_idx];
+        let cur = vec[param_idx];
+        let mut out = Vec::new();
+        match p.kind {
+            ParamKind::Categorical => {
+                for alt in 0..p.cardinality() {
+                    if alt != cur {
+                        let mut v = vec.to_vec();
+                        v[param_idx] = alt;
+                        out.push(v);
+                    }
+                }
+            }
+            _ => {
+                if cur + 1 < p.cardinality() {
+                    let mut v = vec.to_vec();
+                    v[param_idx] = cur + 1;
+                    out.push(v);
+                }
+                if cur > 0 {
+                    let mut v = vec.to_vec();
+                    v[param_idx] = cur - 1;
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Total size of the search space (product of cardinalities), saturating.
+    pub fn search_space_size(&self) -> f64 {
+        self.params
+            .iter()
+            .map(|p| p.cardinality() as f64)
+            .product()
+    }
+
+    /// Names of all parameters with a numeric (continuous/discrete) kind.
+    pub fn numeric_names(&self) -> Vec<&'static str> {
+        self.params
+            .iter()
+            .filter(|p| matches!(p.kind, ParamKind::Continuous | ParamKind::Discrete))
+            .map(|p| p.name)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_48_parameters() {
+        let space = ParamSpace::new();
+        assert_eq!(space.len(), 48, "paper models 48 device specifications");
+        assert!(!space.is_empty());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let space = ParamSpace::new();
+        let mut names: Vec<_> = space.params().iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), space.len());
+    }
+
+    #[test]
+    fn vectorize_apply_roundtrip() {
+        let space = ParamSpace::new();
+        let cfg = SsdConfig::default();
+        let vec = space.vectorize(&cfg);
+        let cfg2 = space.apply(&cfg, &vec);
+        let vec2 = space.vectorize(&cfg2);
+        assert_eq!(vec, vec2, "apply(vectorize(c)) must be a fixed point");
+    }
+
+    #[test]
+    fn apply_changes_fields() {
+        let space = ParamSpace::new();
+        let cfg = SsdConfig::default();
+        let mut vec = space.vectorize(&cfg);
+        let ch = space.index_of("channel_count").unwrap();
+        vec[ch] = 0; // 1 channel
+        let cfg2 = space.apply(&cfg, &vec);
+        assert_eq!(cfg2.channel_count, 1);
+    }
+
+    #[test]
+    fn normalized_vector_in_unit_cube() {
+        let space = ParamSpace::new();
+        let v = space.vectorize_normalized(&SsdConfig::default());
+        assert_eq!(v.len(), space.len());
+        assert!(v.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn manhattan_distance_counts_steps() {
+        let space = ParamSpace::new();
+        let cfg = SsdConfig::default();
+        let a = space.vectorize(&cfg);
+        let mut b = a.clone();
+        let qd = space.index_of("io_queue_depth").unwrap();
+        b[qd] = a[qd] + 2;
+        assert_eq!(space.manhattan(&a, &b), 2);
+        // Categorical counts 1 regardless of index distance.
+        let pas = space.index_of("plane_allocation_scheme").unwrap();
+        b[pas] = (a[pas] + 7) % 16;
+        assert_eq!(space.manhattan(&a, &b), 3);
+    }
+
+    #[test]
+    fn neighbors_respect_bounds() {
+        let space = ParamSpace::new();
+        let cfg = SsdConfig::default();
+        let mut vec = space.vectorize(&cfg);
+        let qd = space.index_of("io_queue_depth").unwrap();
+        vec[qd] = 0;
+        let ns = space.neighbors_of_param(&vec, qd);
+        assert_eq!(ns.len(), 1); // only +1 possible at the lower edge
+        assert_eq!(ns[0][qd], 1);
+    }
+
+    #[test]
+    fn categorical_neighbors_enumerate_all_alternatives() {
+        let space = ParamSpace::new();
+        let vec = space.vectorize(&SsdConfig::default());
+        let pas = space.index_of("plane_allocation_scheme").unwrap();
+        let ns = space.neighbors_of_param(&vec, pas);
+        assert_eq!(ns.len(), 15);
+    }
+
+    #[test]
+    fn search_space_is_astronomical() {
+        let space = ParamSpace::new();
+        // The paper reports "a search space of billions of possible
+        // configurations" — ours is much larger before pruning.
+        assert!(space.search_space_size() > 1e9);
+    }
+
+    #[test]
+    fn restricted_space() {
+        let space = ParamSpace::with_params(&["channel_count", "data_cache_size", "bogus"]);
+        assert_eq!(space.len(), 2);
+        assert!(space.param("channel_count").is_some());
+        assert!(space.param("bogus").is_none());
+    }
+
+    #[test]
+    fn numeric_names_excludes_flags() {
+        let space = ParamSpace::new();
+        let names = space.numeric_names();
+        assert!(names.contains(&"channel_count"));
+        assert!(!names.contains(&"greedy_gc"));
+        assert!(!names.contains(&"plane_allocation_scheme"));
+        // The paper's Figure 4 sweeps the numeric parameters.
+        assert!(names.len() >= 35);
+    }
+
+    #[test]
+    fn setting_gc_threshold_maintains_invariant() {
+        let space = ParamSpace::new();
+        let mut cfg = SsdConfig::default();
+        let p = space.param("gc_threshold").unwrap();
+        (p.set)(&mut cfg, 0); // smallest threshold
+        assert!(cfg.gc_hard_threshold <= cfg.gc_threshold);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn nearest_index_snaps() {
+        let space = ParamSpace::new();
+        let p = space.param("channel_count").unwrap();
+        assert_eq!(p.grid[p.nearest_index(13.0)], 12.0);
+        assert_eq!(p.grid[p.nearest_index(0.0)], 1.0);
+        assert_eq!(p.grid[p.nearest_index(1e9)], 64.0);
+    }
+}

@@ -1,0 +1,385 @@
+//! Learning-based parameter pruning (§3.3).
+//!
+//! Two stages: **coarse-grained** pruning sweeps each numeric parameter with
+//! a large stride (up to 16x its baseline) and drops parameters whose sweep
+//! leaves performance flat (Figure 4); **fine-grained** pruning fits a Ridge
+//! regression from normalized parameter vectors to the unified performance
+//! metric and drops parameters whose coefficient magnitude falls below a
+//! threshold, ordering the survivors by |coefficient| to drive the tuning
+//! order (Figure 5, Figure 9).
+
+use crate::metrics::{performance, DEFAULT_ALPHA};
+use crate::params::{ParamKind, ParamSpace};
+use crate::validator::Validator;
+use iotrace::gen::WorkloadKind;
+use mlkit::linalg::Matrix;
+use mlkit::ridge::Ridge;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use ssdsim::config::SsdConfig;
+
+/// Relative performance deviation below which a parameter counts as
+/// insensitive in the coarse stage.
+pub const COARSE_SENSITIVITY_EPSILON: f64 = 0.02;
+
+/// Default coefficient-magnitude threshold of the fine stage (the paper
+/// uses ±0.001 on its score scale).
+pub const FINE_COEF_THRESHOLD: f64 = 0.001;
+
+/// Sweep multipliers applied to each numeric parameter's baseline value
+/// ("we increase the values ... from their baseline setting to 16x").
+pub const COARSE_MULTIPLIERS: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
+
+/// One parameter's coarse sweep result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoarseSweep {
+    /// Parameter name.
+    pub name: String,
+    /// Unified performance score at each sweep multiplier, relative to the
+    /// baseline configuration (index-aligned with [`COARSE_MULTIPLIERS`]).
+    pub scores: Vec<f64>,
+    /// Scores at the two extremes of the parameter's legal grid, probed in
+    /// addition to the multiplier sweep so parameters bounded above by
+    /// their baseline (e.g. technology-relative flash timings) still
+    /// register their sensitivity.
+    pub extreme_scores: [f64; 2],
+    /// Maximum |score| deviation over the sweep and the extremes.
+    pub sensitivity: f64,
+    /// `true` if the parameter is flat (insensitive) for this workload.
+    pub insensitive: bool,
+}
+
+/// Result of the coarse-grained pruning stage for one workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoarseReport {
+    /// Workload the sweep was run against.
+    pub workload: String,
+    /// Per-parameter sweeps (Figure 4's lines).
+    pub sweeps: Vec<CoarseSweep>,
+}
+
+impl CoarseReport {
+    /// Names of the insensitive parameters.
+    pub fn insensitive(&self) -> Vec<&str> {
+        self.sweeps
+            .iter()
+            .filter(|s| s.insensitive)
+            .map(|s| s.name.as_str())
+            .collect()
+    }
+
+    /// Names of the surviving (sensitive) parameters.
+    pub fn sensitive(&self) -> Vec<&str> {
+        self.sweeps
+            .iter()
+            .filter(|s| !s.insensitive)
+            .map(|s| s.name.as_str())
+            .collect()
+    }
+}
+
+/// Sweeps every numeric parameter and classifies it as sensitive or
+/// insensitive for `workload`.
+///
+/// Constraint violations are deliberately ignored here, per the paper: "we
+/// only prune parameters that have almost no impact on the performance even
+/// if they break the configuration constraints".
+pub fn coarse_prune(
+    space: &ParamSpace,
+    base: &SsdConfig,
+    workload: WorkloadKind,
+    validator: &Validator,
+) -> CoarseReport {
+    let baseline = validator.evaluate(base, workload);
+    let mut sweeps = Vec::new();
+    for p in space.params() {
+        if !matches!(p.kind, ParamKind::Continuous | ParamKind::Discrete) {
+            continue;
+        }
+        let base_idx = (p.get)(base);
+        let base_value = p.grid[base_idx].max(1e-9);
+        let probe = |idx: usize| -> f64 {
+            let mut cfg = base.clone();
+            (p.set)(&mut cfg, idx);
+            if cfg.validate().is_ok() {
+                let meas = validator.evaluate(&cfg, workload);
+                performance(&meas, &baseline, DEFAULT_ALPHA)
+            } else {
+                0.0
+            }
+        };
+        let scores: Vec<f64> = COARSE_MULTIPLIERS
+            .iter()
+            .map(|&m| probe(p.nearest_index(base_value * m)))
+            .collect();
+        let extreme_scores = [probe(0), probe(p.cardinality() - 1)];
+        let sensitivity = scores
+            .iter()
+            .chain(extreme_scores.iter())
+            .fold(0.0f64, |acc, s| acc.max(s.abs()));
+        sweeps.push(CoarseSweep {
+            name: p.name.to_string(),
+            insensitive: sensitivity < COARSE_SENSITIVITY_EPSILON,
+            sensitivity,
+            scores,
+            extreme_scores,
+        });
+    }
+    CoarseReport {
+        workload: workload.name().to_string(),
+        sweeps,
+    }
+}
+
+/// One parameter's fine-grained regression result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FineCoefficient {
+    /// Parameter name.
+    pub name: String,
+    /// Ridge coefficient on the normalized (0..1) parameter value.
+    pub coefficient: f64,
+    /// `true` if |coefficient| falls below the pruning threshold.
+    pub pruned: bool,
+}
+
+/// Result of the fine-grained pruning stage for one workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FineReport {
+    /// Workload the regression was fitted for.
+    pub workload: String,
+    /// Per-parameter coefficients (Figure 5's cells), regression order.
+    pub coefficients: Vec<FineCoefficient>,
+    /// R² of the fitted regression on its training samples.
+    pub r_squared: f64,
+}
+
+impl FineReport {
+    /// Surviving parameter names ordered by |coefficient| descending — the
+    /// tuning order AutoBlox enforces (§3.4, Figure 9).
+    pub fn tuning_order(&self) -> Vec<&str> {
+        let mut v: Vec<&FineCoefficient> =
+            self.coefficients.iter().filter(|c| !c.pruned).collect();
+        v.sort_by(|a, b| {
+            b.coefficient
+                .abs()
+                .partial_cmp(&a.coefficient.abs())
+                .expect("finite coefficients")
+        });
+        v.into_iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// The coefficient for a named parameter, if present.
+    pub fn coefficient(&self, name: &str) -> Option<f64> {
+        self.coefficients
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.coefficient)
+    }
+}
+
+/// Options for the fine-grained stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FineOptions {
+    /// Number of random configurations sampled for the regression.
+    pub samples: usize,
+    /// Ridge regularization strength.
+    pub ridge_alpha: f64,
+    /// Coefficient-magnitude pruning threshold.
+    pub coef_threshold: f64,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl Default for FineOptions {
+    fn default() -> Self {
+        FineOptions {
+            samples: 64,
+            ridge_alpha: 1e-3,
+            coef_threshold: FINE_COEF_THRESHOLD,
+            seed: 0xF13E,
+        }
+    }
+}
+
+/// Fits the Ridge regression over randomly perturbed configurations of the
+/// parameters named in `names` ("we set a regression space by maintaining
+/// the constraints" — samples are drawn around the baseline and kept
+/// structurally valid).
+///
+/// # Panics
+///
+/// Panics if `names` resolves to an empty parameter set.
+pub fn fine_prune(
+    space: &ParamSpace,
+    base: &SsdConfig,
+    workload: WorkloadKind,
+    names: &[&str],
+    validator: &Validator,
+    opts: FineOptions,
+) -> FineReport {
+    let indices: Vec<usize> = names
+        .iter()
+        .filter_map(|n| space.index_of(n))
+        .collect();
+    assert!(!indices.is_empty(), "fine_prune needs at least one parameter");
+    let baseline = validator.evaluate(base, workload);
+    let base_vec = space.vectorize(base);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    let mut xs: Vec<Vec<f64>> = Vec::with_capacity(opts.samples);
+    let mut ys: Vec<f64> = Vec::with_capacity(opts.samples);
+    let mut attempts = 0;
+    while xs.len() < opts.samples && attempts < opts.samples * 10 {
+        attempts += 1;
+        let mut vec = base_vec.clone();
+        // Perturb a random subset of the regression parameters.
+        for &pi in &indices {
+            if rng.gen::<f64>() < 0.5 {
+                let card = space.params()[pi].cardinality();
+                vec[pi] = rng.gen_range(0..card);
+            }
+        }
+        let cfg = space.apply(base, &vec);
+        if cfg.validate().is_err() {
+            continue;
+        }
+        let meas = validator.evaluate(&cfg, workload);
+        let score = performance(&meas, &baseline, DEFAULT_ALPHA);
+        let features: Vec<f64> = indices
+            .iter()
+            .map(|&pi| {
+                let card = space.params()[pi].cardinality();
+                if card > 1 {
+                    vec[pi] as f64 / (card - 1) as f64
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        xs.push(features);
+        ys.push(score);
+    }
+
+    let x = Matrix::from_rows(&xs);
+    let model = Ridge::fit(&x, &ys, opts.ridge_alpha).expect("regression fits");
+    let r_squared = model.score(&x, &ys).unwrap_or(0.0);
+    let coefficients = indices
+        .iter()
+        .zip(model.coefficients())
+        .map(|(&pi, &coef)| FineCoefficient {
+            name: space.params()[pi].name.to_string(),
+            coefficient: coef,
+            pruned: coef.abs() < opts.coef_threshold,
+        })
+        .collect();
+    FineReport {
+        workload: workload.name().to_string(),
+        coefficients,
+        r_squared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validator::ValidatorOptions;
+
+    fn quick_validator() -> Validator {
+        Validator::new(ValidatorOptions {
+            trace_events: 400,
+            ..Default::default()
+        })
+    }
+
+    fn small_space() -> ParamSpace {
+        ParamSpace::with_params(&[
+            "channel_count",
+            "data_cache_size",
+            "read_latency",
+            "page_metadata_capacity",
+            "init_delay",
+        ])
+    }
+
+    #[test]
+    fn coarse_identifies_inert_parameters() {
+        let space = small_space();
+        let v = quick_validator();
+        let report = coarse_prune(&space, &SsdConfig::default(), WorkloadKind::Database, &v);
+        let insensitive = report.insensitive();
+        assert!(
+            insensitive.contains(&"page_metadata_capacity"),
+            "inert parameter must be pruned, got insensitive={insensitive:?}"
+        );
+        assert!(insensitive.contains(&"init_delay"));
+    }
+
+    #[test]
+    fn coarse_keeps_read_latency_sensitive() {
+        let space = small_space();
+        let v = quick_validator();
+        let report = coarse_prune(&space, &SsdConfig::default(), WorkloadKind::WebSearch, &v);
+        assert!(
+            report.sensitive().contains(&"read_latency"),
+            "read latency must matter for a read-dominated workload: {:?}",
+            report.sweeps
+        );
+    }
+
+    #[test]
+    fn coarse_sweep_shape() {
+        let space = ParamSpace::with_params(&["channel_count"]);
+        let v = quick_validator();
+        let report = coarse_prune(&space, &SsdConfig::default(), WorkloadKind::KvStore, &v);
+        assert_eq!(report.sweeps.len(), 1);
+        assert_eq!(report.sweeps[0].scores.len(), COARSE_MULTIPLIERS.len());
+        // Multiplier 1.0 is the baseline: score must be ~0.
+        assert!(report.sweeps[0].scores[0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn fine_orders_by_coefficient_magnitude() {
+        let space = small_space();
+        let v = quick_validator();
+        let report = fine_prune(
+            &space,
+            &SsdConfig::default(),
+            WorkloadKind::WebSearch,
+            &["channel_count", "read_latency", "init_delay"],
+            &v,
+            FineOptions {
+                samples: 24,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.coefficients.len(), 3);
+        let order = report.tuning_order();
+        // read_latency dominates a 99.9%-read workload; the inert
+        // init_delay must not outrank it.
+        let rl = order.iter().position(|&n| n == "read_latency");
+        let id = order.iter().position(|&n| n == "init_delay");
+        match (rl, id) {
+            (Some(a), Some(b)) => assert!(a < b),
+            (Some(_), None) => {} // init_delay pruned entirely: fine
+            other => panic!("unexpected ordering {other:?} in {order:?}"),
+        }
+        assert!(report.coefficient("read_latency").unwrap().abs() > 0.0);
+        assert!(report.coefficient("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one parameter")]
+    fn fine_rejects_empty_names() {
+        let space = small_space();
+        let v = quick_validator();
+        let _ = fine_prune(
+            &space,
+            &SsdConfig::default(),
+            WorkloadKind::Vdi,
+            &["nonexistent"],
+            &v,
+            FineOptions::default(),
+        );
+    }
+}

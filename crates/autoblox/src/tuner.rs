@@ -1,0 +1,763 @@
+//! Automated tuning of SSD configurations (§3.4): the customized Bayesian
+//! optimization loop combining discrete SGD-style neighborhood search, GPR
+//! grade prediction, constraint repair, and simulator validation.
+
+use crate::constraints::Constraints;
+use crate::metrics::{grade, performance, Measurement};
+use crate::params::ParamSpace;
+use crate::validator::Validator;
+use iotrace::gen::WorkloadKind;
+use iotrace::Trace;
+use mlkit::gpr::GprBuilder;
+use mlkit::kernel::{Rbf, SumKernel, White};
+use mlkit::nn::{Mlp, TrainOptions};
+use mlkit::linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use ssdsim::config::SsdConfig;
+use std::collections::HashSet;
+
+/// The surrogate model predicting configuration grades in the search loop.
+///
+/// The paper's customized BO uses Gaussian-process regression and argues it
+/// matches deep-neural-network surrogates at lower cost (§3.2); `Neural`
+/// provides that comparison point and `Random` removes the surrogate
+/// entirely (see the `ablation_surrogates` experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SurrogateKind {
+    /// Gaussian-process regression (the paper's choice).
+    #[default]
+    Gpr,
+    /// A small MLP regressor retrained each iteration (DQN-style value
+    /// network stand-in).
+    Neural,
+    /// No model: candidates are proposed pseudo-randomly.
+    Random,
+}
+
+/// Options controlling the tuning loop; defaults mirror the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunerOptions {
+    /// Latency/throughput balance (Formula 1).
+    pub alpha: f64,
+    /// Target/non-target penalty balance (Formula 2).
+    pub beta: f64,
+    /// Maximum outer search iterations (each ends in one validation).
+    pub max_iterations: usize,
+    /// Maximum SGD moves per outer iteration (10 in the paper).
+    pub sgd_iterations: usize,
+    /// Manhattan-distance exploration bound from the validated set (5).
+    pub manhattan_limit: u64,
+    /// Size of the elite set the search root is sampled from (3).
+    pub top_k: usize,
+    /// Convergence: stop when the best grade moved less than
+    /// `convergence_epsilon` (relative) over this many iterations.
+    pub convergence_window: usize,
+    /// Relative grade-change bound for convergence (±1%).
+    pub convergence_epsilon: f64,
+    /// When `true`, neighbor moves follow the pruning-derived tuning order
+    /// and only the leading parameters are explored per step (§3.3/Fig. 9).
+    pub use_tuning_order: bool,
+    /// When `true`, skip non-target validation for configurations whose
+    /// target-only grade cannot beat the current elite set (§3.4).
+    pub validation_pruning: bool,
+    /// Which surrogate predicts candidate grades during the SGD walk.
+    pub surrogate: SurrogateKind,
+    /// When `true`, the flash timing parameters (read/program/erase
+    /// latency) may be tuned within their technology-relative bounds. Off
+    /// by default: normal tuning treats chip timings as fixed by the flash
+    /// type; the what-if analysis of §4.5 unlocks them.
+    pub explore_flash_timing: bool,
+    /// Non-target workload clusters graded alongside the target.
+    pub non_target: Vec<WorkloadKind>,
+    /// RNG seed for root selection.
+    pub seed: u64,
+}
+
+impl Default for TunerOptions {
+    fn default() -> Self {
+        TunerOptions {
+            alpha: crate::metrics::DEFAULT_ALPHA,
+            beta: crate::metrics::DEFAULT_BETA,
+            max_iterations: 40,
+            sgd_iterations: 10,
+            manhattan_limit: 5,
+            top_k: 3,
+            convergence_window: 6,
+            convergence_epsilon: 0.01,
+            use_tuning_order: true,
+            validation_pruning: true,
+            surrogate: SurrogateKind::default(),
+            explore_flash_timing: false,
+            non_target: Vec::new(),
+            seed: 0xA070,
+        }
+    }
+}
+
+/// A validated configuration with its grade.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GradedConfig {
+    /// The configuration.
+    pub config: SsdConfig,
+    /// Formula-2 grade relative to the reference.
+    pub grade: f64,
+    /// Formula-1 target-workload performance component.
+    pub target_performance: f64,
+    /// Measurement on the target workload.
+    pub measurement: Measurement,
+}
+
+/// Result of one tuning run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TuningOutcome {
+    /// The target workload.
+    pub workload: String,
+    /// Best configuration found.
+    pub best: GradedConfig,
+    /// Reference measurement of the target workload on the baseline.
+    pub reference: Measurement,
+    /// Best-so-far grade after each outer iteration (Figure 10's curve).
+    pub grade_history: Vec<f64>,
+    /// Outer iterations executed before convergence or cap.
+    pub iterations: usize,
+    /// Simulator validations actually performed.
+    pub validations: u64,
+}
+
+struct SearchState {
+    /// Validated points: (grid vector, normalized vector, grade).
+    validated: Vec<(Vec<usize>, Vec<f64>, f64)>,
+    /// Grid vectors already validated or rejected (dedup).
+    seen: HashSet<Vec<usize>>,
+}
+
+impl SearchState {
+    fn elite(&self, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.validated.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.validated[b]
+                .2
+                .partial_cmp(&self.validated[a].2)
+                .expect("finite grades")
+        });
+        idx.truncate(k);
+        idx
+    }
+
+    fn best_grade(&self) -> f64 {
+        self.validated
+            .iter()
+            .map(|(_, _, g)| *g)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    fn worst_elite_grade(&self, k: usize) -> f64 {
+        let elite = self.elite(k);
+        elite
+            .last()
+            .map(|&i| self.validated[i].2)
+            .unwrap_or(f64::NEG_INFINITY)
+    }
+
+    fn min_manhattan(&self, space: &ParamSpace, vec: &[usize]) -> u64 {
+        self.validated
+            .iter()
+            .map(|(v, _, _)| space.manhattan(v, vec))
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+/// What the tuner optimizes for: a named workload category (validation
+/// traces are generated) or a concrete trace (e.g. a new workload that did
+/// not match any cluster).
+#[derive(Debug, Clone, Copy)]
+pub enum TuningTarget<'t> {
+    /// A studied workload category.
+    Category(WorkloadKind),
+    /// A caller-supplied block I/O trace.
+    Trace(&'t Trace),
+}
+
+impl TuningTarget<'_> {
+    /// Display name of the target.
+    pub fn name(&self) -> &str {
+        match self {
+            TuningTarget::Category(k) => k.name(),
+            TuningTarget::Trace(t) => t.name(),
+        }
+    }
+}
+
+impl From<WorkloadKind> for TuningTarget<'static> {
+    fn from(k: WorkloadKind) -> Self {
+        TuningTarget::Category(k)
+    }
+}
+
+/// A fitted grade surrogate used inside one search iteration.
+#[derive(Debug)]
+enum FittedSurrogate {
+    Gpr(mlkit::gpr::Gpr),
+    Neural(Mlp),
+}
+
+impl FittedSurrogate {
+    /// Returns `(acquisition_value, predicted_mean)`.
+    fn predict(&self, point: &[f64]) -> (f64, f64) {
+        match self {
+            FittedSurrogate::Gpr(g) => g
+                .predict(point)
+                .map(|p| (p.ucb(1.0), p.mean))
+                .unwrap_or((f64::NEG_INFINITY, f64::NEG_INFINITY)),
+            // The MLP has no predictive variance: acquisition = mean.
+            FittedSurrogate::Neural(net) => {
+                let mean = net.predict(point).unwrap_or(f64::NEG_INFINITY);
+                (mean, mean)
+            }
+        }
+    }
+}
+
+/// The automated configuration tuner.
+#[derive(Debug)]
+pub struct Tuner<'a> {
+    space: ParamSpace,
+    constraints: Constraints,
+    validator: &'a Validator,
+    opts: TunerOptions,
+}
+
+impl<'a> Tuner<'a> {
+    /// Creates a tuner over the full parameter space.
+    pub fn new(constraints: Constraints, validator: &'a Validator, opts: TunerOptions) -> Self {
+        Tuner {
+            space: ParamSpace::new(),
+            constraints,
+            validator,
+            opts,
+        }
+    }
+
+    /// Replaces the parameter space (e.g. a pruned one).
+    pub fn with_space(mut self, space: ParamSpace) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// The parameter space in use.
+    pub fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    /// Runs the full tuning workflow for `target`, starting from the
+    /// `reference` commodity configuration plus any `initial` configurations
+    /// recalled from AutoDB, optionally following a pruning-derived
+    /// `tuning_order` (parameter names, most important first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference configuration violates the constraints — the
+    /// caller must pass a baseline consistent with `set_cons`.
+    pub fn tune<'t>(
+        &self,
+        target: impl Into<TuningTarget<'t>>,
+        reference: &SsdConfig,
+        initial: &[SsdConfig],
+        tuning_order: Option<&[&str]>,
+    ) -> TuningOutcome {
+        let target = target.into();
+        let mut reference = reference.clone();
+        self.constraints.pin(&mut reference);
+        self.constraints
+            .check_structural(&reference)
+            .expect("reference configuration must satisfy the constraints");
+
+        let runs_before = self.validator.simulator_runs();
+        let ref_target = self.eval_target(&reference, target);
+        let ref_non: Vec<(WorkloadKind, Measurement)> = self
+            .opts
+            .non_target
+            .iter()
+            .filter(|&&w| !matches!(target, TuningTarget::Category(k) if k == w))
+            .map(|&w| (w, self.validator.evaluate(&reference, w)))
+            .collect();
+
+        let mut state = SearchState {
+            validated: Vec::new(),
+            seen: HashSet::new(),
+        };
+        // Initialize with the reference and any AutoDB recalls (step 1).
+        let mut init_set: Vec<SsdConfig> = vec![reference.clone()];
+        init_set.extend(initial.iter().cloned());
+        let mut best: Option<GradedConfig> = None;
+        for cfg in &init_set {
+            let mut cfg = cfg.clone();
+            self.constraints.pin(&mut cfg);
+            if self.constraints.check_structural(&cfg).is_err() {
+                continue;
+            }
+            self.validate_into(&cfg, target, &ref_target, &ref_non, &mut state, &mut best, false);
+        }
+
+        let (order_indices, explicit_order) = self.order_indices(tuning_order);
+        let mut rng = StdRng::seed_from_u64(
+            self.opts.seed ^ target.name().bytes().map(u64::from).sum::<u64>(),
+        );
+        let mut history: Vec<f64> = vec![state.best_grade()];
+        let mut iterations = 0;
+
+        for _iter in 0..self.opts.max_iterations {
+            iterations += 1;
+            // Step 3: pick the search root among the top-k elite at random.
+            let elite = state.elite(self.opts.top_k);
+            let root_i = elite[rng.gen_range(0..elite.len())];
+            let mut cur = state.validated[root_i].0.clone();
+            let mut cur_pred = state.validated[root_i].2;
+
+            // Step 4: the surrogate fitted on the validated set predicts
+            // candidate grades.
+            let surrogate = self.fit_surrogate(&state);
+
+            // The SGD walk keeps moving while the predicted mean improves;
+            // whatever candidate it last considered gets validated, so every
+            // outer iteration contributes one new measurement (exploration
+            // never stalls on a pessimistic surrogate).
+            let mut chosen: Option<Vec<usize>> = None;
+            for _ in 0..self.opts.sgd_iterations {
+                let candidates =
+                    self.candidates(&reference, &cur, &order_indices, explicit_order, &state);
+                if candidates.is_empty() {
+                    break;
+                }
+                let mut best_cand: Option<(Vec<usize>, f64, f64)> = None;
+                match &surrogate {
+                    Some(model) => {
+                        for cand in candidates {
+                            let norm = self.normalize(&cand);
+                            let (ucb, mean) = model.predict(&norm);
+                            if best_cand.as_ref().map_or(true, |(_, u, _)| ucb > *u) {
+                                best_cand = Some((cand, ucb, mean));
+                            }
+                        }
+                    }
+                    None => {
+                        // Random-proposal ablation: no surrogate guidance.
+                        let pick = rng.gen_range(0..candidates.len());
+                        best_cand =
+                            Some((candidates[pick].clone(), 0.0, f64::NEG_INFINITY));
+                    }
+                }
+                let Some((cand, _ucb, mean)) = best_cand else { break };
+                chosen = Some(cand.clone());
+                if mean <= cur_pred {
+                    break;
+                }
+                cur = cand;
+                cur_pred = mean;
+                // Heuristic exploration bound (minimum Manhattan distance).
+                if state.min_manhattan(&self.space, &cur) >= self.opts.manhattan_limit {
+                    break;
+                }
+            }
+
+            // Step 5: validate the explored configuration.
+            if let Some(vec) = chosen {
+                if !state.seen.contains(&vec) {
+                    if let Some(cfg) = self.materialize(&reference, &vec) {
+                        self.validate_into(
+                            &cfg,
+                            target,
+                            &ref_target,
+                            &ref_non,
+                            &mut state,
+                            &mut best,
+                            self.opts.validation_pruning,
+                        );
+                    }
+                }
+            }
+
+            let g = state.best_grade();
+            history.push(g);
+            // Convergence: the elite grade barely moved over the window.
+            if history.len() > self.opts.convergence_window {
+                let w = &history[history.len() - 1 - self.opts.convergence_window..];
+                let lo = w.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = w.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let scale = hi.abs().max(1e-6);
+                if (hi - lo) / scale <= self.opts.convergence_epsilon {
+                    break;
+                }
+            }
+        }
+
+        TuningOutcome {
+            workload: target.name().to_string(),
+            best: best.expect("at least the reference was validated"),
+            reference: ref_target,
+            grade_history: history,
+            iterations,
+            validations: self.validator.simulator_runs() - runs_before,
+        }
+    }
+
+    fn eval_target(&self, cfg: &SsdConfig, target: TuningTarget<'_>) -> Measurement {
+        match target {
+            TuningTarget::Category(k) => self.validator.evaluate(cfg, k),
+            TuningTarget::Trace(t) => self.validator.evaluate_trace(cfg, t),
+        }
+    }
+
+    /// Resolves the exploration order; the boolean reports whether an
+    /// explicit pruning-derived order is in effect.
+    fn order_indices(&self, tuning_order: Option<&[&str]>) -> (Vec<usize>, bool) {
+        match tuning_order {
+            Some(names) if self.opts.use_tuning_order => {
+                let idx: Vec<usize> = names
+                    .iter()
+                    .filter_map(|n| self.space.index_of(n))
+                    .collect();
+                if idx.is_empty() {
+                    ((0..self.space.len()).collect(), false)
+                } else {
+                    (idx, true)
+                }
+            }
+            _ => ((0..self.space.len()).collect(), false),
+        }
+    }
+
+    /// Generates constraint-respecting neighbor vectors of `cur`, exploring
+    /// parameters in order (and only the leading ones when an order is
+    /// enforced).
+    fn candidates(
+        &self,
+        base: &SsdConfig,
+        cur: &[usize],
+        order: &[usize],
+        explicit_order: bool,
+        state: &SearchState,
+    ) -> Vec<Vec<usize>> {
+        let mut pinned: Vec<usize> = ["interface", "flash_technology"]
+            .iter()
+            .filter_map(|n| self.space.index_of(n))
+            .collect();
+        if !self.opts.explore_flash_timing {
+            pinned.extend(
+                ["read_latency", "program_latency", "erase_latency"]
+                    .iter()
+                    .filter_map(|n| self.space.index_of(n)),
+            );
+        }
+        // With a pruning-derived order, focus the walk on the leading
+        // parameters (Fig. 9's efficiency mechanism). Without one, every
+        // parameter — numeric, boolean, and categorical — is explorable.
+        let limit = if explicit_order && self.opts.use_tuning_order {
+            order.len().min(12)
+        } else {
+            order.len()
+        };
+        let mut out = Vec::new();
+        for &pi in order.iter().take(limit) {
+            if pinned.contains(&pi) {
+                continue;
+            }
+            for mut cand in self.space.neighbors_of_param(cur, pi) {
+                // Repair dependent parameters to hold the capacity
+                // constraint, then re-vectorize.
+                let Some(cfg) = self.materialize_vec(base, &cand) else {
+                    continue;
+                };
+                cand = self.space.vectorize(&cfg);
+                if state.seen.contains(&cand) || cand == cur {
+                    continue;
+                }
+                if state.min_manhattan(&self.space, &cand) > self.opts.manhattan_limit {
+                    continue;
+                }
+                out.push(cand);
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Applies a vector onto the reference base (so parameters outside a
+    /// pruned space keep the reference values) and repairs constraints;
+    /// `None` if the result cannot satisfy them.
+    fn materialize_vec(&self, base: &SsdConfig, vec: &[usize]) -> Option<SsdConfig> {
+        let mut cfg = self.space.apply(base, vec);
+        self.constraints.pin(&mut cfg);
+        if !self.constraints.repair_capacity(&self.space, &mut cfg) {
+            return None;
+        }
+        self.constraints.check_structural(&cfg).ok()?;
+        Some(cfg)
+    }
+
+    fn materialize(&self, base: &SsdConfig, vec: &[usize]) -> Option<SsdConfig> {
+        self.materialize_vec(base, vec)
+    }
+
+    fn normalize(&self, vec: &[usize]) -> Vec<f64> {
+        vec.iter()
+            .zip(self.space.params())
+            .map(|(&i, p)| {
+                if p.cardinality() > 1 {
+                    i as f64 / (p.cardinality() - 1) as f64
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    fn fit_surrogate(&self, state: &SearchState) -> Option<FittedSurrogate> {
+        if state.validated.len() < 2 || self.opts.surrogate == SurrogateKind::Random {
+            return None;
+        }
+        let rows: Vec<Vec<f64>> = state.validated.iter().map(|(_, n, _)| n.clone()).collect();
+        let ys: Vec<f64> = state.validated.iter().map(|(_, _, g)| *g).collect();
+        let x = Matrix::from_rows(&rows);
+        match self.opts.surrogate {
+            SurrogateKind::Gpr => GprBuilder::new()
+                .kernel(SumKernel::new(vec![
+                    Box::new(Rbf::new(0.5, 1.0)),
+                    Box::new(White::new(1e-4)),
+                ]))
+                .optimize_rounds(1)
+                .fit(&x, &ys)
+                .ok()
+                .map(FittedSurrogate::Gpr),
+            SurrogateKind::Neural => {
+                let mut net = Mlp::new(&[x.cols(), 32, 16, 1], self.opts.seed).ok()?;
+                net.fit(
+                    &x,
+                    &ys,
+                    TrainOptions {
+                        epochs: 150,
+                        learning_rate: 0.02,
+                        batch_size: 8,
+                        ..TrainOptions::default()
+                    },
+                )
+                .ok()?;
+                Some(FittedSurrogate::Neural(net))
+            }
+            SurrogateKind::Random => None,
+        }
+    }
+
+    /// Validates `cfg` (steps 5-6): measures the target workload, optionally
+    /// prunes the non-target runs, enforces the power budget, and records
+    /// the grade.
+    #[allow(clippy::too_many_arguments)]
+    fn validate_into(
+        &self,
+        cfg: &SsdConfig,
+        target: TuningTarget<'_>,
+        ref_target: &Measurement,
+        ref_non: &[(WorkloadKind, Measurement)],
+        state: &mut SearchState,
+        best: &mut Option<GradedConfig>,
+        allow_pruned_validation: bool,
+    ) {
+        let vec = self.space.vectorize(cfg);
+        if state.seen.contains(&vec) {
+            return;
+        }
+        state.seen.insert(vec.clone());
+
+        let m = self.eval_target(cfg, target);
+        // Power-budget constraint is enforced at validation time (§3.4).
+        if !self.constraints.check_power(m.power_w) {
+            return;
+        }
+        let perf_t = performance(&m, ref_target, self.opts.alpha);
+
+        // Validation-pruning optimization: if even a perfect non-target
+        // score cannot lift this configuration above the current elite
+        // floor, skip the expensive non-target runs.
+        let target_only_grade = (1.0 - self.opts.beta) * perf_t;
+        let g = if allow_pruned_validation
+            && !ref_non.is_empty()
+            && target_only_grade < state.worst_elite_grade(self.opts.top_k)
+            && state.validated.len() >= self.opts.top_k
+        {
+            target_only_grade
+        } else {
+            let non_perfs: Vec<f64> = ref_non
+                .iter()
+                .map(|(w, r)| {
+                    let mw = self.validator.evaluate(cfg, *w);
+                    performance(&mw, r, self.opts.alpha)
+                })
+                .collect();
+            grade(perf_t, &non_perfs, self.opts.beta)
+        };
+
+        let norm = self.normalize(&vec);
+        state.validated.push((vec, norm, g));
+        if best.as_ref().map_or(true, |b| g > b.grade) {
+            *best = Some(GradedConfig {
+                config: cfg.clone(),
+                grade: g,
+                target_performance: perf_t,
+                measurement: m,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validator::ValidatorOptions;
+    use ssdsim::config::presets;
+
+    fn quick_validator() -> Validator {
+        Validator::new(ValidatorOptions {
+            trace_events: 300,
+            ..Default::default()
+        })
+    }
+
+    fn quick_opts() -> TunerOptions {
+        TunerOptions {
+            max_iterations: 6,
+            sgd_iterations: 3,
+            convergence_window: 4,
+            non_target: vec![WorkloadKind::WebSearch],
+            ..Default::default()
+        }
+    }
+
+    fn cons() -> Constraints {
+        Constraints::paper_default()
+    }
+
+    #[test]
+    fn tuning_never_regresses_below_reference() {
+        let v = quick_validator();
+        let tuner = Tuner::new(cons(), &v, quick_opts());
+        let out = tuner.tune(WorkloadKind::Database, &presets::intel_750(), &[], None);
+        // The reference itself grades 0; the best must be at least that.
+        assert!(out.best.grade >= 0.0, "grade {}", out.best.grade);
+        assert!(!out.grade_history.is_empty());
+        assert!(out.iterations >= 1);
+        assert!(out.validations >= 1);
+    }
+
+    #[test]
+    fn grade_history_is_monotone_nondecreasing() {
+        let v = quick_validator();
+        let tuner = Tuner::new(cons(), &v, quick_opts());
+        let out = tuner.tune(WorkloadKind::KvStore, &presets::intel_750(), &[], None);
+        for w in out.grade_history.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn best_config_satisfies_constraints() {
+        let v = quick_validator();
+        let tuner = Tuner::new(cons(), &v, quick_opts());
+        let out = tuner.tune(WorkloadKind::CloudStorage, &presets::intel_750(), &[], None);
+        assert_eq!(cons().check_structural(&out.best.config), Ok(()));
+    }
+
+    #[test]
+    fn tuning_order_restricts_exploration() {
+        let v = quick_validator();
+        let tuner = Tuner::new(cons(), &v, quick_opts());
+        let order = ["channel_count", "data_cache_size"];
+        let out = tuner.tune(
+            WorkloadKind::Database,
+            &presets::intel_750(),
+            &[],
+            Some(&order),
+        );
+        assert!(out.best.grade >= 0.0);
+    }
+
+    #[test]
+    fn initial_configs_participate() {
+        let v = quick_validator();
+        let tuner = Tuner::new(cons(), &v, quick_opts());
+        // Seed with a deliberately different configuration.
+        let seeded = SsdConfig {
+            channel_count: 16,
+            chips_per_channel: 4,
+            ..presets::intel_750()
+        };
+        let out = tuner.tune(
+            WorkloadKind::Database,
+            &presets::intel_750(),
+            &[seeded],
+            None,
+        );
+        assert!(out.best.grade >= 0.0);
+    }
+
+    #[test]
+    fn flash_timing_stays_pinned_without_whatif() {
+        let v = quick_validator();
+        let tuner = Tuner::new(cons(), &v, quick_opts());
+        let reference = presets::intel_750();
+        let out = tuner.tune(WorkloadKind::WebSearch, &reference, &[], None);
+        assert_eq!(out.best.config.read_latency_ns, reference.read_latency_ns);
+        assert_eq!(out.best.config.program_latency_ns, reference.program_latency_ns);
+        assert_eq!(out.best.config.erase_latency_ns, reference.erase_latency_ns);
+    }
+
+    #[test]
+    fn random_proposals_still_converge() {
+        let v = quick_validator();
+        let opts = TunerOptions {
+            surrogate: SurrogateKind::Random,
+            ..quick_opts()
+        };
+        let tuner = Tuner::new(cons(), &v, opts);
+        let out = tuner.tune(WorkloadKind::Fiu, &presets::intel_750(), &[], None);
+        assert!(out.best.grade >= 0.0);
+        assert!(out.validations >= 1);
+    }
+
+    #[test]
+    fn neural_surrogate_still_converges() {
+        let v = quick_validator();
+        let opts = TunerOptions {
+            surrogate: SurrogateKind::Neural,
+            ..quick_opts()
+        };
+        let tuner = Tuner::new(cons(), &v, opts);
+        let out = tuner.tune(WorkloadKind::Database, &presets::intel_750(), &[], None);
+        assert!(out.best.grade >= 0.0);
+    }
+
+    #[test]
+    fn interface_and_flash_type_never_drift() {
+        let v = quick_validator();
+        let tuner = Tuner::new(cons(), &v, quick_opts());
+        let out = tuner.tune(WorkloadKind::Vdi, &presets::intel_750(), &[], None);
+        assert_eq!(out.best.config.interface, ssdsim::Interface::Nvme);
+        assert_eq!(out.best.config.flash_technology, ssdsim::FlashTechnology::Mlc);
+    }
+
+    #[test]
+    #[should_panic(expected = "constraints")]
+    fn mismatched_reference_panics() {
+        let v = quick_validator();
+        let tuner = Tuner::new(
+            Constraints::new(64, ssdsim::Interface::Nvme, ssdsim::FlashTechnology::Mlc, 25.0),
+            &v,
+            quick_opts(),
+        );
+        // Intel 750 is ~480 GiB; a 64 GiB constraint cannot hold it.
+        let _ = tuner.tune(WorkloadKind::Database, &presets::intel_750(), &[], None);
+    }
+}

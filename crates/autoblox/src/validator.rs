@@ -1,0 +1,206 @@
+//! Efficiency validation (§3.4): running candidate configurations on the
+//! SSD simulator and caching the measurements.
+
+use crate::metrics::Measurement;
+use iotrace::gen::WorkloadKind;
+use iotrace::Trace;
+use ssdsim::config::SsdConfig;
+use ssdsim::Simulator;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Options controlling validation runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidatorOptions {
+    /// Events per generated validation trace.
+    pub trace_events: usize,
+    /// Flash occupancy established before measuring (paper: >= 50%).
+    pub warm_fill: f64,
+    /// Seed for the deterministic validation traces.
+    pub seed: u64,
+}
+
+impl Default for ValidatorOptions {
+    fn default() -> Self {
+        ValidatorOptions {
+            trace_events: 3_000,
+            warm_fill: 0.5,
+            seed: 0xB10C5,
+        }
+    }
+}
+
+/// Runs configurations against the simulator, memoizing results.
+///
+/// Each evaluation performs two simulator runs: a **timed replay** (trace
+/// timestamps preserved) that yields the latency distribution, power, and
+/// energy, and a **saturated replay** (timestamps compressed to zero, so the
+/// queue depth drives submission) that yields the device's throughput
+/// capability — the same methodology MQSim-based studies use for bandwidth.
+///
+/// The cache key is the exact configuration plus the workload name, so the
+/// tuner never pays twice for the same (configuration, workload) pair — the
+/// dominant cost in the paper's Table 6.
+///
+/// # Examples
+///
+/// ```
+/// use autoblox::validator::{Validator, ValidatorOptions};
+/// use iotrace::gen::WorkloadKind;
+/// use ssdsim::config::SsdConfig;
+///
+/// let validator = Validator::new(ValidatorOptions { trace_events: 500, ..Default::default() });
+/// let m = validator.evaluate(&SsdConfig::default(), WorkloadKind::Database);
+/// assert!(m.latency_ns > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct Validator {
+    opts: ValidatorOptions,
+    traces: RefCell<HashMap<String, Trace>>,
+    cache: RefCell<HashMap<(String, String), Measurement>>,
+    runs: RefCell<u64>,
+}
+
+impl Validator {
+    /// Creates a validator.
+    pub fn new(opts: ValidatorOptions) -> Self {
+        Validator {
+            opts,
+            traces: RefCell::new(HashMap::new()),
+            cache: RefCell::new(HashMap::new()),
+            runs: RefCell::new(0),
+        }
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> ValidatorOptions {
+        self.opts
+    }
+
+    /// Number of actual (non-cached) simulator runs performed.
+    pub fn simulator_runs(&self) -> u64 {
+        *self.runs.borrow()
+    }
+
+    /// Evaluates a configuration on a named workload category, generating
+    /// (and caching) the validation trace for the category.
+    pub fn evaluate(&self, cfg: &SsdConfig, kind: WorkloadKind) -> Measurement {
+        let trace = self
+            .traces
+            .borrow_mut()
+            .entry(kind.name().to_string())
+            .or_insert_with(|| kind.spec().generate(self.opts.trace_events, self.opts.seed))
+            .clone();
+        self.evaluate_trace(cfg, &trace)
+    }
+
+    /// Evaluates a configuration on a caller-provided trace.
+    pub fn evaluate_trace(&self, cfg: &SsdConfig, trace: &Trace) -> Measurement {
+        let key = (
+            serde_json::to_string(cfg).expect("config serializes"),
+            trace.name().to_string(),
+        );
+        if let Some(m) = self.cache.borrow().get(&key) {
+            return *m;
+        }
+        // Timed replay: latency, power, energy.
+        //
+        // Known scale limitation: a validation trace of tens of thousands
+        // of events moves hundreds of MB, so multi-GB DRAM-cache capacities
+        // cannot express their real reuse benefit here (the paper's
+        // 15-240 h traces move TBs). The DRAM capacity parameters are
+        // therefore near-insensitive at this scale; see DESIGN.md §9.
+        let mut sim = Simulator::new(cfg.clone());
+        sim.warm_up(self.opts.warm_fill);
+        let report = sim.run(trace);
+        let mut m = Measurement::from_report(&report);
+        // Saturated replay: throughput capability.
+        let saturated = Trace::from_events(
+            trace.name(),
+            trace
+                .events()
+                .iter()
+                .map(|e| iotrace::TraceEvent::new(0, e.lba, e.size_bytes, e.op))
+                .collect(),
+        );
+        let mut sat_sim = Simulator::new(cfg.clone());
+        sat_sim.warm_up(self.opts.warm_fill);
+        let sat_report = sat_sim.run(&saturated);
+        // Sustained throughput includes draining the write-back cache.
+        let drained_ns = sat_sim.drain(sat_report.makespan_ns).max(1);
+        m.throughput_bps = (sat_report.host_bytes as f64 / (drained_ns as f64 / 1e9)).max(1.0);
+        *self.runs.borrow_mut() += 1;
+        self.cache.borrow_mut().insert(key, m);
+        m
+    }
+
+    /// Drops all memoized measurements (used between experiments that reset
+    /// the model, e.g. the α/β sweeps of §4.6).
+    pub fn clear_cache(&self) {
+        self.cache.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Validator {
+        Validator::new(ValidatorOptions {
+            trace_events: 400,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn evaluation_is_cached() {
+        let v = quick();
+        let cfg = SsdConfig::default();
+        let a = v.evaluate(&cfg, WorkloadKind::Database);
+        assert_eq!(v.simulator_runs(), 1);
+        let b = v.evaluate(&cfg, WorkloadKind::Database);
+        assert_eq!(v.simulator_runs(), 1, "second call must hit the cache");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_configs_rerun() {
+        let v = quick();
+        v.evaluate(&SsdConfig::default(), WorkloadKind::Database);
+        let other = SsdConfig {
+            channel_count: 4,
+            ..SsdConfig::default()
+        };
+        v.evaluate(&other, WorkloadKind::Database);
+        assert_eq!(v.simulator_runs(), 2);
+    }
+
+    #[test]
+    fn different_workloads_rerun() {
+        let v = quick();
+        let cfg = SsdConfig::default();
+        v.evaluate(&cfg, WorkloadKind::Database);
+        v.evaluate(&cfg, WorkloadKind::WebSearch);
+        assert_eq!(v.simulator_runs(), 2);
+    }
+
+    #[test]
+    fn clear_cache_forces_rerun() {
+        let v = quick();
+        let cfg = SsdConfig::default();
+        v.evaluate(&cfg, WorkloadKind::Fiu);
+        v.clear_cache();
+        v.evaluate(&cfg, WorkloadKind::Fiu);
+        assert_eq!(v.simulator_runs(), 2);
+    }
+
+    #[test]
+    fn measurements_are_physical() {
+        let v = quick();
+        let m = v.evaluate(&SsdConfig::default(), WorkloadKind::KvStore);
+        assert!(m.latency_ns > 100.0);
+        assert!(m.throughput_bps > 1e3);
+        assert!(m.power_w > 0.0);
+        assert!(m.energy_mj > 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! What-if analysis (§4.5): given a performance target (e.g. "3x lower
+//! latency than the Intel 750"), search an expanded design space for a
+//! configuration that meets it. The reported configurations serve as
+//! reference points for next-generation SSD designs.
+
+use crate::constraints::Constraints;
+use crate::tuner::{Tuner, TunerOptions, TuningOutcome};
+use crate::validator::Validator;
+use iotrace::gen::WorkloadKind;
+use serde::{Deserialize, Serialize};
+use ssdsim::config::SsdConfig;
+
+/// The performance goal of a what-if analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WhatIfGoal {
+    /// Reduce mean latency by this factor versus the reference.
+    LatencyReduction(f64),
+    /// Improve throughput by this factor versus the reference.
+    ThroughputImprovement(f64),
+}
+
+impl WhatIfGoal {
+    /// The α coefficient that slants Formula 1 toward the goal: latency
+    /// goals weigh latency heavily (α → 0), throughput goals the reverse.
+    pub fn alpha(&self) -> f64 {
+        match self {
+            WhatIfGoal::LatencyReduction(_) => 0.1,
+            WhatIfGoal::ThroughputImprovement(_) => 0.9,
+        }
+    }
+
+    /// The goal factor.
+    pub fn factor(&self) -> f64 {
+        match self {
+            WhatIfGoal::LatencyReduction(f) | WhatIfGoal::ThroughputImprovement(f) => *f,
+        }
+    }
+}
+
+/// Result of a what-if analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WhatIfOutcome {
+    /// The target workload.
+    pub workload: String,
+    /// The goal that was requested.
+    pub goal: WhatIfGoal,
+    /// The achieved factor (latency reduction or throughput improvement).
+    pub achieved: f64,
+    /// Whether the goal was met.
+    pub met: bool,
+    /// The underlying tuning result (best configuration, history, ...).
+    pub tuning: TuningOutcome,
+}
+
+/// Options for the what-if search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfOptions {
+    /// Base tuner options (α is overridden by the goal; β is zeroed — the
+    /// what-if analysis maximizes the target workload alone).
+    pub tuner: TunerOptions,
+}
+
+impl Default for WhatIfOptions {
+    fn default() -> Self {
+        WhatIfOptions {
+            tuner: TunerOptions {
+                // The paper's what-if runs explore an aggressive space and
+                // converge within ~121 iterations; the exploration bound is
+                // relaxed accordingly.
+                max_iterations: 60,
+                manhattan_limit: 8,
+                non_target: Vec::new(),
+                ..TunerOptions::default()
+            },
+        }
+    }
+}
+
+/// Runs a what-if analysis for `workload` against `reference`.
+///
+/// The search reuses the automated tuner with the goal-slanted α and no
+/// non-target penalty, mirroring §4.5 ("set more aggressive bounds ... to
+/// explore a larger design space").
+pub fn what_if(
+    workload: WorkloadKind,
+    goal: WhatIfGoal,
+    constraints: Constraints,
+    reference: &SsdConfig,
+    validator: &Validator,
+    opts: WhatIfOptions,
+) -> WhatIfOutcome {
+    // §4.5 explores bounds that "may not be realistic today": flash timing
+    // becomes tunable and the manufacturable-die floor is relaxed to a
+    // quarter of its production value.
+    let constraints = Constraints {
+        min_die_capacity_bytes: constraints.min_die_capacity_bytes / 4,
+        ..constraints
+    };
+    let tuner_opts = TunerOptions {
+        alpha: goal.alpha(),
+        beta: 0.0,
+        explore_flash_timing: true,
+        // A goal-driven search uses its whole iteration budget instead of
+        // stopping at the first ±1% plateau: the paper's what-if runs take
+        // ~121 iterations, well past normal convergence.
+        convergence_epsilon: 0.0,
+        convergence_window: usize::MAX,
+        ..opts.tuner
+    };
+    let tuner = Tuner::new(constraints, validator, tuner_opts);
+    let tuning = tuner.tune(workload, reference, &[], None);
+    let achieved = match goal {
+        WhatIfGoal::LatencyReduction(_) => {
+            tuning.reference.latency_ns / tuning.best.measurement.latency_ns
+        }
+        WhatIfGoal::ThroughputImprovement(_) => {
+            tuning.best.measurement.throughput_bps / tuning.reference.throughput_bps
+        }
+    };
+    WhatIfOutcome {
+        workload: workload.name().to_string(),
+        goal,
+        achieved,
+        met: achieved >= goal.factor(),
+        tuning,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validator::ValidatorOptions;
+    use ssdsim::config::presets;
+
+    #[test]
+    fn goal_alpha_slants_correctly() {
+        assert!(WhatIfGoal::LatencyReduction(3.0).alpha() < 0.5);
+        assert!(WhatIfGoal::ThroughputImprovement(3.0).alpha() > 0.5);
+        assert_eq!(WhatIfGoal::LatencyReduction(3.0).factor(), 3.0);
+    }
+
+    #[test]
+    fn what_if_improves_over_reference() {
+        let v = Validator::new(ValidatorOptions {
+            trace_events: 300,
+            ..Default::default()
+        });
+        let opts = WhatIfOptions {
+            tuner: TunerOptions {
+                max_iterations: 5,
+                sgd_iterations: 3,
+                ..TunerOptions::default()
+            },
+        };
+        let out = what_if(
+            WorkloadKind::Database,
+            WhatIfGoal::LatencyReduction(1.05),
+            Constraints::paper_default(),
+            &presets::intel_750(),
+            &v,
+            opts,
+        );
+        // The achieved factor is at worst 1.0 (the reference itself).
+        assert!(out.achieved >= 0.99, "achieved {}", out.achieved);
+        assert_eq!(out.met, out.achieved >= 1.05);
+        assert_eq!(out.workload, "Database");
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for AutoDB: arbitrary operation sequences must
+//! behave exactly like a reference map, survive reopen, and compact
+//! losslessly.
+
+use autodb::Store;
+use proptest::prelude::*;
+use serde_json::json;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, i64),
+    Delete(u8),
+    Compact,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..16, any::<i64>()).prop_map(|(k, v)| Op::Put(k, v)),
+            (0u8..16).prop_map(Op::Delete),
+            Just(Op::Compact),
+        ],
+        0..60,
+    )
+}
+
+fn apply(store: &Store, model: &mut HashMap<String, i64>, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Put(k, v) => {
+                let key = format!("k{k}");
+                store.put(&key, &json!(v)).unwrap();
+                model.insert(key, *v);
+            }
+            Op::Delete(k) => {
+                let key = format!("k{k}");
+                let existed = store.delete(&key).unwrap();
+                assert_eq!(existed, model.remove(&key).is_some());
+            }
+            Op::Compact => store.compact().unwrap(),
+        }
+    }
+}
+
+fn check(store: &Store, model: &HashMap<String, i64>) {
+    assert_eq!(store.len(), model.len());
+    for (k, v) in model {
+        let got = store.get(k).unwrap().unwrap();
+        assert_eq!(got, json!(*v));
+    }
+    let mut keys: Vec<String> = model.keys().cloned().collect();
+    keys.sort();
+    assert_eq!(store.keys(), keys);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn in_memory_store_matches_reference_model(ops in arb_ops()) {
+        let store = Store::in_memory();
+        let mut model = HashMap::new();
+        apply(&store, &mut model, &ops);
+        check(&store, &model);
+    }
+
+    #[test]
+    fn persistent_store_survives_reopen(ops in arb_ops(), case in 0u64..1_000_000) {
+        let dir = std::env::temp_dir().join(format!(
+            "autodb-prop-{}-{case}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.db");
+        std::fs::remove_file(&path).ok();
+
+        let mut model = HashMap::new();
+        {
+            let store = Store::open(&path).unwrap();
+            apply(&store, &mut model, &ops);
+            check(&store, &model);
+        }
+        {
+            let store = Store::open(&path).unwrap();
+            check(&store, &model);
+            // Compaction after reopen preserves everything and shrinks the
+            // log to exactly the live set.
+            store.compact().unwrap();
+            prop_assert_eq!(store.log_records(), model.len());
+            check(&store, &model);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

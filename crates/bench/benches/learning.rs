@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks for the learning substrate: GPR fit/predict,
+//! k-means, PCA, and Ridge — the per-iteration costs of Table 6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlkit::gpr::GprBuilder;
+use mlkit::kmeans::KMeans;
+use mlkit::linalg::Matrix;
+use mlkit::pca::Pca;
+use mlkit::ridge::Ridge;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen::<f64>()).collect())
+}
+
+fn bench_gpr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpr");
+    for n in [32usize, 128] {
+        let x = random_matrix(n, 48, 1);
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        group.bench_with_input(BenchmarkId::new("fit", n), &n, |b, _| {
+            b.iter(|| GprBuilder::new().optimize_rounds(1).fit(&x, &y).unwrap());
+        });
+        let gp = GprBuilder::new().optimize_rounds(0).fit(&x, &y).unwrap();
+        let point = vec![0.5; 48];
+        group.bench_with_input(BenchmarkId::new("predict", n), &n, |b, _| {
+            b.iter(|| gp.predict(&point).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_kmeans_pca(c: &mut Criterion) {
+    let x = random_matrix(500, 12, 3);
+    c.bench_function("kmeans_fit_k7", |b| {
+        b.iter(|| KMeans::fit(&x, 7, 1).unwrap());
+    });
+    c.bench_function("pca_fit_5", |b| {
+        b.iter(|| Pca::fit(&x, 5).unwrap());
+    });
+}
+
+fn bench_ridge(c: &mut Criterion) {
+    let x = random_matrix(64, 36, 5);
+    let y: Vec<f64> = (0..64).map(|i| i as f64 * 0.01).collect();
+    c.bench_function("ridge_fit_36params", |b| {
+        b.iter(|| Ridge::fit(&x, &y, 1e-3).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_gpr, bench_kmeans_pca, bench_ridge);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks for the framework pipeline stages measured in
+//! the paper's Table 6: feature extraction, workload classification, AutoDB
+//! lookups, and one full tuning iteration.
+
+use autoblox::clustering::WorkloadClusterer;
+use autoblox::constraints::Constraints;
+use autoblox::tuner::{Tuner, TunerOptions};
+use autoblox::validator::{Validator, ValidatorOptions};
+use autodb::Store;
+use criterion::{criterion_group, criterion_main, Criterion};
+use iotrace::gen::WorkloadKind;
+use iotrace::window::{window_features, WindowOptions};
+use iotrace::Trace;
+use ssdsim::config::presets;
+
+fn bench_features(c: &mut Criterion) {
+    let trace = WorkloadKind::Database.spec().generate(100_000, 3);
+    let mut group = c.benchmark_group("features");
+    group.sample_size(20);
+    group.bench_function("window_features_100k_events", |b| {
+        b.iter(|| window_features(&trace, WindowOptions::default()));
+    });
+    group.finish();
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let window = WindowOptions { window_len: 1_000 };
+    let train: Vec<Trace> = WorkloadKind::STUDIED
+        .iter()
+        .map(|k| k.spec().generate(6_000, 42))
+        .collect();
+    let model = WorkloadClusterer::fit(&train, 7, window, 7).unwrap();
+    let fresh = WorkloadKind::KvStore.spec().generate(6_000, 99);
+    c.bench_function("workload_similarity_comparison", |b| {
+        b.iter(|| model.classify(&fresh).unwrap());
+    });
+}
+
+fn bench_autodb(c: &mut Criterion) {
+    let db = Store::in_memory();
+    for i in 0..100 {
+        db.put_record(&format!("cluster:{i}"), &serde_json::json!({"grade": i}))
+            .unwrap();
+    }
+    c.bench_function("autodb_lookup", |b| {
+        b.iter(|| db.get("cluster:42").unwrap());
+    });
+}
+
+fn bench_tuning_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tuning");
+    group.sample_size(10);
+    group.bench_function("tuning_iteration_with_validation", |b| {
+        b.iter(|| {
+            let v = Validator::new(ValidatorOptions {
+                trace_events: 500,
+                ..Default::default()
+            });
+            let opts = TunerOptions {
+                max_iterations: 1,
+                sgd_iterations: 2,
+                non_target: vec![],
+                ..TunerOptions::default()
+            };
+            let tuner = Tuner::new(Constraints::paper_default(), &v, opts);
+            tuner.tune(WorkloadKind::Database, &presets::intel_750(), &[], None)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_features,
+    bench_classify,
+    bench_autodb,
+    bench_tuning_iteration
+);
+criterion_main!(benches);

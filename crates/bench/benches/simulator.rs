@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks for the SSD simulator: events/second across
+//! workload categories and configuration shapes (the cost driver behind the
+//! paper's Table 6 "efficiency validation" row).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iotrace::gen::WorkloadKind;
+use ssdsim::config::{presets, SsdConfig};
+use ssdsim::Simulator;
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_trace");
+    group.sample_size(20);
+    for kind in [
+        WorkloadKind::Database,
+        WorkloadKind::WebSearch,
+        WorkloadKind::BatchAnalytics,
+        WorkloadKind::Fiu,
+    ] {
+        let trace = kind.spec().generate(2_000, 7);
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &trace, |b, t| {
+            b.iter(|| {
+                let mut sim = Simulator::new(presets::intel_750());
+                sim.warm_up(0.5);
+                sim.run(t)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_config_shapes(c: &mut Criterion) {
+    let trace = WorkloadKind::Database.spec().generate(2_000, 7);
+    let mut group = c.benchmark_group("simulate_config_shape");
+    group.sample_size(20);
+    let shapes: [(&str, SsdConfig); 3] = [
+        ("intel750", presets::intel_750()),
+        ("wide-64ch", SsdConfig {
+            channel_count: 64,
+            chips_per_channel: 1,
+            blocks_per_plane: 512,
+            ..presets::intel_750()
+        }),
+        ("sata-850pro", presets::samsung_850_pro()),
+    ];
+    for (name, cfg) in shapes {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut sim = Simulator::new(cfg.clone());
+                sim.warm_up(0.5);
+                sim.run(&trace)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_warm_up(c: &mut Criterion) {
+    c.bench_function("simulator_warm_up", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(presets::intel_750());
+            sim.warm_up(0.5);
+            sim
+        });
+    });
+}
+
+criterion_group!(benches, bench_workloads, bench_config_shapes, bench_warm_up);
+criterion_main!(benches);

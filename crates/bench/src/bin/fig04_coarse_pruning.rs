@@ -1,0 +1,68 @@
+//! Figure 4: coarse-grained parameter pruning.
+//!
+//! Sweeps every numeric SSD parameter from its baseline up to 16x (plus the
+//! grid extremes) and reports the per-parameter performance sensitivity per
+//! workload. Flat lines — insensitive parameters — are the prune set; the
+//! paper finds ~12 insensitive parameters such as Page_Metadata_Capacity,
+//! Static_Wearleveling_Threshold, and Suspend_Program_Time.
+
+use autoblox::params::ParamSpace;
+use autoblox::pruning::{coarse_prune, COARSE_MULTIPLIERS};
+use autoblox_bench::{print_table, validator, Scale};
+use iotrace::gen::WorkloadKind;
+use ssdsim::config::presets;
+
+fn main() {
+    let scale = Scale::from_env();
+    let v = validator(scale);
+    let space = ParamSpace::new();
+    let base = presets::intel_750();
+
+    let workloads = match scale {
+        Scale::Quick => vec![WorkloadKind::Database],
+        _ => vec![
+            WorkloadKind::Database,
+            WorkloadKind::WebSearch,
+            WorkloadKind::KvStore,
+            WorkloadKind::BatchAnalytics,
+        ],
+    };
+
+    let mut all_insensitive: Option<Vec<String>> = None;
+    for w in workloads {
+        eprintln!("coarse sweep for {w} ...");
+        let report = coarse_prune(&space, &base, w, &v);
+        let mut rows: Vec<Vec<String>> = report
+            .sweeps
+            .iter()
+            .map(|s| {
+                let mut row = vec![s.name.clone()];
+                row.extend(s.scores.iter().map(|x| format!("{x:+.3}")));
+                row.push(format!("{:+.3}", s.sensitivity));
+                row.push(if s.insensitive { "PRUNE".into() } else { "keep".into() });
+                row
+            })
+            .collect();
+        rows.sort_by(|a, b| a[0].cmp(&b[0]));
+        let mut headers = vec!["parameter".to_string()];
+        headers.extend(COARSE_MULTIPLIERS.iter().map(|m| format!("x{m}")));
+        headers.push("sensitivity".into());
+        headers.push("verdict".into());
+        print_table(&format!("Figure 4 — coarse sweep, {w}"), &headers, &rows);
+
+        let ins: Vec<String> = report.insensitive().iter().map(|s| s.to_string()).collect();
+        println!("\n{} insensitive parameters for {w}: {:?}", ins.len(), ins);
+        all_insensitive = Some(match all_insensitive {
+            None => ins,
+            Some(prev) => prev.into_iter().filter(|p| ins.contains(p)).collect(),
+        });
+    }
+    if let Some(common) = all_insensitive {
+        println!(
+            "\nparameters insensitive across ALL swept workloads ({}): {:?}",
+            common.len(),
+            common
+        );
+        println!("(paper identifies 12 such parameters in its Figure 4)");
+    }
+}

@@ -1,0 +1,68 @@
+//! Figure 5: fine-grained parameter pruning with Ridge regression.
+//!
+//! Fits a linear regression from normalized parameter values to the unified
+//! performance metric and prints the per-parameter coefficients per
+//! workload: positive coefficients (blue in the paper) help performance as
+//! the parameter grows, negative (red) hurt, and |coef| below the threshold
+//! is pruned. The |coefficient| ordering becomes the tuning order.
+
+use autoblox::params::ParamSpace;
+use autoblox::pruning::{coarse_prune, fine_prune, FineOptions};
+use autoblox_bench::{print_table, validator, Scale};
+use iotrace::gen::WorkloadKind;
+use ssdsim::config::presets;
+
+fn main() {
+    let scale = Scale::from_env();
+    let v = validator(scale);
+    let space = ParamSpace::new();
+    let base = presets::intel_750();
+    let workloads = match scale {
+        Scale::Quick => vec![WorkloadKind::Database],
+        _ => vec![
+            WorkloadKind::Database,
+            WorkloadKind::WebSearch,
+            WorkloadKind::KvStore,
+            WorkloadKind::CloudStorage,
+        ],
+    };
+
+    for w in workloads {
+        eprintln!("fine-grained regression for {w} ...");
+        let coarse = coarse_prune(&space, &base, w, &v);
+        let sensitive = coarse.sensitive();
+        let report = fine_prune(
+            &space,
+            &base,
+            w,
+            &sensitive,
+            &v,
+            FineOptions {
+                samples: scale.samples(),
+                ..Default::default()
+            },
+        );
+        let mut rows: Vec<Vec<String>> = report
+            .coefficients
+            .iter()
+            .map(|c| {
+                vec![
+                    c.name.clone(),
+                    format!("{:+.4}", c.coefficient),
+                    if c.pruned { "pruned".into() } else { "kept".into() },
+                ]
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            let pa: f64 = a[1].parse().unwrap_or(0.0);
+            let pb: f64 = b[1].parse().unwrap_or(0.0);
+            pb.abs().partial_cmp(&pa.abs()).unwrap()
+        });
+        print_table(
+            &format!("Figure 5 — Ridge coefficients, {w} (R² = {:.3})", report.r_squared),
+            &["parameter".into(), "coefficient".into(), "verdict".into()],
+            &rows,
+        );
+        println!("\ntuning order for {w}: {:?}", report.tuning_order());
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 11: impact of the latency/throughput balance coefficient alpha.
+//!
+//! Sweeping alpha from 0.01 to 0.99 and retuning from scratch: small alpha
+//! maximizes latency gains at the cost of throughput; alpha = 0.5 achieves
+//! both — the paper's default.
+
+use autoblox::constraints::Constraints;
+use autoblox::tuner::{Tuner, TunerOptions};
+use autoblox_bench::{print_table, validator, Scale};
+use iotrace::gen::WorkloadKind;
+use ssdsim::config::presets;
+
+fn main() {
+    let scale = Scale::from_env();
+    let reference = presets::intel_750();
+    let constraints = Constraints::paper_default();
+    let alphas = [0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99];
+    let workloads = match scale {
+        Scale::Quick => vec![WorkloadKind::Database],
+        _ => vec![WorkloadKind::Database, WorkloadKind::KvStore, WorkloadKind::LiveMaps],
+    };
+
+    let mut rows = Vec::new();
+    for kind in workloads {
+        for &alpha in &alphas {
+            // Reset the model per point, as the paper does.
+            let v = validator(scale);
+            let opts = TunerOptions {
+                alpha,
+                max_iterations: scale.max_iterations().min(20),
+                non_target: vec![],
+                beta: 0.0,
+                ..TunerOptions::default()
+            };
+            let tuner = Tuner::new(constraints, &v, opts);
+            let out = tuner.tune(kind, &reference, &[], None);
+            let lat = out.reference.latency_ns / out.best.measurement.latency_ns;
+            let tp = out.best.measurement.throughput_bps / out.reference.throughput_bps;
+            rows.push(vec![
+                kind.name().to_string(),
+                format!("{alpha:.2}"),
+                format!("{lat:.2}x"),
+                format!("{tp:.2}x"),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 11 — alpha sweep (latency vs throughput balance)",
+        &["workload".into(), "alpha".into(), "latency speedup".into(), "throughput speedup".into()],
+        &rows,
+    );
+    println!("\npaper: alpha = 0.5 achieves both improved latency and throughput");
+}

@@ -1,0 +1,59 @@
+//! Figure 12: impact of the penalty-balance coefficient beta between target
+//! and non-target workloads. The paper finds a sweet spot at beta = 0.1.
+
+use autoblox::constraints::Constraints;
+use autoblox::metrics::geometric_mean;
+use autoblox::tuner::{Tuner, TunerOptions};
+use autoblox_bench::{speedup_cell, print_table, validator, Scale};
+use iotrace::gen::WorkloadKind;
+use ssdsim::config::presets;
+
+fn main() {
+    let scale = Scale::from_env();
+    let reference = presets::intel_750();
+    let constraints = Constraints::paper_default();
+    let betas = [0.01, 0.05, 0.1, 0.3, 0.5, 0.7, 0.99];
+    let workloads = match scale {
+        Scale::Quick => vec![WorkloadKind::Database],
+        _ => vec![WorkloadKind::Database, WorkloadKind::KvStore, WorkloadKind::LiveMaps],
+    };
+
+    let mut rows = Vec::new();
+    for kind in workloads {
+        for &beta in &betas {
+            let v = validator(scale);
+            let opts = TunerOptions {
+                beta,
+                max_iterations: scale.max_iterations().min(20),
+                non_target: WorkloadKind::STUDIED.to_vec(),
+                ..TunerOptions::default()
+            };
+            let tuner = Tuner::new(constraints, &v, opts);
+            let out = tuner.tune(kind, &reference, &[], None);
+            let target = speedup_cell(&out.best.config, &reference, kind, &v);
+            let mut non_lat = Vec::new();
+            for w in WorkloadKind::STUDIED {
+                if w != kind {
+                    non_lat.push(speedup_cell(&out.best.config, &reference, w, &v).0);
+                }
+            }
+            rows.push(vec![
+                kind.name().to_string(),
+                format!("{beta:.2}"),
+                format!("{:.2}x", target.0),
+                format!("{:.2}x", geometric_mean(&non_lat)),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 12 — beta sweep (target vs non-target balance)",
+        &[
+            "workload".into(),
+            "beta".into(),
+            "target latency speedup".into(),
+            "non-target geo-mean".into(),
+        ],
+        &rows,
+    );
+    println!("\npaper: beta = 0.1 delivers maximum improvement for both target and non-target");
+}

@@ -1,0 +1,64 @@
+//! Table 4: learned configurations for new (unseen) storage workloads,
+//! normalized to the Intel 750. LevelDB/MySQL/HDFS cluster into the studied
+//! categories KVStore/Database/CloudStorage; VDI/FIU/RadiusAuth form new
+//! clusters. The paper reports 1.34-1.53x target gains, 1.12x non-target.
+
+use autoblox::clustering::WorkloadClusterer;
+use autoblox::constraints::Constraints;
+use autoblox_bench::{cross_matrix_experiment, print_table, tuner_options, validator, Scale};
+use iotrace::gen::WorkloadKind;
+use iotrace::window::WindowOptions;
+use iotrace::Trace;
+use ssdsim::config::presets;
+
+fn main() {
+    let scale = Scale::from_env();
+    let v = validator(scale);
+    let reference = presets::intel_750();
+    let constraints = Constraints::paper_default();
+    let mut opts = tuner_options(scale);
+    // Non-targets for Table 4 are the other new workloads.
+    opts.non_target = WorkloadKind::NEW.to_vec();
+
+    // First: show how the new workloads relate to the studied clusters.
+    let window = WindowOptions { window_len: 1_000 };
+    let train: Vec<Trace> = WorkloadKind::STUDIED
+        .iter()
+        .map(|k| k.spec().generate(scale.trace_events().max(6_000), 42))
+        .collect();
+    let model = WorkloadClusterer::fit(&train, 7, window, 7).expect("clustering fits");
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::NEW {
+        let t = kind.spec().generate(scale.trace_events().max(4_000), 99);
+        let decision = model.classify(&t).expect("classify");
+        let (verdict, dist) = match decision {
+            autoblox::clustering::ClusterDecision::Existing { cluster, distance } => {
+                (format!("cluster {cluster}"), distance)
+            }
+            autoblox::clustering::ClusterDecision::New { nearest, distance } => {
+                (format!("NEW (nearest {nearest})"), distance)
+            }
+        };
+        rows.push(vec![
+            kind.name().to_string(),
+            verdict,
+            format!("{dist:.2}"),
+            format!("{:.2}", model.threshold()),
+        ]);
+    }
+    print_table(
+        "Table 4 (prelude) — where the new workloads land",
+        &["workload".into(), "decision".into(), "distance".into(), "threshold".into()],
+        &rows,
+    );
+
+    cross_matrix_experiment(
+        "Table 4 — new workloads, NVMe MLC, normalized to Intel 750",
+        &reference,
+        constraints,
+        &v,
+        &opts,
+        &WorkloadKind::NEW,
+        &WorkloadKind::NEW,
+    );
+}

@@ -1,0 +1,106 @@
+//! Table 6: overhead sources of AutoBlox.
+//!
+//! Measures the wall-clock cost of each framework component: feature
+//! extraction per 100K I/O requests, workload similarity comparison,
+//! clustering, AutoDB lookup, one learning iteration, and one efficiency
+//! validation. The paper's validation dominates at 670.89 s (real traces on
+//! MQSim); ours is proportionally faster but preserves the ordering.
+
+use autoblox::clustering::WorkloadClusterer;
+use autoblox::constraints::Constraints;
+use autoblox::tuner::{Tuner, TunerOptions};
+use autoblox::validator::{Validator, ValidatorOptions};
+use autoblox_bench::{print_table, Scale};
+use autodb::Store;
+use iotrace::gen::WorkloadKind;
+use iotrace::window::{window_features, WindowOptions};
+use iotrace::Trace;
+use ssdsim::config::presets;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    let window = WindowOptions { window_len: 1_000 };
+    let mut rows = Vec::new();
+
+    // Feature extraction per 100K I/O requests.
+    let big = WorkloadKind::Database.spec().generate(100_000, 3);
+    let t0 = Instant::now();
+    let feats = window_features(&big, window);
+    rows.push(vec![
+        "extract workload features per 100K I/O requests".into(),
+        format!("{:.3}", t0.elapsed().as_secs_f64()),
+    ]);
+    assert!(!feats.is_empty());
+
+    // Clustering model training.
+    let train: Vec<Trace> = WorkloadKind::STUDIED
+        .iter()
+        .map(|k| k.spec().generate(6_000, 42))
+        .collect();
+    let t0 = Instant::now();
+    let model = WorkloadClusterer::fit(&train, 7, window, 7).expect("fit");
+    rows.push(vec![
+        "workload clustering (train PCA + k-means)".into(),
+        format!("{:.3}", t0.elapsed().as_secs_f64()),
+    ]);
+
+    // Similarity comparison of a new workload.
+    let fresh = WorkloadKind::KvStore.spec().generate(6_000, 99);
+    let t0 = Instant::now();
+    let _ = model.classify(&fresh).expect("classify");
+    rows.push(vec![
+        "workload similarity comparison".into(),
+        format!("{:.3}", t0.elapsed().as_secs_f64()),
+    ]);
+
+    // AutoDB lookup.
+    let db = Store::in_memory();
+    db.put_record("cluster:1", &serde_json::json!({"grade": 1.0}))
+        .expect("put");
+    let t0 = Instant::now();
+    for _ in 0..1000 {
+        let _ = db.get("cluster:1").expect("get");
+    }
+    rows.push(vec![
+        "AutoDB database lookup (amortized over 1000)".into(),
+        format!("{:.6}", t0.elapsed().as_secs_f64() / 1000.0),
+    ]);
+
+    // One learning iteration (GPR fit + SGD proposals) and one validation.
+    let v = Validator::new(ValidatorOptions {
+        trace_events: scale.trace_events(),
+        ..Default::default()
+    });
+    let reference = presets::intel_750();
+    let opts = TunerOptions {
+        max_iterations: 5,
+        non_target: vec![],
+        ..TunerOptions::default()
+    };
+    let tuner = Tuner::new(Constraints::paper_default(), &v, opts);
+    let t0 = Instant::now();
+    let out = tuner.tune(WorkloadKind::Database, &reference, &[], None);
+    let per_iter = t0.elapsed().as_secs_f64() / out.iterations as f64;
+    rows.push(vec![
+        "new configuration learning per iteration (incl. validation)".into(),
+        format!("{per_iter:.3}"),
+    ]);
+
+    let t0 = Instant::now();
+    v.clear_cache();
+    let _ = v.evaluate(&reference, WorkloadKind::Database);
+    rows.push(vec![
+        "efficiency validation (one simulator run)".into(),
+        format!("{:.3}", t0.elapsed().as_secs_f64()),
+    ]);
+
+    print_table(
+        "Table 6 — overhead sources of AutoBlox (seconds)",
+        &["component".into(), "execution time (s)".into()],
+        &rows,
+    );
+    println!("\npaper (seconds): features/100K 0.84, similarity 4.65, clustering 0.57,");
+    println!("AutoDB lookup 0.02, learning/iter 2.75, validation 670.89");
+    println!("the ordering — validation >> everything else — is the reproduced claim");
+}

@@ -1,0 +1,26 @@
+//! Table 8: learned configurations for NVMe SLC SSDs, normalized to the
+//! Samsung Z-SSD. The paper reports up to 2.46x latency reduction and up to
+//! 1.92x throughput improvement for target workloads.
+
+use autoblox::constraints::Constraints;
+use autoblox_bench::{cross_matrix_experiment, tuner_options, validator, Scale};
+use iotrace::gen::WorkloadKind;
+use ssdsim::config::{presets, FlashTechnology, Interface};
+
+fn main() {
+    let scale = Scale::from_env();
+    let v = validator(scale);
+    let reference = presets::samsung_z_ssd();
+    let cap_gib = reference.physical_capacity_bytes() >> 30;
+    let constraints = Constraints::new(cap_gib, Interface::Nvme, FlashTechnology::Slc, 25.0);
+    let opts = tuner_options(scale);
+    cross_matrix_experiment(
+        "Table 8 — NVMe SLC, normalized to Samsung Z-SSD",
+        &reference,
+        constraints,
+        &v,
+        &opts,
+        &WorkloadKind::STUDIED,
+        &WorkloadKind::STUDIED,
+    );
+}

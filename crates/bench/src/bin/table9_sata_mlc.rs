@@ -1,0 +1,26 @@
+//! Table 9: learned configurations for SATA MLC SSDs, normalized to the
+//! Samsung 850 PRO. The paper reports up to 2.45x latency reduction and up
+//! to 1.58x throughput improvement for target workloads.
+
+use autoblox::constraints::Constraints;
+use autoblox_bench::{cross_matrix_experiment, tuner_options, validator, Scale};
+use iotrace::gen::WorkloadKind;
+use ssdsim::config::{presets, FlashTechnology, Interface};
+
+fn main() {
+    let scale = Scale::from_env();
+    let v = validator(scale);
+    let reference = presets::samsung_850_pro();
+    let cap_gib = reference.physical_capacity_bytes() >> 30;
+    let constraints = Constraints::new(cap_gib, Interface::Sata, FlashTechnology::Mlc, 10.0);
+    let opts = tuner_options(scale);
+    cross_matrix_experiment(
+        "Table 9 — SATA MLC, normalized to Samsung 850 PRO",
+        &reference,
+        constraints,
+        &v,
+        &opts,
+        &WorkloadKind::STUDIED,
+        &WorkloadKind::STUDIED,
+    );
+}

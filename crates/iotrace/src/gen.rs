@@ -1,0 +1,499 @@
+//! Synthetic storage-workload generators.
+//!
+//! The paper evaluates AutoBlox on production block traces (YCSB/RocksDB,
+//! TPCC/SQL Server, UMass WebSearch, MapReduce, cloud storage, LiveMaps,
+//! recommendation services, plus six "new" workloads). Those traces are not
+//! redistributable, so this module provides seeded generators whose
+//! parameters are transcribed from the workload descriptions in the paper
+//! (Tables 2 and 3 and §4.2, e.g. WebSearch = 99.9% read, BatchAnalytics =
+//! 97.8% read). Each category has a distinct mixture of:
+//!
+//! - read/write ratio,
+//! - sequential-stream versus random-access probability,
+//! - request-size distribution,
+//! - arrival intensity and burstiness,
+//! - working-set size and Zipf skew of the hot set.
+//!
+//! Distinct mixtures make the categories separable by the clustering front
+//! end (Figure 2) and give them different optimal SSD configurations
+//! (Table 5), which is all the downstream pipeline observes.
+
+use crate::trace::{OpKind, Trace, TraceEvent};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Exp, LogNormal, Zipf};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The workload categories studied in the paper.
+///
+/// The first seven are the studied categories of Table 2; the last six are
+/// the "new" workloads of Table 3 used to test generality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum WorkloadKind {
+    Recomm,
+    KvStore,
+    Database,
+    WebSearch,
+    BatchAnalytics,
+    CloudStorage,
+    LiveMaps,
+    // New workloads (Table 3).
+    Vdi,
+    Fiu,
+    RadiusAuth,
+    LevelDb,
+    MySql,
+    Hdfs,
+}
+
+impl WorkloadKind {
+    /// The seven studied categories of Table 2.
+    pub const STUDIED: [WorkloadKind; 7] = [
+        WorkloadKind::Recomm,
+        WorkloadKind::KvStore,
+        WorkloadKind::Database,
+        WorkloadKind::WebSearch,
+        WorkloadKind::BatchAnalytics,
+        WorkloadKind::CloudStorage,
+        WorkloadKind::LiveMaps,
+    ];
+
+    /// The six new workloads of Table 3.
+    pub const NEW: [WorkloadKind; 6] = [
+        WorkloadKind::Vdi,
+        WorkloadKind::Fiu,
+        WorkloadKind::RadiusAuth,
+        WorkloadKind::LevelDb,
+        WorkloadKind::MySql,
+        WorkloadKind::Hdfs,
+    ];
+
+    /// Short display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Recomm => "Recomm",
+            WorkloadKind::KvStore => "KVStore",
+            WorkloadKind::Database => "Database",
+            WorkloadKind::WebSearch => "WebSearch",
+            WorkloadKind::BatchAnalytics => "BatchAnalytics",
+            WorkloadKind::CloudStorage => "CloudStorage",
+            WorkloadKind::LiveMaps => "LiveMaps",
+            WorkloadKind::Vdi => "VDI",
+            WorkloadKind::Fiu => "FIU",
+            WorkloadKind::RadiusAuth => "RadiusAuth",
+            WorkloadKind::LevelDb => "LevelDB",
+            WorkloadKind::MySql => "MySQL",
+            WorkloadKind::Hdfs => "HDFS",
+        }
+    }
+
+    /// The generator specification for this category.
+    pub fn spec(self) -> WorkloadSpec {
+        match self {
+            // Advertisement/recommendation: read-mostly point lookups over a
+            // zipf-hot embedding store, medium intensity.
+            WorkloadKind::Recomm => WorkloadSpec {
+                kind: self,
+                read_ratio: 0.85,
+                seq_prob: 0.10,
+                size_mean_log2: 12.5, // ~6 KiB
+                size_sigma: 0.6,
+                mean_interarrival_ns: 60_000.0,
+                burstiness: 0.3,
+                working_set_sectors: 12_000_000, // ~6 GB hot set
+                zipf_skew: 1.1,
+                hot_fraction: 0.05,
+            },
+            // YCSB on RocksDB: mixed point ops plus large sequential
+            // compaction writes; I/O intensive -> chip-layout sensitive.
+            WorkloadKind::KvStore => WorkloadSpec {
+                kind: self,
+                read_ratio: 0.65,
+                seq_prob: 0.35,
+                size_mean_log2: 13.0, // ~8 KiB, with seq streams up to MBs
+                size_sigma: 1.2,
+                mean_interarrival_ns: 45_000.0,
+                burstiness: 0.6,
+                working_set_sectors: 16_000_000, // ~8 GB hot set
+                zipf_skew: 0.99,
+                hot_fraction: 0.10,
+            },
+            // TPCC on SQL Server: 8 KiB random page I/O plus a sequential
+            // log stream; throughput-intensive at high queue depth.
+            WorkloadKind::Database => WorkloadSpec {
+                kind: self,
+                read_ratio: 0.70,
+                seq_prob: 0.20,
+                size_mean_log2: 13.0, // 8 KiB pages
+                size_sigma: 0.3,
+                mean_interarrival_ns: 40_000.0,
+                burstiness: 0.4,
+                working_set_sectors: 20_000_000, // ~10 GB hot set
+                zipf_skew: 0.9,
+                hot_fraction: 0.15,
+            },
+            // UMass WebSearch: 99.9% read, random, latency critical, modest
+            // intensity.
+            WorkloadKind::WebSearch => WorkloadSpec {
+                kind: self,
+                read_ratio: 0.999,
+                seq_prob: 0.05,
+                size_mean_log2: 13.5, // 8-16 KiB postings reads
+                size_sigma: 0.5,
+                mean_interarrival_ns: 120_000.0,
+                burstiness: 0.15,
+                working_set_sectors: 800_000_000,
+                zipf_skew: 0.7,
+                hot_fraction: 0.30,
+            },
+            // MapReduce scans: 97.8% read, huge sequential streaming.
+            WorkloadKind::BatchAnalytics => WorkloadSpec {
+                kind: self,
+                read_ratio: 0.978,
+                seq_prob: 0.90,
+                size_mean_log2: 17.0, // ~128 KiB
+                size_sigma: 0.8,
+                mean_interarrival_ns: 100_000.0,
+                burstiness: 0.2,
+                working_set_sectors: 900_000_000,
+                zipf_skew: 0.3,
+                hot_fraction: 0.50,
+            },
+            // Cloud storage/object store: large mixed sequential transfers.
+            WorkloadKind::CloudStorage => WorkloadSpec {
+                kind: self,
+                read_ratio: 0.60,
+                seq_prob: 0.75,
+                size_mean_log2: 16.0, // ~64 KiB
+                size_sigma: 1.0,
+                mean_interarrival_ns: 250_000.0,
+                burstiness: 0.5,
+                working_set_sectors: 900_000_000,
+                zipf_skew: 0.5,
+                hot_fraction: 0.25,
+            },
+            // LiveMaps tile backend: read-mostly large tiles, bursty
+            // ingestion writes; I/O intensive.
+            WorkloadKind::LiveMaps => WorkloadSpec {
+                kind: self,
+                read_ratio: 0.80,
+                seq_prob: 0.55,
+                size_mean_log2: 15.0, // ~32 KiB tiles
+                size_sigma: 0.9,
+                mean_interarrival_ns: 120_000.0,
+                burstiness: 0.7,
+                working_set_sectors: 24_000_000, // ~12 GB hot set
+                zipf_skew: 1.0,
+                hot_fraction: 0.08,
+            },
+            // Virtual desktop infrastructure: write-heavy 4 KiB random with
+            // boot/login storms.
+            WorkloadKind::Vdi => WorkloadSpec {
+                kind: self,
+                read_ratio: 0.40,
+                seq_prob: 0.12,
+                size_mean_log2: 12.0, // 4 KiB
+                size_sigma: 0.5,
+                mean_interarrival_ns: 50_000.0,
+                burstiness: 0.85,
+                working_set_sectors: 10_000_000, // ~5 GB hot set
+                zipf_skew: 0.95,
+                hot_fraction: 0.12,
+            },
+            // FIU departmental servers: strongly write-dominated small
+            // random I/O.
+            WorkloadKind::Fiu => WorkloadSpec {
+                kind: self,
+                read_ratio: 0.22,
+                seq_prob: 0.08,
+                size_mean_log2: 12.0,
+                size_sigma: 0.4,
+                mean_interarrival_ns: 40_000.0,
+                burstiness: 0.35,
+                working_set_sectors: 6_000_000, // ~3 GB hot set
+                zipf_skew: 1.2,
+                hot_fraction: 0.04,
+            },
+            // RADIUS authentication server: small log appends + lookups,
+            // light load.
+            WorkloadKind::RadiusAuth => WorkloadSpec {
+                kind: self,
+                read_ratio: 0.30,
+                seq_prob: 0.45,
+                size_mean_log2: 11.5, // ~3 KiB
+                size_sigma: 0.3,
+                mean_interarrival_ns: 50_000.0,
+                burstiness: 0.25,
+                working_set_sectors: 3_000_000, // ~1.5 GB hot set
+                zipf_skew: 1.0,
+                hot_fraction: 0.05,
+            },
+            // YCSB on LevelDB: similar family to KVStore but smaller values
+            // and more compaction sequentiality — new trace, same cluster.
+            WorkloadKind::LevelDb => WorkloadSpec {
+                kind: self,
+                read_ratio: 0.60,
+                seq_prob: 0.40,
+                size_mean_log2: 12.5,
+                size_sigma: 1.1,
+                mean_interarrival_ns: 60_000.0,
+                burstiness: 0.55,
+                working_set_sectors: 14_000_000, // ~7 GB hot set
+                zipf_skew: 0.99,
+                hot_fraction: 0.10,
+            },
+            // TPCH on MySQL: scan-heavy analytic queries — clusters with
+            // Database per the paper.
+            WorkloadKind::MySql => WorkloadSpec {
+                kind: self,
+                read_ratio: 0.75,
+                seq_prob: 0.30,
+                size_mean_log2: 13.2,
+                size_sigma: 0.45,
+                mean_interarrival_ns: 70_000.0,
+                burstiness: 0.40,
+                working_set_sectors: 20_000_000, // ~10 GB hot set
+                zipf_skew: 0.85,
+                hot_fraction: 0.15,
+            },
+            // HDFS datanode: large sequential block traffic — clusters with
+            // CloudStorage per the paper.
+            WorkloadKind::Hdfs => WorkloadSpec {
+                kind: self,
+                read_ratio: 0.58,
+                seq_prob: 0.80,
+                size_mean_log2: 16.3,
+                size_sigma: 0.9,
+                mean_interarrival_ns: 250_000.0,
+                burstiness: 0.45,
+                working_set_sectors: 950_000_000,
+                zipf_skew: 0.45,
+                hot_fraction: 0.30,
+            },
+        }
+    }
+}
+
+impl fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing a [`WorkloadKind`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseWorkloadError(String);
+
+impl fmt::Display for ParseWorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown workload kind {:?}", self.0)
+    }
+}
+
+impl Error for ParseWorkloadError {}
+use std::error::Error;
+
+impl FromStr for WorkloadKind {
+    type Err = ParseWorkloadError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        WorkloadKind::STUDIED
+            .iter()
+            .chain(WorkloadKind::NEW.iter())
+            .copied()
+            .find(|k| k.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| ParseWorkloadError(s.to_string()))
+    }
+}
+
+/// Generator parameters for one workload category.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// The category this spec describes.
+    pub kind: WorkloadKind,
+    /// Probability a request is a read.
+    pub read_ratio: f64,
+    /// Probability a request continues a sequential stream.
+    pub seq_prob: f64,
+    /// Mean of log2(request size in bytes) for the lognormal size model.
+    pub size_mean_log2: f64,
+    /// Sigma of the lognormal size model (in log2 units).
+    pub size_sigma: f64,
+    /// Mean inter-arrival time in nanoseconds (exponential model).
+    pub mean_interarrival_ns: f64,
+    /// Burstiness in `[0, 1]`: probability of entering a burst where
+    /// arrivals accelerate 10x.
+    pub burstiness: f64,
+    /// Size of the addressed region in 512-byte sectors.
+    pub working_set_sectors: u64,
+    /// Zipf exponent of the hot-region popularity distribution.
+    pub zipf_skew: f64,
+    /// Fraction of the working set that is "hot".
+    pub hot_fraction: f64,
+}
+
+impl WorkloadSpec {
+    /// Generates a deterministic trace with `n_events` requests.
+    ///
+    /// The same `(spec, n_events, seed)` always yields the same trace.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iotrace::gen::WorkloadKind;
+    /// let t = WorkloadKind::WebSearch.spec().generate(1_000, 7);
+    /// assert_eq!(t.len(), 1_000);
+    /// assert!(t.read_ratio() > 0.99);
+    /// ```
+    pub fn generate(&self, n_events: usize, seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed ^ (self.kind as u64).wrapping_mul(0x9E37_79B9));
+        let mut trace = Trace::new(self.kind.name());
+        let size_dist = LogNormal::new(
+            self.size_mean_log2 * std::f64::consts::LN_2,
+            self.size_sigma * std::f64::consts::LN_2,
+        )
+        .expect("valid lognormal parameters");
+        let arrival = Exp::new(1.0 / self.mean_interarrival_ns).expect("positive rate");
+        // Hot regions are 1 MiB (2048-sector) extents ranked by Zipf.
+        let n_hot = ((self.working_set_sectors as f64 * self.hot_fraction) / 2048.0)
+            .max(1.0) as u64;
+        let zipf = Zipf::new(n_hot, self.zipf_skew.max(0.01)).expect("valid zipf");
+
+        let mut now_ns: u64 = 0;
+        let mut seq_head: u64 = rng.gen_range(0..self.working_set_sectors);
+        let mut in_burst = false;
+        for _ in 0..n_events {
+            // Arrival process with burst modulation.
+            if rng.gen::<f64>() < 0.02 {
+                in_burst = rng.gen::<f64>() < self.burstiness;
+            }
+            let scale = if in_burst { 0.1 } else { 1.0 };
+            let dt = (arrival.sample(&mut rng) * scale).max(1.0);
+            now_ns += dt as u64;
+
+            // Size: lognormal, clamped to [512 B, 2 MiB], sector aligned.
+            let raw = size_dist.sample(&mut rng);
+            let size = raw.clamp(512.0, 2.0 * 1024.0 * 1024.0) as u32;
+            let size = size.max(512) / 512 * 512;
+
+            // Address: continue a sequential stream or pick a zipf-hot spot.
+            let lba = if rng.gen::<f64>() < self.seq_prob {
+                let l = seq_head;
+                seq_head = (seq_head + u64::from(size / 512)) % self.working_set_sectors;
+                l
+            } else {
+                let region = zipf.sample(&mut rng) as u64 - 1;
+                let base = (region * 2048) % self.working_set_sectors;
+                let l = base + rng.gen_range(0..2048);
+                // Occasionally relocate the sequential head to the random
+                // spot, modeling interleaved streams.
+                if rng.gen::<f64>() < 0.05 {
+                    seq_head = l;
+                }
+                l % self.working_set_sectors
+            };
+
+            let op = if rng.gen::<f64>() < self.read_ratio {
+                OpKind::Read
+            } else {
+                OpKind::Write
+            };
+            trace.push(TraceEvent::new(now_ns, lba, size, op));
+        }
+        trace
+    }
+}
+
+/// Generates a trace for a named workload category.
+///
+/// Shorthand for `kind.spec().generate(n_events, seed)`.
+pub fn generate(kind: WorkloadKind, n_events: usize, seed: u64) -> Trace {
+    kind.spec().generate(n_events, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(WorkloadKind::Database, 500, 1);
+        let b = generate(WorkloadKind::Database, 500, 1);
+        assert_eq!(a, b);
+        let c = generate(WorkloadKind::Database, 500, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn read_ratios_match_spec() {
+        for kind in WorkloadKind::STUDIED {
+            let spec = kind.spec();
+            let t = generate(kind, 5_000, 11);
+            assert!(
+                (t.read_ratio() - spec.read_ratio).abs() < 0.05,
+                "{kind}: got {}, want {}",
+                t.read_ratio(),
+                spec.read_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn websearch_is_read_dominated() {
+        let t = generate(WorkloadKind::WebSearch, 4_000, 3);
+        assert!(t.read_ratio() > 0.99);
+    }
+
+    #[test]
+    fn batch_analytics_is_sequential() {
+        let batch = generate(WorkloadKind::BatchAnalytics, 4_000, 3);
+        let web = generate(WorkloadKind::WebSearch, 4_000, 3);
+        assert!(batch.sequential_ratio() > 3.0 * web.sequential_ratio());
+    }
+
+    #[test]
+    fn batch_requests_are_larger_than_vdi() {
+        let batch = generate(WorkloadKind::BatchAnalytics, 3_000, 5);
+        let vdi = generate(WorkloadKind::Vdi, 3_000, 5);
+        let mb = batch.total_bytes() as f64 / batch.len() as f64;
+        let mv = vdi.total_bytes() as f64 / vdi.len() as f64;
+        assert!(mb > 4.0 * mv, "batch {mb} vs vdi {mv}");
+    }
+
+    #[test]
+    fn timestamps_monotonic_and_sizes_aligned() {
+        let t = generate(WorkloadKind::KvStore, 2_000, 9);
+        let mut prev = 0;
+        for e in &t {
+            assert!(e.timestamp_ns >= prev);
+            prev = e.timestamp_ns;
+            assert_eq!(e.size_bytes % 512, 0);
+            assert!(e.size_bytes >= 512);
+            assert!(e.lba < t.events().iter().map(|x| x.lba).max().unwrap() + 1);
+        }
+    }
+
+    #[test]
+    fn addresses_stay_in_working_set() {
+        for kind in WorkloadKind::NEW {
+            let spec = kind.spec();
+            let t = generate(kind, 1_000, 13);
+            for e in &t {
+                assert!(e.lba < spec.working_set_sectors + 2048, "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn kind_name_roundtrip() {
+        for kind in WorkloadKind::STUDIED.iter().chain(WorkloadKind::NEW.iter()) {
+            let parsed: WorkloadKind = kind.name().parse().unwrap();
+            assert_eq!(parsed, *kind);
+        }
+        assert!("NotAWorkload".parse::<WorkloadKind>().is_err());
+        assert_eq!(WorkloadKind::KvStore.to_string(), "KVStore");
+    }
+}

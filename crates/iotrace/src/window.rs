@@ -1,0 +1,268 @@
+//! Trace windowing and per-window feature extraction (§3.1 of the paper).
+//!
+//! AutoBlox partitions each block I/O trace into windows of 3,000 entries,
+//! normalizes fields relative to the window's starting entry, and reduces
+//! each window to a low-dimensional vector before PCA + k-means. The paper
+//! feeds normalized raw windows to PCA; this implementation first condenses
+//! each window into [`FEATURE_DIM`] access-pattern statistics (computed from
+//! the same four fields: timestamp, size, address, operation type), which
+//! preserves the information PCA extracts while keeping the covariance
+//! eigenproblem small. The substitution is recorded in `DESIGN.md`.
+
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Default entries per window (3,000 in the paper).
+pub const DEFAULT_WINDOW_LEN: usize = 3000;
+
+/// Dimensionality of the raw per-window feature vector (pre-PCA).
+pub const FEATURE_DIM: usize = 12;
+
+/// Human-readable names of the extracted features, index-aligned with the
+/// vectors returned by [`window_features`].
+pub const FEATURE_NAMES: [&str; FEATURE_DIM] = [
+    "read_fraction",
+    "mean_log2_size",
+    "std_log2_size",
+    "mean_log_interarrival",
+    "cv_interarrival",
+    "sequential_fraction",
+    "mean_log_addr_jump",
+    "log_addr_span",
+    "unique_region_fraction",
+    "region_reuse_fraction",
+    "write_run_fraction",
+    "log_bytes_per_sec",
+];
+
+/// Options controlling windowing and feature extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowOptions {
+    /// Entries per window; trailing partial windows are dropped.
+    pub window_len: usize,
+}
+
+impl Default for WindowOptions {
+    fn default() -> Self {
+        WindowOptions {
+            window_len: DEFAULT_WINDOW_LEN,
+        }
+    }
+}
+
+/// Extracts one feature vector per window of `opts.window_len` entries.
+///
+/// Returns an empty vector when the trace has fewer events than one window.
+/// Timestamps and addresses are used *relative to the window's first entry*
+/// (the normalization of §3.1), so absolute placement does not leak into the
+/// features.
+///
+/// # Examples
+///
+/// ```
+/// use iotrace::gen::WorkloadKind;
+/// use iotrace::window::{window_features, WindowOptions, FEATURE_DIM};
+/// let t = WorkloadKind::Database.spec().generate(6_000, 1);
+/// let opts = WindowOptions { window_len: 3_000 };
+/// let feats = window_features(&t, opts);
+/// assert_eq!(feats.len(), 2);
+/// assert_eq!(feats[0].len(), FEATURE_DIM);
+/// ```
+pub fn window_features(trace: &Trace, opts: WindowOptions) -> Vec<Vec<f64>> {
+    assert!(opts.window_len >= 2, "window_len must be at least 2");
+    let events = trace.events();
+    let n_windows = events.len() / opts.window_len;
+    let mut out = Vec::with_capacity(n_windows);
+    for w in 0..n_windows {
+        let slice = &events[w * opts.window_len..(w + 1) * opts.window_len];
+        out.push(features_of(slice));
+    }
+    out
+}
+
+fn features_of(events: &[crate::trace::TraceEvent]) -> Vec<f64> {
+    let n = events.len() as f64;
+    let t0 = events[0].timestamp_ns;
+    let lba0 = events.iter().map(|e| e.lba).min().unwrap_or(0);
+
+    let read_fraction = events.iter().filter(|e| e.is_read()).count() as f64 / n;
+
+    let log_sizes: Vec<f64> = events
+        .iter()
+        .map(|e| f64::from(e.size_bytes).log2())
+        .collect();
+    let mean_ls = mean(&log_sizes);
+    let std_ls = std_dev(&log_sizes, mean_ls);
+
+    let inter: Vec<f64> = events
+        .windows(2)
+        .map(|w| (w[1].timestamp_ns - w[0].timestamp_ns) as f64)
+        .collect();
+    let log_inter: Vec<f64> = inter.iter().map(|&d| (d + 1.0).ln()).collect();
+    let mean_li = mean(&log_inter);
+    let mean_inter = mean(&inter);
+    let cv_inter = if mean_inter > 0.0 {
+        std_dev(&inter, mean_inter) / mean_inter
+    } else {
+        0.0
+    };
+
+    let seq = events
+        .windows(2)
+        .filter(|w| w[1].lba == w[0].end_lba())
+        .count() as f64
+        / (n - 1.0);
+
+    let jumps: Vec<f64> = events
+        .windows(2)
+        .map(|w| {
+            let a = w[0].end_lba() as f64;
+            let b = w[1].lba as f64;
+            ((a - b).abs() + 1.0).ln()
+        })
+        .collect();
+    let mean_jump = mean(&jumps);
+
+    let max_rel = events.iter().map(|e| e.lba - lba0).max().unwrap_or(0) as f64;
+    let span = (max_rel + 1.0).ln();
+
+    // 1 MiB (2048-sector) regions touched, relative to the window base.
+    let mut regions: Vec<u64> = events.iter().map(|e| (e.lba - lba0) / 2048).collect();
+    let total_accesses = regions.len() as f64;
+    regions.sort_unstable();
+    let mut unique = 0usize;
+    let mut reused_accesses = 0usize;
+    let mut i = 0;
+    while i < regions.len() {
+        let mut j = i + 1;
+        while j < regions.len() && regions[j] == regions[i] {
+            j += 1;
+        }
+        unique += 1;
+        reused_accesses += (j - i) - 1;
+        i = j;
+    }
+    let unique_fraction = unique as f64 / total_accesses;
+    let reuse_fraction = reused_accesses as f64 / total_accesses;
+
+    let write_runs = events
+        .windows(2)
+        .filter(|w| !w[0].is_read() && !w[1].is_read())
+        .count() as f64
+        / (n - 1.0);
+
+    let duration_s =
+        ((events.last().expect("nonempty").timestamp_ns - t0) as f64 / 1e9).max(1e-9);
+    let bytes: f64 = events.iter().map(|e| f64::from(e.size_bytes)).sum();
+    let log_bps = (bytes / duration_s + 1.0).ln();
+
+    vec![
+        read_fraction,
+        mean_ls,
+        std_ls,
+        mean_li,
+        cv_inter,
+        seq,
+        mean_jump,
+        span,
+        unique_fraction,
+        reuse_fraction,
+        write_runs,
+        log_bps,
+    ]
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+fn std_dev(v: &[f64], mean: f64) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    (v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::WorkloadKind;
+    use crate::trace::{OpKind, TraceEvent};
+
+    #[test]
+    fn window_count_drops_partial() {
+        let t = WorkloadKind::Recomm.spec().generate(7_500, 1);
+        let f = window_features(&t, WindowOptions { window_len: 3000 });
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn empty_trace_yields_no_windows() {
+        let t = Trace::new("e");
+        assert!(window_features(&t, WindowOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn features_have_documented_dimension() {
+        let t = WorkloadKind::Fiu.spec().generate(3_000, 2);
+        let f = window_features(&t, WindowOptions::default());
+        assert_eq!(f[0].len(), FEATURE_DIM);
+        assert_eq!(FEATURE_NAMES.len(), FEATURE_DIM);
+    }
+
+    #[test]
+    fn read_fraction_feature_matches_trace() {
+        let t = WorkloadKind::WebSearch.spec().generate(3_000, 3);
+        let f = window_features(&t, WindowOptions::default());
+        assert!((f[0][0] - t.read_ratio()).abs() < 0.02);
+    }
+
+    #[test]
+    fn sequential_workload_scores_higher_seq_feature() {
+        let batch = WorkloadKind::BatchAnalytics.spec().generate(3_000, 4);
+        let web = WorkloadKind::WebSearch.spec().generate(3_000, 4);
+        let fb = window_features(&batch, WindowOptions::default());
+        let fw = window_features(&web, WindowOptions::default());
+        assert!(fb[0][5] > fw[0][5]);
+    }
+
+    #[test]
+    fn normalization_is_translation_invariant() {
+        // Shifting all addresses and timestamps must not change features.
+        let base = WorkloadKind::Database.spec().generate(3_000, 5);
+        let shifted = Trace::from_events(
+            "shifted",
+            base.events()
+                .iter()
+                .map(|e| TraceEvent::new(e.timestamp_ns + 1_000_000, e.lba + 999_999, e.size_bytes, e.op))
+                .collect(),
+        );
+        let f0 = window_features(&base, WindowOptions::default());
+        let f1 = window_features(&shifted, WindowOptions::default());
+        for (a, b) in f0[0].iter().zip(&f1[0]) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn all_write_window_has_high_write_run() {
+        let events: Vec<TraceEvent> = (0..100)
+            .map(|i| TraceEvent::new(i, i * 8, 4096, OpKind::Write))
+            .collect();
+        let t = Trace::from_events("w", events);
+        let f = window_features(&t, WindowOptions { window_len: 100 });
+        assert_eq!(f[0][10], 1.0);
+        assert_eq!(f[0][0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window_len")]
+    fn rejects_tiny_window() {
+        let t = Trace::new("x");
+        let _ = window_features(&t, WindowOptions { window_len: 1 });
+    }
+}

@@ -1,0 +1,97 @@
+//! Error types shared across the toolkit.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the numerical routines in this crate.
+///
+/// # Examples
+///
+/// ```
+/// use mlkit::linalg::Matrix;
+///
+/// // A singular system has no Cholesky factorization.
+/// let singular = Matrix::zeros(2, 2);
+/// assert!(singular.cholesky().is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MlError {
+    /// Operand shapes are incompatible (e.g. multiplying a 2x3 by a 2x3).
+    ShapeMismatch {
+        /// Shape of the left/first operand, `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right/second operand, `(rows, cols)`.
+        right: (usize, usize),
+        /// Operation that was attempted.
+        op: &'static str,
+    },
+    /// A matrix expected to be symmetric positive definite was not.
+    NotPositiveDefinite,
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The input data set is empty or otherwise insufficient for the model.
+    InsufficientData(String),
+    /// A scalar argument is outside its legal domain.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::ShapeMismatch { left, right, op } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            MlError::NotPositiveDefinite => {
+                write!(f, "matrix is not symmetric positive definite")
+            }
+            MlError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+            MlError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
+            MlError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for MlError {}
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, MlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = MlError::ShapeMismatch {
+            left: (2, 3),
+            right: (4, 5),
+            op: "matmul",
+        };
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch in matmul: left is 2x3, right is 4x5"
+        );
+    }
+
+    #[test]
+    fn display_other_variants() {
+        assert!(MlError::NotPositiveDefinite.to_string().contains("positive definite"));
+        assert!(MlError::NoConvergence { iterations: 7 }.to_string().contains('7'));
+        assert!(MlError::InsufficientData("empty".into()).to_string().contains("empty"));
+        assert!(MlError::InvalidArgument("k=0".into()).to_string().contains("k=0"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MlError>();
+    }
+}

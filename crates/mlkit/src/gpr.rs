@@ -1,0 +1,370 @@
+//! Gaussian-process regression with a trainable mean and composite kernel,
+//! the grade predictor in AutoBlox's tuning loop (§3.4).
+//!
+//! Hyperparameters (kernel log-parameters and the constant mean) are tuned by
+//! maximizing the log marginal likelihood with a derivative-free coordinate
+//! search, which is robust for the small training sets (tens to hundreds of
+//! validated configurations) the tuner produces.
+
+use crate::error::{MlError, Result};
+use crate::kernel::{Kernel, SumKernel};
+use crate::linalg::{Cholesky, Matrix};
+
+/// Prediction from a Gaussian process: posterior mean and variance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Posterior mean.
+    pub mean: f64,
+    /// Posterior variance (>= 0).
+    pub variance: f64,
+}
+
+impl Prediction {
+    /// Posterior standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.max(0.0).sqrt()
+    }
+
+    /// Upper confidence bound `mean + beta * std_dev`, the acquisition value
+    /// used when ranking candidate configurations.
+    pub fn ucb(&self, beta: f64) -> f64 {
+        self.mean + beta * self.std_dev()
+    }
+}
+
+/// A fitted Gaussian-process regressor.
+///
+/// # Examples
+///
+/// ```
+/// use mlkit::gpr::GprBuilder;
+/// use mlkit::linalg::Matrix;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+/// let y = [0.0, 1.0, 4.0, 9.0];
+/// let gp = GprBuilder::new().optimize_rounds(2).fit(&x, &y)?;
+/// let p = gp.predict(&[1.0])?;
+/// assert!((p.mean - 1.0).abs() < 0.5);
+/// // Far from data, uncertainty grows.
+/// assert!(gp.predict(&[30.0])?.variance > p.variance);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Gpr {
+    kernel: SumKernel,
+    train_x: Matrix,
+    alpha: Vec<f64>,
+    chol: Cholesky,
+    mean: f64,
+    log_marginal_likelihood: f64,
+}
+
+/// Builder configuring and fitting a [`Gpr`].
+#[derive(Debug)]
+pub struct GprBuilder {
+    kernel: SumKernel,
+    jitter: f64,
+    optimize_rounds: usize,
+}
+
+impl Default for GprBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GprBuilder {
+    /// Starts from the AutoBlox default kernel
+    /// (`Rbf + RationalQuadratic + White`).
+    pub fn new() -> Self {
+        GprBuilder {
+            kernel: SumKernel::autoblox_default(),
+            jitter: 1e-8,
+            optimize_rounds: 3,
+        }
+    }
+
+    /// Replaces the covariance kernel.
+    pub fn kernel(mut self, kernel: SumKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Sets the diagonal jitter added for numerical stability.
+    pub fn jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets the number of coordinate-search rounds for hyperparameter tuning
+    /// (0 disables tuning and keeps the initial kernel).
+    pub fn optimize_rounds(mut self, rounds: usize) -> Self {
+        self.optimize_rounds = rounds;
+        self
+    }
+
+    /// Fits the Gaussian process on row-samples `x` with targets `y`.
+    ///
+    /// # Errors
+    ///
+    /// - [`MlError::InsufficientData`] for an empty training set;
+    /// - [`MlError::ShapeMismatch`] if `y.len() != x.rows()`;
+    /// - [`MlError::NotPositiveDefinite`] if the kernel matrix cannot be
+    ///   factorized even after jitter (pathological hyperparameters).
+    pub fn fit(self, x: &Matrix, y: &[f64]) -> Result<Gpr> {
+        if x.rows() == 0 {
+            return Err(MlError::InsufficientData(
+                "GPR needs at least one training sample".into(),
+            ));
+        }
+        if y.len() != x.rows() {
+            return Err(MlError::ShapeMismatch {
+                left: x.shape(),
+                right: (y.len(), 1),
+                op: "gpr_fit",
+            });
+        }
+        let mut kernel = self.kernel;
+        // Trainable constant mean, initialized to the sample mean.
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+
+        if self.optimize_rounds > 0 && x.rows() >= 3 {
+            Self::tune(&mut kernel, x, y, mean, self.jitter, self.optimize_rounds);
+        }
+        let (chol, alpha, lml) = Self::factorize(&kernel, x, y, mean, self.jitter)?;
+        Ok(Gpr {
+            kernel,
+            train_x: x.clone(),
+            alpha,
+            chol,
+            mean,
+            log_marginal_likelihood: lml,
+        })
+    }
+
+    fn factorize(
+        kernel: &SumKernel,
+        x: &Matrix,
+        y: &[f64],
+        mean: f64,
+        jitter: f64,
+    ) -> Result<(Cholesky, Vec<f64>, f64)> {
+        let n = x.rows();
+        let mut k = kernel.gram(x);
+        let mut j = jitter;
+        let chol = loop {
+            let mut kj = k.clone();
+            for i in 0..n {
+                kj[(i, i)] += j;
+            }
+            match kj.cholesky() {
+                Ok(c) => break c,
+                Err(_) if j < 1.0 => {
+                    j *= 10.0;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        // Keep the jittered matrix for consistency in k.
+        for i in 0..n {
+            k[(i, i)] += j;
+        }
+        let centered: Vec<f64> = y.iter().map(|v| v - mean).collect();
+        let alpha = chol.solve(&centered)?;
+        let fit_term: f64 = centered.iter().zip(&alpha).map(|(a, b)| a * b).sum();
+        let lml = -0.5 * fit_term
+            - 0.5 * chol.log_det()
+            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+        Ok((chol, alpha, lml))
+    }
+
+    /// Derivative-free coordinate search over log hyperparameters.
+    fn tune(
+        kernel: &mut SumKernel,
+        x: &Matrix,
+        y: &[f64],
+        mean: f64,
+        jitter: f64,
+        rounds: usize,
+    ) {
+        let mut best_p = kernel.params();
+        let mut best_lml = match Self::factorize(kernel, x, y, mean, jitter) {
+            Ok((_, _, lml)) => lml,
+            Err(_) => f64::NEG_INFINITY,
+        };
+        let mut step = 1.0f64;
+        for _ in 0..rounds {
+            for i in 0..best_p.len() {
+                for dir in [-1.0, 1.0] {
+                    let mut cand = best_p.clone();
+                    cand[i] += dir * step;
+                    // Clamp log-params to a sane window to avoid degenerate
+                    // kernels (e.g. zero-length scales).
+                    cand[i] = cand[i].clamp(-10.0, 10.0);
+                    kernel.set_params(&cand);
+                    if let Ok((_, _, lml)) = Self::factorize(kernel, x, y, mean, jitter) {
+                        if lml > best_lml {
+                            best_lml = lml;
+                            best_p = cand;
+                        }
+                    }
+                }
+            }
+            step *= 0.5;
+        }
+        kernel.set_params(&best_p);
+    }
+}
+
+impl Gpr {
+    /// Posterior prediction at a single point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] if the feature dimension differs
+    /// from the training data.
+    pub fn predict(&self, point: &[f64]) -> Result<Prediction> {
+        if point.len() != self.train_x.cols() {
+            return Err(MlError::ShapeMismatch {
+                left: (1, point.len()),
+                right: (1, self.train_x.cols()),
+                op: "gpr_predict",
+            });
+        }
+        let n = self.train_x.rows();
+        let k_star: Vec<f64> = (0..n)
+            .map(|i| self.kernel.eval(point, self.train_x.row(i)))
+            .collect();
+        let mean = self.mean
+            + k_star
+                .iter()
+                .zip(&self.alpha)
+                .map(|(k, a)| k * a)
+                .sum::<f64>();
+        let v = self.chol.solve(&k_star)?;
+        let k_ss = self.kernel.diag(point);
+        let variance =
+            (k_ss - k_star.iter().zip(&v).map(|(k, w)| k * w).sum::<f64>()).max(0.0);
+        Ok(Prediction { mean, variance })
+    }
+
+    /// Posterior predictions for each row of `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] if the feature dimension differs.
+    pub fn predict_batch(&self, x: &Matrix) -> Result<Vec<Prediction>> {
+        (0..x.rows()).map(|r| self.predict(x.row(r))).collect()
+    }
+
+    /// Log marginal likelihood of the training data under the fitted model.
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        self.log_marginal_likelihood
+    }
+
+    /// The trained constant mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Number of training samples.
+    pub fn n_samples(&self) -> usize {
+        self.train_x.rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{Rbf, White};
+
+    fn toy() -> (Matrix, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 * 0.5]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| (r[0]).sin()).collect();
+        (Matrix::from_rows(&xs), ys)
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let (x, y) = toy();
+        let gp = GprBuilder::new()
+            .kernel(SumKernel::new(vec![
+                Box::new(Rbf::new(1.0, 1.0)),
+                Box::new(White::new(1e-6)),
+            ]))
+            .optimize_rounds(0)
+            .fit(&x, &y)
+            .unwrap();
+        for i in 0..x.rows() {
+            let p = gp.predict(x.row(i)).unwrap();
+            assert!((p.mean - y[i]).abs() < 0.05, "at {i}: {} vs {}", p.mean, y[i]);
+        }
+    }
+
+    #[test]
+    fn variance_grows_away_from_data() {
+        let (x, y) = toy();
+        let gp = GprBuilder::new().optimize_rounds(0).fit(&x, &y).unwrap();
+        let near = gp.predict(&[1.0]).unwrap();
+        let far = gp.predict(&[40.0]).unwrap();
+        assert!(far.variance > near.variance);
+    }
+
+    #[test]
+    fn reverts_to_mean_far_away() {
+        let (x, y) = toy();
+        let gp = GprBuilder::new().optimize_rounds(0).fit(&x, &y).unwrap();
+        let far = gp.predict(&[1e3]).unwrap();
+        assert!((far.mean - gp.mean()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tuning_does_not_hurt_likelihood() {
+        let (x, y) = toy();
+        let untuned = GprBuilder::new().optimize_rounds(0).fit(&x, &y).unwrap();
+        let tuned = GprBuilder::new().optimize_rounds(3).fit(&x, &y).unwrap();
+        assert!(tuned.log_marginal_likelihood() >= untuned.log_marginal_likelihood() - 1e-9);
+    }
+
+    #[test]
+    fn ucb_ordering() {
+        let p = Prediction {
+            mean: 1.0,
+            variance: 4.0,
+        };
+        assert_eq!(p.std_dev(), 2.0);
+        assert_eq!(p.ucb(0.0), 1.0);
+        assert_eq!(p.ucb(1.0), 3.0);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let (x, y) = toy();
+        assert!(GprBuilder::new().fit(&x, &y[..3]).is_err());
+        assert!(GprBuilder::new().fit(&Matrix::zeros(0, 1), &[]).is_err());
+        let gp = GprBuilder::new().optimize_rounds(0).fit(&x, &y).unwrap();
+        assert!(gp.predict(&[1.0, 2.0]).is_err());
+        assert_eq!(gp.n_samples(), 10);
+    }
+
+    #[test]
+    fn single_point_training() {
+        let x = Matrix::from_rows(&[vec![2.0]]);
+        let gp = GprBuilder::new().fit(&x, &[5.0]).unwrap();
+        let p = gp.predict(&[2.0]).unwrap();
+        assert!((p.mean - 5.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn predict_batch_matches_single() {
+        let (x, y) = toy();
+        let gp = GprBuilder::new().optimize_rounds(0).fit(&x, &y).unwrap();
+        let batch = gp.predict_batch(&x).unwrap();
+        for i in 0..x.rows() {
+            let single = gp.predict(x.row(i)).unwrap();
+            assert_eq!(batch[i], single);
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! k-means clustering with k-means++ initialization, used by AutoBlox to
+//! group storage workloads by their PCA-reduced access-pattern features.
+
+use crate::error::{MlError, Result};
+use crate::linalg::{sq_dist, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A fitted k-means model.
+///
+/// # Examples
+///
+/// ```
+/// use mlkit::linalg::Matrix;
+/// use mlkit::kmeans::KMeans;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = Matrix::from_rows(&[
+///     vec![0.0, 0.0], vec![0.1, 0.0], vec![0.0, 0.1],
+///     vec![9.0, 9.0], vec![9.1, 9.0], vec![9.0, 9.1],
+/// ]);
+/// let km = KMeans::fit(&x, 2, 42)?;
+/// let a = km.predict_row(&[0.05, 0.05])?;
+/// let b = km.predict_row(&[9.05, 9.05])?;
+/// assert_ne!(a, b);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KMeans {
+    /// Cluster centroids as rows.
+    centroids: Matrix,
+    inertia: f64,
+    iterations: usize,
+}
+
+impl KMeans {
+    /// Runs k-means++ initialization followed by Lloyd iterations.
+    ///
+    /// `seed` makes the run deterministic.
+    ///
+    /// # Errors
+    ///
+    /// - [`MlError::InvalidArgument`] if `k` is zero;
+    /// - [`MlError::InsufficientData`] if there are fewer samples than `k`.
+    pub fn fit(x: &Matrix, k: usize, seed: u64) -> Result<Self> {
+        if k == 0 {
+            return Err(MlError::InvalidArgument("k must be positive".into()));
+        }
+        if x.rows() < k {
+            return Err(MlError::InsufficientData(format!(
+                "k-means with k={k} needs at least {k} samples, got {}",
+                x.rows()
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut centroids = Self::plus_plus_init(x, k, &mut rng);
+        let mut assignment = vec![0usize; x.rows()];
+        let max_iter = 300;
+        let mut iterations = 0;
+        for it in 0..max_iter {
+            iterations = it + 1;
+            // Assignment step.
+            let mut changed = false;
+            for r in 0..x.rows() {
+                let (best, _) = Self::nearest(&centroids, x.row(r));
+                if assignment[r] != best {
+                    assignment[r] = best;
+                    changed = true;
+                }
+            }
+            if !changed && it > 0 {
+                break;
+            }
+            // Update step.
+            let d = x.cols();
+            let mut sums = vec![vec![0.0; d]; k];
+            let mut counts = vec![0usize; k];
+            for r in 0..x.rows() {
+                counts[assignment[r]] += 1;
+                for c in 0..d {
+                    sums[assignment[r]][c] += x[(r, c)];
+                }
+            }
+            for (ci, (sum, &count)) in sums.iter().zip(&counts).enumerate() {
+                if count == 0 {
+                    // Re-seed an empty cluster at the point farthest from its
+                    // centroid to avoid dead clusters.
+                    let far = (0..x.rows())
+                        .max_by(|&a, &b| {
+                            let da = sq_dist(x.row(a), centroids.row(assignment[a]));
+                            let db = sq_dist(x.row(b), centroids.row(assignment[b]));
+                            da.partial_cmp(&db).expect("finite distances")
+                        })
+                        .expect("nonempty data");
+                    for c in 0..d {
+                        centroids[(ci, c)] = x[(far, c)];
+                    }
+                } else {
+                    for c in 0..d {
+                        centroids[(ci, c)] = sum[c] / count as f64;
+                    }
+                }
+            }
+        }
+        let inertia = (0..x.rows())
+            .map(|r| Self::nearest(&centroids, x.row(r)).1)
+            .sum();
+        Ok(KMeans {
+            centroids,
+            inertia,
+            iterations,
+        })
+    }
+
+    fn plus_plus_init(x: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
+        let n = x.rows();
+        let d = x.cols();
+        let mut centroids = Matrix::zeros(k, d);
+        let first = rng.gen_range(0..n);
+        for c in 0..d {
+            centroids[(0, c)] = x[(first, c)];
+        }
+        let mut dist2: Vec<f64> = (0..n)
+            .map(|r| sq_dist(x.row(r), centroids.row(0)))
+            .collect();
+        for ci in 1..k {
+            let total: f64 = dist2.iter().sum();
+            let pick = if total > 0.0 {
+                let mut target = rng.gen::<f64>() * total;
+                let mut chosen = n - 1;
+                for (r, &w) in dist2.iter().enumerate() {
+                    target -= w;
+                    if target <= 0.0 {
+                        chosen = r;
+                        break;
+                    }
+                }
+                chosen
+            } else {
+                rng.gen_range(0..n)
+            };
+            for c in 0..d {
+                centroids[(ci, c)] = x[(pick, c)];
+            }
+            for r in 0..n {
+                let nd = sq_dist(x.row(r), centroids.row(ci));
+                if nd < dist2[r] {
+                    dist2[r] = nd;
+                }
+            }
+        }
+        centroids
+    }
+
+    fn nearest(centroids: &Matrix, p: &[f64]) -> (usize, f64) {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for ci in 0..centroids.rows() {
+            let d = sq_dist(centroids.row(ci), p);
+            if d < best_d {
+                best_d = d;
+                best = ci;
+            }
+        }
+        (best, best_d)
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.rows()
+    }
+
+    /// Cluster centroids as rows of a `(k, n_features)` matrix.
+    pub fn centroids(&self) -> &Matrix {
+        &self.centroids
+    }
+
+    /// Final sum of squared distances of samples to their centroid.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Lloyd iterations performed during fitting.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Assigns each row of `x` to its nearest centroid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] if the feature dimension differs.
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<usize>> {
+        if x.cols() != self.centroids.cols() {
+            return Err(MlError::ShapeMismatch {
+                left: x.shape(),
+                right: self.centroids.shape(),
+                op: "kmeans_predict",
+            });
+        }
+        Ok((0..x.rows())
+            .map(|r| Self::nearest(&self.centroids, x.row(r)).0)
+            .collect())
+    }
+
+    /// Assigns one point to its nearest centroid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] on dimension mismatch.
+    pub fn predict_row(&self, p: &[f64]) -> Result<usize> {
+        if p.len() != self.centroids.cols() {
+            return Err(MlError::ShapeMismatch {
+                left: (1, p.len()),
+                right: self.centroids.shape(),
+                op: "kmeans_predict_row",
+            });
+        }
+        Ok(Self::nearest(&self.centroids, p).0)
+    }
+
+    /// Euclidean distance from `p` to its nearest centroid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] on dimension mismatch.
+    pub fn distance_to_nearest(&self, p: &[f64]) -> Result<f64> {
+        if p.len() != self.centroids.cols() {
+            return Err(MlError::ShapeMismatch {
+                left: (1, p.len()),
+                right: self.centroids.shape(),
+                op: "kmeans_distance",
+            });
+        }
+        Ok(Self::nearest(&self.centroids, p).1.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.2, -0.1],
+            vec![-0.1, 0.15],
+            vec![0.05, 0.05],
+            vec![10.0, 10.0],
+            vec![10.2, 9.9],
+            vec![9.9, 10.1],
+            vec![10.05, 10.05],
+        ])
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let x = two_blobs();
+        let km = KMeans::fit(&x, 2, 7).unwrap();
+        let labels = km.predict(&x).unwrap();
+        // First four samples share a label, last four share the other.
+        assert!(labels[..4].iter().all(|&l| l == labels[0]));
+        assert!(labels[4..].iter().all(|&l| l == labels[4]));
+        assert_ne!(labels[0], labels[4]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = two_blobs();
+        let a = KMeans::fit(&x, 2, 123).unwrap();
+        let b = KMeans::fit(&x, 2, 123).unwrap();
+        assert_eq!(a.centroids(), b.centroids());
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let x = two_blobs();
+        let k1 = KMeans::fit(&x, 1, 5).unwrap();
+        let k2 = KMeans::fit(&x, 2, 5).unwrap();
+        assert!(k2.inertia() < k1.inertia());
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![5.0], vec![9.0]]);
+        let km = KMeans::fit(&x, 3, 1).unwrap();
+        assert!(km.inertia() < 1e-18);
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        assert!(KMeans::fit(&x, 0, 0).is_err());
+        assert!(KMeans::fit(&x, 3, 0).is_err());
+    }
+
+    #[test]
+    fn distance_to_nearest_is_zero_at_centroid() {
+        let x = two_blobs();
+        let km = KMeans::fit(&x, 2, 9).unwrap();
+        let c0: Vec<f64> = km.centroids().row(0).to_vec();
+        assert!(km.distance_to_nearest(&c0).unwrap() < 1e-12);
+        assert!(km.distance_to_nearest(&[1.0]).is_err());
+        assert!(km.predict(&Matrix::zeros(1, 3)).is_err());
+        assert!(km.predict_row(&[1.0, 2.0, 3.0]).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Clustering quality metrics: silhouette score and adjusted Rand index.
+//!
+//! Used by the clustering ablations to compare window/PCA settings beyond
+//! raw purity, and by tests to validate that the workload clusters are
+//! well-separated (Figure 2).
+
+use crate::error::{MlError, Result};
+use crate::linalg::{sq_dist, Matrix};
+
+/// Mean silhouette coefficient over all samples, in `[-1, 1]`.
+///
+/// For each sample, `a` is its mean distance to its own cluster's other
+/// members and `b` the smallest mean distance to another cluster; the
+/// silhouette is `(b - a) / max(a, b)`. Values near 1 indicate compact,
+/// well-separated clusters.
+///
+/// # Errors
+///
+/// - [`MlError::ShapeMismatch`] if `labels.len() != x.rows()`;
+/// - [`MlError::InsufficientData`] if fewer than 2 clusters are present.
+///
+/// # Examples
+///
+/// ```
+/// use mlkit::linalg::Matrix;
+/// use mlkit::metrics::silhouette_score;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = Matrix::from_rows(&[
+///     vec![0.0], vec![0.1], vec![10.0], vec![10.1],
+/// ]);
+/// let s = silhouette_score(&x, &[0, 0, 1, 1])?;
+/// assert!(s > 0.9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn silhouette_score(x: &Matrix, labels: &[usize]) -> Result<f64> {
+    if labels.len() != x.rows() {
+        return Err(MlError::ShapeMismatch {
+            left: x.shape(),
+            right: (labels.len(), 1),
+            op: "silhouette_score",
+        });
+    }
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut counts = vec![0usize; k];
+    for &l in labels {
+        counts[l] += 1;
+    }
+    if counts.iter().filter(|&&c| c > 0).count() < 2 {
+        return Err(MlError::InsufficientData(
+            "silhouette needs at least two non-empty clusters".into(),
+        ));
+    }
+    let n = x.rows();
+    let mut total = 0.0;
+    let mut scored = 0usize;
+    for i in 0..n {
+        // Mean distance from i to every cluster.
+        let mut sums = vec![0.0; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            sums[labels[j]] += sq_dist(x.row(i), x.row(j)).sqrt();
+        }
+        let own = labels[i];
+        if counts[own] < 2 {
+            // Singleton clusters contribute silhouette 0 by convention.
+            scored += 1;
+            continue;
+        }
+        let a = sums[own] / (counts[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+        scored += 1;
+    }
+    Ok(total / scored.max(1) as f64)
+}
+
+/// Adjusted Rand index between two labelings, in `[-1, 1]` (1 = identical
+/// partitions, ~0 = random agreement). Labels need not use the same ids.
+///
+/// # Errors
+///
+/// Returns [`MlError::ShapeMismatch`] if the labelings differ in length and
+/// [`MlError::InsufficientData`] for empty input.
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(MlError::ShapeMismatch {
+            left: (a.len(), 1),
+            right: (b.len(), 1),
+            op: "adjusted_rand_index",
+        });
+    }
+    if a.is_empty() {
+        return Err(MlError::InsufficientData("empty labelings".into()));
+    }
+    let ka = a.iter().copied().max().unwrap_or(0) + 1;
+    let kb = b.iter().copied().max().unwrap_or(0) + 1;
+    let mut table = vec![vec![0u64; kb]; ka];
+    for (&x, &y) in a.iter().zip(b) {
+        table[x][y] += 1;
+    }
+    let choose2 = |v: u64| -> f64 { (v * v.saturating_sub(1)) as f64 / 2.0 };
+    let sum_ij: f64 = table.iter().flatten().map(|&v| choose2(v)).sum();
+    let sum_a: f64 = table
+        .iter()
+        .map(|row| choose2(row.iter().sum::<u64>()))
+        .sum();
+    let sum_b: f64 = (0..kb)
+        .map(|j| choose2(table.iter().map(|row| row[j]).sum::<u64>()))
+        .sum();
+    let total = choose2(a.len() as u64);
+    let expected = sum_a * sum_b / total;
+    let max_index = (sum_a + sum_b) / 2.0;
+    if (max_index - expected).abs() < 1e-12 {
+        return Ok(1.0); // degenerate: both partitions trivial
+    }
+    Ok((sum_ij - expected) / (max_index - expected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Matrix, Vec<usize>) {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.2, 0.1],
+            vec![0.1, 0.2],
+            vec![5.0, 5.0],
+            vec![5.1, 5.2],
+            vec![5.2, 5.1],
+        ]);
+        (x, vec![0, 0, 0, 1, 1, 1])
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_blobs() {
+        let (x, labels) = blobs();
+        let s = silhouette_score(&x, &labels).unwrap();
+        assert!(s > 0.9, "{s}");
+    }
+
+    #[test]
+    fn silhouette_low_for_shuffled_labels() {
+        let (x, _) = blobs();
+        let bad = vec![0, 1, 0, 1, 0, 1];
+        let s = silhouette_score(&x, &bad).unwrap();
+        assert!(s < 0.2, "{s}");
+    }
+
+    #[test]
+    fn silhouette_handles_singletons() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![9.0]]);
+        let s = silhouette_score(&x, &[0, 0, 1]).unwrap();
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn silhouette_errors() {
+        let (x, _) = blobs();
+        assert!(silhouette_score(&x, &[0, 0]).is_err());
+        assert!(silhouette_score(&x, &[0; 6]).is_err());
+    }
+
+    #[test]
+    fn ari_identical_partitions() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        assert!((adjusted_rand_index(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+        // Renamed labels still count as identical.
+        let renamed = vec![2, 2, 0, 0, 1, 1];
+        assert!((adjusted_rand_index(&a, &renamed).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_near_zero_for_random() {
+        let a = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let b = vec![0, 0, 1, 1, 0, 0, 1, 1];
+        let s = adjusted_rand_index(&a, &b).unwrap();
+        assert!(s.abs() < 0.5, "{s}");
+    }
+
+    #[test]
+    fn ari_errors() {
+        assert!(adjusted_rand_index(&[0, 1], &[0]).is_err());
+        assert!(adjusted_rand_index(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn ari_degenerate_single_cluster() {
+        let a = vec![0, 0, 0];
+        assert_eq!(adjusted_rand_index(&a, &a).unwrap(), 1.0);
+    }
+}

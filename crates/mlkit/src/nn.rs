@@ -1,0 +1,439 @@
+//! A small multilayer perceptron with minibatch SGD + momentum.
+//!
+//! The paper motivates its Bayesian-optimization model by comparison with
+//! deep-neural-network approaches ("BO can deliver similar performance
+//! compared to deep neural networks ... it sometimes performs even faster
+//! than DNNs like deep Q-networks", §3.2). This module provides the DNN
+//! side of that comparison: a compact MLP regression model usable as a
+//! drop-in grade surrogate in the tuner's search loop.
+
+use crate::error::{MlError, Result};
+use crate::linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Activation function applied by hidden layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Identity (output layers).
+    Linear,
+}
+
+impl Activation {
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Linear => x,
+        }
+    }
+
+    fn derivative(self, pre: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if pre > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - pre.tanh().powi(2),
+            Activation::Linear => 1.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Layer {
+    /// Weight matrix `(outputs, inputs)`.
+    w: Matrix,
+    b: Vec<f64>,
+    activation: Activation,
+    // Momentum buffers.
+    vw: Matrix,
+    vb: Vec<f64>,
+}
+
+impl Layer {
+    fn new(inputs: usize, outputs: usize, activation: Activation, rng: &mut StdRng) -> Self {
+        // He-style initialization scaled by fan-in.
+        let scale = (2.0 / inputs as f64).sqrt();
+        let data: Vec<f64> = (0..inputs * outputs)
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+            .collect();
+        Layer {
+            w: Matrix::from_vec(outputs, inputs, data),
+            b: vec![0.0; outputs],
+            activation,
+            vw: Matrix::zeros(outputs, inputs),
+            vb: vec![0.0; outputs],
+        }
+    }
+
+    /// Returns `(pre_activation, post_activation)`.
+    fn forward(&self, input: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let pre: Vec<f64> = (0..self.w.rows())
+            .map(|o| {
+                self.b[o]
+                    + self
+                        .w
+                        .row(o)
+                        .iter()
+                        .zip(input)
+                        .map(|(w, x)| w * x)
+                        .sum::<f64>()
+            })
+            .collect();
+        let post = pre.iter().map(|&p| self.activation.apply(p)).collect();
+        (pre, post)
+    }
+}
+
+/// Training hyperparameters for [`Mlp::fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainOptions {
+    /// Training epochs over the whole set.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// L2 weight decay.
+    pub weight_decay: f64,
+    /// Shuffling/initialization seed.
+    pub seed: u64,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            epochs: 200,
+            learning_rate: 0.01,
+            momentum: 0.9,
+            batch_size: 16,
+            weight_decay: 1e-4,
+            seed: 0x11A9,
+        }
+    }
+}
+
+/// A feed-forward regression network with scalar output.
+///
+/// # Examples
+///
+/// ```
+/// use mlkit::linalg::Matrix;
+/// use mlkit::nn::{Mlp, TrainOptions};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Learn y = 2x over [0, 1].
+/// let x = Matrix::from_rows(&(0..20).map(|i| vec![i as f64 / 20.0]).collect::<Vec<_>>());
+/// let y: Vec<f64> = (0..20).map(|i| 2.0 * i as f64 / 20.0).collect();
+/// let mut net = Mlp::new(&[1, 8, 1], 42)?;
+/// net.fit(&x, &y, TrainOptions::default())?;
+/// assert!((net.predict(&[0.5])? - 1.0).abs() < 0.2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+}
+
+impl Mlp {
+    /// Builds a network with the given layer widths, e.g. `[in, 32, 16, 1]`.
+    /// Hidden layers use ReLU; the output layer is linear.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidArgument`] when fewer than two widths are
+    /// given, the output width is not 1, or a width is zero.
+    pub fn new(widths: &[usize], seed: u64) -> Result<Self> {
+        if widths.len() < 2 {
+            return Err(MlError::InvalidArgument(
+                "an MLP needs at least input and output widths".into(),
+            ));
+        }
+        if *widths.last().expect("nonempty") != 1 {
+            return Err(MlError::InvalidArgument(
+                "this regression MLP has a scalar output".into(),
+            ));
+        }
+        if widths.iter().any(|&w| w == 0) {
+            return Err(MlError::InvalidArgument("layer widths must be positive".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let act = if i + 2 == widths.len() {
+                    Activation::Linear
+                } else {
+                    Activation::Relu
+                };
+                Layer::new(w[0], w[1], act, &mut rng)
+            })
+            .collect();
+        Ok(Mlp { layers })
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.w.cols())
+    }
+
+    /// Predicts the scalar output for one feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] on input-length mismatch.
+    pub fn predict(&self, input: &[f64]) -> Result<f64> {
+        if input.len() != self.input_dim() {
+            return Err(MlError::ShapeMismatch {
+                left: (1, input.len()),
+                right: (1, self.input_dim()),
+                op: "mlp_predict",
+            });
+        }
+        let mut cur = input.to_vec();
+        for layer in &self.layers {
+            cur = layer.forward(&cur).1;
+        }
+        Ok(cur[0])
+    }
+
+    /// Trains with minibatch SGD on mean-squared error; returns the final
+    /// epoch's mean loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] if `y.len() != x.rows()` or the
+    /// feature dimension differs, and [`MlError::InsufficientData`] for an
+    /// empty training set.
+    pub fn fit(&mut self, x: &Matrix, y: &[f64], opts: TrainOptions) -> Result<f64> {
+        if x.rows() == 0 {
+            return Err(MlError::InsufficientData("empty training set".into()));
+        }
+        if y.len() != x.rows() {
+            return Err(MlError::ShapeMismatch {
+                left: x.shape(),
+                right: (y.len(), 1),
+                op: "mlp_fit",
+            });
+        }
+        if x.cols() != self.input_dim() {
+            return Err(MlError::ShapeMismatch {
+                left: x.shape(),
+                right: (1, self.input_dim()),
+                op: "mlp_fit",
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let mut order: Vec<usize> = (0..x.rows()).collect();
+        let batch = opts.batch_size.max(1);
+        let mut last_loss = f64::INFINITY;
+        for _ in 0..opts.epochs {
+            // Fisher-Yates shuffle.
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            let mut epoch_loss = 0.0;
+            for chunk in order.chunks(batch) {
+                epoch_loss += self.train_batch(x, y, chunk, &opts);
+            }
+            last_loss = epoch_loss / x.rows() as f64;
+        }
+        Ok(last_loss)
+    }
+
+    /// Accumulates gradients over one minibatch and applies a momentum step.
+    /// Returns the summed squared error of the batch.
+    fn train_batch(&mut self, x: &Matrix, y: &[f64], idx: &[usize], opts: &TrainOptions) -> f64 {
+        let n_layers = self.layers.len();
+        let mut grad_w: Vec<Matrix> = self
+            .layers
+            .iter()
+            .map(|l| Matrix::zeros(l.w.rows(), l.w.cols()))
+            .collect();
+        let mut grad_b: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+        let mut loss = 0.0;
+
+        for &sample in idx {
+            // Forward pass, caching pre-activations and activations.
+            let mut activations: Vec<Vec<f64>> = vec![x.row(sample).to_vec()];
+            let mut pres: Vec<Vec<f64>> = Vec::with_capacity(n_layers);
+            for layer in &self.layers {
+                let (pre, post) = layer.forward(activations.last().expect("nonempty"));
+                pres.push(pre);
+                activations.push(post);
+            }
+            let out = activations.last().expect("nonempty")[0];
+            let err = out - y[sample];
+            loss += err * err;
+
+            // Backward pass.
+            let mut delta = vec![2.0 * err];
+            for li in (0..n_layers).rev() {
+                let layer = &self.layers[li];
+                let input = &activations[li];
+                // d(pre) = delta * act'(pre)
+                let dpre: Vec<f64> = delta
+                    .iter()
+                    .zip(&pres[li])
+                    .map(|(d, &p)| d * layer.activation.derivative(p))
+                    .collect();
+                for (o, &dp) in dpre.iter().enumerate() {
+                    grad_b[li][o] += dp;
+                    for (i, &inp) in input.iter().enumerate() {
+                        grad_w[li][(o, i)] += dp * inp;
+                    }
+                }
+                if li > 0 {
+                    // Propagate to the previous layer's outputs.
+                    let mut prev = vec![0.0; layer.w.cols()];
+                    for (o, &dp) in dpre.iter().enumerate() {
+                        for (i, p) in prev.iter_mut().enumerate() {
+                            *p += dp * layer.w[(o, i)];
+                        }
+                    }
+                    delta = prev;
+                }
+            }
+        }
+
+        // Momentum update.
+        let scale = opts.learning_rate / idx.len() as f64;
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            for o in 0..layer.w.rows() {
+                for i in 0..layer.w.cols() {
+                    let g = grad_w[li][(o, i)] * scale + opts.weight_decay * layer.w[(o, i)];
+                    let v = opts.momentum * layer.vw[(o, i)] - g;
+                    layer.vw[(o, i)] = v;
+                    layer.w[(o, i)] += v;
+                }
+                let g = grad_b[li][o] * scale;
+                let v = opts.momentum * layer.vb[o] - g;
+                layer.vb[o] = v;
+                layer.b[o] += v;
+            }
+        }
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_linear_function() {
+        let x = Matrix::from_rows(&(0..32).map(|i| vec![i as f64 / 32.0]).collect::<Vec<_>>());
+        let y: Vec<f64> = (0..32).map(|i| 3.0 * i as f64 / 32.0 - 1.0).collect();
+        let mut net = Mlp::new(&[1, 8, 1], 7).unwrap();
+        let loss = net.fit(&x, &y, TrainOptions::default()).unwrap();
+        assert!(loss < 0.05, "loss {loss}");
+        assert!((net.predict(&[0.5]).unwrap() - 0.5).abs() < 0.25);
+    }
+
+    #[test]
+    fn learns_xor_shape() {
+        // XOR requires a hidden layer: proves backprop through ReLU works.
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ]);
+        let y = [0.0, 1.0, 1.0, 0.0];
+        let mut best_correct = 0;
+        // ReLU nets can die on bad seeds; any seed solving XOR proves the
+        // machinery.
+        for seed in 0..5 {
+            let mut net = Mlp::new(&[2, 8, 1], seed).unwrap();
+            net.fit(
+                &x,
+                &y,
+                TrainOptions {
+                    epochs: 2000,
+                    learning_rate: 0.05,
+                    batch_size: 4,
+                    weight_decay: 0.0,
+                    ..TrainOptions::default()
+                },
+            )
+            .unwrap();
+            let correct = x
+                .as_slice()
+                .chunks(2)
+                .zip(&y)
+                .filter(|(row, &target)| {
+                    (net.predict(row).unwrap() - target).abs() < 0.5
+                })
+                .count();
+            best_correct = best_correct.max(correct);
+            if best_correct == 4 {
+                break;
+            }
+        }
+        assert_eq!(best_correct, 4);
+    }
+
+    #[test]
+    fn nonlinear_fit_beats_mean_predictor() {
+        let x = Matrix::from_rows(
+            &(0..40)
+                .map(|i| vec![i as f64 / 40.0 * 6.28])
+                .collect::<Vec<_>>(),
+        );
+        let y: Vec<f64> = (0..40).map(|i| (i as f64 / 40.0 * 6.28).sin()).collect();
+        let mut net = Mlp::new(&[1, 16, 16, 1], 3).unwrap();
+        let loss = net
+            .fit(
+                &x,
+                &y,
+                TrainOptions {
+                    epochs: 800,
+                    learning_rate: 0.02,
+                    ..TrainOptions::default()
+                },
+            )
+            .unwrap();
+        // Mean predictor MSE of sin over a period is 0.5.
+        assert!(loss < 0.25, "loss {loss}");
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(Mlp::new(&[3], 0).is_err());
+        assert!(Mlp::new(&[3, 4, 2], 0).is_err());
+        assert!(Mlp::new(&[3, 0, 1], 0).is_err());
+        let mut net = Mlp::new(&[2, 4, 1], 0).unwrap();
+        assert!(net.predict(&[1.0]).is_err());
+        let x = Matrix::from_rows(&[vec![0.0, 0.0]]);
+        assert!(net.fit(&x, &[1.0, 2.0], TrainOptions::default()).is_err());
+        let x3 = Matrix::from_rows(&[vec![0.0, 0.0, 0.0]]);
+        assert!(net.fit(&x3, &[1.0], TrainOptions::default()).is_err());
+        assert!(net
+            .fit(&Matrix::zeros(0, 2), &[], TrainOptions::default())
+            .is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = Matrix::from_rows(&[vec![0.1], vec![0.9]]);
+        let y = [0.2, 1.8];
+        let mut a = Mlp::new(&[1, 4, 1], 5).unwrap();
+        let mut b = Mlp::new(&[1, 4, 1], 5).unwrap();
+        a.fit(&x, &y, TrainOptions::default()).unwrap();
+        b.fit(&x, &y, TrainOptions::default()).unwrap();
+        assert_eq!(a.predict(&[0.4]).unwrap(), b.predict(&[0.4]).unwrap());
+        assert_eq!(a.input_dim(), 1);
+    }
+}

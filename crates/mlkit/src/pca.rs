@@ -1,0 +1,261 @@
+//! Principal component analysis via eigendecomposition of the covariance
+//! matrix, as used by AutoBlox's workload clustering (§3.1 of the paper).
+
+use crate::error::{MlError, Result};
+use crate::linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A fitted PCA model projecting feature rows onto the leading principal
+/// components.
+///
+/// # Examples
+///
+/// ```
+/// use mlkit::linalg::Matrix;
+/// use mlkit::pca::Pca;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Points on a line: one component explains everything.
+/// let x = Matrix::from_rows(&[
+///     vec![0.0, 0.0],
+///     vec![1.0, 2.0],
+///     vec![2.0, 4.0],
+///     vec![3.0, 6.0],
+/// ]);
+/// let pca = Pca::fit(&x, 1)?;
+/// assert!(pca.explained_variance_ratio()[0] > 0.999);
+/// let z = pca.transform(&x)?;
+/// assert_eq!(z.shape(), (4, 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// Principal axes as rows: `components[(k, d)]`.
+    components: Matrix,
+    explained_variance: Vec<f64>,
+    explained_variance_ratio: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits a PCA with `n_components` components on row-sample matrix `x`.
+    ///
+    /// # Errors
+    ///
+    /// - [`MlError::InsufficientData`] if `x` has fewer than 2 rows;
+    /// - [`MlError::InvalidArgument`] if `n_components` is zero or exceeds
+    ///   the feature dimension.
+    pub fn fit(x: &Matrix, n_components: usize) -> Result<Self> {
+        if x.rows() < 2 {
+            return Err(MlError::InsufficientData(format!(
+                "PCA needs at least 2 samples, got {}",
+                x.rows()
+            )));
+        }
+        if n_components == 0 || n_components > x.cols() {
+            return Err(MlError::InvalidArgument(format!(
+                "n_components must be in 1..={}, got {n_components}",
+                x.cols()
+            )));
+        }
+        let d = x.cols();
+        let n = x.rows() as f64;
+        let mut mean = vec![0.0; d];
+        for r in 0..x.rows() {
+            for (c, m) in mean.iter_mut().enumerate() {
+                *m += x[(r, c)];
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        // Covariance matrix (biased denominator n-1 like scikit-learn).
+        let mut cov = Matrix::zeros(d, d);
+        for r in 0..x.rows() {
+            for i in 0..d {
+                let di = x[(r, i)] - mean[i];
+                if di == 0.0 {
+                    continue;
+                }
+                for j in i..d {
+                    let dj = x[(r, j)] - mean[j];
+                    cov[(i, j)] += di * dj;
+                }
+            }
+        }
+        let denom = n - 1.0;
+        for i in 0..d {
+            for j in i..d {
+                let v = cov[(i, j)] / denom;
+                cov[(i, j)] = v;
+                cov[(j, i)] = v;
+            }
+        }
+        let eig = cov.symmetric_eigen()?;
+        let total: f64 = eig.values.iter().map(|v| v.max(0.0)).sum();
+        let mut components = Matrix::zeros(n_components, d);
+        let mut explained = Vec::with_capacity(n_components);
+        for k in 0..n_components {
+            for dd in 0..d {
+                components[(k, dd)] = eig.vectors[(dd, k)];
+            }
+            explained.push(eig.values[k].max(0.0));
+        }
+        let ratio = explained
+            .iter()
+            .map(|&v| if total > 0.0 { v / total } else { 0.0 })
+            .collect();
+        Ok(Pca {
+            mean,
+            components,
+            explained_variance: explained,
+            explained_variance_ratio: ratio,
+        })
+    }
+
+    /// Number of retained components.
+    pub fn n_components(&self) -> usize {
+        self.components.rows()
+    }
+
+    /// Per-component captured variance (descending).
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained_variance
+    }
+
+    /// Fraction of total variance captured by each component.
+    pub fn explained_variance_ratio(&self) -> &[f64] {
+        &self.explained_variance_ratio
+    }
+
+    /// The fitted per-feature mean.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Principal axes as rows of a `(n_components, n_features)` matrix.
+    pub fn components(&self) -> &Matrix {
+        &self.components
+    }
+
+    /// Projects rows of `x` onto the principal components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] if the feature dimension differs
+    /// from the fitted data.
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        if x.cols() != self.mean.len() {
+            return Err(MlError::ShapeMismatch {
+                left: x.shape(),
+                right: (1, self.mean.len()),
+                op: "pca_transform",
+            });
+        }
+        let mut out = Matrix::zeros(x.rows(), self.n_components());
+        for r in 0..x.rows() {
+            for k in 0..self.n_components() {
+                let mut s = 0.0;
+                for c in 0..x.cols() {
+                    s += (x[(r, c)] - self.mean[c]) * self.components[(k, c)];
+                }
+                out[(r, k)] = s;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Projects a single feature row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] on length mismatch.
+    pub fn transform_row(&self, row: &[f64]) -> Result<Vec<f64>> {
+        if row.len() != self.mean.len() {
+            return Err(MlError::ShapeMismatch {
+                left: (1, row.len()),
+                right: (1, self.mean.len()),
+                op: "pca_transform_row",
+            });
+        }
+        Ok((0..self.n_components())
+            .map(|k| {
+                row.iter()
+                    .enumerate()
+                    .map(|(c, &v)| (v - self.mean[c]) * self.components[(k, c)])
+                    .sum()
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_has_one_dominant_component() {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+        ]);
+        let p = Pca::fit(&x, 2).unwrap();
+        assert!(p.explained_variance_ratio()[0] > 0.999);
+        assert!(p.explained_variance_ratio()[1] < 1e-9);
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let x = Matrix::from_rows(&[vec![10.0, 0.0], vec![12.0, 0.0], vec![14.0, 0.0]]);
+        let p = Pca::fit(&x, 1).unwrap();
+        let z = p.transform(&x).unwrap();
+        // Projected values are symmetric around zero.
+        let sum: f64 = (0..3).map(|r| z[(r, 0)]).sum();
+        assert!(sum.abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_ratio_sums_to_one() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 5.0, 2.0],
+            vec![2.0, 1.0, 9.0],
+            vec![4.0, 2.0, 3.0],
+            vec![8.0, 7.0, 1.0],
+        ]);
+        let p = Pca::fit(&x, 3).unwrap();
+        let total: f64 = p.explained_variance_ratio().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Descending.
+        let r = p.explained_variance_ratio();
+        assert!(r[0] >= r[1] && r[1] >= r[2]);
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert!(Pca::fit(&x, 0).is_err());
+        assert!(Pca::fit(&x, 3).is_err());
+        assert!(Pca::fit(&Matrix::from_rows(&[vec![1.0]]), 1).is_err());
+    }
+
+    #[test]
+    fn transform_row_matches_matrix_transform() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 4.0, 1.0],
+            vec![5.0, 1.0, 2.0],
+        ]);
+        let p = Pca::fit(&x, 2).unwrap();
+        let z = p.transform(&x).unwrap();
+        for r in 0..3 {
+            let zr = p.transform_row(x.row(r)).unwrap();
+            for k in 0..2 {
+                assert!((zr[k] - z[(r, k)]).abs() < 1e-12);
+            }
+        }
+        assert!(p.transform_row(&[1.0]).is_err());
+        assert!(p.transform(&Matrix::zeros(1, 5)).is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! Ridge (L2-regularized linear) regression, used by AutoBlox's fine-grained
+//! parameter pruning (§3.3) to score the linear correlation between each SSD
+//! parameter and storage performance.
+
+use crate::error::{MlError, Result};
+use crate::linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A fitted ridge-regression model `y ≈ X w + b`.
+///
+/// Features and target are internally centered so the intercept is not
+/// penalized, matching scikit-learn's `Ridge`.
+///
+/// # Examples
+///
+/// ```
+/// use mlkit::linalg::Matrix;
+/// use mlkit::ridge::Ridge;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+/// let y = [1.0, 3.0, 5.0, 7.0]; // y = 2x + 1
+/// let model = Ridge::fit(&x, &y, 1e-9)?;
+/// assert!((model.coefficients()[0] - 2.0).abs() < 1e-5);
+/// assert!((model.intercept() - 1.0).abs() < 1e-5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ridge {
+    coefficients: Vec<f64>,
+    intercept: f64,
+    alpha: f64,
+}
+
+impl Ridge {
+    /// Fits the model with regularization strength `alpha >= 0` by solving
+    /// the normal equations `(Xc^T Xc + alpha I) w = Xc^T yc`.
+    ///
+    /// # Errors
+    ///
+    /// - [`MlError::InvalidArgument`] if `alpha` is negative or not finite;
+    /// - [`MlError::ShapeMismatch`] if `y.len() != x.rows()`;
+    /// - [`MlError::InsufficientData`] if `x` is empty;
+    /// - [`MlError::NotPositiveDefinite`] if the regularized Gram matrix is
+    ///   singular (only possible with `alpha == 0`).
+    pub fn fit(x: &Matrix, y: &[f64], alpha: f64) -> Result<Self> {
+        if !alpha.is_finite() || alpha < 0.0 {
+            return Err(MlError::InvalidArgument(format!(
+                "alpha must be finite and non-negative, got {alpha}"
+            )));
+        }
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(MlError::InsufficientData(
+                "ridge regression needs a non-empty design matrix".into(),
+            ));
+        }
+        if y.len() != x.rows() {
+            return Err(MlError::ShapeMismatch {
+                left: x.shape(),
+                right: (y.len(), 1),
+                op: "ridge_fit",
+            });
+        }
+        let n = x.rows();
+        let d = x.cols();
+        let nf = n as f64;
+        let mut x_mean = vec![0.0; d];
+        for r in 0..n {
+            for (c, m) in x_mean.iter_mut().enumerate() {
+                *m += x[(r, c)];
+            }
+        }
+        for m in &mut x_mean {
+            *m /= nf;
+        }
+        let y_mean = y.iter().sum::<f64>() / nf;
+
+        // Gram matrix of centered features + alpha on the diagonal.
+        let mut gram = Matrix::zeros(d, d);
+        let mut xty = vec![0.0; d];
+        for r in 0..n {
+            let yc = y[r] - y_mean;
+            for i in 0..d {
+                let xi = x[(r, i)] - x_mean[i];
+                xty[i] += xi * yc;
+                for j in i..d {
+                    let xj = x[(r, j)] - x_mean[j];
+                    gram[(i, j)] += xi * xj;
+                }
+            }
+        }
+        for i in 0..d {
+            for j in i..d {
+                let v = gram[(i, j)];
+                gram[(j, i)] = v;
+            }
+            gram[(i, i)] += alpha.max(1e-12);
+        }
+        let chol = gram.cholesky()?;
+        let coefficients = chol.solve(&xty)?;
+        let intercept = y_mean
+            - coefficients
+                .iter()
+                .zip(&x_mean)
+                .map(|(w, m)| w * m)
+                .sum::<f64>();
+        Ok(Ridge {
+            coefficients,
+            intercept,
+            alpha,
+        })
+    }
+
+    /// Learned weights, one per feature column.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Learned intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Regularization strength the model was fitted with.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Predicts the target for one feature row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] on length mismatch.
+    pub fn predict_row(&self, row: &[f64]) -> Result<f64> {
+        if row.len() != self.coefficients.len() {
+            return Err(MlError::ShapeMismatch {
+                left: (1, row.len()),
+                right: (1, self.coefficients.len()),
+                op: "ridge_predict",
+            });
+        }
+        Ok(self.intercept
+            + row
+                .iter()
+                .zip(&self.coefficients)
+                .map(|(x, w)| x * w)
+                .sum::<f64>())
+    }
+
+    /// Predicts targets for every row of `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] if the feature dimension differs.
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+    }
+
+    /// Coefficient of determination R² on the given data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] on shape mismatch.
+    pub fn score(&self, x: &Matrix, y: &[f64]) -> Result<f64> {
+        if y.len() != x.rows() {
+            return Err(MlError::ShapeMismatch {
+                left: x.shape(),
+                right: (y.len(), 1),
+                op: "ridge_score",
+            });
+        }
+        let preds = self.predict(x)?;
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let ss_res: f64 = preds.iter().zip(y).map(|(p, t)| (t - p).powi(2)).sum();
+        let ss_tot: f64 = y.iter().map(|t| (t - mean).powi(2)).sum();
+        if ss_tot == 0.0 {
+            return Ok(if ss_res == 0.0 { 1.0 } else { 0.0 });
+        }
+        Ok(1.0 - ss_res / ss_tot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_linear_function() {
+        // y = 3 x0 - 2 x1 + 5.
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 5.0).collect();
+        let x = Matrix::from_rows(&rows);
+        let m = Ridge::fit(&x, &y, 1e-8).unwrap();
+        assert!((m.coefficients()[0] - 3.0).abs() < 1e-4);
+        assert!((m.coefficients()[1] + 2.0).abs() < 1e-4);
+        assert!((m.intercept() - 5.0).abs() < 1e-3);
+        assert!(m.score(&x, &y).unwrap() > 0.999999);
+    }
+
+    #[test]
+    fn shrinkage_with_large_alpha() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let y = [0.0, 2.0, 4.0, 6.0];
+        let loose = Ridge::fit(&x, &y, 1e-9).unwrap();
+        let tight = Ridge::fit(&x, &y, 1e6).unwrap();
+        assert!(tight.coefficients()[0].abs() < loose.coefficients()[0].abs());
+        assert!(tight.coefficients()[0].abs() < 0.01);
+    }
+
+    #[test]
+    fn constant_target_gives_zero_coefficients() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let y = [4.0, 4.0, 4.0];
+        let m = Ridge::fit(&x, &y, 0.1).unwrap();
+        assert!(m.coefficients()[0].abs() < 1e-9);
+        assert!((m.intercept() - 4.0).abs() < 1e-9);
+        assert_eq!(m.score(&x, &y).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        assert!(Ridge::fit(&x, &[1.0], 0.1).is_err());
+        assert!(Ridge::fit(&x, &[1.0, 2.0], -1.0).is_err());
+        assert!(Ridge::fit(&x, &[1.0, 2.0], f64::NAN).is_err());
+        assert!(Ridge::fit(&Matrix::zeros(0, 1), &[], 0.1).is_err());
+        let m = Ridge::fit(&x, &[1.0, 2.0], 0.1).unwrap();
+        assert!(m.predict_row(&[1.0, 2.0]).is_err());
+        assert!(m.score(&x, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn alpha_getter() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let m = Ridge::fit(&x, &[1.0, 2.0], 0.5).unwrap();
+        assert_eq!(m.alpha(), 0.5);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the numerical core: factorizations must invert,
+//! models must satisfy their defining equations on arbitrary valid input.
+
+use mlkit::gpr::GprBuilder;
+use mlkit::kmeans::KMeans;
+use mlkit::linalg::{dot, manhattan, sq_dist, Matrix};
+use mlkit::pca::Pca;
+use mlkit::ridge::Ridge;
+use mlkit::scale::StandardScaler;
+use proptest::prelude::*;
+
+fn arb_vector(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, len)
+}
+
+fn arb_matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-50.0f64..50.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+/// Builds a random symmetric positive-definite matrix as `B B^T + n I`.
+fn arb_spd(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0f64..2.0, n * n).prop_map(move |data| {
+        let b = Matrix::from_vec(n, n, data);
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn cholesky_solution_satisfies_the_system(a in arb_spd(5), b in arb_vector(5)) {
+        let chol = a.cholesky().unwrap();
+        let x = chol.solve(&b).unwrap();
+        let back = a.matvec(&x).unwrap();
+        for (lhs, rhs) in back.iter().zip(&b) {
+            prop_assert!((lhs - rhs).abs() < 1e-6, "{lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn cholesky_factor_reconstructs(a in arb_spd(4)) {
+        let chol = a.cholesky().unwrap();
+        let rec = chol.factor().matmul(&chol.factor().transpose()).unwrap();
+        for r in 0..4 {
+            for c in 0..4 {
+                prop_assert!((rec[(r, c)] - a[(r, c)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric_matrices(a in arb_spd(4)) {
+        let e = a.symmetric_eigen().unwrap();
+        let n = 4;
+        let mut d = Matrix::zeros(n, n);
+        for i in 0..n {
+            d[(i, i)] = e.values[i];
+        }
+        let rec = e.vectors.matmul(&d).unwrap().matmul(&e.vectors.transpose()).unwrap();
+        for r in 0..n {
+            for c in 0..n {
+                prop_assert!((rec[(r, c)] - a[(r, c)]).abs() < 1e-6);
+            }
+        }
+        // Eigenvalues of an SPD matrix are positive and sorted descending.
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        prop_assert!(e.values.iter().all(|&v| v > -1e-9));
+    }
+
+    #[test]
+    fn matmul_is_associative(a in arb_matrix(1..4, 1..4), bdata in prop::collection::vec(-5.0f64..5.0, 16), cdata in prop::collection::vec(-5.0f64..5.0, 16)) {
+        let k = a.cols();
+        let b = Matrix::from_vec(k, 4, bdata[..k * 4].to_vec());
+        let c = Matrix::from_vec(4, 2, cdata[..8].to_vec());
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        for r in 0..left.rows() {
+            for cc in 0..left.cols() {
+                prop_assert!((left[(r, cc)] - right[(r, cc)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn distances_are_consistent(a in arb_vector(6), b in arb_vector(6)) {
+        prop_assert!(sq_dist(&a, &b) >= 0.0);
+        prop_assert!((sq_dist(&a, &b) - sq_dist(&b, &a)).abs() < 1e-9);
+        prop_assert!(manhattan(&a, &b) >= 0.0);
+        prop_assert!((dot(&a, &b) - dot(&b, &a)).abs() < 1e-9);
+        // Cauchy–Schwarz.
+        prop_assert!(dot(&a, &b).powi(2) <= dot(&a, &a) * dot(&b, &b) + 1e-6);
+    }
+
+    #[test]
+    fn scaler_transform_is_invertible(x in arb_matrix(2..10, 1..5)) {
+        let s = StandardScaler::fit(&x).unwrap();
+        for r in 0..x.rows() {
+            let t = s.transform_row(x.row(r)).unwrap();
+            let back = s.inverse_transform_row(&t).unwrap();
+            for (orig, rec) in x.row(r).iter().zip(&back) {
+                prop_assert!((orig - rec).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn pca_projection_preserves_total_variance_bound(x in arb_matrix(4..12, 2..5)) {
+        let dims = x.cols();
+        let p = Pca::fit(&x, dims).unwrap();
+        let total: f64 = p.explained_variance_ratio().iter().sum();
+        prop_assert!(total <= 1.0 + 1e-9);
+        // Full-rank PCA keeps (almost) everything.
+        prop_assert!(total > 0.99 || p.explained_variance().iter().sum::<f64>() < 1e-12);
+    }
+
+    #[test]
+    fn kmeans_assigns_to_nearest_centroid(x in arb_matrix(6..20, 1..4), k in 1usize..4) {
+        prop_assume!(x.rows() >= k);
+        let km = KMeans::fit(&x, k, 42).unwrap();
+        let labels = km.predict(&x).unwrap();
+        for r in 0..x.rows() {
+            let assigned = sq_dist(x.row(r), km.centroids().row(labels[r]));
+            for ci in 0..k {
+                let other = sq_dist(x.row(r), km.centroids().row(ci));
+                prop_assert!(assigned <= other + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ridge_residuals_shrink_with_less_regularization(x in arb_matrix(8..16, 1..3), noise in arb_vector(16)) {
+        let y: Vec<f64> = (0..x.rows())
+            .map(|r| 2.0 * x.row(r)[0] + noise[r] * 0.01)
+            .collect();
+        let loose = Ridge::fit(&x, &y, 1e-8).unwrap();
+        let tight = Ridge::fit(&x, &y, 1e4).unwrap();
+        let r2_loose = loose.score(&x, &y).unwrap();
+        let r2_tight = tight.score(&x, &y).unwrap();
+        prop_assert!(r2_loose >= r2_tight - 1e-9);
+    }
+
+    #[test]
+    fn gpr_variance_nonnegative_and_interpolation_close(ys in prop::collection::vec(-5.0f64..5.0, 5)) {
+        let xs = Matrix::from_rows(&(0..5).map(|i| vec![i as f64]).collect::<Vec<_>>());
+        let gp = GprBuilder::new().optimize_rounds(0).fit(&xs, &ys).unwrap();
+        for i in 0..5 {
+            let p = gp.predict(xs.row(i)).unwrap();
+            prop_assert!(p.variance >= 0.0);
+            prop_assert!((p.mean - ys[i]).abs() < 1.0, "{} vs {}", p.mean, ys[i]);
+        }
+    }
+}

@@ -1,0 +1,687 @@
+//! SSD hardware configuration: every tunable parameter AutoBlox explores.
+//!
+//! The field set is transcribed from MQSim's SSD/flash configuration files
+//! (the simulator the paper extends) plus the parameters named in the paper's
+//! Tables 5 and 7 and Figures 4 and 5. A handful of parameters are
+//! performance-inert by design (they exist in real SSD configs but do not
+//! influence the modeled datapath); the paper's coarse-grained pruning stage
+//! is expected to discover exactly those.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// NAND flash cell technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlashTechnology {
+    /// Single-level cell: fastest, most durable.
+    Slc,
+    /// Multi-level cell (2 bits/cell).
+    Mlc,
+    /// Triple-level cell (3 bits/cell).
+    Tlc,
+}
+
+impl FlashTechnology {
+    /// Baseline page-read latency in nanoseconds for this technology.
+    pub fn base_read_ns(self) -> u64 {
+        match self {
+            FlashTechnology::Slc => 3_000,
+            FlashTechnology::Mlc => 83_000,
+            FlashTechnology::Tlc => 110_000,
+        }
+    }
+
+    /// Baseline page-program latency in nanoseconds.
+    pub fn base_program_ns(self) -> u64 {
+        match self {
+            FlashTechnology::Slc => 100_000,
+            FlashTechnology::Mlc => 1_166_000,
+            FlashTechnology::Tlc => 2_300_000,
+        }
+    }
+
+    /// Baseline block-erase latency in nanoseconds.
+    pub fn base_erase_ns(self) -> u64 {
+        match self {
+            FlashTechnology::Slc => 1_500_000,
+            FlashTechnology::Mlc => 3_800_000,
+            FlashTechnology::Tlc => 5_000_000,
+        }
+    }
+}
+
+impl fmt::Display for FlashTechnology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlashTechnology::Slc => write!(f, "SLC"),
+            FlashTechnology::Mlc => write!(f, "MLC"),
+            FlashTechnology::Tlc => write!(f, "TLC"),
+        }
+    }
+}
+
+/// Host interface protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Interface {
+    /// NVMe over PCIe: multi-queue, deep queues, low protocol overhead.
+    Nvme,
+    /// SATA: single queue (NCQ), 6 Gb/s link, higher protocol overhead.
+    Sata,
+}
+
+impl fmt::Display for Interface {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Interface::Nvme => write!(f, "NVMe"),
+            Interface::Sata => write!(f, "SATA"),
+        }
+    }
+}
+
+/// Order in which write pages are striped across the flash hierarchy.
+///
+/// The four letters are Channel, Way (chip), Die, Plane; the first resource
+/// in the ordering varies fastest. MQSim defines all 16 non-degenerate
+/// orderings that keep Channel or Way first-or-second; here all 24/… are
+/// collapsed to the 16 the paper counts ("16 possible values for the plane
+/// allocation scheme").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum PlaneAllocationScheme {
+    Cwdp,
+    Cwpd,
+    Cdwp,
+    Cdpw,
+    Cpwd,
+    Cpdw,
+    Wcdp,
+    Wcpd,
+    Wdcp,
+    Wdpc,
+    Wpcd,
+    Wpdc,
+    Dcwp,
+    Dcpw,
+    Pcwd,
+    Pcdw,
+}
+
+impl PlaneAllocationScheme {
+    /// All 16 schemes, index-stable for categorical encoding.
+    pub const ALL: [PlaneAllocationScheme; 16] = [
+        PlaneAllocationScheme::Cwdp,
+        PlaneAllocationScheme::Cwpd,
+        PlaneAllocationScheme::Cdwp,
+        PlaneAllocationScheme::Cdpw,
+        PlaneAllocationScheme::Cpwd,
+        PlaneAllocationScheme::Cpdw,
+        PlaneAllocationScheme::Wcdp,
+        PlaneAllocationScheme::Wcpd,
+        PlaneAllocationScheme::Wdcp,
+        PlaneAllocationScheme::Wdpc,
+        PlaneAllocationScheme::Wpcd,
+        PlaneAllocationScheme::Wpdc,
+        PlaneAllocationScheme::Dcwp,
+        PlaneAllocationScheme::Dcpw,
+        PlaneAllocationScheme::Pcwd,
+        PlaneAllocationScheme::Pcdw,
+    ];
+
+    /// Resource priority order as indices into `[channel, way, die, plane]`,
+    /// fastest-varying first.
+    pub fn order(self) -> [usize; 4] {
+        // 0 = channel, 1 = way/chip, 2 = die, 3 = plane.
+        match self {
+            PlaneAllocationScheme::Cwdp => [0, 1, 2, 3],
+            PlaneAllocationScheme::Cwpd => [0, 1, 3, 2],
+            PlaneAllocationScheme::Cdwp => [0, 2, 1, 3],
+            PlaneAllocationScheme::Cdpw => [0, 2, 3, 1],
+            PlaneAllocationScheme::Cpwd => [0, 3, 1, 2],
+            PlaneAllocationScheme::Cpdw => [0, 3, 2, 1],
+            PlaneAllocationScheme::Wcdp => [1, 0, 2, 3],
+            PlaneAllocationScheme::Wcpd => [1, 0, 3, 2],
+            PlaneAllocationScheme::Wdcp => [1, 2, 0, 3],
+            PlaneAllocationScheme::Wdpc => [1, 2, 3, 0],
+            PlaneAllocationScheme::Wpcd => [1, 3, 0, 2],
+            PlaneAllocationScheme::Wpdc => [1, 3, 2, 0],
+            PlaneAllocationScheme::Dcwp => [2, 0, 1, 3],
+            PlaneAllocationScheme::Dcpw => [2, 0, 3, 1],
+            PlaneAllocationScheme::Pcwd => [3, 0, 1, 2],
+            PlaneAllocationScheme::Pcdw => [3, 0, 2, 1],
+        }
+    }
+
+    /// Index of this scheme within [`PlaneAllocationScheme::ALL`].
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|&s| s == self)
+            .expect("scheme is in ALL")
+    }
+}
+
+/// Data-cache write policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CacheMode {
+    /// Writes are absorbed in DRAM and flushed on eviction.
+    WriteBack,
+    /// Writes go straight to flash; the cache only serves reads.
+    WriteThrough,
+}
+
+/// Garbage-collection victim-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GcPolicy {
+    /// Pick the block with the fewest valid pages (lowest migration cost).
+    Greedy,
+    /// Pick a random used block.
+    Random,
+}
+
+/// Complete SSD hardware configuration.
+///
+/// This is a passive, public-field struct in the C spirit: the tuner mutates
+/// fields directly and calls [`SsdConfig::validate`] before simulating.
+///
+/// # Examples
+///
+/// ```
+/// use ssdsim::config::SsdConfig;
+/// let cfg = SsdConfig::default();
+/// cfg.validate().expect("default config is valid");
+/// assert!(cfg.physical_capacity_bytes() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SsdConfig {
+    // ---- Flash layout -------------------------------------------------
+    /// Number of independent flash channels.
+    pub channel_count: u32,
+    /// Flash chips (ways) sharing each channel.
+    pub chips_per_channel: u32,
+    /// Dies per chip; dies execute commands independently.
+    pub dies_per_chip: u32,
+    /// Planes per die; planes allow multiplane operations.
+    pub planes_per_die: u32,
+    /// Flash blocks per plane (erase unit count).
+    pub blocks_per_plane: u32,
+    /// Pages per block.
+    pub pages_per_block: u32,
+    /// Flash page size in bytes.
+    pub page_size_bytes: u32,
+
+    // ---- Flash timing -------------------------------------------------
+    /// NAND cell technology (drives baseline latencies and energy).
+    pub flash_technology: FlashTechnology,
+    /// Page read latency in nanoseconds.
+    pub read_latency_ns: u64,
+    /// Page program latency in nanoseconds.
+    pub program_latency_ns: u64,
+    /// Block erase latency in nanoseconds.
+    pub erase_latency_ns: u64,
+    /// ONFI channel transfer rate in mega-transfers per second.
+    pub channel_transfer_rate_mts: u32,
+    /// Channel data width in bits.
+    pub channel_width_bits: u32,
+    /// Command/address cycle overhead per flash command, nanoseconds.
+    pub flash_cmd_overhead_ns: u64,
+    /// Time to suspend an in-flight program (used only when
+    /// `program_suspension_enabled`), nanoseconds.
+    pub suspend_program_ns: u64,
+    /// Time to suspend an in-flight erase (used only when
+    /// `erase_suspension_enabled`), nanoseconds.
+    pub suspend_erase_ns: u64,
+    /// Whether reads may suspend in-flight programs.
+    pub program_suspension_enabled: bool,
+    /// Whether reads may suspend in-flight erases.
+    pub erase_suspension_enabled: bool,
+
+    // ---- Controller DRAM ----------------------------------------------
+    /// Data (read/write) cache capacity in mebibytes.
+    pub data_cache_mb: u32,
+    /// Cached mapping table capacity in mebibytes (DFTL-style CMT).
+    pub cmt_capacity_mb: u32,
+    /// DRAM data rate in mega-transfers per second.
+    pub dram_data_rate_mts: u32,
+    /// DRAM burst size in bytes.
+    pub dram_burst_bytes: u32,
+    /// Bytes per cached mapping entry.
+    pub cmt_entry_bytes: u32,
+    /// Data-cache write policy.
+    pub cache_mode: CacheMode,
+
+    // ---- FTL / GC / wear leveling --------------------------------------
+    /// Over-provisioning ratio in `[0, 0.5]` (spare physical capacity).
+    pub overprovisioning_ratio: f64,
+    /// Free-page fraction below which GC starts.
+    pub gc_threshold: f64,
+    /// Free-page fraction below which GC becomes urgent (blocks host I/O).
+    pub gc_hard_threshold: f64,
+    /// Victim-selection policy.
+    pub gc_policy: GcPolicy,
+    /// Whether host reads may preempt GC migrations.
+    pub preemptible_gc: bool,
+    /// Enables periodic static wear leveling.
+    pub static_wearleveling_enabled: bool,
+    /// Erase-count spread that triggers a static wear-leveling swap.
+    pub static_wearleveling_threshold: u32,
+    /// Page-allocation striping order across the hierarchy.
+    pub plane_allocation_scheme: PlaneAllocationScheme,
+
+    // ---- Host interface -------------------------------------------------
+    /// Protocol between host and device.
+    pub interface: Interface,
+    /// Per-queue depth of outstanding commands.
+    pub io_queue_depth: u32,
+    /// Number of host submission queues (NVMe; SATA forces 1).
+    pub queue_count: u32,
+    /// PCIe lanes (NVMe only).
+    pub pcie_lane_count: u32,
+    /// Per-lane PCIe bandwidth in giga-transfers per second (e.g. 8 = Gen3).
+    pub pcie_lane_gtps: u32,
+    /// Fixed protocol processing overhead per command, nanoseconds.
+    pub host_cmd_overhead_ns: u64,
+
+    // ---- Performance-inert parameters ----------------------------------
+    // These exist in real SSD configuration files but do not influence the
+    // modeled datapath; the paper's coarse pruning (Figure 4) identifies
+    // them as insensitive.
+    /// Per-page metadata (OOB) capacity in bytes.
+    pub page_metadata_bytes: u32,
+    /// Number of ECC engines in the controller.
+    pub ecc_engine_count: u32,
+    /// Read-retry attempts before reporting an uncorrectable error.
+    pub read_retry_limit: u32,
+    /// Background media-scan interval in milliseconds.
+    pub background_scan_interval_ms: u32,
+    /// Device initialization (boot) delay in microseconds.
+    pub init_delay_us: u32,
+    /// Firmware scratchpad SRAM in kibibytes.
+    pub firmware_sram_kb: u32,
+    /// Temperature-throttle threshold in degrees Celsius.
+    pub thermal_throttle_c: u32,
+    /// Capacitor-backed flush energy budget in microjoules.
+    pub pfail_flush_budget_uj: u32,
+    /// Controller DRAM refresh interval in microseconds.
+    pub dram_refresh_interval_us: u32,
+    /// NAND core supply voltage in millivolts.
+    pub nand_vcc_mv: u32,
+}
+
+impl Default for SsdConfig {
+    /// A mid-range NVMe MLC device loosely modeled on the Intel 750
+    /// (the paper's primary reference configuration).
+    fn default() -> Self {
+        SsdConfig {
+            channel_count: 12,
+            chips_per_channel: 5,
+            dies_per_chip: 8,
+            planes_per_die: 1,
+            blocks_per_plane: 512,
+            pages_per_block: 512,
+            page_size_bytes: 4096,
+            flash_technology: FlashTechnology::Mlc,
+            read_latency_ns: 83_000,
+            program_latency_ns: 1_166_000,
+            erase_latency_ns: 3_800_000,
+            channel_transfer_rate_mts: 333,
+            channel_width_bits: 8,
+            flash_cmd_overhead_ns: 500,
+            suspend_program_ns: 5_000,
+            suspend_erase_ns: 10_000,
+            program_suspension_enabled: false,
+            erase_suspension_enabled: false,
+            data_cache_mb: 800,
+            cmt_capacity_mb: 256,
+            dram_data_rate_mts: 1600,
+            dram_burst_bytes: 64,
+            cmt_entry_bytes: 8,
+            cache_mode: CacheMode::WriteBack,
+            overprovisioning_ratio: 0.07,
+            gc_threshold: 0.05,
+            gc_hard_threshold: 0.005,
+            gc_policy: GcPolicy::Greedy,
+            preemptible_gc: true,
+            static_wearleveling_enabled: true,
+            static_wearleveling_threshold: 100,
+            plane_allocation_scheme: PlaneAllocationScheme::Cwdp,
+            interface: Interface::Nvme,
+            io_queue_depth: 32,
+            queue_count: 8,
+            pcie_lane_count: 4,
+            pcie_lane_gtps: 8,
+            host_cmd_overhead_ns: 3_000,
+            page_metadata_bytes: 448,
+            ecc_engine_count: 8,
+            read_retry_limit: 3,
+            background_scan_interval_ms: 1000,
+            init_delay_us: 500,
+            firmware_sram_kb: 512,
+            thermal_throttle_c: 70,
+            pfail_flush_budget_uj: 4000,
+            dram_refresh_interval_us: 64,
+            nand_vcc_mv: 3300,
+        }
+    }
+}
+
+/// Error returned when a configuration is structurally invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidConfigError(String);
+
+impl fmt::Display for InvalidConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid SSD configuration: {}", self.0)
+    }
+}
+
+impl Error for InvalidConfigError {}
+
+impl SsdConfig {
+    /// Total raw flash capacity in bytes.
+    pub fn physical_capacity_bytes(&self) -> u64 {
+        u64::from(self.channel_count)
+            * u64::from(self.chips_per_channel)
+            * u64::from(self.dies_per_chip)
+            * u64::from(self.planes_per_die)
+            * u64::from(self.blocks_per_plane)
+            * u64::from(self.pages_per_block)
+            * u64::from(self.page_size_bytes)
+    }
+
+    /// Host-visible capacity after over-provisioning, in bytes.
+    pub fn logical_capacity_bytes(&self) -> u64 {
+        (self.physical_capacity_bytes() as f64 * (1.0 - self.overprovisioning_ratio)) as u64
+    }
+
+    /// Host-visible capacity in logical pages.
+    pub fn logical_pages(&self) -> u64 {
+        self.logical_capacity_bytes() / u64::from(self.page_size_bytes)
+    }
+
+    /// Total number of dies.
+    pub fn total_dies(&self) -> u64 {
+        u64::from(self.channel_count)
+            * u64::from(self.chips_per_channel)
+            * u64::from(self.dies_per_chip)
+    }
+
+    /// Total number of planes.
+    pub fn total_planes(&self) -> u64 {
+        self.total_dies() * u64::from(self.planes_per_die)
+    }
+
+    /// Pages per plane.
+    pub fn pages_per_plane(&self) -> u64 {
+        u64::from(self.blocks_per_plane) * u64::from(self.pages_per_block)
+    }
+
+    /// Time to move one page over a flash channel, in nanoseconds.
+    pub fn channel_transfer_ns(&self) -> u64 {
+        let bytes_per_sec = f64::from(self.channel_transfer_rate_mts)
+            * 1e6
+            * f64::from(self.channel_width_bits)
+            / 8.0;
+        let payload = f64::from(self.page_size_bytes);
+        ((payload / bytes_per_sec) * 1e9) as u64 + self.flash_cmd_overhead_ns
+    }
+
+    /// Host link bandwidth in bytes per second.
+    pub fn link_bandwidth_bps(&self) -> f64 {
+        match self.interface {
+            // PCIe: lanes x GT/s x 128b/130b encoding / 8 bits.
+            Interface::Nvme => {
+                f64::from(self.pcie_lane_count)
+                    * f64::from(self.pcie_lane_gtps)
+                    * 1e9
+                    * (128.0 / 130.0)
+                    / 8.0
+            }
+            // SATA III: 6 Gb/s with 8b/10b encoding = 600 MB/s.
+            Interface::Sata => 600e6,
+        }
+    }
+
+    /// Effective number of host queues (SATA collapses to one).
+    pub fn effective_queue_count(&self) -> u32 {
+        match self.interface {
+            Interface::Nvme => self.queue_count.max(1),
+            Interface::Sata => 1,
+        }
+    }
+
+    /// Effective aggregate queue depth.
+    pub fn effective_queue_depth(&self) -> u32 {
+        let per_queue = match self.interface {
+            Interface::Nvme => self.io_queue_depth.max(1),
+            // SATA NCQ caps at 32 outstanding commands.
+            Interface::Sata => self.io_queue_depth.clamp(1, 32),
+        };
+        per_queue * self.effective_queue_count()
+    }
+
+    /// Protocol overhead per command in nanoseconds.
+    pub fn protocol_overhead_ns(&self) -> u64 {
+        match self.interface {
+            Interface::Nvme => self.host_cmd_overhead_ns,
+            // SATA command processing is substantially heavier.
+            Interface::Sata => self.host_cmd_overhead_ns + 25_000,
+        }
+    }
+
+    /// Validates structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidConfigError`] naming the first violated invariant:
+    /// zero-sized layout dimensions, non-power-of-two page size, ratios
+    /// outside `[0, 0.5]`, or an empty queue setup.
+    pub fn validate(&self) -> Result<(), InvalidConfigError> {
+        let positive = [
+            ("channel_count", u64::from(self.channel_count)),
+            ("chips_per_channel", u64::from(self.chips_per_channel)),
+            ("dies_per_chip", u64::from(self.dies_per_chip)),
+            ("planes_per_die", u64::from(self.planes_per_die)),
+            ("blocks_per_plane", u64::from(self.blocks_per_plane)),
+            ("pages_per_block", u64::from(self.pages_per_block)),
+            ("page_size_bytes", u64::from(self.page_size_bytes)),
+            ("channel_transfer_rate_mts", u64::from(self.channel_transfer_rate_mts)),
+            ("channel_width_bits", u64::from(self.channel_width_bits)),
+            ("io_queue_depth", u64::from(self.io_queue_depth)),
+            ("read_latency_ns", self.read_latency_ns),
+            ("program_latency_ns", self.program_latency_ns),
+            ("erase_latency_ns", self.erase_latency_ns),
+        ];
+        for (name, v) in positive {
+            if v == 0 {
+                return Err(InvalidConfigError(format!("{name} must be positive")));
+            }
+        }
+        if !self.page_size_bytes.is_power_of_two() {
+            return Err(InvalidConfigError(
+                "page_size_bytes must be a power of two".into(),
+            ));
+        }
+        if !(0.0..=0.5).contains(&self.overprovisioning_ratio) {
+            return Err(InvalidConfigError(
+                "overprovisioning_ratio must be within [0, 0.5]".into(),
+            ));
+        }
+        if !(0.0..1.0).contains(&self.gc_threshold) {
+            return Err(InvalidConfigError("gc_threshold must be within [0, 1)".into()));
+        }
+        if self.gc_hard_threshold > self.gc_threshold {
+            return Err(InvalidConfigError(
+                "gc_hard_threshold must not exceed gc_threshold".into(),
+            ));
+        }
+        if self.interface == Interface::Nvme && self.pcie_lane_count == 0 {
+            return Err(InvalidConfigError(
+                "NVMe devices need at least one PCIe lane".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Reference configurations of the commodity SSDs the paper compares against.
+pub mod presets {
+    use super::*;
+
+    /// Intel 750 (NVMe, MLC): the paper's primary baseline.
+    pub fn intel_750() -> SsdConfig {
+        SsdConfig::default()
+    }
+
+    /// Samsung 850 PRO (SATA, MLC): the SATA baseline of Table 9.
+    pub fn samsung_850_pro() -> SsdConfig {
+        SsdConfig {
+            interface: Interface::Sata,
+            io_queue_depth: 32,
+            queue_count: 1,
+            channel_count: 8,
+            chips_per_channel: 4,
+            dies_per_chip: 4,
+            planes_per_die: 2,
+            blocks_per_plane: 1024,
+            pages_per_block: 256,
+            page_size_bytes: 8192,
+            data_cache_mb: 512,
+            cmt_capacity_mb: 128,
+            channel_transfer_rate_mts: 266,
+            pcie_lane_count: 0,
+            pcie_lane_gtps: 0,
+            host_cmd_overhead_ns: 5_000,
+            ..SsdConfig::default()
+        }
+    }
+
+    /// Samsung Z-SSD (NVMe, SLC-like Z-NAND): the SLC baseline of Table 8.
+    pub fn samsung_z_ssd() -> SsdConfig {
+        SsdConfig {
+            flash_technology: FlashTechnology::Slc,
+            read_latency_ns: 3_000,
+            program_latency_ns: 100_000,
+            erase_latency_ns: 1_500_000,
+            channel_count: 16,
+            chips_per_channel: 4,
+            dies_per_chip: 4,
+            planes_per_die: 2,
+            blocks_per_plane: 512,
+            pages_per_block: 512,
+            page_size_bytes: 2048,
+            data_cache_mb: 512,
+            cmt_capacity_mb: 192,
+            channel_transfer_rate_mts: 667,
+            io_queue_depth: 64,
+            queue_count: 8,
+            ..SsdConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        SsdConfig::default().validate().unwrap();
+        presets::intel_750().validate().unwrap();
+        presets::samsung_850_pro().validate().unwrap();
+        presets::samsung_z_ssd().validate().unwrap();
+    }
+
+    #[test]
+    fn capacity_math() {
+        let cfg = SsdConfig {
+            channel_count: 2,
+            chips_per_channel: 2,
+            dies_per_chip: 1,
+            planes_per_die: 1,
+            blocks_per_plane: 4,
+            pages_per_block: 8,
+            page_size_bytes: 4096,
+            overprovisioning_ratio: 0.25,
+            ..SsdConfig::default()
+        };
+        assert_eq!(cfg.physical_capacity_bytes(), 2 * 2 * 4 * 8 * 4096);
+        assert_eq!(
+            cfg.logical_capacity_bytes(),
+            (cfg.physical_capacity_bytes() as f64 * 0.75) as u64
+        );
+        assert_eq!(cfg.total_dies(), 4);
+        assert_eq!(cfg.total_planes(), 4);
+        assert_eq!(cfg.pages_per_plane(), 32);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_rate() {
+        let slow = SsdConfig {
+            channel_transfer_rate_mts: 100,
+            ..SsdConfig::default()
+        };
+        let fast = SsdConfig {
+            channel_transfer_rate_mts: 800,
+            ..SsdConfig::default()
+        };
+        assert!(slow.channel_transfer_ns() > 4 * fast.channel_transfer_ns());
+    }
+
+    #[test]
+    fn sata_queue_and_link_limits() {
+        let sata = presets::samsung_850_pro();
+        assert_eq!(sata.effective_queue_count(), 1);
+        assert!(sata.effective_queue_depth() <= 32);
+        assert!(sata.link_bandwidth_bps() < 1e9);
+        let nvme = presets::intel_750();
+        assert!(nvme.link_bandwidth_bps() > 3e9);
+        assert!(nvme.protocol_overhead_ns() < sata.protocol_overhead_ns());
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = SsdConfig::default();
+        c.channel_count = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SsdConfig::default();
+        c.page_size_bytes = 5000;
+        assert!(c.validate().is_err());
+
+        let mut c = SsdConfig::default();
+        c.overprovisioning_ratio = 0.9;
+        assert!(c.validate().is_err());
+
+        let mut c = SsdConfig::default();
+        c.gc_hard_threshold = c.gc_threshold + 0.1;
+        assert!(c.validate().is_err());
+
+        let mut c = SsdConfig::default();
+        c.pcie_lane_count = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn allocation_schemes_are_distinct_permutations() {
+        for s in PlaneAllocationScheme::ALL {
+            let mut o = s.order();
+            o.sort_unstable();
+            assert_eq!(o, [0, 1, 2, 3], "{s:?} is not a permutation");
+            assert_eq!(PlaneAllocationScheme::ALL[s.index()], s);
+        }
+        // All orders are unique.
+        let orders: std::collections::HashSet<[usize; 4]> = PlaneAllocationScheme::ALL
+            .iter()
+            .map(|s| s.order())
+            .collect();
+        assert_eq!(orders.len(), 16);
+    }
+
+    #[test]
+    fn technology_latency_ordering() {
+        assert!(FlashTechnology::Slc.base_read_ns() < FlashTechnology::Mlc.base_read_ns());
+        assert!(FlashTechnology::Mlc.base_program_ns() < FlashTechnology::Tlc.base_program_ns());
+        assert_eq!(FlashTechnology::Slc.to_string(), "SLC");
+    }
+}

@@ -1,0 +1,380 @@
+//! A compact O(1) LRU cache over `u64` keys with dirty-bit tracking, used
+//! for both the controller data cache and the cached mapping table (CMT).
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    key: u64,
+    dirty: bool,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity LRU set of `u64` keys with per-entry dirty bits.
+///
+/// # Examples
+///
+/// ```
+/// use ssdsim::lru::LruCache;
+/// let mut c = LruCache::new(2);
+/// assert!(c.insert(1, false).is_none());
+/// assert!(c.insert(2, false).is_none());
+/// c.touch(1);                       // 1 becomes most recent
+/// let evicted = c.insert(3, false); // evicts 2
+/// assert_eq!(evicted, Some((2, false)));
+/// assert!(c.contains(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    map: HashMap<u64, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+    dirty_len: usize,
+}
+
+impl LruCache {
+    /// Creates a cache holding at most `capacity` keys.
+    ///
+    /// A zero capacity is allowed and produces a cache that never retains
+    /// anything (every insert immediately reports the inserted key back as
+    /// evicted — callers treat this as a bypass).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            dirty_len: 0,
+        }
+    }
+
+    /// Maximum number of keys retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of cached keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of cached keys currently marked dirty.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty_len
+    }
+
+    /// Removes and returns the least-recently-used `(key, dirty)` entry.
+    pub fn pop_lru(&mut self) -> Option<(u64, bool)> {
+        if self.tail == NIL {
+            return None;
+        }
+        let tail = self.tail;
+        let node = self.nodes[tail].clone();
+        self.unlink(tail);
+        self.map.remove(&node.key);
+        self.free.push(tail);
+        if node.dirty {
+            self.dirty_len -= 1;
+        }
+        Some((node.key, node.dirty))
+    }
+
+    /// `true` if `key` is cached (does not update recency).
+    pub fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Marks `key` most recently used; returns `true` if it was present.
+    pub fn touch(&mut self, key: u64) -> bool {
+        if let Some(&idx) = self.map.get(&key) {
+            self.unlink(idx);
+            self.push_front(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `true` if `key` is cached and marked dirty.
+    pub fn is_dirty(&self, key: u64) -> bool {
+        self.map
+            .get(&key)
+            .is_some_and(|&idx| self.nodes[idx].dirty)
+    }
+
+    /// Clears the dirty bit of a cached key; returns `false` if absent.
+    pub fn mark_clean(&mut self, key: u64) -> bool {
+        if let Some(&idx) = self.map.get(&key) {
+            if self.nodes[idx].dirty {
+                self.nodes[idx].dirty = false;
+                self.dirty_len -= 1;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Sets the dirty bit of a cached key; returns `false` if absent.
+    pub fn mark_dirty(&mut self, key: u64) -> bool {
+        if let Some(&idx) = self.map.get(&key) {
+            if !self.nodes[idx].dirty {
+                self.nodes[idx].dirty = true;
+                self.dirty_len += 1;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts `key` as most recently used, returning the evicted
+    /// `(key, dirty)` pair if the cache was full.
+    ///
+    /// Inserting an existing key refreshes its recency and ORs the dirty
+    /// bit; no eviction happens in that case.
+    pub fn insert(&mut self, key: u64, dirty: bool) -> Option<(u64, bool)> {
+        if self.capacity == 0 {
+            return Some((key, dirty));
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            if dirty && !self.nodes[idx].dirty {
+                self.nodes[idx].dirty = true;
+                self.dirty_len += 1;
+            }
+            self.unlink(idx);
+            self.push_front(idx);
+            return None;
+        }
+        let evicted = if self.map.len() >= self.capacity {
+            let tail = self.tail;
+            let node = self.nodes[tail].clone();
+            self.unlink(tail);
+            self.map.remove(&node.key);
+            self.free.push(tail);
+            if node.dirty {
+                self.dirty_len -= 1;
+            }
+            Some((node.key, node.dirty))
+        } else {
+            None
+        };
+        let idx = if let Some(i) = self.free.pop() {
+            self.nodes[i] = Node {
+                key,
+                dirty,
+                prev: NIL,
+                next: NIL,
+            };
+            i
+        } else {
+            self.nodes.push(Node {
+                key,
+                dirty,
+                prev: NIL,
+                next: NIL,
+            });
+            self.nodes.len() - 1
+        };
+        if dirty {
+            self.dirty_len += 1;
+        }
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        evicted
+    }
+
+    /// Removes `key`, returning its dirty bit if it was present.
+    pub fn remove(&mut self, key: u64) -> Option<bool> {
+        let idx = self.map.remove(&key)?;
+        self.unlink(idx);
+        self.free.push(idx);
+        if self.nodes[idx].dirty {
+            self.dirty_len -= 1;
+        }
+        Some(self.nodes[idx].dirty)
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(3);
+        c.insert(1, false);
+        c.insert(2, false);
+        c.insert(3, false);
+        assert_eq!(c.insert(4, false), Some((1, false)));
+        assert!(!c.contains(1));
+        assert!(c.contains(4));
+    }
+
+    #[test]
+    fn touch_changes_eviction_order() {
+        let mut c = LruCache::new(2);
+        c.insert(1, false);
+        c.insert(2, false);
+        assert!(c.touch(1));
+        assert_eq!(c.insert(3, false), Some((2, false)));
+        assert!(!c.touch(99));
+    }
+
+    #[test]
+    fn dirty_bit_propagates_on_eviction() {
+        let mut c = LruCache::new(1);
+        c.insert(7, false);
+        assert!(c.mark_dirty(7));
+        assert_eq!(c.insert(8, false), Some((7, true)));
+        assert!(!c.mark_dirty(7));
+    }
+
+    #[test]
+    fn reinsert_refreshes_and_ors_dirty() {
+        let mut c = LruCache::new(2);
+        c.insert(1, false);
+        c.insert(2, false);
+        assert_eq!(c.insert(1, true), None); // refresh, no eviction
+        assert_eq!(c.insert(3, false), Some((2, false)));
+        assert_eq!(c.insert(4, false), Some((1, true)));
+    }
+
+    #[test]
+    fn remove_frees_slot() {
+        let mut c = LruCache::new(2);
+        c.insert(1, true);
+        assert_eq!(c.remove(1), Some(true));
+        assert_eq!(c.remove(1), None);
+        assert!(c.is_empty());
+        c.insert(2, false);
+        c.insert(3, false);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_bypasses() {
+        let mut c = LruCache::new(0);
+        assert_eq!(c.insert(5, true), Some((5, true)));
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 0);
+    }
+
+    #[test]
+    fn dirty_len_tracks_transitions() {
+        let mut c = LruCache::new(3);
+        c.insert(1, true);
+        c.insert(2, false);
+        assert_eq!(c.dirty_len(), 1);
+        c.mark_dirty(2);
+        c.mark_dirty(2); // idempotent
+        assert_eq!(c.dirty_len(), 2);
+        c.insert(1, true); // already dirty, no double count
+        assert_eq!(c.dirty_len(), 2);
+        assert_eq!(c.remove(1), Some(true));
+        assert_eq!(c.dirty_len(), 1);
+        c.insert(3, false);
+        c.insert(4, false);
+        // Evicting dirty 2 decrements.
+        c.insert(5, false);
+        assert_eq!(c.dirty_len(), 0);
+    }
+
+    #[test]
+    fn mark_clean_and_is_dirty() {
+        let mut c = LruCache::new(2);
+        c.insert(1, true);
+        assert!(c.is_dirty(1));
+        assert!(c.mark_clean(1));
+        assert!(!c.is_dirty(1));
+        assert_eq!(c.dirty_len(), 0);
+        assert!(c.mark_clean(1)); // idempotent on clean entries
+        assert!(!c.mark_clean(9));
+        assert!(!c.is_dirty(9));
+    }
+
+    #[test]
+    fn pop_lru_returns_oldest() {
+        let mut c = LruCache::new(3);
+        c.insert(1, true);
+        c.insert(2, false);
+        c.insert(3, false);
+        c.touch(1);
+        assert_eq!(c.pop_lru(), Some((2, false)));
+        assert_eq!(c.pop_lru(), Some((3, false)));
+        assert_eq!(c.pop_lru(), Some((1, true)));
+        assert_eq!(c.pop_lru(), None);
+        assert_eq!(c.dirty_len(), 0);
+    }
+
+    #[test]
+    fn stress_against_reference_model() {
+        // Differential test against a naive Vec-based LRU.
+        let mut c = LruCache::new(4);
+        let mut model: Vec<u64> = Vec::new(); // front = most recent
+        let mut x: u64 = 0x12345;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (x >> 33) % 10;
+            let evicted = c.insert(key, false);
+            if let Some(pos) = model.iter().position(|&k| k == key) {
+                model.remove(pos);
+                model.insert(0, key);
+                assert_eq!(evicted, None);
+            } else {
+                model.insert(0, key);
+                if model.len() > 4 {
+                    let out = model.pop().unwrap();
+                    assert_eq!(evicted, Some((out, false)));
+                } else {
+                    assert_eq!(evicted, None);
+                }
+            }
+            assert_eq!(c.len(), model.len());
+            for &k in &model {
+                assert!(c.contains(k));
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Simulation results: latency distribution, throughput, cache behaviour,
+//! GC activity, and energy.
+
+use crate::flash::FlashStats;
+use crate::power::EnergyReport;
+use serde::{Deserialize, Serialize};
+
+/// Latency distribution summary in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of requests observed.
+    pub count: u64,
+    /// Mean latency, ns.
+    pub mean_ns: f64,
+    /// Median latency, ns.
+    pub p50_ns: u64,
+    /// 95th percentile latency, ns.
+    pub p95_ns: u64,
+    /// 99th percentile latency, ns.
+    pub p99_ns: u64,
+    /// Maximum latency, ns.
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Builds a summary from raw per-request latencies.
+    ///
+    /// Returns the default (all zeros) summary for an empty slice.
+    pub fn from_latencies(latencies: &mut Vec<u64>) -> Self {
+        if latencies.is_empty() {
+            return LatencySummary::default();
+        }
+        latencies.sort_unstable();
+        let count = latencies.len() as u64;
+        let sum: u128 = latencies.iter().map(|&l| u128::from(l)).sum();
+        let pct = |p: f64| -> u64 {
+            let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+            latencies[idx]
+        };
+        LatencySummary {
+            count,
+            mean_ns: sum as f64 / count as f64,
+            p50_ns: pct(0.50),
+            p95_ns: pct(0.95),
+            p99_ns: pct(0.99),
+            max_ns: *latencies.last().expect("nonempty"),
+        }
+    }
+}
+
+/// Where flash-read time went, on average (diagnostic decomposition).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReadBreakdown {
+    /// Flash reads issued (host data + mapping + migrations).
+    pub flash_reads: u64,
+    /// Of which translation-page (CMT miss) reads.
+    pub mapping_reads: u64,
+    /// Mean time a read waited for its die to become available, ns.
+    pub mean_die_wait_ns: f64,
+    /// Mean time a read waited for its channel, ns.
+    pub mean_channel_wait_ns: f64,
+}
+
+/// Full result of simulating one trace against one configuration.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// All-request latency summary.
+    pub latency: LatencySummary,
+    /// Read-only latency summary.
+    pub read_latency: LatencySummary,
+    /// Write-only latency summary.
+    pub write_latency: LatencySummary,
+    /// Host-visible throughput in bytes per second.
+    pub throughput_bps: f64,
+    /// Wall-clock duration of the simulated run, ns.
+    pub makespan_ns: u64,
+    /// Bytes transferred for the host.
+    pub host_bytes: u64,
+    /// Data-cache hit fraction (reads).
+    pub read_cache_hit_rate: f64,
+    /// Cached-mapping-table hit fraction.
+    pub cmt_hit_rate: f64,
+    /// Flash-array statistics (programs, erases, GC, wear leveling).
+    pub flash: FlashStats,
+    /// Read-path wait decomposition.
+    pub read_breakdown: ReadBreakdown,
+    /// Write amplification: physical programs / host page-writes (0 when
+    /// the host wrote nothing).
+    pub write_amplification: f64,
+    /// Energy breakdown.
+    pub energy: EnergyReport,
+    /// Average power draw, watts.
+    pub average_power_w: f64,
+}
+
+impl SimReport {
+    /// Mean latency in microseconds (convenience for reporting).
+    pub fn mean_latency_us(&self) -> f64 {
+        self.latency.mean_ns / 1000.0
+    }
+
+    /// Throughput in MiB/s (convenience for reporting).
+    pub fn throughput_mibps(&self) -> f64 {
+        self.throughput_bps / (1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_distribution() {
+        let mut lats: Vec<u64> = (1..=100).collect();
+        let s = LatencySummary::from_latencies(&mut lats);
+        assert_eq!(s.count, 100);
+        assert!((s.mean_ns - 50.5).abs() < 1e-9);
+        assert_eq!(s.p50_ns, 51); // index round(99*0.5)=50 -> value 51
+        assert_eq!(s.p95_ns, 95);
+        assert_eq!(s.p99_ns, 99);
+        assert_eq!(s.max_ns, 100);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = LatencySummary::from_latencies(&mut Vec::new());
+        assert_eq!(s, LatencySummary::default());
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let mut lats = vec![5, 1, 9, 3];
+        let s = LatencySummary::from_latencies(&mut lats);
+        assert_eq!(s.max_ns, 9);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let r = SimReport {
+            latency: LatencySummary {
+                mean_ns: 50_000.0,
+                ..Default::default()
+            },
+            throughput_bps: 1024.0 * 1024.0 * 3.0,
+            ..Default::default()
+        };
+        assert!((r.mean_latency_us() - 50.0).abs() < 1e-9);
+        assert!((r.throughput_mibps() - 3.0).abs() < 1e-9);
+    }
+}

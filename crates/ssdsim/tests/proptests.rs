@@ -1,0 +1,119 @@
+//! Property-based tests for the flash array and the simulator: allocation
+//! must conserve pages, GC must reclaim what it erases, and the simulator
+//! must stay internally consistent for arbitrary configurations.
+
+use proptest::prelude::*;
+use ssdsim::config::{GcPolicy, PlaneAllocationScheme, SsdConfig};
+use ssdsim::flash::{pseudo_location, FlashArray};
+
+fn arb_layout() -> impl Strategy<Value = SsdConfig> {
+    (
+        1u32..=4,
+        1u32..=3,
+        1u32..=2,
+        prop::sample::select(vec![1u32, 2, 4]),
+        prop::sample::select(vec![8u32, 16, 32]),
+        prop::sample::select(vec![8u32, 16, 32]),
+        0usize..16,
+        prop::bool::ANY,
+    )
+        .prop_map(|(ch, chips, dies, planes, blocks, pages, scheme, greedy)| SsdConfig {
+            channel_count: ch,
+            chips_per_channel: chips,
+            dies_per_chip: dies,
+            planes_per_die: planes,
+            blocks_per_plane: blocks,
+            pages_per_block: pages,
+            plane_allocation_scheme: PlaneAllocationScheme::ALL[scheme],
+            gc_policy: if greedy { GcPolicy::Greedy } else { GcPolicy::Random },
+            gc_threshold: 0.2,
+            gc_hard_threshold: 0.01,
+            ..SsdConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn striping_cycles_through_every_plane(cfg in arb_layout()) {
+        let mut fa = FlashArray::new(&cfg);
+        let total = cfg.total_planes();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..total {
+            let p = fa.next_write_plane();
+            prop_assert!(u64::from(p) < total);
+            seen.insert(p);
+        }
+        // One full cycle touches every plane exactly once.
+        prop_assert_eq!(seen.len() as u64, total);
+    }
+
+    #[test]
+    fn programs_conserve_page_accounting(cfg in arb_layout(), writes in 1usize..300) {
+        let mut fa = FlashArray::new(&cfg);
+        let before: u64 = (0..cfg.total_planes() as u32).map(|p| fa.free_pages(p)).sum();
+        let mut programmed = 0u64;
+        for _ in 0..writes {
+            let plane = fa.next_write_plane();
+            let (block, _page, _ops) = fa.program_page(plane);
+            fa.invalidate(plane, block);
+            programmed += 1;
+        }
+        let after: u64 = (0..cfg.total_planes() as u32).map(|p| fa.free_pages(p)).sum();
+        let stats = fa.stats();
+        // free_before - free_after = programs (host + migrations) - reclaimed.
+        let reclaimed = stats.erases * u64::from(cfg.pages_per_block);
+        let consumed = stats.programs + stats.migrated_pages;
+        prop_assert_eq!(before + reclaimed, after + consumed);
+        prop_assert_eq!(stats.programs, programmed);
+    }
+
+    #[test]
+    fn sustained_overwrites_never_exhaust_the_device(cfg in arb_layout()) {
+        let mut fa = FlashArray::new(&cfg);
+        fa.warm_up(0.5);
+        // Overwrite forever on plane 0: GC must keep the device alive.
+        let churn = cfg.pages_per_plane() * 3;
+        for i in 0..churn {
+            let (block, _page, _ops) = fa.program_page(0);
+            if i % 2 == 0 {
+                fa.invalidate(0, block);
+            } else {
+                fa.invalidate_somewhere(0, i);
+            }
+        }
+        prop_assert!(fa.stats().erases > 0);
+        prop_assert!(fa.free_pages(0) <= cfg.pages_per_plane());
+    }
+
+    #[test]
+    fn pseudo_locations_are_valid_and_deterministic(cfg in arb_layout(), lpns in prop::collection::vec(0u64..1_000_000, 1..50)) {
+        for &lpn in &lpns {
+            let a = pseudo_location(&cfg, lpn);
+            prop_assert_eq!(a, pseudo_location(&cfg, lpn));
+            prop_assert!(a.channel < cfg.channel_count);
+            prop_assert!(a.chip < cfg.chips_per_channel);
+            prop_assert!(a.die < cfg.dies_per_chip);
+            prop_assert!(a.plane < cfg.planes_per_die);
+            prop_assert!(a.block < cfg.blocks_per_plane);
+            prop_assert!(a.page < cfg.pages_per_block);
+            prop_assert!(u64::from(a.plane_index(&cfg)) < cfg.total_planes());
+        }
+    }
+
+    #[test]
+    fn derived_quantities_are_consistent(cfg in arb_layout()) {
+        prop_assert_eq!(
+            cfg.physical_capacity_bytes(),
+            cfg.total_planes()
+                * u64::from(cfg.blocks_per_plane)
+                * u64::from(cfg.pages_per_block)
+                * u64::from(cfg.page_size_bytes)
+        );
+        prop_assert!(cfg.logical_capacity_bytes() <= cfg.physical_capacity_bytes());
+        prop_assert_eq!(cfg.total_planes(), cfg.total_dies() * u64::from(cfg.planes_per_die));
+        prop_assert!(cfg.channel_transfer_ns() > 0);
+        prop_assert!(cfg.link_bandwidth_bps() > 0.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Workload clustering demo (Figure 2 of the paper).
+//!
+//! Run with: `cargo run --release --example cluster_workloads`
+//!
+//! Trains the PCA + k-means front end on the seven studied workload
+//! categories, verifies that fresh traces of each category land in their own
+//! cluster, and shows how an unseen workload (FIU) is detected as new.
+
+use autoblox::clustering::{ClusterDecision, WorkloadClusterer};
+use iotrace::gen::WorkloadKind;
+use iotrace::window::WindowOptions;
+use iotrace::Trace;
+
+fn main() {
+    let window = WindowOptions { window_len: 1_000 };
+
+    // Train on the seven studied categories of Table 2.
+    let train: Vec<Trace> = WorkloadKind::STUDIED
+        .iter()
+        .map(|k| k.spec().generate(8_000, 11))
+        .collect();
+    let mut model =
+        WorkloadClusterer::fit(&train, WorkloadKind::STUDIED.len(), window, 7).expect("fit");
+    println!(
+        "trained {} clusters; PCA captures {:.1}% of variance; new-cluster threshold {:.2}",
+        model.k(),
+        model.explained_variance() * 100.0,
+        model.threshold()
+    );
+
+    // Validation: unseen traces (different seeds) of the studied kinds.
+    println!("\n{:<16} {:>8} {:>10}  decision", "workload", "cluster", "distance");
+    for kind in WorkloadKind::STUDIED {
+        let fresh = kind.spec().generate(4_000, 977);
+        match model.classify(&fresh).expect("classify") {
+            ClusterDecision::Existing { cluster, distance } => {
+                println!("{:<16} {cluster:>8} {distance:>10.3}  existing", kind.name());
+            }
+            ClusterDecision::New { nearest, distance } => {
+                println!("{:<16} {nearest:>8} {distance:>10.3}  NEW", kind.name());
+            }
+        }
+    }
+
+    // The paper's Table 3 workloads: some match studied clusters
+    // (LevelDB ~ KVStore, MySQL ~ Database, HDFS ~ CloudStorage), others
+    // are genuinely new access patterns.
+    println!("\nnew workloads (Table 3):");
+    for kind in WorkloadKind::NEW {
+        let t = kind.spec().generate(4_000, 31);
+        match model.classify(&t).expect("classify") {
+            ClusterDecision::Existing { cluster, distance } => {
+                println!(
+                    "  {:<12} joins cluster {cluster} (distance {distance:.3})",
+                    kind.name()
+                );
+            }
+            ClusterDecision::New { nearest, distance } => {
+                let id = model.learn_new_cluster(&t).expect("retrain");
+                println!(
+                    "  {:<12} is NEW (nearest {nearest}, distance {distance:.3}) -> created cluster {id}",
+                    kind.name()
+                );
+            }
+        }
+    }
+    println!("\nfinal cluster count: {}", model.k());
+}

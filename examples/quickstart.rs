@@ -1,0 +1,76 @@
+//! Quickstart: learn an optimized SSD configuration for one workload.
+//!
+//! Run with: `cargo run --release --example quickstart`
+//!
+//! This walks the core AutoBlox loop end to end: generate a workload trace,
+//! set the user constraints (`set_cons`-style), tune against the Intel 750
+//! reference configuration, and print the learned configuration with its
+//! speedups.
+
+use autoblox::constraints::Constraints;
+use autoblox::tuner::{Tuner, TunerOptions};
+use autoblox::validator::{Validator, ValidatorOptions};
+use iotrace::gen::WorkloadKind;
+use ssdsim::config::presets;
+
+fn main() {
+    // 1. The target workload: a TPCC-style database service.
+    let target = WorkloadKind::Database;
+    println!("target workload : {target}");
+
+    // 2. User constraints, as in the paper's §4.2 evaluation:
+    //    512 GiB, NVMe, MLC flash, 25 W power budget.
+    let constraints = Constraints::paper_default();
+    println!(
+        "constraints     : {} GiB, {}, {}, {} W",
+        constraints.capacity_bytes >> 30,
+        constraints.interface,
+        constraints.flash_type,
+        constraints.power_budget_w
+    );
+
+    // 3. The efficiency validator wraps the SSD simulator.
+    let validator = Validator::new(ValidatorOptions {
+        trace_events: 2_000,
+        ..Default::default()
+    });
+
+    // 4. Tune, grading candidates against two non-target workload clusters.
+    let opts = TunerOptions {
+        max_iterations: 12,
+        non_target: vec![WorkloadKind::WebSearch, WorkloadKind::CloudStorage],
+        ..Default::default()
+    };
+    let tuner = Tuner::new(constraints, &validator, opts);
+    let outcome = tuner.tune(target, &presets::intel_750(), &[], None);
+
+    // 5. Report.
+    let best = &outcome.best;
+    println!(
+        "\nconverged after {} iterations ({} simulator validations)",
+        outcome.iterations, outcome.validations
+    );
+    println!(
+        "latency   : {:8.1} us -> {:8.1} us  ({:.2}x)",
+        outcome.reference.latency_ns / 1e3,
+        best.measurement.latency_ns / 1e3,
+        best.measurement.latency_speedup(&outcome.reference)
+    );
+    println!(
+        "throughput: {:8.1} MiB/s -> {:8.1} MiB/s  ({:.2}x)",
+        outcome.reference.throughput_bps / (1 << 20) as f64,
+        best.measurement.throughput_bps / (1 << 20) as f64,
+        best.measurement.throughput_speedup(&outcome.reference)
+    );
+    println!("grade     : {:+.4}", best.grade);
+
+    let c = &best.config;
+    println!("\nlearned configuration (vs Intel 750):");
+    println!("  flash channels     : {:4}  (baseline 12)", c.channel_count);
+    println!("  chips per channel  : {:4}  (baseline 5)", c.chips_per_channel);
+    println!("  dies per chip      : {:4}  (baseline 8)", c.dies_per_chip);
+    println!("  planes per die     : {:4}  (baseline 1)", c.planes_per_die);
+    println!("  data cache (MiB)   : {:4}  (baseline 800)", c.data_cache_mb);
+    println!("  CMT capacity (MiB) : {:4}  (baseline 256)", c.cmt_capacity_mb);
+    println!("  queue depth        : {:4}  (baseline 32)", c.io_queue_depth);
+}

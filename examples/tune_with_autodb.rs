@@ -1,0 +1,86 @@
+//! The full framework flow (Figure 3): train clustering, learn a
+//! configuration for a new workload, persist it in AutoDB, and watch the
+//! second encounter recall the stored configuration instantly.
+//!
+//! Run with: `cargo run --release --example tune_with_autodb`
+
+use autoblox::constraints::Constraints;
+use autoblox::framework::{AutoBlox, AutoBloxOptions, Recommendation};
+use autoblox::tuner::TunerOptions;
+use autoblox::validator::{Validator, ValidatorOptions};
+use autodb::Store;
+use iotrace::gen::WorkloadKind;
+use iotrace::window::WindowOptions;
+use iotrace::Trace;
+use ssdsim::config::presets;
+use std::time::Instant;
+
+fn main() {
+    let validator = Validator::new(ValidatorOptions {
+        trace_events: 1_000,
+        ..Default::default()
+    });
+    let db_path = std::env::temp_dir().join("autoblox-example-autodb.db");
+    std::fs::remove_file(&db_path).ok();
+    let db = Store::open(&db_path).expect("open AutoDB");
+
+    let mut framework = AutoBlox::new(
+        Constraints::paper_default(),
+        &validator,
+        db,
+        AutoBloxOptions {
+            tuner: TunerOptions {
+                max_iterations: 8,
+                non_target: vec![WorkloadKind::WebSearch],
+                ..TunerOptions::default()
+            },
+            window: WindowOptions { window_len: 1_000 },
+            ..Default::default()
+        },
+    );
+
+    // Train the clustering front end on three distinct categories.
+    let kinds = [
+        WorkloadKind::WebSearch,
+        WorkloadKind::Database,
+        WorkloadKind::CloudStorage,
+    ];
+    let train: Vec<Trace> = kinds.iter().map(|k| k.spec().generate(6_000, 3)).collect();
+    framework.train_clustering(&train, kinds.len()).expect("train");
+    println!("clustering trained: {} clusters", framework.clusterer().unwrap().k());
+
+    // First encounter with a database-like trace: AutoBlox learns.
+    let trace1 = WorkloadKind::Database.spec().generate(3_000, 404);
+    let t0 = Instant::now();
+    let r1 = framework.recommend(&trace1, &presets::intel_750());
+    match &r1 {
+        Recommendation::Learned { cluster, outcome, .. } => println!(
+            "first encounter : LEARNED for cluster {cluster} in {:.1}s ({} validations, grade {:+.4})",
+            t0.elapsed().as_secs_f64(),
+            outcome.validations,
+            outcome.best.grade
+        ),
+        Recommendation::Recalled { .. } => unreachable!("empty AutoDB cannot recall"),
+    }
+
+    // Second encounter with a different database-like trace: recalled.
+    let trace2 = WorkloadKind::Database.spec().generate(3_000, 808);
+    let t1 = Instant::now();
+    let r2 = framework.recommend(&trace2, &presets::intel_750());
+    match &r2 {
+        Recommendation::Recalled { cluster, distance, stored } => println!(
+            "second encounter: RECALLED cluster {cluster} (distance {distance:.2}) in {:.3}s, stored grade {:+.4}",
+            t1.elapsed().as_secs_f64(),
+            stored.grade
+        ),
+        Recommendation::Learned { .. } => println!("second encounter unexpectedly re-learned"),
+    }
+
+    println!(
+        "\nAutoDB at {:?}: {} keys, {} log records",
+        framework.db().path().unwrap(),
+        framework.db().len(),
+        framework.db().log_records()
+    );
+    std::fs::remove_file(&db_path).ok();
+}

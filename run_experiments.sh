@@ -1,0 +1,15 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper. Results land in results/.
+# Scale with AUTOBLOX_SCALE=quick|standard|full (default standard).
+set -u
+BINS="fig02_clustering fig04_coarse_pruning fig05_fine_pruning table1_nvme_mlc \
+table4_new_workloads table6_overheads fig07_energy fig08_learning_time \
+fig09_tuning_order fig10_trajectory table7_whatif table8_nvme_slc \
+table9_sata_mlc fig11_alpha_sweep fig12_beta_sweep \
+ablation_surrogates ablation_validation_pruning ablation_root_selection \
+ablation_clustering_params ablation_ftl_policies"
+for bin in $BINS; do
+    echo "=== $bin ==="
+    cargo run --release -p autoblox-bench --bin "$bin" > "results/$bin.txt" 2> "results/$bin.log"
+    echo "    exit=$? ($(wc -l < results/$bin.txt) lines)"
+done

@@ -1,0 +1,10 @@
+//! Umbrella crate for the AutoBlox reproduction.
+//!
+//! Re-exports the workspace crates so the `examples/` and `tests/` at the
+//! repository root can exercise the full public API through one dependency.
+
+pub use autoblox;
+pub use autodb;
+pub use iotrace;
+pub use mlkit;
+pub use ssdsim;

@@ -1,0 +1,112 @@
+//! End-to-end integration: trace generation → clustering → AutoDB →
+//! tuning → recall, across all workspace crates.
+
+use autoblox_repro::autoblox::constraints::Constraints;
+use autoblox_repro::autoblox::framework::{AutoBlox, AutoBloxOptions, Recommendation};
+use autoblox_repro::autoblox::tuner::TunerOptions;
+use autoblox_repro::autoblox::validator::{Validator, ValidatorOptions};
+use autoblox_repro::autodb::Store;
+use autoblox_repro::iotrace::gen::WorkloadKind;
+use autoblox_repro::iotrace::window::WindowOptions;
+use autoblox_repro::iotrace::Trace;
+use autoblox_repro::ssdsim::config::presets;
+
+fn quick_validator() -> Validator {
+    Validator::new(ValidatorOptions {
+        trace_events: 400,
+        ..Default::default()
+    })
+}
+
+fn quick_options() -> AutoBloxOptions {
+    AutoBloxOptions {
+        tuner: TunerOptions {
+            max_iterations: 4,
+            sgd_iterations: 2,
+            non_target: vec![],
+            ..TunerOptions::default()
+        },
+        window: WindowOptions { window_len: 500 },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn learn_store_recall_roundtrip_with_persistence() {
+    let dir = std::env::temp_dir().join(format!("autoblox-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let db_path = dir.join("autodb.db");
+    std::fs::remove_file(&db_path).ok();
+
+    let v = quick_validator();
+    let kinds = [WorkloadKind::WebSearch, WorkloadKind::Database];
+    let train: Vec<Trace> = kinds.iter().map(|k| k.spec().generate(3_000, 5)).collect();
+
+    let learned_cluster;
+    {
+        let db = Store::open(&db_path).unwrap();
+        let mut fw = AutoBlox::new(Constraints::paper_default(), &v, db, quick_options());
+        fw.train_clustering(&train, 2).unwrap();
+        let t = WorkloadKind::Database.spec().generate(2_000, 77);
+        match fw.recommend(&t, &presets::intel_750()) {
+            Recommendation::Learned { cluster, .. } => learned_cluster = cluster,
+            other => panic!("expected Learned, got {other:?}"),
+        }
+        fw.db().flush().unwrap();
+    }
+
+    // Re-open the database in a new framework instance: the learned
+    // configuration must be recalled without touching the simulator.
+    {
+        let db = Store::open(&db_path).unwrap();
+        assert!(!db.is_empty(), "AutoDB must persist learned configs");
+        let mut fw = AutoBlox::new(Constraints::paper_default(), &v, db, quick_options());
+        fw.train_clustering(&train, 2).unwrap();
+        let runs_before = v.simulator_runs();
+        let t2 = WorkloadKind::Database.spec().generate(2_000, 909);
+        match fw.recommend(&t2, &presets::intel_750()) {
+            Recommendation::Recalled { cluster, stored, .. } => {
+                assert_eq!(cluster, learned_cluster);
+                stored.config.validate().unwrap();
+            }
+            other => panic!("expected Recalled, got {other:?}"),
+        }
+        assert_eq!(v.simulator_runs(), runs_before);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn learned_configuration_beats_or_matches_reference_everywhere_it_claims() {
+    let v = quick_validator();
+    let constraints = Constraints::paper_default();
+    let opts = TunerOptions {
+        max_iterations: 6,
+        non_target: vec![WorkloadKind::WebSearch],
+        ..TunerOptions::default()
+    };
+    let tuner = autoblox_repro::autoblox::Tuner::new(constraints, &v, opts);
+    let reference = presets::intel_750();
+    let out = tuner.tune(WorkloadKind::CloudStorage, &reference, &[], None);
+
+    // The grade is relative to the reference (grade 0); tuning must never
+    // return something worse than the reference it was seeded with.
+    assert!(out.best.grade >= 0.0);
+    // And the claimed measurement must reproduce when re-simulated.
+    let again = v.evaluate(&out.best.config, WorkloadKind::CloudStorage);
+    assert_eq!(again, out.best.measurement);
+    // The learned configuration must satisfy every structural constraint.
+    assert_eq!(constraints.check_structural(&out.best.config), Ok(()));
+}
+
+#[test]
+fn framework_handles_all_thirteen_workload_categories() {
+    // Every generator must produce simulate-able traces.
+    let v = quick_validator();
+    for kind in WorkloadKind::STUDIED.iter().chain(WorkloadKind::NEW.iter()) {
+        let m = v.evaluate(&presets::intel_750(), *kind);
+        assert!(m.latency_ns > 0.0, "{kind}: zero latency");
+        assert!(m.throughput_bps > 0.0, "{kind}: zero throughput");
+        assert!(m.power_w > 0.0 && m.power_w < 100.0, "{kind}: power {}", m.power_w);
+    }
+}

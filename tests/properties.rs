@@ -1,0 +1,143 @@
+//! Property-based integration tests (proptest) on cross-crate invariants:
+//! arbitrary valid configurations and traces must never break the
+//! simulator, the parameter space, or the metrics.
+
+use autoblox_repro::autoblox::metrics::{performance, Measurement};
+use autoblox_repro::autoblox::params::ParamSpace;
+use autoblox_repro::iotrace::{OpKind, Trace, TraceEvent};
+use autoblox_repro::ssdsim::config::{PlaneAllocationScheme, SsdConfig};
+use autoblox_repro::ssdsim::Simulator;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = SsdConfig> {
+    (
+        1u32..=8,             // channels
+        1u32..=4,             // chips
+        1u32..=4,             // dies
+        prop::sample::select(vec![1u32, 2, 4, 8]), // planes
+        prop::sample::select(vec![32u32, 64, 128]), // blocks
+        prop::sample::select(vec![32u32, 64, 128]), // pages
+        prop::sample::select(vec![2048u32, 4096, 8192]), // page size
+        0usize..16,           // allocation scheme index
+        prop::bool::ANY,      // suspension
+        prop::bool::ANY,      // write-back
+    )
+        .prop_map(
+            |(ch, chips, dies, planes, blocks, pages, page_size, scheme, susp, wb)| SsdConfig {
+                channel_count: ch,
+                chips_per_channel: chips,
+                dies_per_chip: dies,
+                planes_per_die: planes,
+                blocks_per_plane: blocks,
+                pages_per_block: pages,
+                page_size_bytes: page_size,
+                plane_allocation_scheme: PlaneAllocationScheme::ALL[scheme],
+                program_suspension_enabled: susp,
+                cache_mode: if wb {
+                    autoblox_repro::ssdsim::config::CacheMode::WriteBack
+                } else {
+                    autoblox_repro::ssdsim::config::CacheMode::WriteThrough
+                },
+                data_cache_mb: 64,
+                cmt_capacity_mb: 64,
+                ..SsdConfig::default()
+            },
+        )
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(
+        (
+            0u64..10_000_000,
+            0u64..1_000_000,
+            prop::sample::select(vec![512u32, 4096, 65536, 1 << 20]),
+            prop::bool::ANY,
+        ),
+        1..120,
+    )
+    .prop_map(|events| {
+        Trace::from_events(
+            "prop",
+            events
+                .into_iter()
+                .map(|(t, lba, size, read)| {
+                    TraceEvent::new(
+                        t,
+                        lba,
+                        size,
+                        if read { OpKind::Read } else { OpKind::Write },
+                    )
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simulator_never_panics_and_reports_are_sane(cfg in arb_config(), trace in arb_trace()) {
+        prop_assume!(cfg.validate().is_ok());
+        let mut sim = Simulator::new(cfg);
+        sim.warm_up(0.5);
+        let report = sim.run(&trace);
+        prop_assert_eq!(report.latency.count as usize, trace.len());
+        prop_assert!(report.latency.p50_ns <= report.latency.p99_ns);
+        prop_assert!(report.latency.p99_ns <= report.latency.max_ns);
+        prop_assert!(report.latency.mean_ns <= report.latency.max_ns as f64 + 1.0);
+        prop_assert!(report.throughput_bps >= 0.0);
+        prop_assert!(report.energy.total_mj() >= 0.0);
+        prop_assert!(report.host_bytes == trace.total_bytes());
+    }
+
+    #[test]
+    fn vectorize_apply_is_stable_for_any_config(cfg in arb_config()) {
+        prop_assume!(cfg.validate().is_ok());
+        let space = ParamSpace::new();
+        let v1 = space.vectorize(&cfg);
+        let cfg2 = space.apply(&cfg, &v1);
+        let v2 = space.vectorize(&cfg2);
+        // Applying a vector and re-reading it is a fixed point.
+        prop_assert_eq!(v1, v2);
+        prop_assert!(cfg2.validate().is_ok());
+    }
+
+    #[test]
+    fn manhattan_is_a_metric(cfg in arb_config(), moves in prop::collection::vec((0usize..48, 0usize..4), 0..6)) {
+        prop_assume!(cfg.validate().is_ok());
+        let space = ParamSpace::new();
+        let a = space.vectorize(&cfg);
+        let mut b = a.clone();
+        for (pi, step) in moves {
+            let card = space.params()[pi].cardinality();
+            b[pi] = (b[pi] + step) % card;
+        }
+        // Identity, symmetry, triangle inequality versus a third point.
+        prop_assert_eq!(space.manhattan(&a, &a), 0);
+        prop_assert_eq!(space.manhattan(&a, &b), space.manhattan(&b, &a));
+        let c = a.clone();
+        prop_assert!(space.manhattan(&a, &b) <= space.manhattan(&a, &c) + space.manhattan(&c, &b));
+    }
+
+    #[test]
+    fn performance_is_antisymmetric_for_any_measurements(
+        la in 1.0f64..1e9, ta in 1.0f64..1e12,
+        lb in 1.0f64..1e9, tb in 1.0f64..1e12,
+        alpha in 0.0f64..=1.0,
+    ) {
+        let a = Measurement { latency_ns: la, throughput_bps: ta, power_w: 1.0, energy_mj: 1.0 };
+        let b = Measurement { latency_ns: lb, throughput_bps: tb, power_w: 1.0, energy_mj: 1.0 };
+        let ab = performance(&a, &b, alpha);
+        let ba = performance(&b, &a, alpha);
+        prop_assert!((ab + ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_csv_roundtrip_for_any_trace(trace in arb_trace()) {
+        let mut buf = Vec::new();
+        autoblox_repro::iotrace::parse::write_csv(&trace, &mut buf).unwrap();
+        let parsed = autoblox_repro::iotrace::parse::parse_csv("prop", buf.as_slice()).unwrap();
+        prop_assert_eq!(parsed.events(), trace.events());
+    }
+}

@@ -1,0 +1,210 @@
+//! Cross-crate integration tests on simulator trends: generated workloads
+//! driven through the full device model must exhibit the physical
+//! monotonicities the tuner relies on.
+
+use autoblox_repro::iotrace::gen::WorkloadKind;
+use autoblox_repro::iotrace::Trace;
+use autoblox_repro::ssdsim::config::{presets, PlaneAllocationScheme, SsdConfig};
+use autoblox_repro::ssdsim::{SimReport, Simulator};
+
+fn run(cfg: SsdConfig, kind: WorkloadKind, n: usize) -> SimReport {
+    let trace = kind.spec().generate(n, 0xCAFE);
+    let mut sim = Simulator::new(cfg);
+    sim.warm_up(0.5);
+    sim.run(&trace)
+}
+
+/// Saturated replay with a final drain: returns the sustained throughput in
+/// bytes/s plus the raw report.
+fn saturated(cfg: SsdConfig, kind: WorkloadKind, n: usize) -> (f64, SimReport) {
+    let trace = kind.spec().generate(n, 0xCAFE);
+    let compressed = Trace::from_events(
+        trace.name(),
+        trace
+            .events()
+            .iter()
+            .map(|e| {
+                autoblox_repro::iotrace::TraceEvent::new(0, e.lba, e.size_bytes, e.op)
+            })
+            .collect(),
+    );
+    let mut sim = Simulator::new(cfg);
+    sim.warm_up(0.5);
+    let report = sim.run(&compressed);
+    let drained = sim.drain(report.makespan_ns).max(1);
+    (
+        report.host_bytes as f64 / (drained as f64 / 1e9),
+        report,
+    )
+}
+
+#[test]
+fn slower_flash_is_slower_end_to_end() {
+    let fast = presets::intel_750();
+    let slow = SsdConfig {
+        read_latency_ns: fast.read_latency_ns * 3,
+        ..fast.clone()
+    };
+    let rf = run(fast, WorkloadKind::WebSearch, 2_000);
+    let rs = run(slow, WorkloadKind::WebSearch, 2_000);
+    assert!(rs.read_latency.mean_ns > rf.read_latency.mean_ns * 1.5);
+}
+
+#[test]
+fn channel_bandwidth_bounds_streaming_throughput() {
+    let slow_bus = SsdConfig {
+        channel_transfer_rate_mts: 100,
+        ..presets::intel_750()
+    };
+    let fast_bus = SsdConfig {
+        channel_transfer_rate_mts: 800,
+        ..presets::intel_750()
+    };
+    let (ts, _) = saturated(slow_bus, WorkloadKind::BatchAnalytics, 2_000);
+    let (tf, _) = saturated(fast_bus, WorkloadKind::BatchAnalytics, 2_000);
+    assert!(tf > ts * 1.5, "fast bus {tf:.0} vs slow bus {ts:.0}");
+}
+
+#[test]
+fn planes_multiply_sustained_write_bandwidth() {
+    // Same die count; 8 planes per die let the transaction scheduler batch
+    // multiplane programs, multiplying write bandwidth.
+    let one_plane = SsdConfig {
+        planes_per_die: 1,
+        blocks_per_plane: 1024,
+        pages_per_block: 256,
+        ..presets::intel_750()
+    };
+    let eight_planes = SsdConfig {
+        planes_per_die: 8,
+        blocks_per_plane: 128,
+        pages_per_block: 256,
+        ..presets::intel_750()
+    };
+    let (t1, _) = saturated(one_plane, WorkloadKind::Fiu, 2_000);
+    let (t8, _) = saturated(eight_planes, WorkloadKind::Fiu, 2_000);
+    // Multiplane batching is bounded by the channel feed rate, so the gain
+    // is well below 8x, but it must be clearly visible.
+    assert!(
+        t8 > t1 * 1.15,
+        "8 planes {t8:.0} should beat 1 plane {t1:.0}"
+    );
+}
+
+#[test]
+fn channel_first_striping_parallelizes_sequential_readback() {
+    // Write a region larger than the data cache, then read it back
+    // sequentially. Plane-first striping packs consecutive pages onto one
+    // die (serial readback); channel-first spreads them across channels.
+    use autoblox_repro::iotrace::OpKind;
+    let base = SsdConfig {
+        planes_per_die: 4,
+        blocks_per_plane: 256,
+        pages_per_block: 256,
+        data_cache_mb: 4,
+        ..presets::intel_750()
+    };
+    let mk_trace = || {
+        let mut events = Vec::new();
+        // 3000 x 16 KiB sequential writes (~48 MiB >> 4 MiB cache) ...
+        for i in 0..3000u64 {
+            events.push(autoblox_repro::iotrace::TraceEvent::new(
+                i * 20_000,
+                i * 32,
+                16_384,
+                OpKind::Write,
+            ));
+        }
+        // ... then sequential readback.
+        for i in 0..3000u64 {
+            events.push(autoblox_repro::iotrace::TraceEvent::new(
+                70_000_000 + i * 20_000,
+                i * 32,
+                16_384,
+                OpKind::Read,
+            ));
+        }
+        Trace::from_events("seqrw", events)
+    };
+    let run_scheme = |scheme| {
+        let cfg = SsdConfig {
+            plane_allocation_scheme: scheme,
+            ..base.clone()
+        };
+        let mut sim = Simulator::new(cfg);
+        sim.warm_up(0.3);
+        sim.run(&mk_trace()).read_latency.mean_ns
+    };
+    let channel_first = run_scheme(PlaneAllocationScheme::Cwdp);
+    let plane_first = run_scheme(PlaneAllocationScheme::Pcwd);
+    assert!(
+        channel_first < plane_first,
+        "channel-first readback {channel_first:.0} ns should beat plane-first {plane_first:.0} ns"
+    );
+}
+
+#[test]
+fn program_suspension_cuts_read_tail_under_mixed_load() {
+    let off = presets::intel_750();
+    let on = SsdConfig {
+        program_suspension_enabled: true,
+        ..off.clone()
+    };
+    let r_off = run(off, WorkloadKind::Database, 2_500);
+    let r_on = run(on, WorkloadKind::Database, 2_500);
+    assert!(r_on.read_latency.p99_ns < r_off.read_latency.p99_ns);
+}
+
+#[test]
+fn overprovisioning_reduces_gc_migrations_under_churn() {
+    // Shrink the device so sustained overwrites exercise GC.
+    let tight = SsdConfig {
+        channel_count: 2,
+        chips_per_channel: 2,
+        dies_per_chip: 2,
+        blocks_per_plane: 64,
+        pages_per_block: 64,
+        overprovisioning_ratio: 0.05,
+        gc_threshold: 0.2,
+        ..presets::intel_750()
+    };
+    let roomy = SsdConfig {
+        overprovisioning_ratio: 0.35,
+        ..tight.clone()
+    };
+    let (_, rt) = saturated(tight, WorkloadKind::Fiu, 4_000);
+    let (_, rr) = saturated(roomy, WorkloadKind::Fiu, 4_000);
+    // More spare area means host-visible capacity is smaller, so the same
+    // LBA churn concentrates, but per-GC migration cost drops: write
+    // amplification must not grow.
+    assert!(
+        rr.write_amplification <= rt.write_amplification + 0.2,
+        "roomy WA {} vs tight WA {}",
+        rr.write_amplification,
+        rt.write_amplification
+    );
+    assert!(rt.flash.programs > 0 && rr.flash.programs > 0);
+}
+
+#[test]
+fn sata_link_caps_throughput() {
+    let sata = presets::samsung_850_pro();
+    let (t, _) = saturated(sata, WorkloadKind::BatchAnalytics, 2_000);
+    // SATA III tops out at 600 MB/s; the model must respect that.
+    assert!(t <= 620e6, "SATA throughput {t:.0} exceeds the link");
+}
+
+#[test]
+fn energy_scales_with_work() {
+    let short = run(presets::intel_750(), WorkloadKind::Database, 500);
+    let long = run(presets::intel_750(), WorkloadKind::Database, 4_000);
+    assert!(long.energy.total_mj() > short.energy.total_mj());
+    assert!(long.average_power_w > 0.0);
+}
+
+#[test]
+fn reports_are_deterministic_across_runs() {
+    let a = run(presets::intel_750(), WorkloadKind::LiveMaps, 1_500);
+    let b = run(presets::intel_750(), WorkloadKind::LiveMaps, 1_500);
+    assert_eq!(a, b);
+}
