@@ -113,7 +113,7 @@ impl WorkloadClusterer {
                     let score =
                         mlkit::metrics::silhouette_score(&model.training, &labels)
                             .unwrap_or(f64::NEG_INFINITY);
-                    if best.as_ref().map_or(true, |(_, _, s)| score > *s) {
+                    if best.as_ref().is_none_or(|(_, _, s)| score > *s) {
                         best = Some((model, k, score));
                     }
                 }
@@ -433,7 +433,10 @@ mod tests {
         // Three well-separated categories: silhouette should pick ~3.
         assert!((2..=4).contains(&k), "picked k={k}");
         assert_eq!(model.k(), k);
-        assert!(WorkloadClusterer::fit_auto_k(&traces, 9..=8, small_window(), 1).is_err());
+        // An intentionally empty k range must error, not panic.
+        #[allow(clippy::reversed_empty_ranges)]
+        let empty = 9..=8;
+        assert!(WorkloadClusterer::fit_auto_k(&traces, empty, small_window(), 1).is_err());
     }
 
     #[test]

@@ -173,7 +173,7 @@ impl Constraints {
                     - self.capacity_bytes as f64)
                     .abs()
                     + die_penalty;
-                if best.map_or(true, |(e, _)| err < e) {
+                if best.is_none_or(|(e, _)| err < e) {
                     best = Some((err, idx));
                 }
             }

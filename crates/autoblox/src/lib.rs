@@ -57,6 +57,7 @@ pub mod validator;
 pub mod whatif;
 
 pub use constraints::Constraints;
+pub use mlkit::parallel;
 pub use framework::{AutoBlox, AutoBloxOptions, Recommendation};
 pub use metrics::{grade, performance, Measurement};
 pub use params::ParamSpace;

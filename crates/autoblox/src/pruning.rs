@@ -92,40 +92,106 @@ pub fn coarse_prune(
     validator: &Validator,
 ) -> CoarseReport {
     let baseline = validator.evaluate(base, workload);
-    let mut sweeps = Vec::new();
+    // Score of any probe whose grid index reproduces the baseline value
+    // (always the 1.0 multiplier; often grid extremes too): known without
+    // touching the simulator. Probes on invalid configurations score 0.
+    let base_score = if base.validate().is_ok() {
+        performance(&baseline, &baseline, DEFAULT_ALPHA)
+    } else {
+        0.0
+    };
+
+    // Plan every probe up front so the whole sweep fans out as one flat
+    // (parameter, grid-index) work list, with duplicates — multipliers
+    // aliasing on coarse grids, extremes coinciding with swept points,
+    // probes landing back on the baseline index — resolved once.
+    struct SweepPlan<'p> {
+        param: &'p crate::params::ParamDef,
+        base_idx: usize,
+        reusable_base: bool,
+        mult_idx: Vec<usize>,
+        ext_idx: [usize; 2],
+    }
+    let mut plans: Vec<SweepPlan<'_>> = Vec::new();
+    let mut jobs: Vec<(usize, usize)> = Vec::new();
     for p in space.params() {
         if !matches!(p.kind, ParamKind::Continuous | ParamKind::Discrete) {
             continue;
         }
         let base_idx = (p.get)(base);
         let base_value = p.grid[base_idx].max(1e-9);
-        let probe = |idx: usize| -> f64 {
-            let mut cfg = base.clone();
-            (p.set)(&mut cfg, idx);
-            if cfg.validate().is_ok() {
-                let meas = validator.evaluate(&cfg, workload);
-                performance(&meas, &baseline, DEFAULT_ALPHA)
-            } else {
-                0.0
-            }
-        };
-        let scores: Vec<f64> = COARSE_MULTIPLIERS
+        let mult_idx: Vec<usize> = COARSE_MULTIPLIERS
             .iter()
-            .map(|&m| probe(p.nearest_index(base_value * m)))
+            .map(|&m| p.nearest_index(base_value * m))
             .collect();
-        let extreme_scores = [probe(0), probe(p.cardinality() - 1)];
-        let sensitivity = scores
-            .iter()
-            .chain(extreme_scores.iter())
-            .fold(0.0f64, |acc, s| acc.max(s.abs()));
-        sweeps.push(CoarseSweep {
-            name: p.name.to_string(),
-            insensitive: sensitivity < COARSE_SENSITIVITY_EPSILON,
-            sensitivity,
-            scores,
-            extreme_scores,
+        let ext_idx = [0, p.cardinality() - 1];
+        // `get` snaps off-grid values to the nearest grid point; only reuse
+        // the baseline score when setting `base_idx` actually reproduces the
+        // baseline configuration.
+        let reusable_base = {
+            let mut snap = base.clone();
+            (p.set)(&mut snap, base_idx);
+            snap == *base
+        };
+        let pi = plans.len();
+        let mut unique: Vec<usize> = Vec::new();
+        for &idx in mult_idx.iter().chain(ext_idx.iter()) {
+            if !(unique.contains(&idx) || (reusable_base && idx == base_idx)) {
+                unique.push(idx);
+            }
+        }
+        jobs.extend(unique.into_iter().map(|idx| (pi, idx)));
+        plans.push(SweepPlan {
+            param: p,
+            base_idx,
+            reusable_base,
+            mult_idx,
+            ext_idx,
         });
     }
+
+    // Fan out: each probe touches its own configuration, and the validator
+    // memoizes deterministically, so the scores are order-independent.
+    let probed = mlkit::parallel::parallel_map(jobs.clone(), |(pi, idx)| {
+        let p = plans[pi].param;
+        let mut cfg = base.clone();
+        (p.set)(&mut cfg, idx);
+        if cfg.validate().is_ok() {
+            let meas = validator.evaluate(&cfg, workload);
+            performance(&meas, &baseline, DEFAULT_ALPHA)
+        } else {
+            0.0
+        }
+    });
+    let score_of: std::collections::HashMap<(usize, usize), f64> =
+        jobs.into_iter().zip(probed).collect();
+
+    let sweeps = plans
+        .iter()
+        .enumerate()
+        .map(|(pi, plan)| {
+            let lookup = |idx: usize| {
+                if plan.reusable_base && idx == plan.base_idx {
+                    base_score
+                } else {
+                    score_of[&(pi, idx)]
+                }
+            };
+            let scores: Vec<f64> = plan.mult_idx.iter().map(|&i| lookup(i)).collect();
+            let extreme_scores = [lookup(plan.ext_idx[0]), lookup(plan.ext_idx[1])];
+            let sensitivity = scores
+                .iter()
+                .chain(extreme_scores.iter())
+                .fold(0.0f64, |acc, s| acc.max(s.abs()));
+            CoarseSweep {
+                name: plan.param.name.to_string(),
+                insensitive: sensitivity < COARSE_SENSITIVITY_EPSILON,
+                sensitivity,
+                scores,
+                extreme_scores,
+            }
+        })
+        .collect();
     CoarseReport {
         workload: workload.name().to_string(),
         sweeps,

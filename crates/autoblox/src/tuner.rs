@@ -276,14 +276,27 @@ impl<'a> Tuner<'a> {
             .expect("reference configuration must satisfy the constraints");
 
         let runs_before = self.validator.simulator_runs();
-        let ref_target = self.eval_target(&reference, target);
-        let ref_non: Vec<(WorkloadKind, Measurement)> = self
+        // Reference measurements: the target and every non-target workload
+        // are independent simulator runs, evaluated on the worker pool. The
+        // validator memoizes deterministically and `parallel_map` preserves
+        // order, so the outcome is identical to the sequential loop.
+        let non_kinds: Vec<WorkloadKind> = self
             .opts
             .non_target
             .iter()
             .filter(|&&w| !matches!(target, TuningTarget::Category(k) if k == w))
-            .map(|&w| (w, self.validator.evaluate(&reference, w)))
+            .copied()
             .collect();
+        let mut ref_jobs: Vec<Option<WorkloadKind>> = vec![None];
+        ref_jobs.extend(non_kinds.iter().copied().map(Some));
+        let mut ref_meas = mlkit::parallel::parallel_map(ref_jobs, |w| match w {
+            None => self.eval_target(&reference, target),
+            Some(k) => self.validator.evaluate(&reference, k),
+        })
+        .into_iter();
+        let ref_target = ref_meas.next().expect("target measurement");
+        let ref_non: Vec<(WorkloadKind, Measurement)> =
+            non_kinds.into_iter().zip(ref_meas).collect();
 
         let mut state = SearchState {
             validated: Vec::new(),
@@ -293,13 +306,29 @@ impl<'a> Tuner<'a> {
         let mut init_set: Vec<SsdConfig> = vec![reference.clone()];
         init_set.extend(initial.iter().cloned());
         let mut best: Option<GradedConfig> = None;
-        for cfg in &init_set {
-            let mut cfg = cfg.clone();
-            self.constraints.pin(&mut cfg);
-            if self.constraints.check_structural(&cfg).is_err() {
-                continue;
+        let prepared: Vec<SsdConfig> = init_set
+            .iter()
+            .filter_map(|cfg| {
+                let mut cfg = cfg.clone();
+                self.constraints.pin(&mut cfg);
+                self.constraints.check_structural(&cfg).is_ok().then_some(cfg)
+            })
+            .collect();
+        // Warm the measurement cache for the whole init set in parallel —
+        // exactly the evaluations the sequential validation below performs
+        // (non-targets only for configurations inside the power budget), so
+        // the simulator-run count and every grade match a sequential run.
+        let init_meas =
+            mlkit::parallel::parallel_map(prepared.clone(), |cfg| self.eval_target(&cfg, target));
+        let mut non_jobs: Vec<(SsdConfig, WorkloadKind)> = Vec::new();
+        for (cfg, m) in prepared.iter().zip(&init_meas) {
+            if self.constraints.check_power(m.power_w) {
+                non_jobs.extend(ref_non.iter().map(|&(w, _)| (cfg.clone(), w)));
             }
-            self.validate_into(&cfg, target, &ref_target, &ref_non, &mut state, &mut best, false);
+        }
+        mlkit::parallel::parallel_map(non_jobs, |(cfg, w)| self.validator.evaluate(&cfg, w));
+        for cfg in &prepared {
+            self.validate_into(cfg, target, &ref_target, &ref_non, &mut state, &mut best, false);
         }
 
         let (order_indices, explicit_order) = self.order_indices(tuning_order);
@@ -309,6 +338,10 @@ impl<'a> Tuner<'a> {
         let mut history: Vec<f64> = vec![state.best_grade()];
         let mut iterations = 0;
 
+        // The outer BO loop stays deliberately sequential: iteration N's
+        // surrogate is fitted on every validation from iterations 0..N-1, a
+        // strict data dependency speculative parallelism would break —
+        // identical results at any thread count is a design invariant.
         for _iter in 0..self.opts.max_iterations {
             iterations += 1;
             // Step 3: pick the search root among the top-k elite at random.
@@ -338,7 +371,7 @@ impl<'a> Tuner<'a> {
                         for cand in candidates {
                             let norm = self.normalize(&cand);
                             let (ucb, mean) = model.predict(&norm);
-                            if best_cand.as_ref().map_or(true, |(_, u, _)| ucb > *u) {
+                            if best_cand.as_ref().is_none_or(|(_, u, _)| ucb > *u) {
                                 best_cand = Some((cand, ucb, mean));
                             }
                         }
@@ -590,19 +623,22 @@ impl<'a> Tuner<'a> {
         {
             target_only_grade
         } else {
+            // Independent per-workload simulator runs: fan out, grade in
+            // order (deterministic — see `mlkit::parallel`).
+            let kinds: Vec<WorkloadKind> = ref_non.iter().map(|&(w, _)| w).collect();
+            let non_meas =
+                mlkit::parallel::parallel_map(kinds, |w| self.validator.evaluate(cfg, w));
             let non_perfs: Vec<f64> = ref_non
                 .iter()
-                .map(|(w, r)| {
-                    let mw = self.validator.evaluate(cfg, *w);
-                    performance(&mw, r, self.opts.alpha)
-                })
+                .zip(non_meas)
+                .map(|((_, r), mw)| performance(&mw, r, self.opts.alpha))
                 .collect();
             grade(perf_t, &non_perfs, self.opts.beta)
         };
 
         let norm = self.normalize(&vec);
         state.validated.push((vec, norm, g));
-        if best.as_ref().map_or(true, |b| g > b.grade) {
+        if best.as_ref().is_none_or(|b| g > b.grade) {
             *best = Some(GradedConfig {
                 config: cfg.clone(),
                 grade: g,

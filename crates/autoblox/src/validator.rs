@@ -1,13 +1,21 @@
 //! Efficiency validation (§3.4): running candidate configurations on the
 //! SSD simulator and caching the measurements.
+//!
+//! The validator is `Sync`: the trace cache and the sharded measurement
+//! cache sit behind `parking_lot::RwLock`s, the run counter is atomic, and
+//! in-flight evaluations are deduplicated per key with `OnceLock`, so any
+//! number of threads can share one validator and the simulator-run count
+//! stays exactly what a sequential execution would produce.
 
 use crate::metrics::Measurement;
 use iotrace::gen::WorkloadKind;
 use iotrace::Trace;
+use parking_lot::RwLock;
 use ssdsim::config::SsdConfig;
 use ssdsim::Simulator;
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Options controlling validation runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,6 +38,44 @@ impl Default for ValidatorOptions {
     }
 }
 
+/// Compact memoization key for one [`SsdConfig`].
+///
+/// 128 bits of FNV-1a over [`SsdConfig::canonical_words`] — two independent
+/// 64-bit streams — replacing the seed's `serde_json::to_string(cfg)` key,
+/// which serialized ~50 fields to a heap string on every cache probe.
+/// Hashing actual field values (not parameter-grid indices) keeps off-grid
+/// configurations such as presets collision-distinct too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConfigKey([u64; 2]);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl ConfigKey {
+    /// Fingerprints a configuration.
+    pub fn of(cfg: &SsdConfig) -> Self {
+        let words = cfg.canonical_words();
+        let mut h0 = FNV_OFFSET;
+        // Second stream: offset basis perturbed so the two hashes are
+        // independent even over identical input words.
+        let mut h1 = FNV_OFFSET ^ 0x9E37_79B9_7F4A_7C15;
+        for (i, &w) in words.iter().enumerate() {
+            h0 = (h0 ^ w).wrapping_mul(FNV_PRIME);
+            h1 = (h1 ^ w.rotate_left((i % 63) as u32 + 1)).wrapping_mul(FNV_PRIME);
+        }
+        ConfigKey([h0, h1])
+    }
+
+    fn shard(&self) -> usize {
+        (self.0[0] >> 59) as usize % CACHE_SHARDS
+    }
+}
+
+const CACHE_SHARDS: usize = 16;
+
+type CacheKey = (ConfigKey, String);
+type Shard = RwLock<HashMap<CacheKey, Arc<OnceLock<Measurement>>>>;
+
 /// Runs configurations against the simulator, memoizing results.
 ///
 /// Each evaluation performs two simulator runs: a **timed replay** (trace
@@ -40,7 +86,10 @@ impl Default for ValidatorOptions {
 ///
 /// The cache key is the exact configuration plus the workload name, so the
 /// tuner never pays twice for the same (configuration, workload) pair — the
-/// dominant cost in the paper's Table 6.
+/// dominant cost in the paper's Table 6. Concurrent callers asking for the
+/// same pair block on a per-key `OnceLock` instead of duplicating simulator
+/// work, so [`Validator::simulator_runs`] is identical under any thread
+/// count.
 ///
 /// # Examples
 ///
@@ -56,9 +105,9 @@ impl Default for ValidatorOptions {
 #[derive(Debug)]
 pub struct Validator {
     opts: ValidatorOptions,
-    traces: RefCell<HashMap<String, Trace>>,
-    cache: RefCell<HashMap<(String, String), Measurement>>,
-    runs: RefCell<u64>,
+    traces: RwLock<HashMap<String, Arc<Trace>>>,
+    shards: [Shard; CACHE_SHARDS],
+    runs: AtomicU64,
 }
 
 impl Validator {
@@ -66,9 +115,9 @@ impl Validator {
     pub fn new(opts: ValidatorOptions) -> Self {
         Validator {
             opts,
-            traces: RefCell::new(HashMap::new()),
-            cache: RefCell::new(HashMap::new()),
-            runs: RefCell::new(0),
+            traces: RwLock::new(HashMap::new()),
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            runs: AtomicU64::new(0),
         }
     }
 
@@ -79,30 +128,54 @@ impl Validator {
 
     /// Number of actual (non-cached) simulator runs performed.
     pub fn simulator_runs(&self) -> u64 {
-        *self.runs.borrow()
+        self.runs.load(Ordering::SeqCst)
+    }
+
+    /// The (cached) validation trace for a workload category, shared
+    /// allocation-free via `Arc`.
+    pub fn trace_for(&self, kind: WorkloadKind) -> Arc<Trace> {
+        if let Some(t) = self.traces.read().get(kind.name()) {
+            return Arc::clone(t);
+        }
+        // Generation is deterministic per (kind, seed), so a racing thread
+        // building the same trace is wasted work at worst, never divergence;
+        // `entry` keeps exactly one copy.
+        let fresh = Arc::new(kind.spec().generate(self.opts.trace_events, self.opts.seed));
+        let mut traces = self.traces.write();
+        Arc::clone(traces.entry(kind.name().to_string()).or_insert(fresh))
     }
 
     /// Evaluates a configuration on a named workload category, generating
     /// (and caching) the validation trace for the category.
     pub fn evaluate(&self, cfg: &SsdConfig, kind: WorkloadKind) -> Measurement {
-        let trace = self
-            .traces
-            .borrow_mut()
-            .entry(kind.name().to_string())
-            .or_insert_with(|| kind.spec().generate(self.opts.trace_events, self.opts.seed))
-            .clone();
+        let trace = self.trace_for(kind);
         self.evaluate_trace(cfg, &trace)
     }
 
     /// Evaluates a configuration on a caller-provided trace.
     pub fn evaluate_trace(&self, cfg: &SsdConfig, trace: &Trace) -> Measurement {
-        let key = (
-            serde_json::to_string(cfg).expect("config serializes"),
-            trace.name().to_string(),
-        );
-        if let Some(m) = self.cache.borrow().get(&key) {
-            return *m;
+        let key = (ConfigKey::of(cfg), trace.name().to_string());
+        let shard = &self.shards[key.0.shard()];
+        if let Some(cell) = shard.read().get(&key) {
+            if let Some(m) = cell.get() {
+                return *m;
+            }
         }
+        let cell = {
+            let mut map = shard.write();
+            Arc::clone(map.entry(key).or_default())
+        };
+        // First caller simulates; concurrent callers for the same key block
+        // here and reuse the result, keeping the run count sequential-exact.
+        *cell.get_or_init(|| {
+            let m = self.simulate(cfg, trace);
+            self.runs.fetch_add(1, Ordering::SeqCst);
+            m
+        })
+    }
+
+    /// The two uncached simulator runs behind one measurement.
+    fn simulate(&self, cfg: &SsdConfig, trace: &Trace) -> Measurement {
         // Timed replay: latency, power, energy.
         //
         // Known scale limitation: a validation trace of tens of thousands
@@ -129,15 +202,15 @@ impl Validator {
         // Sustained throughput includes draining the write-back cache.
         let drained_ns = sat_sim.drain(sat_report.makespan_ns).max(1);
         m.throughput_bps = (sat_report.host_bytes as f64 / (drained_ns as f64 / 1e9)).max(1.0);
-        *self.runs.borrow_mut() += 1;
-        self.cache.borrow_mut().insert(key, m);
         m
     }
 
     /// Drops all memoized measurements (used between experiments that reset
     /// the model, e.g. the α/β sweeps of §4.6).
     pub fn clear_cache(&self) {
-        self.cache.borrow_mut().clear();
+        for shard in &self.shards {
+            shard.write().clear();
+        }
     }
 }
 
@@ -202,5 +275,24 @@ mod tests {
         assert!(m.throughput_bps > 1e3);
         assert!(m.power_w > 0.0);
         assert!(m.energy_mj > 0.0);
+    }
+
+    #[test]
+    fn config_keys_distinguish_configs() {
+        let base = SsdConfig::default();
+        let a = ConfigKey::of(&base);
+        assert_eq!(a, ConfigKey::of(&base.clone()));
+        let mut tweaked = base.clone();
+        tweaked.gc_threshold += 1e-9;
+        assert_ne!(a, ConfigKey::of(&tweaked));
+        let mut flipped = base;
+        flipped.preemptible_gc = !flipped.preemptible_gc;
+        assert_ne!(a, ConfigKey::of(&flipped));
+    }
+
+    #[test]
+    fn validator_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<Validator>();
     }
 }

@@ -69,7 +69,8 @@ fn main() {
     );
 
     // Critical parameters, Table 7 style.
-    let getters: [(&str, fn(&ssdsim::config::SsdConfig) -> String); 8] = [
+    type ParamGetter = (&'static str, fn(&ssdsim::config::SsdConfig) -> String);
+    let getters: [ParamGetter; 8] = [
         ("DataCacheCapacity (MiB)", |c| c.data_cache_mb.to_string()),
         ("CMT_Capacity (MiB)", |c| c.cmt_capacity_mb.to_string()),
         ("Channel_Width (bits)", |c| c.channel_width_bits.to_string()),

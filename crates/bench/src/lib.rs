@@ -96,19 +96,22 @@ pub fn tune_targets(
     validator: &Validator,
     opts: &TunerOptions,
 ) -> Vec<TuningOutcome> {
-    targets
-        .iter()
-        .map(|&t| {
-            eprintln!("  tuning for {t} ...");
-            let baseline_power = validator.evaluate(reference, t).power_w;
-            let per_target = Constraints {
-                power_budget_w: constraints.power_budget_w.min(baseline_power * 1.25),
-                ..constraints
-            };
-            let tuner = Tuner::new(per_target, validator, opts.clone());
-            tuner.tune(t, reference, &[], None)
-        })
-        .collect()
+    // One tuning run per target, fanned out on the worker pool
+    // (`AUTOBLOX_THREADS`). Outcome configurations and grades are
+    // deterministic regardless of thread count — measurements are memoized
+    // pure functions of (config, workload) — but the per-outcome
+    // `validations` counters can include runs from concurrently tuning
+    // targets sharing the validator.
+    autoblox::parallel::parallel_map(targets.to_vec(), |t| {
+        eprintln!("  tuning for {t} ...");
+        let baseline_power = validator.evaluate(reference, t).power_w;
+        let per_target = Constraints {
+            power_budget_w: constraints.power_budget_w.min(baseline_power * 1.25),
+            ..constraints
+        };
+        let tuner = Tuner::new(per_target, validator, opts.clone());
+        tuner.tune(t, reference, &[], None)
+    })
 }
 
 /// Latency/throughput speedups of `config` on `workload` relative to the
@@ -177,10 +180,10 @@ pub fn reference_measurements(
     reference: &SsdConfig,
     validator: &Validator,
 ) -> Vec<(WorkloadKind, Measurement)> {
-    WorkloadKind::STUDIED
-        .iter()
-        .map(|&w| (w, validator.evaluate(reference, w)))
-        .collect()
+    let meas = autoblox::parallel::parallel_map(WorkloadKind::STUDIED.to_vec(), |w| {
+        validator.evaluate(reference, w)
+    });
+    WorkloadKind::STUDIED.iter().copied().zip(meas).collect()
 }
 
 /// Builds and prints a Table-1-style cross matrix: one learned configuration
@@ -209,6 +212,16 @@ pub fn print_cross_matrix(
     rows_workloads: &[WorkloadKind],
     outcomes: &[TuningOutcome],
 ) {
+    // Warm the validator cache for every (configuration, workload) cell in
+    // parallel; the sequential table assembly below then only reads cache
+    // hits, so cell values match a sequential run exactly.
+    let mut cells: Vec<(&SsdConfig, WorkloadKind)> = Vec::new();
+    for &w in rows_workloads {
+        cells.push((reference, w));
+        cells.extend(outcomes.iter().map(|o| (&o.best.config, w)));
+    }
+    autoblox::parallel::parallel_map(cells, |(cfg, w)| validator.evaluate(cfg, w));
+
     let mut headers = vec!["workload \\ target".to_string()];
     headers.extend(targets.iter().map(|t| t.name().to_string()));
     let mut rows = Vec::new();
@@ -243,7 +256,8 @@ pub fn print_critical_parameters(
     targets: &[WorkloadKind],
     outcomes: &[TuningOutcome],
 ) {
-    let param_rows: [(&str, fn(&SsdConfig) -> String); 8] = [
+    type ParamRow = (&'static str, fn(&SsdConfig) -> String);
+    let param_rows: [ParamRow; 8] = [
         ("CMTCapacity (MiB)", |c| c.cmt_capacity_mb.to_string()),
         ("DataCacheSize (MiB)", |c| c.data_cache_mb.to_string()),
         ("FlashChannelCount", |c| c.channel_count.to_string()),

@@ -387,7 +387,7 @@ impl WorkloadSpec {
             } else {
                 let region = zipf.sample(&mut rng) as u64 - 1;
                 let base = (region * 2048) % self.working_set_sectors;
-                let l = base + rng.gen_range(0..2048);
+                let l = base + rng.gen_range(0..2048u64);
                 // Occasionally relocate the sequential head to the random
                 // spot, modeling interleaved streams.
                 if rng.gen::<f64>() < 0.05 {

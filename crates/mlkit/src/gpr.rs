@@ -297,9 +297,9 @@ mod tests {
             .optimize_rounds(0)
             .fit(&x, &y)
             .unwrap();
-        for i in 0..x.rows() {
+        for (i, &yi) in y.iter().enumerate() {
             let p = gp.predict(x.row(i)).unwrap();
-            assert!((p.mean - y[i]).abs() < 0.05, "at {i}: {} vs {}", p.mean, y[i]);
+            assert!((p.mean - yi).abs() < 0.05, "at {i}: {} vs {}", p.mean, yi);
         }
     }
 
@@ -362,9 +362,9 @@ mod tests {
         let (x, y) = toy();
         let gp = GprBuilder::new().optimize_rounds(0).fit(&x, &y).unwrap();
         let batch = gp.predict_batch(&x).unwrap();
-        for i in 0..x.rows() {
+        for (i, b) in batch.iter().enumerate() {
             let single = gp.predict(x.row(i)).unwrap();
-            assert_eq!(batch[i], single);
+            assert_eq!(*b, single);
         }
     }
 }

@@ -30,16 +30,31 @@ pub trait Kernel: std::fmt::Debug + Send + Sync {
     fn set_params(&mut self, p: &[f64]);
 
     /// Builds the Gram matrix `K[i][j] = k(x_i, x_j)` for row-sample `x`.
+    ///
+    /// The O(n²) upper triangle is computed row-parallel on the
+    /// [`crate::parallel`] pool once `n` is large enough to amortize thread
+    /// startup; the result is bit-identical to the sequential loop because
+    /// every entry is an independent pure function of two rows.
     fn gram(&self, x: &Matrix) -> Matrix {
         let n = x.rows();
+        let entry = |i: usize, j: usize| {
+            if i == j {
+                self.diag(x.row(i))
+            } else {
+                self.eval(x.row(i), x.row(j))
+            }
+        };
+        let rows: Vec<Vec<f64>> = if n >= 64 && crate::parallel::max_threads() > 1 {
+            crate::parallel::parallel_map((0..n).collect(), |i| {
+                (i..n).map(|j| entry(i, j)).collect()
+            })
+        } else {
+            (0..n).map(|i| (i..n).map(|j| entry(i, j)).collect()).collect()
+        };
         let mut k = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in i..n {
-                let v = if i == j {
-                    self.diag(x.row(i))
-                } else {
-                    self.eval(x.row(i), x.row(j))
-                };
+        for (i, row) in rows.into_iter().enumerate() {
+            for (off, v) in row.into_iter().enumerate() {
+                let j = i + off;
                 k[(i, j)] = v;
                 k[(j, i)] = v;
             }

@@ -62,10 +62,10 @@ impl KMeans {
             iterations = it + 1;
             // Assignment step.
             let mut changed = false;
-            for r in 0..x.rows() {
+            for (r, slot) in assignment.iter_mut().enumerate() {
                 let (best, _) = Self::nearest(&centroids, x.row(r));
-                if assignment[r] != best {
-                    assignment[r] = best;
+                if *slot != best {
+                    *slot = best;
                     changed = true;
                 }
             }
@@ -143,10 +143,10 @@ impl KMeans {
             for c in 0..d {
                 centroids[(ci, c)] = x[(pick, c)];
             }
-            for r in 0..n {
+            for (r, d) in dist2.iter_mut().enumerate() {
                 let nd = sq_dist(x.row(r), centroids.row(ci));
-                if nd < dist2[r] {
-                    dist2[r] = nd;
+                if nd < *d {
+                    *d = nd;
                 }
             }
         }

@@ -13,7 +13,9 @@
 //! - [`kernel`] and [`gpr`]: Gaussian-process regression with
 //!   RBF + RationalQuadratic + White kernels (grade prediction, §3.4);
 //! - [`nn`]: a small MLP regressor, the DNN comparison point of §3.2;
-//! - [`metrics`]: clustering quality scores (silhouette, adjusted Rand).
+//! - [`metrics`]: clustering quality scores (silhouette, adjusted Rand);
+//! - [`parallel`]: a scoped worker pool for deterministic data-parallel
+//!   fan-out (kernel matrices here; simulator validation downstream).
 //!
 //! # Examples
 //!
@@ -43,6 +45,7 @@ pub mod kmeans;
 pub mod linalg;
 pub mod metrics;
 pub mod nn;
+pub mod parallel;
 pub mod pca;
 pub mod ridge;
 pub mod scale;

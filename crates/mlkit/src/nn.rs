@@ -165,7 +165,7 @@ impl Mlp {
                 "this regression MLP has a scalar output".into(),
             ));
         }
-        if widths.iter().any(|&w| w == 0) {
+        if widths.contains(&0) {
             return Err(MlError::InvalidArgument("layer widths must be positive".into()));
         }
         let mut rng = StdRng::seed_from_u64(seed);
@@ -389,10 +389,12 @@ mod tests {
     fn nonlinear_fit_beats_mean_predictor() {
         let x = Matrix::from_rows(
             &(0..40)
-                .map(|i| vec![i as f64 / 40.0 * 6.28])
+                .map(|i| vec![i as f64 / 40.0 * std::f64::consts::TAU])
                 .collect::<Vec<_>>(),
         );
-        let y: Vec<f64> = (0..40).map(|i| (i as f64 / 40.0 * 6.28).sin()).collect();
+        let y: Vec<f64> = (0..40)
+            .map(|i| (i as f64 / 40.0 * std::f64::consts::TAU).sin())
+            .collect();
         let mut net = Mlp::new(&[1, 16, 16, 1], 3).unwrap();
         let loss = net
             .fit(

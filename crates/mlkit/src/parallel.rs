@@ -1,0 +1,166 @@
+//! A minimal scoped worker pool for deterministic data-parallel fan-out.
+//!
+//! Built on `std::thread::scope` so borrowed inputs (validators, parameter
+//! spaces, matrices) can be shared without `'static` bounds or extra
+//! allocation. Work items are claimed from an atomic counter and results are
+//! written back by index, so the output order — and therefore every
+//! downstream computation — is identical to a sequential run regardless of
+//! the thread count or OS scheduling.
+//!
+//! The pool size comes from, in priority order: a process-wide programmatic
+//! override ([`set_max_threads`]), the `AUTOBLOX_THREADS` environment
+//! variable, then [`std::thread::available_parallelism`]. A limit of `1`
+//! runs the caller's closure inline with no threads spawned at all, which
+//! makes the sequential baseline trivially exact.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide thread-count override; `0` means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Environment variable consulted for the default worker count.
+pub const THREADS_ENV: &str = "AUTOBLOX_THREADS";
+
+/// The worker-pool size parallel helpers use when none is given explicitly.
+///
+/// Resolution order: [`set_max_threads`] override, then the
+/// `AUTOBLOX_THREADS` environment variable, then the machine's available
+/// parallelism. Always at least 1.
+pub fn max_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o != 0 {
+        return o;
+    }
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Overrides the pool size process-wide (`0` clears the override, restoring
+/// the environment/hardware default). Intended for benchmarks and tests that
+/// compare thread counts within one process.
+pub fn set_max_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Maps `f` over `items` on the default pool ([`max_threads`]), preserving
+/// input order in the output.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    parallel_map_with(max_threads(), items, f)
+}
+
+/// Maps `f` over `items` with at most `threads` workers, preserving input
+/// order in the output. `threads <= 1` (or a single item) runs inline on the
+/// calling thread.
+///
+/// # Panics
+///
+/// Panics if `f` panicked on any item (the panic propagates when the scope
+/// joins its workers).
+pub fn parallel_map_with<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Each slot is locked only for the instant of its take/store; the atomic
+    // counter hands out indices so a slow item never blocks the others.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i].lock().take().expect("each index claimed once");
+                    let r = f(item);
+                    *results[i].lock() = Some(r);
+                })
+            })
+            .collect();
+        for w in workers {
+            // Re-raise a worker's panic with its original payload.
+            if let Err(payload) = w.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("worker filled its slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map_with(4, (0..100).collect(), |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_path_matches() {
+        let items: Vec<u64> = (0..37).collect();
+        let seq = parallel_map_with(1, items.clone(), |i| i.wrapping_mul(0x9E37_79B9));
+        let par = parallel_map_with(8, items, |i| i.wrapping_mul(0x9E37_79B9));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map_with(4, Vec::<i32>::new(), |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn borrows_environment() {
+        let data = [1.0, 2.0, 3.0];
+        let out = parallel_map_with(2, vec![0usize, 1, 2], |i| data[i] * 10.0);
+        assert_eq!(out, vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn override_round_trip() {
+        set_max_threads(3);
+        assert_eq!(max_threads(), 3);
+        set_max_threads(0);
+        assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let _ = parallel_map_with(2, vec![0, 1, 2, 3], |i| {
+            if i == 2 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

@@ -128,8 +128,8 @@ proptest! {
         prop_assume!(x.rows() >= k);
         let km = KMeans::fit(&x, k, 42).unwrap();
         let labels = km.predict(&x).unwrap();
-        for r in 0..x.rows() {
-            let assigned = sq_dist(x.row(r), km.centroids().row(labels[r]));
+        for (r, &label) in labels.iter().enumerate() {
+            let assigned = sq_dist(x.row(r), km.centroids().row(label));
             for ci in 0..k {
                 let other = sq_dist(x.row(r), km.centroids().row(ci));
                 prop_assert!(assigned <= other + 1e-9);
@@ -153,10 +153,10 @@ proptest! {
     fn gpr_variance_nonnegative_and_interpolation_close(ys in prop::collection::vec(-5.0f64..5.0, 5)) {
         let xs = Matrix::from_rows(&(0..5).map(|i| vec![i as f64]).collect::<Vec<_>>());
         let gp = GprBuilder::new().optimize_rounds(0).fit(&xs, &ys).unwrap();
-        for i in 0..5 {
+        for (i, &yi) in ys.iter().enumerate() {
             let p = gp.predict(xs.row(i)).unwrap();
             prop_assert!(p.variance >= 0.0);
-            prop_assert!((p.mean - ys[i]).abs() < 1.0, "{} vs {}", p.mean, ys[i]);
+            prop_assert!((p.mean - yi).abs() < 1.0, "{} vs {}", p.mean, yi);
         }
     }
 }

@@ -377,7 +377,70 @@ impl fmt::Display for InvalidConfigError {
 
 impl Error for InvalidConfigError {}
 
+/// Number of `u64` words in [`SsdConfig::canonical_words`].
+pub const CONFIG_WORDS: usize = 48;
+
 impl SsdConfig {
+    /// Encodes every field as one `u64` word, in declaration order.
+    ///
+    /// Two configurations produce the same words iff they are field-for-field
+    /// identical (floats are compared by bit pattern), so the encoding is a
+    /// sound basis for memoization keys — unlike grid indices, it also
+    /// distinguishes off-grid configurations such as presets. Keep this in
+    /// sync when adding fields: the array length is a compile-time check.
+    pub fn canonical_words(&self) -> [u64; CONFIG_WORDS] {
+        [
+            u64::from(self.channel_count),
+            u64::from(self.chips_per_channel),
+            u64::from(self.dies_per_chip),
+            u64::from(self.planes_per_die),
+            u64::from(self.blocks_per_plane),
+            u64::from(self.pages_per_block),
+            u64::from(self.page_size_bytes),
+            self.flash_technology as u64,
+            self.read_latency_ns,
+            self.program_latency_ns,
+            self.erase_latency_ns,
+            u64::from(self.channel_transfer_rate_mts),
+            u64::from(self.channel_width_bits),
+            self.flash_cmd_overhead_ns,
+            self.suspend_program_ns,
+            self.suspend_erase_ns,
+            u64::from(self.program_suspension_enabled),
+            u64::from(self.erase_suspension_enabled),
+            u64::from(self.data_cache_mb),
+            u64::from(self.cmt_capacity_mb),
+            u64::from(self.dram_data_rate_mts),
+            u64::from(self.dram_burst_bytes),
+            u64::from(self.cmt_entry_bytes),
+            self.cache_mode as u64,
+            self.overprovisioning_ratio.to_bits(),
+            self.gc_threshold.to_bits(),
+            self.gc_hard_threshold.to_bits(),
+            self.gc_policy as u64,
+            u64::from(self.preemptible_gc),
+            u64::from(self.static_wearleveling_enabled),
+            u64::from(self.static_wearleveling_threshold),
+            self.plane_allocation_scheme as u64,
+            self.interface as u64,
+            u64::from(self.io_queue_depth),
+            u64::from(self.queue_count),
+            u64::from(self.pcie_lane_count),
+            u64::from(self.pcie_lane_gtps),
+            self.host_cmd_overhead_ns,
+            u64::from(self.page_metadata_bytes),
+            u64::from(self.ecc_engine_count),
+            u64::from(self.read_retry_limit),
+            u64::from(self.background_scan_interval_ms),
+            u64::from(self.init_delay_us),
+            u64::from(self.firmware_sram_kb),
+            u64::from(self.thermal_throttle_c),
+            u64::from(self.pfail_flush_budget_uj),
+            u64::from(self.dram_refresh_interval_us),
+            u64::from(self.nand_vcc_mv),
+        ]
+    }
+
     /// Total raw flash capacity in bytes.
     pub fn physical_capacity_bytes(&self) -> u64 {
         u64::from(self.channel_count)
@@ -641,24 +704,32 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        let mut c = SsdConfig::default();
-        c.channel_count = 0;
+        let c = SsdConfig {
+            channel_count: 0,
+            ..SsdConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = SsdConfig::default();
-        c.page_size_bytes = 5000;
+        let c = SsdConfig {
+            page_size_bytes: 5000,
+            ..SsdConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = SsdConfig::default();
-        c.overprovisioning_ratio = 0.9;
+        let c = SsdConfig {
+            overprovisioning_ratio: 0.9,
+            ..SsdConfig::default()
+        };
         assert!(c.validate().is_err());
 
         let mut c = SsdConfig::default();
         c.gc_hard_threshold = c.gc_threshold + 0.1;
         assert!(c.validate().is_err());
 
-        let mut c = SsdConfig::default();
-        c.pcie_lane_count = 0;
+        let c = SsdConfig {
+            pcie_lane_count: 0,
+            ..SsdConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -26,7 +26,7 @@ impl LatencySummary {
     /// Builds a summary from raw per-request latencies.
     ///
     /// Returns the default (all zeros) summary for an empty slice.
-    pub fn from_latencies(latencies: &mut Vec<u64>) -> Self {
+    pub fn from_latencies(latencies: &mut [u64]) -> Self {
         if latencies.is_empty() {
             return LatencySummary::default();
         }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Offline CI gate: release build, full test suite, and (when installed)
+# clippy. No network access is assumed anywhere — every dependency is a
+# vendored in-repo shim (see vendor/).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --offline"
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+else
+    echo "==> clippy not installed; skipping lint"
+fi
+
+echo "==> ci ok"

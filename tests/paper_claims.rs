@@ -267,7 +267,7 @@ fn grade_initialization_uses_stored_experience() {
     let seeded = Tuner::new(constraints, &v, opts).tune(
         WorkloadKind::LiveMaps,
         &reference,
-        &[first.best.config.clone()],
+        std::slice::from_ref(&first.best.config),
         None,
     );
     assert!(

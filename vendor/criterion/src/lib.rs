@@ -1,0 +1,213 @@
+//! Minimal in-repo stand-in for the `criterion` crate.
+//!
+//! The offline build cannot fetch real criterion, so this shim provides the
+//! harness surface the `crates/bench` benchmarks use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros — backed by simple wall-clock timing. There is no statistical
+//! analysis: each benchmark runs a calibrated batch and prints mean
+//! ns/iteration (plus derived throughput when configured), which is enough
+//! to compare configurations and track trends.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Identifier that is only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration timing driver handed to benchmark closures.
+pub struct Bencher {
+    iters_hint: u64,
+    /// Mean duration of one iteration, filled by `iter`.
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times to smooth noise.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then a timed batch.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters_hint {
+            black_box(routine());
+        }
+        self.elapsed_per_iter = start.elapsed() / u32::try_from(self.iters_hint).unwrap_or(1);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: u64, throughput: Option<Throughput>, mut f: F) {
+    // Calibrate the batch size so quick routines are averaged over many
+    // runs while slow ones (whole tuning iterations) only run a few times.
+    let mut probe = Bencher {
+        iters_hint: 1,
+        elapsed_per_iter: Duration::ZERO,
+    };
+    f(&mut probe);
+    let per_iter = probe.elapsed_per_iter.max(Duration::from_nanos(1));
+    let target_total = Duration::from_millis(200);
+    let calibrated = (target_total.as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+    let iters = calibrated.min(sample_size.max(1) * 10);
+
+    let mut bencher = Bencher {
+        iters_hint: iters,
+        elapsed_per_iter: per_iter,
+    };
+    f(&mut bencher);
+    let ns = bencher.elapsed_per_iter.as_nanos();
+    match throughput {
+        Some(Throughput::Elements(n)) if ns > 0 => {
+            let rate = n as f64 / bencher.elapsed_per_iter.as_secs_f64();
+            println!("bench: {name:<50} {ns:>12} ns/iter ({rate:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if ns > 0 => {
+            let rate = n as f64 / bencher.elapsed_per_iter.as_secs_f64();
+            println!("bench: {name:<50} {ns:>12} ns/iter ({rate:.0} B/s)");
+        }
+        _ => println!("bench: {name:<50} {ns:>12} ns/iter"),
+    }
+}
+
+/// Top-level benchmark harness.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, 100, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps how many samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Declares units-per-iteration for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{name}", self.name), self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs a parameterized benchmark within the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (no-op; parity with real criterion).
+    pub fn finish(&mut self) {}
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("sum", 4), &[1u64, 2, 3, 4], |b, xs| {
+            b.iter(|| xs.iter().sum::<u64>())
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,559 @@
+//! Minimal in-repo stand-in for the `proptest` crate.
+//!
+//! The offline build cannot fetch real proptest, so this shim re-implements
+//! the subset the workspace's property tests use: the `proptest!` macro,
+//! `Strategy` with `prop_map`/`prop_flat_map`, range/tuple/`Just`/`select`/
+//! `bool::ANY`/`collection::vec` strategies, `prop_oneof!`, `any::<T>()`,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest: no shrinking (failures report the raw
+//! generated case via the panic message) and no persisted failure seeds —
+//! every run is deterministic from the test name, which is what this
+//! workspace's CI wants anyway.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Strategy combinators and primitive strategies.
+pub mod strategy {
+    use super::*;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// `generate` is object-safe so strategies can be boxed for
+    /// [`Union`] (`prop_oneof!`).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a second strategy from each generated value.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Output of [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union; panics on an empty arm list.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let idx = rng.gen_range(0..self.arms.len());
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+}
+
+pub use strategy::{Just, Strategy};
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical full-range strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy yielding any value of a primitive type.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyPrimitive<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty => $gen:expr),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                let f: fn(&mut StdRng) -> $t = $gen;
+                f(rng)
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(
+    u8 => |rng| rng.gen::<u8>(),
+    u16 => |rng| rng.gen::<u16>(),
+    u32 => |rng| rng.gen::<u32>(),
+    u64 => |rng| rng.gen::<u64>(),
+    usize => |rng| rng.gen::<usize>(),
+    i32 => |rng| rng.gen::<i32>(),
+    i64 => |rng| rng.gen::<i64>(),
+    bool => |rng| rng.gen::<bool>(),
+    f64 => |rng| rng.gen::<f64>() * 2e6 - 1e6
+);
+
+/// The canonical strategy for `T` (`any::<i64>()` etc.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Namespaced strategy constructors (`prop::sample::select`, ...).
+pub mod prop {
+    /// Strategies drawing from explicit value lists.
+    pub mod sample {
+        use super::super::*;
+
+        /// Strategy choosing uniformly from a fixed list.
+        #[derive(Debug, Clone)]
+        pub struct Select<T: Clone> {
+            items: Vec<T>,
+        }
+
+        /// Chooses uniformly from `items`; panics if empty.
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            assert!(!items.is_empty(), "select() needs at least one item");
+            Select { items }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut StdRng) -> T {
+                self.items[rng.gen_range(0..self.items.len())].clone()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use super::super::*;
+
+        /// Strategy yielding either boolean.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Uniform boolean strategy.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+
+            fn generate(&self, rng: &mut StdRng) -> bool {
+                rng.gen::<bool>()
+            }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::*;
+
+        /// Length specification for [`vec`]: an exact size or a range.
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            min: usize,
+            /// Exclusive upper bound.
+            max: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { min: n, max: n + 1 }
+            }
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                SizeRange {
+                    min: r.start,
+                    max: r.end,
+                }
+            }
+        }
+
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    min: *r.start(),
+                    max: *r.end() + 1,
+                }
+            }
+        }
+
+        /// Strategy yielding vectors of values from an element strategy.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Vectors whose length is drawn from `size` and whose elements come
+        /// from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            let size = size.into();
+            assert!(size.min < size.max, "empty collection size range");
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.size.min..self.size.max);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-skipped) cases each test must run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Marker returned by `prop_assume!` when a generated case is rejected.
+#[derive(Debug, Clone, Copy)]
+pub struct TestCaseSkip;
+
+/// Drives one property test: repeatedly generates cases until `cfg.cases`
+/// succeed, skipping `prop_assume!` rejections (bounded so a strategy that
+/// always rejects fails loudly instead of spinning).
+pub fn run_cases<F>(cfg: ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseSkip>,
+{
+    // FNV-1a over the test name: deterministic per test, stable across runs.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut successes = 0u32;
+    let max_attempts = cfg.cases.saturating_mul(20).max(64);
+    for _ in 0..max_attempts {
+        if successes >= cfg.cases {
+            return;
+        }
+        if case(&mut rng).is_ok() {
+            successes += 1;
+        }
+    }
+    assert!(
+        successes >= cfg.cases,
+        "proptest `{test_name}`: only {successes}/{} cases passed the \
+         prop_assume! filters after {max_attempts} attempts",
+        cfg.cases
+    );
+}
+
+/// Defines property tests over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; the config expression is bound at
+/// repetition depth zero so it can be repeated per test function.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        @cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases($cfg, stringify!($name), |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)*
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Skips the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseSkip);
+        }
+    };
+}
+
+/// Asserts within a property test (fails the whole test).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts equality within a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+/// Asserts inequality within a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right);
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(::std::boxed::Box::new($strat)),+
+        ])
+    };
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
+        proptest, Arbitrary, ProptestConfig,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 1u32..=4, y in 0usize..16, f in -2.0f64..2.0) {
+            prop_assert!((1..=4).contains(&x));
+            prop_assert!(y < 16);
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(v in (0u8..4, prop::bool::ANY).prop_map(|(a, b)| (a as usize, b))) {
+            prop_assert!(v.0 < 4);
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(choices in prop::collection::vec(
+            prop_oneof![Just(0u8), Just(1u8), 2u8..4],
+            64..65,
+        )) {
+            for &c in &choices {
+                prop_assert!(c < 4);
+            }
+        }
+
+        #[test]
+        fn select_and_flat_map(v in prop::sample::select(vec![2usize, 3, 5])
+            .prop_flat_map(|n| prop::collection::vec(0u8..10, n).prop_map(move |xs| (n, xs))))
+        {
+            prop_assert_eq!(v.0, v.1.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use rand::rngs::StdRng;
+        let collect = || {
+            let mut out = Vec::new();
+            crate::run_cases(
+                crate::ProptestConfig::with_cases(8),
+                "determinism_probe",
+                |rng: &mut StdRng| {
+                    out.push(crate::Strategy::generate(&(0u64..1000), rng));
+                    Ok(())
+                },
+            );
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+}

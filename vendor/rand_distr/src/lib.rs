@@ -1,0 +1,170 @@
+//! Minimal in-repo stand-in for the `rand_distr` crate (0.4 API subset).
+//!
+//! Provides the three distributions the workload generator uses — `Exp`,
+//! `LogNormal`, and `Zipf` — sampled from any [`rand::Rng`]. Inverse-CDF and
+//! Box-Muller transforms keep the implementations dependency-free; Zipf uses
+//! a precomputed CDF table with binary search, which is exact and fast for
+//! the support sizes this workspace generates (≤ a few hundred thousand).
+
+#![warn(missing_docs)]
+
+use rand::Rng;
+
+/// Types that can be sampled from an RNG.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution with the given rate.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(ParamError("Exp rate must be finite and positive"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF; 1 - u avoids ln(0) since u is in [0, 1).
+        let u: f64 = rng.gen();
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma^2))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution from the mean and standard
+    /// deviation of the underlying normal.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if sigma >= 0.0 && sigma.is_finite() && mu.is_finite() {
+            Ok(LogNormal { mu, sigma })
+        } else {
+            Err(ParamError("LogNormal sigma must be finite and non-negative"))
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box-Muller; u1 is flipped to (0, 1] so ln(u1) is finite.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let normal = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * normal).exp()
+    }
+}
+
+/// Zipf distribution over `{1, ..., n}` with exponent `s`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution with `n` elements and exponent `s`.
+    pub fn new(n: u64, s: f64) -> Result<Self, ParamError> {
+        if n == 0 {
+            return Err(ParamError("Zipf support must be non-empty"));
+        }
+        if !(s.is_finite() && s >= 0.0) {
+            return Err(ParamError("Zipf exponent must be finite and non-negative"));
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Ok(Zipf { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let d = Exp::new(0.5).unwrap();
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let n = 50_000;
+        let mut xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[n / 2];
+        assert!(
+            (median - 1.0f64.exp()).abs() < 0.15,
+            "median {median} vs {}",
+            1.0f64.exp()
+        );
+    }
+
+    #[test]
+    fn zipf_favors_small_ranks() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let d = Zipf::new(100, 1.0).unwrap();
+        let mut counts = [0u32; 100];
+        for _ in 0..50_000 {
+            let v = d.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&v));
+            counts[v as usize - 1] += 1;
+        }
+        assert!(counts[0] > counts[9] && counts[9] > counts[99]);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(Zipf::new(0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,490 @@
+//! Minimal in-repo stand-in for the `serde_derive` proc-macro crate.
+//!
+//! Real serde_derive depends on syn/quote, which the offline build cannot
+//! fetch, so this implementation parses the item with a small hand-written
+//! `TokenTree` walker and emits code by string construction. It supports
+//! exactly the shapes this workspace derives:
+//!
+//! - named-field structs;
+//! - enums with unit, single-field (newtype), and struct variants,
+//!   externally tagged like real serde (`"Variant"` /
+//!   `{"Variant": inner}` / `{"Variant": {fields...}}`);
+//! - the field attributes `#[serde(default)]` and
+//!   `#[serde(skip_serializing_if = "path")]`.
+//!
+//! Anything else (tuple structs, generics, other serde attributes) panics
+//! at expansion time with a clear message rather than silently
+//! mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field and the serde attributes that affect it.
+struct Field {
+    name: String,
+    default: bool,
+    skip_if: Option<String>,
+}
+
+enum VariantShape {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize` (value-based shim flavor).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_serialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse().expect("serde_derive emitted invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (value-based shim flavor).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_deserialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse().expect("serde_derive emitted invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_ident(&self) -> Option<String> {
+        match self.peek() {
+            Some(TokenTree::Ident(i)) => Some(i.to_string()),
+            _ => None,
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Consumes leading `#[...]` attributes, returning the token streams of
+    /// any `#[serde(...)]` groups so field parsing can inspect them.
+    fn eat_attrs(&mut self) -> Vec<TokenStream> {
+        let mut serde_attrs = Vec::new();
+        while self.eat_punct('#') {
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let mut inner = Cursor::new(g.stream());
+                    if inner.peek_ident().as_deref() == Some("serde") {
+                        inner.next();
+                        if let Some(TokenTree::Group(args)) = inner.next() {
+                            serde_attrs.push(args.stream());
+                        }
+                    }
+                }
+                other => panic!("serde_derive: malformed attribute: {other:?}"),
+            }
+        }
+        serde_attrs
+    }
+
+    fn eat_visibility(&mut self) {
+        if self.peek_ident().as_deref() == Some("pub") {
+            self.next();
+            // `pub(crate)` / `pub(in ...)` carry a parenthesized group.
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.next();
+                }
+            }
+        }
+    }
+
+    /// Skips a field's type: everything up to the next top-level comma.
+    /// Only `<`/`>` need depth tracking — parens, brackets, and braces
+    /// arrive as single atomic `Group` trees.
+    fn skip_type(&mut self) {
+        let mut angle_depth = 0usize;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.eat_attrs();
+    c.eat_visibility();
+    let kind = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+    let body = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde_derive shim: `{name}` must have a braced body \
+             (tuple/unit structs unsupported), found {other:?}"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde_derive: expected struct or enum, found `{other}`"),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let serde_attrs = c.eat_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.eat_visibility();
+        let name = c.expect_ident("field name");
+        if !c.eat_punct(':') {
+            panic!("serde_derive shim: field `{name}` is not a named field");
+        }
+        c.skip_type();
+        c.eat_punct(',');
+
+        let mut field = Field {
+            name,
+            default: false,
+            skip_if: None,
+        };
+        for attr in serde_attrs {
+            apply_serde_attr(&mut field, attr);
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+/// Interprets one `#[serde(...)]` argument list for a field.
+fn apply_serde_attr(field: &mut Field, args: TokenStream) {
+    let mut c = Cursor::new(args);
+    while !c.at_end() {
+        let key = c.expect_ident("serde attribute name");
+        match key.as_str() {
+            "default" => field.default = true,
+            "skip_serializing_if" => {
+                if !c.eat_punct('=') {
+                    panic!("serde_derive: skip_serializing_if needs `= \"path\"`");
+                }
+                match c.next() {
+                    Some(TokenTree::Literal(lit)) => {
+                        let s = lit.to_string();
+                        field.skip_if = Some(s.trim_matches('"').to_string());
+                    }
+                    other => panic!("serde_derive: bad skip_serializing_if: {other:?}"),
+                }
+            }
+            other => panic!(
+                "serde_derive shim: unsupported serde attribute `{other}` \
+                 on field `{}`",
+                field.name
+            ),
+        }
+        c.eat_punct(',');
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.eat_attrs();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = g.stream();
+                c.next();
+                let mut inner = Cursor::new(fields);
+                inner.skip_type();
+                if !inner.at_end() {
+                    panic!(
+                        "serde_derive shim: variant `{name}` has multiple \
+                         tuple fields; only newtype variants are supported"
+                    );
+                }
+                VariantShape::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = c.peek() {
+            if p.as_char() == '=' {
+                panic!("serde_derive shim: explicit discriminants unsupported");
+            }
+        }
+        c.eat_punct(',');
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_struct_serialize(name: &str, fields: &[Field]) -> String {
+    let mut body = String::new();
+    body.push_str("let mut __obj = ::std::collections::BTreeMap::new();\n");
+    for f in fields {
+        let insert = format!(
+            "__obj.insert(\"{n}\".to_string(), \
+             ::serde::Serialize::serialize_value(&self.{n}));\n",
+            n = f.name
+        );
+        match &f.skip_if {
+            Some(path) => {
+                body.push_str(&format!("if !{path}(&self.{n}) {{ {insert} }}\n", n = f.name));
+            }
+            None => body.push_str(&insert),
+        }
+    }
+    body.push_str("::serde::Value::Object(__obj)");
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// Expression rebuilding one field from object map `__obj` of type `ty_label`.
+fn field_from_obj(f: &Field, ty_label: &str) -> String {
+    let fallback = if f.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        // `Option` fields deserialize from Null to None; everything else
+        // surfaces a missing-field error.
+        format!(
+            "::serde::Deserialize::deserialize_value(&::serde::Value::Null)\
+             .map_err(|_| ::serde::DeError::missing_field(\"{n}\", \"{ty_label}\"))?",
+            n = f.name
+        )
+    };
+    format!(
+        "{n}: match __obj.get(\"{n}\") {{\n\
+             Some(__x) => ::serde::Deserialize::deserialize_value(__x)?,\n\
+             None => {fallback},\n\
+         }},\n",
+        n = f.name
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let mut ctor = String::new();
+    for f in fields {
+        ctor.push_str(&field_from_obj(f, name));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let __obj = match __v {{\n\
+                     ::serde::Value::Object(__m) => __m,\n\
+                     __other => return ::std::result::Result::Err(\
+                         ::serde::DeError::custom(format!(\
+                             \"expected object for `{name}`, got {{__other:?}}\"))),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{\n{ctor}\n}})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        match &v.shape {
+            VariantShape::Unit => arms.push_str(&format!(
+                "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n",
+                v = v.name
+            )),
+            VariantShape::Newtype => arms.push_str(&format!(
+                "{name}::{v}(__f0) => {{\n\
+                     let mut __obj = ::std::collections::BTreeMap::new();\n\
+                     __obj.insert(\"{v}\".to_string(), \
+                         ::serde::Serialize::serialize_value(__f0));\n\
+                     ::serde::Value::Object(__obj)\n\
+                 }}\n",
+                v = v.name
+            )),
+            VariantShape::Struct(fields) => {
+                let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let mut inner = String::new();
+                for f in fields {
+                    inner.push_str(&format!(
+                        "__inner.insert(\"{n}\".to_string(), \
+                         ::serde::Serialize::serialize_value({n}));\n",
+                        n = f.name
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{v} {{ {binds} }} => {{\n\
+                         let mut __inner = ::std::collections::BTreeMap::new();\n\
+                         {inner}\
+                         let mut __obj = ::std::collections::BTreeMap::new();\n\
+                         __obj.insert(\"{v}\".to_string(), \
+                             ::serde::Value::Object(__inner));\n\
+                         ::serde::Value::Object(__obj)\n\
+                     }}\n",
+                    v = v.name,
+                    binds = binders.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}\n}}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        match &v.shape {
+            VariantShape::Unit => unit_arms.push_str(&format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                v = v.name
+            )),
+            VariantShape::Newtype => data_arms.push_str(&format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                     ::serde::Deserialize::deserialize_value(__inner)?)),\n",
+                v = v.name
+            )),
+            VariantShape::Struct(fields) => {
+                let label = format!("{name}::{}", v.name);
+                let mut ctor = String::new();
+                for f in fields {
+                    ctor.push_str(&field_from_obj(f, &label));
+                }
+                data_arms.push_str(&format!(
+                    "\"{v}\" => {{\n\
+                         let __obj = match __inner {{\n\
+                             ::serde::Value::Object(__m) => __m,\n\
+                             __other => return ::std::result::Result::Err(\
+                                 ::serde::DeError::custom(format!(\
+                                     \"expected object for `{label}`, \
+                                      got {{__other:?}}\"))),\n\
+                         }};\n\
+                         ::std::result::Result::Ok({name}::{v} {{\n{ctor}\n}})\n\
+                     }}\n",
+                    v = v.name
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(\
+                             ::serde::DeError::custom(format!(\
+                                 \"unknown variant `{{__other}}` for `{name}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                         let (__k, __inner) = __m.iter().next().unwrap();\n\
+                         match __k.as_str() {{\n\
+                             {data_arms}\n\
+                             __other => ::std::result::Result::Err(\
+                                 ::serde::DeError::custom(format!(\
+                                     \"unknown variant `{{__other}}` for `{name}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(\
+                         ::serde::DeError::custom(format!(\
+                             \"expected `{name}` variant, got {{__other:?}}\"))),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
