@@ -5,13 +5,21 @@
 //! autoblox profile <trace-file> [csv|blkparse|msr]
 //! autoblox classify <trace-file> [csv|blkparse|msr]
 //! autoblox simulate <workload|trace-file> [config.json]
-//! autoblox tune <workload> [--iterations N] [--capacity GIB]
+//! autoblox tune <workload> [--iterations N] [--events N] [--capacity GIB]
 //!               [--interface nvme|sata] [--flash slc|mlc|tlc] [--power W]
+//!               [--telemetry out.json]
 //! autoblox whatif <workload> --goal latency|throughput --factor F
+//!               [--telemetry out.json]
+//! autoblox telemetry-check <report.json>
 //! ```
 //!
 //! Trace files are auto-detected by extension when the format argument is
 //! omitted (`.csv`, `.blk`, `.msr`).
+//!
+//! Output discipline: machine-readable results (tuned configurations,
+//! cluster decisions, simulator reports, telemetry) go to **stdout**;
+//! progress and human-oriented commentary go to **stderr**, so pipelines
+//! can consume the JSON without scraping.
 
 use autoblox::clustering::{ClusterDecision, WorkloadClusterer};
 use autoblox::constraints::Constraints;
@@ -38,9 +46,12 @@ fn usage() -> ExitCode {
          \x20 profile  <trace-file> [csv|blkparse|msr]        print workload statistics\n\
          \x20 classify <trace-file> [csv|blkparse|msr]        match against the studied clusters\n\
          \x20 simulate <workload|trace-file> [config.json]    run the SSD simulator\n\
-         \x20 tune     <workload> [--iterations N] [--capacity GIB]\n\
+         \x20 tune     <workload> [--iterations N] [--events N] [--capacity GIB]\n\
          \x20          [--interface nvme|sata] [--flash slc|mlc|tlc] [--power W]\n\
+         \x20          [--telemetry out.json]\n\
          \x20 whatif   <workload> --goal latency|throughput --factor F\n\
+         \x20          [--telemetry out.json]\n\
+         \x20 telemetry-check <report.json>                   validate a telemetry report\n\
          \n\
          workloads: {}",
         WorkloadKind::STUDIED
@@ -56,17 +67,15 @@ fn usage() -> ExitCode {
 fn load_trace(path: &str, format: Option<&str>) -> Result<Trace, String> {
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     let reader = BufReader::new(file);
-    let fmt = format
-        .map(str::to_string)
-        .unwrap_or_else(|| {
-            if path.ends_with(".msr") {
-                "msr".into()
-            } else if path.ends_with(".blk") {
-                "blkparse".into()
-            } else {
-                "csv".into()
-            }
-        });
+    let fmt = format.map(str::to_string).unwrap_or_else(|| {
+        if path.ends_with(".msr") {
+            "msr".into()
+        } else if path.ends_with(".blk") {
+            "blkparse".into()
+        } else {
+            "csv".into()
+        }
+    });
     let result = match fmt.as_str() {
         "csv" => parse_csv(path, reader),
         "blkparse" => parse_blkparse(path, reader),
@@ -86,7 +95,9 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         return Err("generate needs <workload> <events> <seed> [out.csv]".into());
     };
     let kind = parse_workload(workload)?;
-    let events: usize = events.parse().map_err(|e| format!("bad event count: {e}"))?;
+    let events: usize = events
+        .parse()
+        .map_err(|e| format!("bad event count: {e}"))?;
     let seed: u64 = seed.parse().map_err(|e| format!("bad seed: {e}"))?;
     let trace = kind.spec().generate(events, seed);
     match rest.first() {
@@ -131,18 +142,41 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
             owners[cluster] = kind.name().to_string();
         }
     }
-    match model.classify(&trace).map_err(|e| e.to_string())? {
-        ClusterDecision::Existing { cluster, distance } => println!(
-            "trace matches cluster {cluster} ({}) at distance {distance:.2} (threshold {:.2})",
-            owners[cluster],
-            model.threshold()
-        ),
-        ClusterDecision::New { nearest, distance } => println!(
-            "trace is a NEW workload: nearest cluster {nearest} ({}) at distance {distance:.2} > threshold {:.2}",
-            owners[nearest],
-            model.threshold()
-        ),
-    }
+    // Machine-readable decision to stdout; commentary to stderr.
+    let decision = match model.classify(&trace).map_err(|e| e.to_string())? {
+        ClusterDecision::Existing { cluster, distance } => {
+            eprintln!(
+                "trace matches cluster {cluster} ({}) at distance {distance:.2} (threshold {:.2})",
+                owners[cluster],
+                model.threshold()
+            );
+            serde_json::json!({
+                "decision": "existing",
+                "cluster": cluster as u64,
+                "owner": owners[cluster].clone(),
+                "distance": distance,
+                "threshold": model.threshold(),
+            })
+        }
+        ClusterDecision::New { nearest, distance } => {
+            eprintln!(
+                "trace is a NEW workload: nearest cluster {nearest} ({}) at distance {distance:.2} > threshold {:.2}",
+                owners[nearest],
+                model.threshold()
+            );
+            serde_json::json!({
+                "decision": "new",
+                "nearest": nearest as u64,
+                "owner": owners[nearest].clone(),
+                "distance": distance,
+                "threshold": model.threshold(),
+            })
+        }
+    };
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&decision).map_err(|e| e.to_string())?
+    );
     Ok(())
 }
 
@@ -188,6 +222,46 @@ where
     Ok(None)
 }
 
+/// Consumes the `--telemetry <path>` flag; when present, arms telemetry
+/// collection for the whole process and clears any prior state so the
+/// eventual report covers exactly this command.
+fn telemetry_setup(args: &[String]) -> Result<Option<String>, String> {
+    let path: Option<String> = parse_flag(args, "--telemetry")?;
+    if path.is_some() {
+        autoblox::telemetry::set_enabled(true);
+        autoblox::parallel::reset_pool_stats();
+        autoblox::telemetry::global().clear();
+    }
+    Ok(path)
+}
+
+/// Writes the global sink's report (with the validator's statistics folded
+/// in) to `path` as pretty JSON.
+fn write_telemetry(path: &str, validator: &Validator) -> Result<(), String> {
+    let report = autoblox::telemetry::global().report(Some(validator));
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!("telemetry report written to {path}");
+    Ok(())
+}
+
+fn cmd_telemetry_check(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("telemetry-check needs <report.json>".into());
+    };
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let report =
+        autoblox::telemetry::RunReport::parse_checked(&json).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!(
+        "{path}: valid {} report ({} phase(s), {} tuner run(s), {} simulator run(s))",
+        report.schema,
+        report.phases.len(),
+        report.tuner.len(),
+        report.validator.simulator_runs,
+    );
+    Ok(())
+}
+
 fn constraints_from(args: &[String]) -> Result<Constraints, String> {
     let capacity: u64 = parse_flag(args, "--capacity")?.unwrap_or(512);
     let power: f64 = parse_flag(args, "--power")?.unwrap_or(25.0);
@@ -222,7 +296,13 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
     let kind = parse_workload(workload)?;
     let constraints = constraints_from(rest)?;
     let iterations: usize = parse_flag(rest, "--iterations")?.unwrap_or(20);
-    let validator = Validator::new(ValidatorOptions::default());
+    let trace_events: usize =
+        parse_flag(rest, "--events")?.unwrap_or(ValidatorOptions::default().trace_events);
+    let telemetry_path = telemetry_setup(rest)?;
+    let validator = Validator::new(ValidatorOptions {
+        trace_events,
+        ..ValidatorOptions::default()
+    });
     let opts = TunerOptions {
         max_iterations: iterations,
         non_target: WorkloadKind::STUDIED
@@ -235,8 +315,10 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
     };
     let reference = reference_for(&constraints);
     eprintln!("tuning {kind} for up to {iterations} iterations ...");
+    let sink = autoblox::telemetry::global();
     let tuner = Tuner::new(constraints, &validator, opts);
-    let outcome = tuner.tune(kind, &reference, &[], None);
+    let outcome = sink.phase("tune", || tuner.tune(kind, &reference, &[], None));
+    sink.record_outcome(&outcome);
     eprintln!(
         "converged after {} iterations ({} validations); grade {:+.4}; \
          latency {:.2}x, throughput {:.2}x vs reference",
@@ -244,12 +326,18 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
         outcome.validations,
         outcome.best.grade,
         outcome.best.measurement.latency_speedup(&outcome.reference),
-        outcome.best.measurement.throughput_speedup(&outcome.reference),
+        outcome
+            .best
+            .measurement
+            .throughput_speedup(&outcome.reference),
     );
     println!(
         "{}",
         serde_json::to_string_pretty(&outcome.best.config).map_err(|e| e.to_string())?
     );
+    if let Some(path) = telemetry_path {
+        write_telemetry(&path, &validator)?;
+    }
     Ok(())
 }
 
@@ -265,17 +353,27 @@ fn cmd_whatif(args: &[String]) -> Result<(), String> {
         Some(other) => return Err(format!("unknown goal {other:?}")),
     };
     let constraints = constraints_from(rest)?;
-    let validator = Validator::new(ValidatorOptions::default());
+    let trace_events: usize =
+        parse_flag(rest, "--events")?.unwrap_or(ValidatorOptions::default().trace_events);
+    let telemetry_path = telemetry_setup(rest)?;
+    let validator = Validator::new(ValidatorOptions {
+        trace_events,
+        ..ValidatorOptions::default()
+    });
     let reference = reference_for(&constraints);
     eprintln!("running what-if analysis for {kind} ...");
-    let out = what_if(
-        kind,
-        goal,
-        constraints,
-        &reference,
-        &validator,
-        WhatIfOptions::default(),
-    );
+    let sink = autoblox::telemetry::global();
+    let out = sink.phase("whatif", || {
+        what_if(
+            kind,
+            goal,
+            constraints,
+            &reference,
+            &validator,
+            WhatIfOptions::default(),
+        )
+    });
+    sink.record_outcome(&out.tuning);
     eprintln!(
         "achieved {:.2}x ({}) in {} iterations",
         out.achieved,
@@ -286,6 +384,9 @@ fn cmd_whatif(args: &[String]) -> Result<(), String> {
         "{}",
         serde_json::to_string_pretty(&out.tuning.best.config).map_err(|e| e.to_string())?
     );
+    if let Some(path) = telemetry_path {
+        write_telemetry(&path, &validator)?;
+    }
     Ok(())
 }
 
@@ -302,6 +403,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(rest),
         "tune" => cmd_tune(rest),
         "whatif" => cmd_whatif(rest),
+        "telemetry-check" => cmd_telemetry_check(rest),
         _ => return usage(),
     };
     match result {

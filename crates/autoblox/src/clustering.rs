@@ -110,9 +110,8 @@ impl WorkloadClusterer {
                             continue;
                         }
                     };
-                    let score =
-                        mlkit::metrics::silhouette_score(&model.training, &labels)
-                            .unwrap_or(f64::NEG_INFINITY);
+                    let score = mlkit::metrics::silhouette_score(&model.training, &labels)
+                        .unwrap_or(f64::NEG_INFINITY);
                     if best.as_ref().is_none_or(|(_, _, s)| score > *s) {
                         best = Some((model, k, score));
                     }
@@ -348,9 +347,7 @@ mod tests {
         // A fresh trace of a studied kind lands in the same cluster as the
         // training trace of that kind.
         for kind in kinds {
-            let train_c = model
-                .classify(&kind.spec().generate(2_000, 100))
-                .unwrap();
+            let train_c = model.classify(&kind.spec().generate(2_000, 100)).unwrap();
             let fresh_c = model.classify(&kind.spec().generate(2_000, 777)).unwrap();
             match (train_c, fresh_c) {
                 (
@@ -428,8 +425,7 @@ mod tests {
             WorkloadKind::Fiu,
         ];
         let traces = train_traces(&kinds, 4_000);
-        let (model, k) =
-            WorkloadClusterer::fit_auto_k(&traces, 2..=6, small_window(), 11).unwrap();
+        let (model, k) = WorkloadClusterer::fit_auto_k(&traces, 2..=6, small_window(), 11).unwrap();
         // Three well-separated categories: silhouette should pick ~3.
         assert!((2..=4).contains(&k), "picked k={k}");
         assert_eq!(model.k(), k);

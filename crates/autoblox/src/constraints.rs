@@ -169,8 +169,7 @@ impl Constraints {
                 } else {
                     0.0
                 };
-                let err = (trial.physical_capacity_bytes() as f64
-                    - self.capacity_bytes as f64)
+                let err = (trial.physical_capacity_bytes() as f64 - self.capacity_bytes as f64)
                     .abs()
                     + die_penalty;
                 if best.is_none_or(|(e, _)| err < e) {

@@ -150,10 +150,24 @@ impl<'v> AutoBlox<'v> {
     /// Runs both pruning stages for a workload category and returns the
     /// coarse report plus the fine report (whose order drives tuning).
     pub fn prune(&self, kind: WorkloadKind, base: &SsdConfig) -> (CoarseReport, FineReport) {
+        let sink = crate::telemetry::global();
         let space = crate::params::ParamSpace::new();
-        let coarse = coarse_prune(&space, base, kind, self.validator);
+        let coarse = sink.phase("coarse_prune", || {
+            coarse_prune(&space, base, kind, self.validator)
+        });
+        sink.record_coarse(&coarse);
         let sensitive = coarse.sensitive();
-        let fine = fine_prune(&space, base, kind, &sensitive, self.validator, self.opts.fine);
+        let fine = sink.phase("fine_prune", || {
+            fine_prune(
+                &space,
+                base,
+                kind,
+                &sensitive,
+                self.validator,
+                self.opts.fine,
+            )
+        });
+        sink.record_fine(&fine);
         (coarse, fine)
     }
 
@@ -165,14 +179,18 @@ impl<'v> AutoBlox<'v> {
         reference: &SsdConfig,
         tuning_order: Option<&[&str]>,
     ) -> TuningOutcome {
+        let sink = crate::telemetry::global();
         let initial = self.stored_configs(&Self::category_key(kind));
         let tuner = Tuner::new(self.constraints, self.validator, self.opts.tuner.clone());
-        let outcome = tuner.tune(
-            kind,
-            reference,
-            &initial.iter().map(|s| s.config.clone()).collect::<Vec<_>>(),
-            tuning_order,
-        );
+        let outcome = sink.phase("tune", || {
+            tuner.tune(
+                kind,
+                reference,
+                &initial.iter().map(|s| s.config.clone()).collect::<Vec<_>>(),
+                tuning_order,
+            )
+        });
+        sink.record_outcome(&outcome);
         self.store(&Self::category_key(kind), kind.name(), &outcome);
         outcome
     }
@@ -255,8 +273,13 @@ impl<'v> AutoBlox<'v> {
     }
 
     fn tune_trace(&self, trace: &Trace, reference: &SsdConfig) -> TuningOutcome {
+        let sink = crate::telemetry::global();
         let tuner = Tuner::new(self.constraints, self.validator, self.opts.tuner.clone());
-        tuner.tune(TuningTarget::Trace(trace), reference, &[], None)
+        let outcome = sink.phase("tune", || {
+            tuner.tune(TuningTarget::Trace(trace), reference, &[], None)
+        });
+        sink.record_outcome(&outcome);
+        outcome
     }
 
     fn category_key(kind: WorkloadKind) -> String {
@@ -345,8 +368,7 @@ mod tests {
         let out2 = fw.tune_category(WorkloadKind::KvStore, &presets::intel_750(), None);
         // With a seeded store the second run cannot be worse.
         assert!(out2.best.grade >= 0.0);
-        let stored: Vec<StoredConfig> =
-            fw.db().get_record("category:KVStore").unwrap().unwrap();
+        let stored: Vec<StoredConfig> = fw.db().get_record("category:KVStore").unwrap().unwrap();
         assert!(stored.len() >= 2);
     }
 
@@ -362,7 +384,11 @@ mod tests {
         let t1 = WorkloadKind::WebSearch.spec().generate(2_000, 99);
         let r1 = fw.recommend(&t1, &presets::intel_750());
         let cluster1 = match &r1 {
-            Recommendation::Learned { cluster, new_cluster, .. } => {
+            Recommendation::Learned {
+                cluster,
+                new_cluster,
+                ..
+            } => {
                 assert!(!new_cluster);
                 *cluster
             }

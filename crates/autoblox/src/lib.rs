@@ -52,14 +52,15 @@ pub mod framework;
 pub mod metrics;
 pub mod params;
 pub mod pruning;
+pub mod telemetry;
 pub mod tuner;
 pub mod validator;
 pub mod whatif;
 
 pub use constraints::Constraints;
-pub use mlkit::parallel;
 pub use framework::{AutoBlox, AutoBloxOptions, Recommendation};
 pub use metrics::{grade, performance, Measurement};
+pub use mlkit::parallel;
 pub use params::ParamSpace;
 pub use tuner::{SurrogateKind, Tuner, TunerOptions, TuningOutcome, TuningTarget};
 pub use validator::{Validator, ValidatorOptions};

@@ -133,7 +133,9 @@ pub fn param_grid(name: &str) -> Vec<f64> {
         "program_latency" => lin_grid(0.5, 1.0, 40),
         "erase_latency" => lin_grid(0.5, 1.0, 17),
         "channel_transfer_rate" => {
-            vec![67., 100., 133., 166., 200., 266., 333., 400., 533., 667., 800., 1066., 1200.]
+            vec![
+                67., 100., 133., 166., 200., 266., 333., 400., 533., 667., 800., 1066., 1200.,
+            ]
         }
         "channel_width" => vec![8., 16., 32.],
         "flash_cmd_overhead" => lin_grid(100., 2_000., 20),
@@ -172,7 +174,13 @@ pub fn catalog() -> Vec<ParamDef> {
     use ParamKind::*;
     let mut params = vec![
         // ---- Layout (7) ----
-        numeric_param!("channel_count", Discrete, param_grid("channel_count"), channel_count, u32),
+        numeric_param!(
+            "channel_count",
+            Discrete,
+            param_grid("channel_count"),
+            channel_count,
+            u32
+        ),
         numeric_param!(
             "chip_no_per_channel",
             Discrete,
@@ -180,8 +188,20 @@ pub fn catalog() -> Vec<ParamDef> {
             chips_per_channel,
             u32
         ),
-        numeric_param!("die_no_per_chip", Discrete, param_grid("die_no_per_chip"), dies_per_chip, u32),
-        numeric_param!("plane_no_per_die", Discrete, param_grid("plane_no_per_die"), planes_per_die, u32),
+        numeric_param!(
+            "die_no_per_chip",
+            Discrete,
+            param_grid("die_no_per_chip"),
+            dies_per_chip,
+            u32
+        ),
+        numeric_param!(
+            "plane_no_per_die",
+            Discrete,
+            param_grid("plane_no_per_die"),
+            planes_per_die,
+            u32
+        ),
         numeric_param!(
             "block_no_per_plane",
             Discrete,
@@ -196,7 +216,13 @@ pub fn catalog() -> Vec<ParamDef> {
             pages_per_block,
             u32
         ),
-        numeric_param!("page_capacity", Discrete, param_grid("page_capacity"), page_size_bytes, u32),
+        numeric_param!(
+            "page_capacity",
+            Discrete,
+            param_grid("page_capacity"),
+            page_size_bytes,
+            u32
+        ),
         // ---- Flash timing (factors of the technology baseline) ----
         ParamDef {
             name: "read_latency",
@@ -218,7 +244,10 @@ pub fn catalog() -> Vec<ParamDef> {
             grid: param_grid("program_latency"),
             get: |c| {
                 let base = c.flash_technology.base_program_ns() as f64;
-                nearest(&param_grid("program_latency"), c.program_latency_ns as f64 / base)
+                nearest(
+                    &param_grid("program_latency"),
+                    c.program_latency_ns as f64 / base,
+                )
             },
             set: |c, i| {
                 let g = param_grid("program_latency");
@@ -232,7 +261,10 @@ pub fn catalog() -> Vec<ParamDef> {
             grid: param_grid("erase_latency"),
             get: |c| {
                 let base = c.flash_technology.base_erase_ns() as f64;
-                nearest(&param_grid("erase_latency"), c.erase_latency_ns as f64 / base)
+                nearest(
+                    &param_grid("erase_latency"),
+                    c.erase_latency_ns as f64 / base,
+                )
             },
             set: |c, i| {
                 let g = param_grid("erase_latency");
@@ -247,7 +279,13 @@ pub fn catalog() -> Vec<ParamDef> {
             channel_transfer_rate_mts,
             u32
         ),
-        numeric_param!("channel_width", Discrete, param_grid("channel_width"), channel_width_bits, u32),
+        numeric_param!(
+            "channel_width",
+            Discrete,
+            param_grid("channel_width"),
+            channel_width_bits,
+            u32
+        ),
         numeric_param!(
             "flash_cmd_overhead",
             Continuous,
@@ -270,17 +308,52 @@ pub fn catalog() -> Vec<ParamDef> {
             u64
         ),
         // ---- Controller DRAM ----
-        numeric_param!("data_cache_size", Continuous, param_grid("data_cache_size"), data_cache_mb, u32),
-        numeric_param!("cmt_capacity", Continuous, param_grid("cmt_capacity"), cmt_capacity_mb, u32),
-        numeric_param!("dram_data_rate", Discrete, param_grid("dram_data_rate"), dram_data_rate_mts, u32),
-        numeric_param!("dram_burst_size", Discrete, param_grid("dram_burst_size"), dram_burst_bytes, u32),
-        numeric_param!("cmt_entry_size", Discrete, param_grid("cmt_entry_size"), cmt_entry_bytes, u32),
+        numeric_param!(
+            "data_cache_size",
+            Continuous,
+            param_grid("data_cache_size"),
+            data_cache_mb,
+            u32
+        ),
+        numeric_param!(
+            "cmt_capacity",
+            Continuous,
+            param_grid("cmt_capacity"),
+            cmt_capacity_mb,
+            u32
+        ),
+        numeric_param!(
+            "dram_data_rate",
+            Discrete,
+            param_grid("dram_data_rate"),
+            dram_data_rate_mts,
+            u32
+        ),
+        numeric_param!(
+            "dram_burst_size",
+            Discrete,
+            param_grid("dram_burst_size"),
+            dram_burst_bytes,
+            u32
+        ),
+        numeric_param!(
+            "cmt_entry_size",
+            Discrete,
+            param_grid("cmt_entry_size"),
+            cmt_entry_bytes,
+            u32
+        ),
         // ---- FTL / GC ----
         ParamDef {
             name: "overprovisioning_ratio",
             kind: Continuous,
             grid: param_grid("overprovisioning_ratio"),
-            get: |c| nearest(&param_grid("overprovisioning_ratio"), c.overprovisioning_ratio),
+            get: |c| {
+                nearest(
+                    &param_grid("overprovisioning_ratio"),
+                    c.overprovisioning_ratio,
+                )
+            },
             set: |c, i| {
                 let g = param_grid("overprovisioning_ratio");
                 c.overprovisioning_ratio = g[i.min(g.len() - 1)];
@@ -316,9 +389,27 @@ pub fn catalog() -> Vec<ParamDef> {
             u32
         ),
         // ---- Host interface ----
-        numeric_param!("io_queue_depth", Discrete, param_grid("io_queue_depth"), io_queue_depth, u32),
-        numeric_param!("queue_count", Discrete, param_grid("queue_count"), queue_count, u32),
-        numeric_param!("pcie_lane_count", Discrete, param_grid("pcie_lane_count"), pcie_lane_count, u32),
+        numeric_param!(
+            "io_queue_depth",
+            Discrete,
+            param_grid("io_queue_depth"),
+            io_queue_depth,
+            u32
+        ),
+        numeric_param!(
+            "queue_count",
+            Discrete,
+            param_grid("queue_count"),
+            queue_count,
+            u32
+        ),
+        numeric_param!(
+            "pcie_lane_count",
+            Discrete,
+            param_grid("pcie_lane_count"),
+            pcie_lane_count,
+            u32
+        ),
         numeric_param!(
             "pcie_lane_bandwidth",
             Discrete,
@@ -341,8 +432,20 @@ pub fn catalog() -> Vec<ParamDef> {
             page_metadata_bytes,
             u32
         ),
-        numeric_param!("ecc_engine_count", Discrete, param_grid("ecc_engine_count"), ecc_engine_count, u32),
-        numeric_param!("read_retry_limit", Continuous, param_grid("read_retry_limit"), read_retry_limit, u32),
+        numeric_param!(
+            "ecc_engine_count",
+            Discrete,
+            param_grid("ecc_engine_count"),
+            ecc_engine_count,
+            u32
+        ),
+        numeric_param!(
+            "read_retry_limit",
+            Continuous,
+            param_grid("read_retry_limit"),
+            read_retry_limit,
+            u32
+        ),
         numeric_param!(
             "background_scan_interval",
             Continuous,
@@ -350,7 +453,13 @@ pub fn catalog() -> Vec<ParamDef> {
             background_scan_interval_ms,
             u32
         ),
-        numeric_param!("init_delay", Continuous, param_grid("init_delay"), init_delay_us, u32),
+        numeric_param!(
+            "init_delay",
+            Continuous,
+            param_grid("init_delay"),
+            init_delay_us,
+            u32
+        ),
         numeric_param!(
             "firmware_sram_size",
             Discrete,
@@ -379,7 +488,13 @@ pub fn catalog() -> Vec<ParamDef> {
             dram_refresh_interval_us,
             u32
         ),
-        numeric_param!("nand_vcc", Continuous, param_grid("nand_vcc"), nand_vcc_mv, u32),
+        numeric_param!(
+            "nand_vcc",
+            Continuous,
+            param_grid("nand_vcc"),
+            nand_vcc_mv,
+            u32
+        ),
     ];
 
     // ---- Booleans (5) ----
@@ -389,7 +504,11 @@ pub fn catalog() -> Vec<ParamDef> {
         grid: vec![0., 1.],
         get: |c| (c.gc_policy == GcPolicy::Greedy) as usize,
         set: |c, i| {
-            c.gc_policy = if i > 0 { GcPolicy::Greedy } else { GcPolicy::Random };
+            c.gc_policy = if i > 0 {
+                GcPolicy::Greedy
+            } else {
+                GcPolicy::Random
+            };
         },
     });
     params.push(ParamDef {
@@ -435,7 +554,11 @@ pub fn catalog() -> Vec<ParamDef> {
         grid: vec![0., 1.],
         get: |c| (c.cache_mode == CacheMode::WriteBack) as usize,
         set: |c, i| {
-            c.cache_mode = if i > 0 { CacheMode::WriteBack } else { CacheMode::WriteThrough };
+            c.cache_mode = if i > 0 {
+                CacheMode::WriteBack
+            } else {
+                CacheMode::WriteThrough
+            };
         },
     });
     params.push(ParamDef {
@@ -464,7 +587,11 @@ pub fn catalog() -> Vec<ParamDef> {
             Interface::Sata => 1,
         },
         set: |c, i| {
-            c.interface = if i == 0 { Interface::Nvme } else { Interface::Sata };
+            c.interface = if i == 0 {
+                Interface::Nvme
+            } else {
+                Interface::Sata
+            };
         },
     });
     params
@@ -611,10 +738,7 @@ impl ParamSpace {
 
     /// Total size of the search space (product of cardinalities), saturating.
     pub fn search_space_size(&self) -> f64 {
-        self.params
-            .iter()
-            .map(|p| p.cardinality() as f64)
-            .product()
+        self.params.iter().map(|p| p.cardinality() as f64).product()
     }
 
     /// Names of all parameters with a numeric (continuous/discrete) kind.

@@ -48,6 +48,12 @@ pub struct CoarseSweep {
     pub sensitivity: f64,
     /// `true` if the parameter is flat (insensitive) for this workload.
     pub insensitive: bool,
+    /// Simulator probes this parameter's sweep issued (after dedup).
+    #[serde(default)]
+    pub probes: u64,
+    /// Summed probe time for this parameter, ns (0 when telemetry is off).
+    #[serde(default)]
+    pub sweep_ns: u64,
 }
 
 /// Result of the coarse-grained pruning stage for one workload.
@@ -57,6 +63,12 @@ pub struct CoarseReport {
     pub workload: String,
     /// Per-parameter sweeps (Figure 4's lines).
     pub sweeps: Vec<CoarseSweep>,
+    /// Total deduplicated probes fanned out across all parameters.
+    #[serde(default)]
+    pub probe_count: u64,
+    /// Wall-clock time of the whole stage, ns (0 when telemetry is off).
+    #[serde(default)]
+    pub wall_ns: u64,
 }
 
 impl CoarseReport {
@@ -91,6 +103,7 @@ pub fn coarse_prune(
     workload: WorkloadKind,
     validator: &Validator,
 ) -> CoarseReport {
+    let stage_start = telemetry::start();
     let baseline = validator.evaluate(base, workload);
     // Score of any probe whose grid index reproduces the baseline value
     // (always the 1.0 multiplier; often grid extremes too): known without
@@ -151,20 +164,33 @@ pub fn coarse_prune(
     }
 
     // Fan out: each probe touches its own configuration, and the validator
-    // memoizes deterministically, so the scores are order-independent.
+    // memoizes deterministically, so the scores are order-independent. Each
+    // probe also reports its own duration (zero when telemetry is off) so
+    // per-parameter sweep cost can be attributed without any shared state.
+    let probe_count = jobs.len() as u64;
     let probed = mlkit::parallel::parallel_map(jobs.clone(), |(pi, idx)| {
+        let probe_start = telemetry::start();
         let p = plans[pi].param;
         let mut cfg = base.clone();
         (p.set)(&mut cfg, idx);
-        if cfg.validate().is_ok() {
+        let score = if cfg.validate().is_ok() {
             let meas = validator.evaluate(&cfg, workload);
             performance(&meas, &baseline, DEFAULT_ALPHA)
         } else {
             0.0
-        }
+        };
+        (score, telemetry::elapsed_ns(probe_start))
     });
-    let score_of: std::collections::HashMap<(usize, usize), f64> =
-        jobs.into_iter().zip(probed).collect();
+    let mut probes_of = vec![0u64; plans.len()];
+    let mut sweep_ns_of = vec![0u64; plans.len()];
+    for (&(pi, _), &(_, ns)) in jobs.iter().zip(probed.iter()) {
+        probes_of[pi] += 1;
+        sweep_ns_of[pi] += ns;
+    }
+    let score_of: std::collections::HashMap<(usize, usize), f64> = jobs
+        .into_iter()
+        .zip(probed.into_iter().map(|(s, _)| s))
+        .collect();
 
     let sweeps = plans
         .iter()
@@ -189,12 +215,16 @@ pub fn coarse_prune(
                 sensitivity,
                 scores,
                 extreme_scores,
+                probes: probes_of[pi],
+                sweep_ns: sweep_ns_of[pi],
             }
         })
         .collect();
     CoarseReport {
         workload: workload.name().to_string(),
         sweeps,
+        probe_count,
+        wall_ns: telemetry::elapsed_ns(stage_start),
     }
 }
 
@@ -218,14 +248,25 @@ pub struct FineReport {
     pub coefficients: Vec<FineCoefficient>,
     /// R² of the fitted regression on its training samples.
     pub r_squared: f64,
+    /// Valid samples the regression was fitted on.
+    #[serde(default)]
+    pub samples_used: u64,
+    /// Sampling attempts, including constraint-rejected draws.
+    #[serde(default)]
+    pub attempts: u64,
+    /// Time spent fitting the Ridge model, ns (0 when telemetry is off).
+    #[serde(default)]
+    pub fit_ns: u64,
+    /// Wall-clock time of the whole stage, ns (0 when telemetry is off).
+    #[serde(default)]
+    pub wall_ns: u64,
 }
 
 impl FineReport {
     /// Surviving parameter names ordered by |coefficient| descending — the
     /// tuning order AutoBlox enforces (§3.4, Figure 9).
     pub fn tuning_order(&self) -> Vec<&str> {
-        let mut v: Vec<&FineCoefficient> =
-            self.coefficients.iter().filter(|c| !c.pruned).collect();
+        let mut v: Vec<&FineCoefficient> = self.coefficients.iter().filter(|c| !c.pruned).collect();
         v.sort_by(|a, b| {
             b.coefficient
                 .abs()
@@ -284,11 +325,12 @@ pub fn fine_prune(
     validator: &Validator,
     opts: FineOptions,
 ) -> FineReport {
-    let indices: Vec<usize> = names
-        .iter()
-        .filter_map(|n| space.index_of(n))
-        .collect();
-    assert!(!indices.is_empty(), "fine_prune needs at least one parameter");
+    let stage_start = telemetry::start();
+    let indices: Vec<usize> = names.iter().filter_map(|n| space.index_of(n)).collect();
+    assert!(
+        !indices.is_empty(),
+        "fine_prune needs at least one parameter"
+    );
     let baseline = validator.evaluate(base, workload);
     let base_vec = space.vectorize(base);
     let mut rng = StdRng::seed_from_u64(opts.seed);
@@ -328,7 +370,9 @@ pub fn fine_prune(
     }
 
     let x = Matrix::from_rows(&xs);
+    let fit_start = telemetry::start();
     let model = Ridge::fit(&x, &ys, opts.ridge_alpha).expect("regression fits");
+    let fit_ns = telemetry::elapsed_ns(fit_start);
     let r_squared = model.score(&x, &ys).unwrap_or(0.0);
     let coefficients = indices
         .iter()
@@ -343,6 +387,10 @@ pub fn fine_prune(
         workload: workload.name().to_string(),
         coefficients,
         r_squared,
+        samples_used: xs.len() as u64,
+        attempts: attempts as u64,
+        fit_ns,
+        wall_ns: telemetry::elapsed_ns(stage_start),
     }
 }
 

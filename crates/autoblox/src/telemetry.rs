@@ -1,0 +1,360 @@
+//! Structured telemetry collection for the tuning pipeline.
+//!
+//! The low-level switch and primitives live in the workspace-root
+//! `telemetry` crate (re-exported here); this module adds the collection
+//! layer: a thread-safe [`TelemetrySink`] that phases, tuning outcomes, and
+//! pruning reports are recorded into, and a [`RunReport`] that serializes
+//! the whole picture — per-iteration tuner records, validator cache
+//! statistics, simulator activity, and worker-pool utilization — to JSON
+//! (the `--telemetry out.json` CLI flag).
+//!
+//! Everything is gated on the process-wide switch: while telemetry is
+//! disabled (the default) a sink records nothing and instrumented call
+//! sites pay a single relaxed atomic load, so the hot path is unaffected.
+//!
+//! # Examples
+//!
+//! ```
+//! use autoblox::telemetry::{RunReport, TelemetrySink};
+//!
+//! autoblox::telemetry::set_enabled(true);
+//! let sink = TelemetrySink::new();
+//! let answer = sink.phase("warmup", || 2 + 2);
+//! assert_eq!(answer, 4);
+//! let report = sink.report(None);
+//! autoblox::telemetry::set_enabled(false);
+//! assert_eq!(report.phases.len(), 1);
+//! assert_eq!(report.schema, RunReport::SCHEMA);
+//! ```
+
+use crate::pruning::{CoarseReport, FineReport};
+use crate::tuner::{IterationRecord, TuningOutcome};
+use crate::validator::{Validator, ValidatorStats};
+use mlkit::parallel::PoolStats;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+pub use telemetry::{elapsed_ns, enabled, set_enabled, start, Counter};
+
+/// One named pipeline stage and how long it took.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseRecord {
+    /// Stage name (e.g. `coarse_prune`, `tune`).
+    pub name: String,
+    /// Wall-clock duration, ns.
+    pub wall_ns: u64,
+}
+
+/// Summary of one tuning run, including its per-iteration records.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TunerRunTelemetry {
+    /// Target workload name.
+    pub workload: String,
+    /// Outer iterations executed.
+    pub iterations: u64,
+    /// Simulator validations the run performed.
+    pub validations: u64,
+    /// Final best grade.
+    pub best_grade: f64,
+    /// Per-iteration diagnostics.
+    pub records: Vec<IterationRecord>,
+}
+
+/// Summary of one coarse-pruning stage.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoarsePruneTelemetry {
+    /// Workload the sweep ran against.
+    pub workload: String,
+    /// Deduplicated simulator probes fanned out.
+    pub probe_count: u64,
+    /// Stage wall-clock, ns.
+    pub wall_ns: u64,
+    /// Parameters classified insensitive.
+    pub insensitive: u64,
+    /// Parameters that survived.
+    pub sensitive: u64,
+}
+
+/// Summary of one fine-pruning stage.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FinePruneTelemetry {
+    /// Workload the regression was fitted for.
+    pub workload: String,
+    /// Valid samples the regression used.
+    pub samples_used: u64,
+    /// Sampling attempts including rejected draws.
+    pub attempts: u64,
+    /// Ridge fit time, ns.
+    pub fit_ns: u64,
+    /// Stage wall-clock, ns.
+    pub wall_ns: u64,
+    /// Parameters pruned by the coefficient threshold.
+    pub pruned: u64,
+    /// Parameters surviving into the tuning order.
+    pub survivors: u64,
+    /// R² of the fitted regression.
+    pub r_squared: f64,
+}
+
+/// Both pruning stages' summaries, in recording order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PruningTelemetry {
+    /// Coarse sweeps recorded.
+    pub coarse: Vec<CoarsePruneTelemetry>,
+    /// Fine regressions recorded.
+    pub fine: Vec<FinePruneTelemetry>,
+}
+
+/// The full structured telemetry report for one run.
+///
+/// This is what `--telemetry out.json` writes: a versioned, self-describing
+/// JSON document that round-trips through serde.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Schema identifier; always [`RunReport::SCHEMA`].
+    pub schema: String,
+    /// Whether telemetry was enabled when the report was taken.
+    pub enabled: bool,
+    /// Worker-pool thread limit in effect.
+    pub threads: u64,
+    /// Named pipeline stages in completion order.
+    pub phases: Vec<PhaseRecord>,
+    /// One entry per recorded tuning run.
+    pub tuner: Vec<TunerRunTelemetry>,
+    /// Pruning-stage summaries.
+    pub pruning: PruningTelemetry,
+    /// Validator cache/simulator statistics.
+    pub validator: ValidatorStats,
+    /// Worker-pool utilization counters.
+    pub pool: PoolStats,
+}
+
+impl RunReport {
+    /// The schema identifier written into every report.
+    pub const SCHEMA: &'static str = "autoblox.telemetry.v1";
+
+    /// Top-level keys every serialized report must carry.
+    pub const REQUIRED_KEYS: [&'static str; 8] = [
+        "schema",
+        "enabled",
+        "threads",
+        "phases",
+        "tuner",
+        "pruning",
+        "validator",
+        "pool",
+    ];
+
+    /// Parses and validates a serialized report: the JSON must parse, carry
+    /// every required top-level key, match the schema identifier, and
+    /// deserialize back into a [`RunReport`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn parse_checked(json: &str) -> Result<RunReport, String> {
+        let value: serde_json::Value =
+            serde_json::from_str(json).map_err(|e| format!("invalid JSON: {e}"))?;
+        let obj = match &value {
+            serde_json::Value::Object(map) => map,
+            _ => return Err("telemetry report must be a JSON object".to_string()),
+        };
+        for key in Self::REQUIRED_KEYS {
+            if !obj.contains_key(key) {
+                return Err(format!("missing required key `{key}`"));
+            }
+        }
+        let report: RunReport =
+            serde_json::from_str(json).map_err(|e| format!("schema mismatch: {e}"))?;
+        if report.schema != Self::SCHEMA {
+            return Err(format!(
+                "unknown schema `{}` (expected `{}`)",
+                report.schema,
+                Self::SCHEMA
+            ));
+        }
+        Ok(report)
+    }
+}
+
+#[derive(Debug, Default)]
+struct SinkInner {
+    phases: Vec<PhaseRecord>,
+    tuner: Vec<TunerRunTelemetry>,
+    coarse: Vec<CoarsePruneTelemetry>,
+    fine: Vec<FinePruneTelemetry>,
+}
+
+/// Thread-safe collector for structured telemetry.
+///
+/// All recording methods are no-ops while the process-wide switch is off,
+/// so a sink can sit on the hot path unconditionally. Reports are taken
+/// with [`TelemetrySink::report`], which also snapshots the worker pool
+/// and (optionally) a validator.
+#[derive(Debug, Default)]
+pub struct TelemetrySink {
+    inner: Mutex<SinkInner>,
+}
+
+impl TelemetrySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        TelemetrySink::default()
+    }
+
+    /// Runs `f` as a named pipeline stage, recording its wall-clock time
+    /// when telemetry is enabled. The closure's result passes through.
+    pub fn phase<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let t = start();
+        let out = f();
+        if enabled() {
+            self.record_phase_ns(name, elapsed_ns(t));
+        }
+        out
+    }
+
+    /// Records an already-measured stage duration.
+    pub fn record_phase_ns(&self, name: &str, wall_ns: u64) {
+        if enabled() {
+            self.inner.lock().phases.push(PhaseRecord {
+                name: name.to_string(),
+                wall_ns,
+            });
+        }
+    }
+
+    /// Records one tuning run's outcome (including its iteration records).
+    pub fn record_outcome(&self, outcome: &TuningOutcome) {
+        if enabled() {
+            self.inner.lock().tuner.push(TunerRunTelemetry {
+                workload: outcome.workload.clone(),
+                iterations: outcome.iterations as u64,
+                validations: outcome.validations,
+                best_grade: outcome.best.grade,
+                records: outcome.iteration_records.clone(),
+            });
+        }
+    }
+
+    /// Records a coarse-pruning stage.
+    pub fn record_coarse(&self, report: &CoarseReport) {
+        if enabled() {
+            self.inner.lock().coarse.push(CoarsePruneTelemetry {
+                workload: report.workload.clone(),
+                probe_count: report.probe_count,
+                wall_ns: report.wall_ns,
+                insensitive: report.insensitive().len() as u64,
+                sensitive: report.sensitive().len() as u64,
+            });
+        }
+    }
+
+    /// Records a fine-pruning stage.
+    pub fn record_fine(&self, report: &FineReport) {
+        if enabled() {
+            let pruned = report.coefficients.iter().filter(|c| c.pruned).count() as u64;
+            self.inner.lock().fine.push(FinePruneTelemetry {
+                workload: report.workload.clone(),
+                samples_used: report.samples_used,
+                attempts: report.attempts,
+                fit_ns: report.fit_ns,
+                wall_ns: report.wall_ns,
+                pruned,
+                survivors: report.coefficients.len() as u64 - pruned,
+                r_squared: report.r_squared,
+            });
+        }
+    }
+
+    /// Drops everything recorded so far (used at the start of an
+    /// instrumented run so the report covers exactly that run).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        *inner = SinkInner::default();
+    }
+
+    /// Snapshots everything recorded into a serializable [`RunReport`],
+    /// folding in the worker pool's counters and, when given, the
+    /// validator's cache statistics.
+    pub fn report(&self, validator: Option<&Validator>) -> RunReport {
+        let inner = self.inner.lock();
+        RunReport {
+            schema: RunReport::SCHEMA.to_string(),
+            enabled: enabled(),
+            threads: mlkit::parallel::max_threads() as u64,
+            phases: inner.phases.clone(),
+            tuner: inner.tuner.clone(),
+            pruning: PruningTelemetry {
+                coarse: inner.coarse.clone(),
+                fine: inner.fine.clone(),
+            },
+            validator: validator.map(Validator::stats).unwrap_or_default(),
+            pool: mlkit::parallel::pool_stats(),
+        }
+    }
+}
+
+/// The process-wide sink the framework facade and the CLI record into.
+pub fn global() -> &'static TelemetrySink {
+    static GLOBAL: OnceLock<TelemetrySink> = OnceLock::new();
+    GLOBAL.get_or_init(TelemetrySink::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The process-wide switch is shared by every test in this binary, so
+    // these tests never toggle it; integration tests own the enabled paths.
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = TelemetrySink::new();
+        let v = sink.phase("noop", || 7);
+        assert_eq!(v, 7);
+        sink.record_phase_ns("direct", 123);
+        let report = sink.report(None);
+        assert!(report.phases.is_empty());
+        assert!(report.tuner.is_empty());
+        assert_eq!(report.validator, ValidatorStats::default());
+    }
+
+    #[test]
+    fn parse_checked_rejects_bad_documents() {
+        assert!(RunReport::parse_checked("not json").is_err());
+        assert!(RunReport::parse_checked("[1,2,3]").is_err());
+        let missing = r#"{"schema":"autoblox.telemetry.v1"}"#;
+        let err = RunReport::parse_checked(missing).unwrap_err();
+        assert!(err.contains("missing required key"), "{err}");
+    }
+
+    #[test]
+    fn default_report_round_trips() {
+        let report = RunReport {
+            schema: RunReport::SCHEMA.to_string(),
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&report).expect("serializes");
+        let back = RunReport::parse_checked(&json).expect("parses back");
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let report = RunReport {
+            schema: "autoblox.telemetry.v0".to_string(),
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&report).expect("serializes");
+        let err = RunReport::parse_checked(&json).unwrap_err();
+        assert!(err.contains("unknown schema"), "{err}");
+    }
+
+    #[test]
+    fn global_sink_is_a_singleton() {
+        let a = global() as *const TelemetrySink;
+        let b = global() as *const TelemetrySink;
+        assert_eq!(a, b);
+    }
+}

@@ -10,8 +10,8 @@ use iotrace::gen::WorkloadKind;
 use iotrace::Trace;
 use mlkit::gpr::GprBuilder;
 use mlkit::kernel::{Rbf, SumKernel, White};
-use mlkit::nn::{Mlp, TrainOptions};
 use mlkit::linalg::Matrix;
+use mlkit::nn::{Mlp, TrainOptions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -109,6 +109,35 @@ pub struct GradedConfig {
     pub measurement: Measurement,
 }
 
+/// Per-iteration diagnostics from the outer BO loop.
+///
+/// Every field except the two timings is deterministic for a given tuning
+/// problem (identical at any thread count); `surrogate_fit_ns` and `wall_ns`
+/// are collected only while telemetry is enabled and are `0` otherwise, so
+/// serialized outcomes stay byte-identical across thread counts by default.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// 1-based outer-iteration index.
+    pub iteration: u64,
+    /// Neighbor candidates scored by the surrogate across the SGD walk.
+    pub candidates_considered: u64,
+    /// SGD steps taken before the walk stopped.
+    pub sgd_steps: u64,
+    /// Time spent fitting the surrogate, ns (0 when telemetry is off).
+    pub surrogate_fit_ns: u64,
+    /// Manhattan distance from the search root to the validated candidate.
+    pub exploration_distance: u64,
+    /// Best grade in the validated set after this iteration.
+    pub best_grade: f64,
+    /// Relative grade spread over the convergence window, or `-1.0` while
+    /// the window has not filled yet.
+    pub convergence_delta: f64,
+    /// Simulator runs this iteration triggered (0 on a full cache hit).
+    pub validations: u64,
+    /// Wall-clock time of the iteration, ns (0 when telemetry is off).
+    pub wall_ns: u64,
+}
+
 /// Result of one tuning run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TuningOutcome {
@@ -124,6 +153,8 @@ pub struct TuningOutcome {
     pub iterations: usize,
     /// Simulator validations actually performed.
     pub validations: u64,
+    /// Per-iteration diagnostics (one entry per outer iteration).
+    pub iteration_records: Vec<IterationRecord>,
 }
 
 struct SearchState {
@@ -311,7 +342,10 @@ impl<'a> Tuner<'a> {
             .filter_map(|cfg| {
                 let mut cfg = cfg.clone();
                 self.constraints.pin(&mut cfg);
-                self.constraints.check_structural(&cfg).is_ok().then_some(cfg)
+                self.constraints
+                    .check_structural(&cfg)
+                    .is_ok()
+                    .then_some(cfg)
             })
             .collect();
         // Warm the measurement cache for the whole init set in parallel —
@@ -328,7 +362,15 @@ impl<'a> Tuner<'a> {
         }
         mlkit::parallel::parallel_map(non_jobs, |(cfg, w)| self.validator.evaluate(&cfg, w));
         for cfg in &prepared {
-            self.validate_into(cfg, target, &ref_target, &ref_non, &mut state, &mut best, false);
+            self.validate_into(
+                cfg,
+                target,
+                &ref_target,
+                &ref_non,
+                &mut state,
+                &mut best,
+                false,
+            );
         }
 
         let (order_indices, explicit_order) = self.order_indices(tuning_order);
@@ -337,6 +379,7 @@ impl<'a> Tuner<'a> {
         );
         let mut history: Vec<f64> = vec![state.best_grade()];
         let mut iterations = 0;
+        let mut records: Vec<IterationRecord> = Vec::new();
 
         // The outer BO loop stays deliberately sequential: iteration N's
         // surrogate is fitted on every validation from iterations 0..N-1, a
@@ -344,27 +387,36 @@ impl<'a> Tuner<'a> {
         // identical results at any thread count is a design invariant.
         for _iter in 0..self.opts.max_iterations {
             iterations += 1;
+            let iter_start = telemetry::start();
+            let runs_at_iter_start = self.validator.simulator_runs();
             // Step 3: pick the search root among the top-k elite at random.
             let elite = state.elite(self.opts.top_k);
             let root_i = elite[rng.gen_range(0..elite.len())];
-            let mut cur = state.validated[root_i].0.clone();
+            let root_vec = state.validated[root_i].0.clone();
+            let mut cur = root_vec.clone();
             let mut cur_pred = state.validated[root_i].2;
 
             // Step 4: the surrogate fitted on the validated set predicts
             // candidate grades.
+            let fit_start = telemetry::start();
             let surrogate = self.fit_surrogate(&state);
+            let surrogate_fit_ns = telemetry::elapsed_ns(fit_start);
 
             // The SGD walk keeps moving while the predicted mean improves;
             // whatever candidate it last considered gets validated, so every
             // outer iteration contributes one new measurement (exploration
             // never stalls on a pessimistic surrogate).
             let mut chosen: Option<Vec<usize>> = None;
+            let mut sgd_steps: u64 = 0;
+            let mut candidates_considered: u64 = 0;
             for _ in 0..self.opts.sgd_iterations {
+                sgd_steps += 1;
                 let candidates =
                     self.candidates(&reference, &cur, &order_indices, explicit_order, &state);
                 if candidates.is_empty() {
                     break;
                 }
+                candidates_considered += candidates.len() as u64;
                 let mut best_cand: Option<(Vec<usize>, f64, f64)> = None;
                 match &surrogate {
                     Some(model) => {
@@ -379,11 +431,12 @@ impl<'a> Tuner<'a> {
                     None => {
                         // Random-proposal ablation: no surrogate guidance.
                         let pick = rng.gen_range(0..candidates.len());
-                        best_cand =
-                            Some((candidates[pick].clone(), 0.0, f64::NEG_INFINITY));
+                        best_cand = Some((candidates[pick].clone(), 0.0, f64::NEG_INFINITY));
                     }
                 }
-                let Some((cand, _ucb, mean)) = best_cand else { break };
+                let Some((cand, _ucb, mean)) = best_cand else {
+                    break;
+                };
                 chosen = Some(cand.clone());
                 if mean <= cur_pred {
                     break;
@@ -397,6 +450,10 @@ impl<'a> Tuner<'a> {
             }
 
             // Step 5: validate the explored configuration.
+            let exploration_distance = chosen
+                .as_ref()
+                .map(|c| self.space.manhattan(&root_vec, c))
+                .unwrap_or(0);
             if let Some(vec) = chosen {
                 if !state.seen.contains(&vec) {
                     if let Some(cfg) = self.materialize(&reference, &vec) {
@@ -416,14 +473,29 @@ impl<'a> Tuner<'a> {
             let g = state.best_grade();
             history.push(g);
             // Convergence: the elite grade barely moved over the window.
+            let mut converged = false;
+            let mut convergence_delta = -1.0;
             if history.len() > self.opts.convergence_window {
                 let w = &history[history.len() - 1 - self.opts.convergence_window..];
                 let lo = w.iter().cloned().fold(f64::INFINITY, f64::min);
                 let hi = w.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                 let scale = hi.abs().max(1e-6);
-                if (hi - lo) / scale <= self.opts.convergence_epsilon {
-                    break;
-                }
+                convergence_delta = (hi - lo) / scale;
+                converged = convergence_delta <= self.opts.convergence_epsilon;
+            }
+            records.push(IterationRecord {
+                iteration: iterations as u64,
+                candidates_considered,
+                sgd_steps,
+                surrogate_fit_ns,
+                exploration_distance,
+                best_grade: g,
+                convergence_delta,
+                validations: self.validator.simulator_runs() - runs_at_iter_start,
+                wall_ns: telemetry::elapsed_ns(iter_start),
+            });
+            if converged {
+                break;
             }
         }
 
@@ -434,6 +506,7 @@ impl<'a> Tuner<'a> {
             grade_history: history,
             iterations,
             validations: self.validator.simulator_runs() - runs_before,
+            iteration_records: records,
         }
     }
 
@@ -699,6 +772,29 @@ mod tests {
     }
 
     #[test]
+    fn iteration_records_track_the_loop() {
+        let v = quick_validator();
+        let tuner = Tuner::new(cons(), &v, quick_opts());
+        let out = tuner.tune(WorkloadKind::Database, &presets::intel_750(), &[], None);
+        assert_eq!(out.iteration_records.len(), out.iterations);
+        for (i, r) in out.iteration_records.iter().enumerate() {
+            assert_eq!(r.iteration, i as u64 + 1);
+            // Telemetry is off by default, so gated timings must be zero —
+            // this keeps serialized outcomes thread-count invariant.
+            assert_eq!(r.surrogate_fit_ns, 0);
+            assert_eq!(r.wall_ns, 0);
+            assert!(r.convergence_delta >= -1.0);
+        }
+        let last = out
+            .iteration_records
+            .last()
+            .expect("at least one iteration");
+        assert_eq!(last.best_grade, *out.grade_history.last().expect("history"));
+        let recorded: u64 = out.iteration_records.iter().map(|r| r.validations).sum();
+        assert!(recorded <= out.validations);
+    }
+
+    #[test]
     fn best_config_satisfies_constraints() {
         let v = quick_validator();
         let tuner = Tuner::new(cons(), &v, quick_opts());
@@ -746,7 +842,10 @@ mod tests {
         let reference = presets::intel_750();
         let out = tuner.tune(WorkloadKind::WebSearch, &reference, &[], None);
         assert_eq!(out.best.config.read_latency_ns, reference.read_latency_ns);
-        assert_eq!(out.best.config.program_latency_ns, reference.program_latency_ns);
+        assert_eq!(
+            out.best.config.program_latency_ns,
+            reference.program_latency_ns
+        );
         assert_eq!(out.best.config.erase_latency_ns, reference.erase_latency_ns);
     }
 
@@ -781,7 +880,10 @@ mod tests {
         let tuner = Tuner::new(cons(), &v, quick_opts());
         let out = tuner.tune(WorkloadKind::Vdi, &presets::intel_750(), &[], None);
         assert_eq!(out.best.config.interface, ssdsim::Interface::Nvme);
-        assert_eq!(out.best.config.flash_technology, ssdsim::FlashTechnology::Mlc);
+        assert_eq!(
+            out.best.config.flash_technology,
+            ssdsim::FlashTechnology::Mlc
+        );
     }
 
     #[test]
@@ -789,7 +891,12 @@ mod tests {
     fn mismatched_reference_panics() {
         let v = quick_validator();
         let tuner = Tuner::new(
-            Constraints::new(64, ssdsim::Interface::Nvme, ssdsim::FlashTechnology::Mlc, 25.0),
+            Constraints::new(
+                64,
+                ssdsim::Interface::Nvme,
+                ssdsim::FlashTechnology::Mlc,
+                25.0,
+            ),
             &v,
             quick_opts(),
         );

@@ -10,12 +10,15 @@
 use crate::metrics::Measurement;
 use iotrace::gen::WorkloadKind;
 use iotrace::Trace;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
 use ssdsim::config::SsdConfig;
+use ssdsim::report::{LatencyBuckets, SimReport};
 use ssdsim::Simulator;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use telemetry::Counter;
 
 /// Options controlling validation runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,6 +79,96 @@ const CACHE_SHARDS: usize = 16;
 type CacheKey = (ConfigKey, String);
 type Shard = RwLock<HashMap<CacheKey, Arc<OnceLock<Measurement>>>>;
 
+/// Simulator activity summed over every uncached evaluation (both the timed
+/// and the saturated replay), collected only while telemetry is enabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimAggregate {
+    /// Simulator runs absorbed into this aggregate.
+    pub runs: u64,
+    /// Flash page reads (host data + mapping + migrations).
+    pub flash_reads: u64,
+    /// Flash page programs, including GC/wear-leveling migrations.
+    pub flash_programs: u64,
+    /// Block erases.
+    pub flash_erases: u64,
+    /// Garbage-collection invocations.
+    pub gc_invocations: u64,
+    /// Static wear-leveling swaps.
+    pub wearleveling_swaps: u64,
+    /// Data-cache evictions across all runs.
+    pub data_cache_evictions: u64,
+    /// Mapping-table evictions across all runs.
+    pub cmt_evictions: u64,
+    /// Simulated-time request-latency histogram summed over all runs.
+    pub latency_buckets: LatencyBuckets,
+}
+
+impl SimAggregate {
+    fn absorb(&mut self, r: &SimReport) {
+        self.runs += 1;
+        self.flash_reads += r.read_breakdown.flash_reads;
+        self.flash_programs += r.flash.programs + r.flash.migrated_pages;
+        self.flash_erases += r.flash.erases;
+        self.gc_invocations += r.flash.gc_invocations;
+        self.wearleveling_swaps += r.flash.wearleveling_swaps;
+        self.data_cache_evictions += r.data_cache_evictions;
+        self.cmt_evictions += r.cmt_evictions;
+        for (dst, src) in self
+            .latency_buckets
+            .counts
+            .iter_mut()
+            .zip(r.latency_buckets.counts.iter())
+        {
+            *dst += src;
+        }
+    }
+}
+
+/// Snapshot of one validator's cache and simulator activity.
+///
+/// `simulator_runs` and `shard_entries` are always exact; the remaining
+/// counters accumulate only while telemetry is enabled (see the `telemetry`
+/// crate) and read zero otherwise. Cache misses are deterministic for a
+/// given evaluation set; under concurrency the split between `cache_hits`
+/// and `dedup_waits` depends on timing, but their sum is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ValidatorStats {
+    /// Actual (non-cached) simulator evaluations performed.
+    pub simulator_runs: u64,
+    /// Probes answered from a completed cache entry.
+    pub cache_hits: u64,
+    /// Probes that simulated because no entry existed.
+    pub cache_misses: u64,
+    /// Probes that blocked on another thread's in-flight evaluation.
+    pub dedup_waits: u64,
+    /// Validation traces generated (not served from the trace cache).
+    pub trace_builds: u64,
+    /// Time spent generating validation traces, ns.
+    pub trace_build_ns: u64,
+    /// Time spent inside uncached simulator evaluations, ns.
+    pub simulate_ns: u64,
+    /// Cache probes per shard (contention/distribution diagnostic).
+    pub shard_probes: [u64; CACHE_SHARDS],
+    /// Memoized entries currently resident per shard.
+    pub shard_entries: [u64; CACHE_SHARDS],
+    /// Simulator activity summed over the uncached evaluations.
+    pub sim: SimAggregate,
+}
+
+/// Telemetry counters owned by one [`Validator`]; bumped only while the
+/// process-wide telemetry switch is on.
+#[derive(Debug, Default)]
+struct ValidatorCounters {
+    hits: Counter,
+    misses: Counter,
+    dedup_waits: Counter,
+    trace_builds: Counter,
+    trace_build_ns: Counter,
+    simulate_ns: Counter,
+    shard_probes: [Counter; CACHE_SHARDS],
+    sim_agg: Mutex<SimAggregate>,
+}
+
 /// Runs configurations against the simulator, memoizing results.
 ///
 /// Each evaluation performs two simulator runs: a **timed replay** (trace
@@ -108,6 +201,7 @@ pub struct Validator {
     traces: RwLock<HashMap<String, Arc<Trace>>>,
     shards: [Shard; CACHE_SHARDS],
     runs: AtomicU64,
+    counters: ValidatorCounters,
 }
 
 impl Validator {
@@ -118,6 +212,7 @@ impl Validator {
             traces: RwLock::new(HashMap::new()),
             shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
             runs: AtomicU64::new(0),
+            counters: ValidatorCounters::default(),
         }
     }
 
@@ -140,7 +235,14 @@ impl Validator {
         // Generation is deterministic per (kind, seed), so a racing thread
         // building the same trace is wasted work at worst, never divergence;
         // `entry` keeps exactly one copy.
+        let built = telemetry::start();
         let fresh = Arc::new(kind.spec().generate(self.opts.trace_events, self.opts.seed));
+        if telemetry::enabled() {
+            self.counters.trace_builds.inc();
+            self.counters
+                .trace_build_ns
+                .add(telemetry::elapsed_ns(built));
+        }
         let mut traces = self.traces.write();
         Arc::clone(traces.entry(kind.name().to_string()).or_insert(fresh))
     }
@@ -154,10 +256,18 @@ impl Validator {
 
     /// Evaluates a configuration on a caller-provided trace.
     pub fn evaluate_trace(&self, cfg: &SsdConfig, trace: &Trace) -> Measurement {
+        let instrument = telemetry::enabled();
         let key = (ConfigKey::of(cfg), trace.name().to_string());
-        let shard = &self.shards[key.0.shard()];
+        let shard_idx = key.0.shard();
+        let shard = &self.shards[shard_idx];
+        if instrument {
+            self.counters.shard_probes[shard_idx].inc();
+        }
         if let Some(cell) = shard.read().get(&key) {
             if let Some(m) = cell.get() {
+                if instrument {
+                    self.counters.hits.inc();
+                }
                 return *m;
             }
         }
@@ -167,15 +277,26 @@ impl Validator {
         };
         // First caller simulates; concurrent callers for the same key block
         // here and reuse the result, keeping the run count sequential-exact.
-        *cell.get_or_init(|| {
+        let mut ran = false;
+        let m = *cell.get_or_init(|| {
+            ran = true;
             let m = self.simulate(cfg, trace);
             self.runs.fetch_add(1, Ordering::SeqCst);
             m
-        })
+        });
+        if instrument {
+            if ran {
+                self.counters.misses.inc();
+            } else {
+                self.counters.dedup_waits.inc();
+            }
+        }
+        m
     }
 
     /// The two uncached simulator runs behind one measurement.
     fn simulate(&self, cfg: &SsdConfig, trace: &Trace) -> Measurement {
+        let sim_start = telemetry::start();
         // Timed replay: latency, power, energy.
         //
         // Known scale limitation: a validation trace of tens of thousands
@@ -202,6 +323,14 @@ impl Validator {
         // Sustained throughput includes draining the write-back cache.
         let drained_ns = sat_sim.drain(sat_report.makespan_ns).max(1);
         m.throughput_bps = (sat_report.host_bytes as f64 / (drained_ns as f64 / 1e9)).max(1.0);
+        if telemetry::enabled() {
+            self.counters
+                .simulate_ns
+                .add(telemetry::elapsed_ns(sim_start));
+            let mut agg = self.counters.sim_agg.lock();
+            agg.absorb(&report);
+            agg.absorb(&sat_report);
+        }
         m
     }
 
@@ -210,6 +339,32 @@ impl Validator {
     pub fn clear_cache(&self) {
         for shard in &self.shards {
             shard.write().clear();
+        }
+    }
+
+    /// Snapshot of this validator's cache and simulator activity.
+    ///
+    /// `simulator_runs` and `shard_entries` are exact regardless of the
+    /// telemetry switch; the remaining counters are zero unless telemetry
+    /// was enabled while the validator ran.
+    pub fn stats(&self) -> ValidatorStats {
+        let mut shard_probes = [0u64; CACHE_SHARDS];
+        let mut shard_entries = [0u64; CACHE_SHARDS];
+        for i in 0..CACHE_SHARDS {
+            shard_probes[i] = self.counters.shard_probes[i].get();
+            shard_entries[i] = self.shards[i].read().len() as u64;
+        }
+        ValidatorStats {
+            simulator_runs: self.simulator_runs(),
+            cache_hits: self.counters.hits.get(),
+            cache_misses: self.counters.misses.get(),
+            dedup_waits: self.counters.dedup_waits.get(),
+            trace_builds: self.counters.trace_builds.get(),
+            trace_build_ns: self.counters.trace_build_ns.get(),
+            simulate_ns: self.counters.simulate_ns.get(),
+            shard_probes,
+            shard_entries,
+            sim: *self.counters.sim_agg.lock(),
         }
     }
 }

@@ -1,0 +1,170 @@
+//! Telemetry-layer invariants: counters must be exact under concurrency,
+//! a disabled sink must cost nothing and trigger no simulator work, and the
+//! structured report must round-trip through JSON.
+//!
+//! These tests toggle the process-wide telemetry switch, so every test that
+//! touches it serializes on one lock (test binaries run their tests on
+//! concurrent threads within one process).
+
+use autoblox::constraints::Constraints;
+use autoblox::parallel;
+use autoblox::telemetry::{self, RunReport, TelemetrySink};
+use autoblox::tuner::{Tuner, TunerOptions};
+use autoblox::validator::{Validator, ValidatorOptions, ValidatorStats};
+use iotrace::gen::WorkloadKind;
+use ssdsim::config::{presets, SsdConfig};
+use std::sync::Mutex;
+
+static SWITCH_LOCK: Mutex<()> = Mutex::new(());
+
+fn quick_validator(events: usize) -> Validator {
+    Validator::new(ValidatorOptions {
+        trace_events: events,
+        ..Default::default()
+    })
+}
+
+fn working_set() -> (Vec<SsdConfig>, [WorkloadKind; 2]) {
+    let configs: Vec<SsdConfig> = (0..5)
+        .map(|i| SsdConfig {
+            channel_count: 2 + 2 * i,
+            ..SsdConfig::default()
+        })
+        .collect();
+    (configs, [WorkloadKind::Database, WorkloadKind::WebSearch])
+}
+
+/// Hammers one shared validator with `workers` threads over the same
+/// (config, workload) working set and returns its stats.
+fn hammer(workers: usize) -> ValidatorStats {
+    let (configs, kinds) = working_set();
+    let v = quick_validator(200);
+    std::thread::scope(|scope| {
+        for worker in 0..workers {
+            let configs = &configs;
+            let kinds = &kinds;
+            let v = &v;
+            scope.spawn(move || {
+                for step in 0..configs.len() * kinds.len() {
+                    let i = (step + worker) % (configs.len() * kinds.len());
+                    let cfg = &configs[i / kinds.len()];
+                    v.evaluate(cfg, kinds[i % kinds.len()]);
+                }
+            });
+        }
+    });
+    v.stats()
+}
+
+/// The cache-counter exactness criterion: misses are deterministic, and the
+/// hit/dedup-wait split — however the race resolves — always sums to the
+/// same total, at 1 worker and at 8.
+#[test]
+fn cache_counters_exact_under_hammering() {
+    let _guard = SWITCH_LOCK.lock().unwrap();
+    telemetry::set_enabled(true);
+    let single = hammer(1);
+    let hammered = hammer(8);
+    telemetry::set_enabled(false);
+
+    let (configs, kinds) = working_set();
+    let unique = (configs.len() * kinds.len()) as u64;
+
+    for (label, stats, workers) in [("single", &single, 1u64), ("hammered", &hammered, 8)] {
+        let probes = workers * unique;
+        assert_eq!(stats.cache_misses, unique, "{label}: one miss per key");
+        assert_eq!(stats.simulator_runs, unique, "{label}: one run per key");
+        assert_eq!(
+            stats.cache_hits + stats.dedup_waits,
+            probes - unique,
+            "{label}: every non-miss probe is a hit or a dedup wait"
+        );
+        assert_eq!(
+            stats.shard_probes.iter().sum::<u64>(),
+            probes,
+            "{label}: shard probes account for every lookup"
+        );
+        assert_eq!(
+            stats.shard_entries.iter().sum::<u64>(),
+            unique,
+            "{label}: one cache entry per key"
+        );
+        assert!(stats.simulate_ns > 0, "{label}: simulation time recorded");
+        assert_eq!(stats.sim.runs, 2 * unique, "{label}: timed + saturated");
+        assert!(stats.sim.flash_reads > 0);
+        assert!(stats.sim.latency_buckets.total() > 0);
+    }
+}
+
+/// Disabled telemetry must leave every gated counter at zero, record
+/// nothing into a sink, and trigger no extra simulator work.
+#[test]
+fn disabled_sink_is_free() {
+    let _guard = SWITCH_LOCK.lock().unwrap();
+    telemetry::set_enabled(false);
+
+    let v = quick_validator(200);
+    let cfg = SsdConfig::default();
+    let sink = TelemetrySink::new();
+    let m = sink.phase("evaluate", || v.evaluate(&cfg, WorkloadKind::Database));
+    assert!(m.latency_ns > 0.0);
+    let runs_after_work = v.simulator_runs();
+
+    let report = sink.report(Some(&v));
+    assert_eq!(
+        v.simulator_runs(),
+        runs_after_work,
+        "taking a report must not run the simulator"
+    );
+    assert!(!report.enabled);
+    assert!(report.phases.is_empty(), "disabled sink records no phases");
+    assert!(report.tuner.is_empty());
+    assert_eq!(report.validator.cache_hits, 0);
+    assert_eq!(report.validator.cache_misses, 0);
+    assert_eq!(report.validator.simulate_ns, 0);
+    assert_eq!(report.validator.sim.runs, 0);
+    // Always-exact fields still report: the evaluation did happen.
+    assert_eq!(report.validator.simulator_runs, runs_after_work);
+    assert_eq!(report.validator.shard_entries.iter().sum::<u64>(), 1);
+}
+
+/// A fully populated report — tuner records, validator stats, pool counters
+/// — must survive serde round-tripping bit-exactly.
+#[test]
+fn populated_report_round_trips_through_json() {
+    let _guard = SWITCH_LOCK.lock().unwrap();
+    telemetry::set_enabled(true);
+    parallel::reset_pool_stats();
+
+    let v = quick_validator(200);
+    let sink = TelemetrySink::new();
+    let opts = TunerOptions {
+        max_iterations: 3,
+        sgd_iterations: 2,
+        convergence_window: 2,
+        non_target: vec![WorkloadKind::WebSearch],
+        ..Default::default()
+    };
+    let tuner = Tuner::new(Constraints::paper_default(), &v, opts);
+    let outcome = sink.phase("tune", || {
+        tuner.tune(WorkloadKind::Database, &presets::intel_750(), &[], None)
+    });
+    sink.record_outcome(&outcome);
+    let report = sink.report(Some(&v));
+    telemetry::set_enabled(false);
+
+    assert!(report.enabled);
+    assert_eq!(report.schema, RunReport::SCHEMA);
+    assert_eq!(report.phases.len(), 1);
+    assert_eq!(report.phases[0].name, "tune");
+    assert!(report.phases[0].wall_ns > 0);
+    assert_eq!(report.tuner.len(), 1);
+    assert_eq!(report.tuner[0].records.len(), outcome.iterations);
+    assert!(report.tuner[0].records.iter().all(|r| r.wall_ns > 0));
+    assert!(report.validator.simulator_runs > 0);
+    assert!(report.validator.cache_misses > 0);
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let back = RunReport::parse_checked(&json).expect("report parses back");
+    assert_eq!(report, back, "JSON round-trip must be lossless");
+}

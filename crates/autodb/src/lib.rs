@@ -134,11 +134,10 @@ impl Store {
                 if line.trim().is_empty() {
                     continue;
                 }
-                let rec: LogRecord =
-                    serde_json::from_str(&line).map_err(|e| DbError::Corrupt {
-                        line: i + 1,
-                        message: e.to_string(),
-                    })?;
+                let rec: LogRecord = serde_json::from_str(&line).map_err(|e| DbError::Corrupt {
+                    line: i + 1,
+                    message: e.to_string(),
+                })?;
                 log_records += 1;
                 if rec.tombstone {
                     index.remove(&rec.key);
@@ -342,10 +341,7 @@ mod tests {
     use serde_json::json;
 
     fn temp_path(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "autodb-test-{}-{name}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("autodb-test-{}-{name}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir.join("store.db")
     }

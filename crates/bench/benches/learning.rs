@@ -12,7 +12,11 @@ use rand::{Rng, SeedableRng};
 
 fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
     let mut rng = StdRng::seed_from_u64(seed);
-    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen::<f64>()).collect())
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.gen::<f64>()).collect(),
+    )
 }
 
 fn bench_gpr(c: &mut Criterion) {

@@ -35,12 +35,15 @@ fn bench_config_shapes(c: &mut Criterion) {
     group.sample_size(20);
     let shapes: [(&str, SsdConfig); 3] = [
         ("intel750", presets::intel_750()),
-        ("wide-64ch", SsdConfig {
-            channel_count: 64,
-            chips_per_channel: 1,
-            blocks_per_plane: 512,
-            ..presets::intel_750()
-        }),
+        (
+            "wide-64ch",
+            SsdConfig {
+                channel_count: 64,
+                chips_per_channel: 1,
+                blocks_per_plane: 512,
+                ..presets::intel_750()
+            },
+        ),
         ("sata-850pro", presets::samsung_850_pro()),
     ];
     for (name, cfg) in shapes {

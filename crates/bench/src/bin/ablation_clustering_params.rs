@@ -54,8 +54,15 @@ fn main() {
     }
     print_table(
         "Ablation — clustering window length and PCA dimensionality",
-        &["window".into(), "pca dims".into(), "explained var".into(), "validation purity".into()],
+        &[
+            "window".into(),
+            "pca dims".into(),
+            "explained var".into(),
+            "validation purity".into(),
+        ],
         &rows,
     );
-    println!("\npaper: 3,000-entry windows and 5 dimensions (70.4% variance) balance fidelity and cost");
+    println!(
+        "\npaper: 3,000-entry windows and 5 dimensions (70.4% variance) balance fidelity and cost"
+    );
 }

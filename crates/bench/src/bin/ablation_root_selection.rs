@@ -14,7 +14,11 @@ fn main() {
     let constraints = Constraints::paper_default();
     let workloads = match scale {
         Scale::Quick => vec![WorkloadKind::KvStore],
-        _ => vec![WorkloadKind::KvStore, WorkloadKind::Recomm, WorkloadKind::Vdi],
+        _ => vec![
+            WorkloadKind::KvStore,
+            WorkloadKind::Recomm,
+            WorkloadKind::Vdi,
+        ],
     };
 
     let mut rows = Vec::new();
@@ -37,7 +41,12 @@ fn main() {
     }
     print_table(
         "Ablation — search-root elite size",
-        &["workload".into(), "root pool".into(), "final grade".into(), "iterations".into()],
+        &[
+            "workload".into(),
+            "root pool".into(),
+            "final grade".into(),
+            "iterations".into(),
+        ],
         &rows,
     );
     println!("\npaper: top-3 balances convergence speed against suboptimal attraction");

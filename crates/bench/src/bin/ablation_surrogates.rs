@@ -20,7 +20,11 @@ fn main() {
     let constraints = Constraints::paper_default();
     let workloads = match scale {
         Scale::Quick => vec![WorkloadKind::Database],
-        _ => vec![WorkloadKind::Database, WorkloadKind::CloudStorage, WorkloadKind::Fiu],
+        _ => vec![
+            WorkloadKind::Database,
+            WorkloadKind::CloudStorage,
+            WorkloadKind::Fiu,
+        ],
     };
 
     let mut rows = Vec::new();
@@ -60,6 +64,8 @@ fn main() {
         ],
         &rows,
     );
-    println!("
-paper claim: GPR matches the DNN's quality at lower overhead (§3.2)");
+    println!(
+        "
+paper claim: GPR matches the DNN's quality at lower overhead (§3.2)"
+    );
 }

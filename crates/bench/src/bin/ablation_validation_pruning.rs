@@ -39,7 +39,12 @@ fn main() {
     }
     print_table(
         "Ablation — non-target validation pruning",
-        &["workload".into(), "mode".into(), "simulator runs".into(), "final grade".into()],
+        &[
+            "workload".into(),
+            "mode".into(),
+            "simulator runs".into(),
+            "final grade".into(),
+        ],
         &rows,
     );
     println!("\nexpected: pruning reduces simulator runs without degrading the final grade");

@@ -112,7 +112,9 @@ fn main() {
     // Wall-clock speedup is bounded by the host's physical parallelism:
     // on a single-core machine all thread counts time-share one CPU and
     // the expected speedup is ~1.0x, so record the bound with the numbers.
-    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let doc = json!({
         "benchmark": "parallel_validation",
         "host_cpus": host_cpus,
@@ -123,8 +125,11 @@ fn main() {
         "coarse_speedup_at_4_threads": speedup_4t,
     });
     let path = "BENCH_parallel_validation.json";
-    std::fs::write(path, serde_json::to_string_pretty(&doc).expect("serializes"))
-        .expect("writes benchmark report");
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&doc).expect("serializes"),
+    )
+    .expect("writes benchmark report");
     println!("wrote {path}");
     println!(
         "coarse-prune speedup at 4 threads: {}",

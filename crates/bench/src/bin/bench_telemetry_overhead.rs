@@ -1,0 +1,116 @@
+//! Wall-clock overhead of the telemetry layer.
+//!
+//! Times an identical tuning run with telemetry disabled and enabled —
+//! best of three repetitions each, a fresh validator per repetition so
+//! every candidate pays for its simulator run — and writes
+//! `BENCH_telemetry_overhead.json`. The acceptance criterion is < 3%
+//! overhead with telemetry enabled; the disabled fast path is also
+//! micro-benchmarked (a gated stopwatch + counter pair per iteration)
+//! to show it costs on the order of a nanosecond.
+//!
+//! `AUTOBLOX_SCALE=quick|standard|full` scales the trace length.
+
+use autoblox::constraints::Constraints;
+use autoblox::telemetry::{self, Counter, TelemetrySink};
+use autoblox::tuner::{Tuner, TunerOptions};
+use autoblox::validator::{Validator, ValidatorOptions};
+use iotrace::gen::WorkloadKind;
+use serde_json::json;
+use ssdsim::config::presets;
+use std::time::Instant;
+
+const REPS: usize = 3;
+
+fn tuning_run(trace_events: usize, sink: &TelemetrySink) -> f64 {
+    let validator = Validator::new(ValidatorOptions {
+        trace_events,
+        ..Default::default()
+    });
+    let opts = TunerOptions {
+        max_iterations: 6,
+        sgd_iterations: 4,
+        non_target: vec![WorkloadKind::WebSearch],
+        ..Default::default()
+    };
+    let tuner = Tuner::new(Constraints::paper_default(), &validator, opts);
+    let t0 = Instant::now();
+    let outcome = sink.phase("tune", || {
+        tuner.tune(WorkloadKind::Database, &presets::intel_750(), &[], None)
+    });
+    sink.record_outcome(&outcome);
+    let _ = sink.report(Some(&validator));
+    t0.elapsed().as_secs_f64()
+}
+
+fn best_of(trace_events: usize, enabled: bool) -> f64 {
+    telemetry::set_enabled(enabled);
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let sink = TelemetrySink::new();
+        best = best.min(tuning_run(trace_events, &sink));
+    }
+    telemetry::set_enabled(false);
+    best
+}
+
+/// Nanoseconds per disabled-path probe: one gated stopwatch plus one
+/// counter bump, the exact shape the hot paths use.
+fn disabled_probe_ns() -> f64 {
+    telemetry::set_enabled(false);
+    let counter = Counter::default();
+    const ITERS: u64 = 10_000_000;
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        let started = telemetry::start();
+        counter.add(telemetry::elapsed_ns(started));
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / ITERS as f64;
+    assert_eq!(counter.get(), 0, "disabled stopwatch must read zero");
+    ns
+}
+
+fn main() {
+    let scale = autoblox_bench::Scale::from_env();
+    let trace_events = match scale {
+        autoblox_bench::Scale::Quick => 400,
+        autoblox_bench::Scale::Standard => 2_000,
+        autoblox_bench::Scale::Full => 6_000,
+    };
+
+    // Warm-up run so neither mode pays first-touch costs.
+    let _ = best_of(trace_events, false);
+
+    let disabled_s = best_of(trace_events, false);
+    let enabled_s = best_of(trace_events, true);
+    let overhead_pct = (enabled_s - disabled_s) / disabled_s * 100.0;
+    let probe_ns = disabled_probe_ns();
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "disabled {disabled_s:.3}s, enabled {enabled_s:.3}s, overhead {overhead_pct:+.2}% \
+         (criterion < 3%), disabled probe {probe_ns:.2} ns"
+    );
+
+    let doc = json!({
+        "benchmark": "telemetry_overhead",
+        "host_cpus": host_cpus,
+        "trace_events": trace_events,
+        "reps_best_of": REPS as u64,
+        "disabled_best_s": disabled_s,
+        "enabled_best_s": enabled_s,
+        "overhead_pct": overhead_pct,
+        "criterion_pct": 3.0,
+        "criterion_met": overhead_pct < 3.0,
+        "disabled_probe_ns": probe_ns,
+    });
+    let path = "BENCH_telemetry_overhead.json";
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&doc).expect("serializes"),
+    )
+    .expect("writes benchmark report");
+    println!("wrote {path}");
+    println!("overhead_pct: {overhead_pct:.3}");
+}

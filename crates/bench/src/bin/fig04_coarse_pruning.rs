@@ -39,7 +39,11 @@ fn main() {
                 let mut row = vec![s.name.clone()];
                 row.extend(s.scores.iter().map(|x| format!("{x:+.3}")));
                 row.push(format!("{:+.3}", s.sensitivity));
-                row.push(if s.insensitive { "PRUNE".into() } else { "keep".into() });
+                row.push(if s.insensitive {
+                    "PRUNE".into()
+                } else {
+                    "keep".into()
+                });
                 row
             })
             .collect();

@@ -49,7 +49,11 @@ fn main() {
                 vec![
                     c.name.clone(),
                     format!("{:+.4}", c.coefficient),
-                    if c.pruned { "pruned".into() } else { "kept".into() },
+                    if c.pruned {
+                        "pruned".into()
+                    } else {
+                        "kept".into()
+                    },
                 ]
             })
             .collect();
@@ -59,7 +63,10 @@ fn main() {
             pb.abs().partial_cmp(&pa.abs()).unwrap()
         });
         print_table(
-            &format!("Figure 5 — Ridge coefficients, {w} (R² = {:.3})", report.r_squared),
+            &format!(
+                "Figure 5 — Ridge coefficients, {w} (R² = {:.3})",
+                report.r_squared
+            ),
             &["parameter".into(), "coefficient".into(), "verdict".into()],
             &rows,
         );

@@ -3,9 +3,9 @@
 //! equal-or-better configuration.
 
 use autoblox::constraints::Constraints;
+use autoblox::params::ParamSpace;
 use autoblox::pruning::{coarse_prune, fine_prune, FineOptions};
 use autoblox::tuner::{Tuner, TunerOptions};
-use autoblox::params::ParamSpace;
 use autoblox_bench::{print_table, tuner_options, validator, Scale};
 use iotrace::gen::WorkloadKind;
 use ssdsim::config::presets;

@@ -17,7 +17,11 @@ fn main() {
     let alphas = [0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99];
     let workloads = match scale {
         Scale::Quick => vec![WorkloadKind::Database],
-        _ => vec![WorkloadKind::Database, WorkloadKind::KvStore, WorkloadKind::LiveMaps],
+        _ => vec![
+            WorkloadKind::Database,
+            WorkloadKind::KvStore,
+            WorkloadKind::LiveMaps,
+        ],
     };
 
     let mut rows = Vec::new();
@@ -46,7 +50,12 @@ fn main() {
     }
     print_table(
         "Figure 11 — alpha sweep (latency vs throughput balance)",
-        &["workload".into(), "alpha".into(), "latency speedup".into(), "throughput speedup".into()],
+        &[
+            "workload".into(),
+            "alpha".into(),
+            "latency speedup".into(),
+            "throughput speedup".into(),
+        ],
         &rows,
     );
     println!("\npaper: alpha = 0.5 achieves both improved latency and throughput");

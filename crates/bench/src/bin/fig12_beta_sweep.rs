@@ -4,7 +4,7 @@
 use autoblox::constraints::Constraints;
 use autoblox::metrics::geometric_mean;
 use autoblox::tuner::{Tuner, TunerOptions};
-use autoblox_bench::{speedup_cell, print_table, validator, Scale};
+use autoblox_bench::{print_table, speedup_cell, validator, Scale};
 use iotrace::gen::WorkloadKind;
 use ssdsim::config::presets;
 
@@ -15,7 +15,11 @@ fn main() {
     let betas = [0.01, 0.05, 0.1, 0.3, 0.5, 0.7, 0.99];
     let workloads = match scale {
         Scale::Quick => vec![WorkloadKind::Database],
-        _ => vec![WorkloadKind::Database, WorkloadKind::KvStore, WorkloadKind::LiveMaps],
+        _ => vec![
+            WorkloadKind::Database,
+            WorkloadKind::KvStore,
+            WorkloadKind::LiveMaps,
+        ],
     };
 
     let mut rows = Vec::new();

@@ -48,7 +48,12 @@ fn main() {
     }
     print_table(
         "Table 4 (prelude) — where the new workloads land",
-        &["workload".into(), "decision".into(), "distance".into(), "threshold".into()],
+        &[
+            "workload".into(),
+            "decision".into(),
+            "distance".into(),
+            "threshold".into(),
+        ],
         &rows,
     );
 

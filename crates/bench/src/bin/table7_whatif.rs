@@ -25,8 +25,14 @@ fn main() {
     let goals = [
         (WorkloadKind::Vdi, WhatIfGoal::LatencyReduction(3.0)),
         (WorkloadKind::WebSearch, WhatIfGoal::LatencyReduction(3.0)),
-        (WorkloadKind::Database, WhatIfGoal::ThroughputImprovement(3.0)),
-        (WorkloadKind::KvStore, WhatIfGoal::ThroughputImprovement(3.0)),
+        (
+            WorkloadKind::Database,
+            WhatIfGoal::ThroughputImprovement(3.0),
+        ),
+        (
+            WorkloadKind::KvStore,
+            WhatIfGoal::ThroughputImprovement(3.0),
+        ),
     ];
 
     let opts = WhatIfOptions {
@@ -51,7 +57,11 @@ fn main() {
                 WhatIfGoal::ThroughputImprovement(f) => format!("{f:.0}x throughput"),
             },
             format!("{:.2}x", out.achieved),
-            if out.met { "met".into() } else { "not met".into() },
+            if out.met {
+                "met".into()
+            } else {
+                "not met".into()
+            },
             out.tuning.iterations.to_string(),
         ]);
         configs.push((kind, out.tuning.best.config.clone()));
@@ -74,7 +84,9 @@ fn main() {
         ("DataCacheCapacity (MiB)", |c| c.data_cache_mb.to_string()),
         ("CMT_Capacity (MiB)", |c| c.cmt_capacity_mb.to_string()),
         ("Channel_Width (bits)", |c| c.channel_width_bits.to_string()),
-        ("Channel_Rate (MT/s)", |c| c.channel_transfer_rate_mts.to_string()),
+        ("Channel_Rate (MT/s)", |c| {
+            c.channel_transfer_rate_mts.to_string()
+        }),
         ("tRead (us)", |c| (c.read_latency_ns / 1000).to_string()),
         ("tProg (us)", |c| (c.program_latency_ns / 1000).to_string()),
         ("ChannelCount", |c| c.channel_count.to_string()),

@@ -199,7 +199,14 @@ pub fn cross_matrix_experiment(
     rows_workloads: &[WorkloadKind],
 ) -> Vec<TuningOutcome> {
     let outcomes = tune_targets(targets, reference, constraints, validator, opts);
-    print_cross_matrix(title, reference, validator, targets, rows_workloads, &outcomes);
+    print_cross_matrix(
+        title,
+        reference,
+        validator,
+        targets,
+        rows_workloads,
+        &outcomes,
+    );
     outcomes
 }
 

@@ -358,8 +358,8 @@ impl WorkloadSpec {
         .expect("valid lognormal parameters");
         let arrival = Exp::new(1.0 / self.mean_interarrival_ns).expect("positive rate");
         // Hot regions are 1 MiB (2048-sector) extents ranked by Zipf.
-        let n_hot = ((self.working_set_sectors as f64 * self.hot_fraction) / 2048.0)
-            .max(1.0) as u64;
+        let n_hot =
+            ((self.working_set_sectors as f64 * self.hot_fraction) / 2048.0).max(1.0) as u64;
         let zipf = Zipf::new(n_hot, self.zipf_skew.max(0.01)).expect("valid zipf");
 
         let mut now_ns: u64 = 0;

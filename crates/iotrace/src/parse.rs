@@ -36,7 +36,11 @@ impl ParseTraceError {
 
 impl fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -153,12 +157,7 @@ pub fn parse_blkparse<R: BufRead>(name: &str, reader: R) -> Result<Trace, Box<dy
             .parse()
             .map_err(|e| ParseTraceError::new(lineno, format!("bad sector count: {e}")))?;
         let op = parse_op(tokens[4], lineno)?;
-        trace.push(TraceEvent::new(
-            (secs * 1e9) as u64,
-            lba,
-            sectors * 512,
-            op,
-        ));
+        trace.push(TraceEvent::new((secs * 1e9) as u64, lba, sectors * 512, op));
     }
     Ok(trace)
 }
@@ -243,7 +242,11 @@ pub fn parse_msr<R: BufRead>(name: &str, reader: R) -> Result<Trace, Box<dyn Err
 pub fn write_csv<W: Write>(trace: &Trace, mut writer: W) -> std::io::Result<()> {
     writeln!(writer, "timestamp_ns,lba,size_bytes,op")?;
     for e in trace {
-        writeln!(writer, "{},{},{},{}", e.timestamp_ns, e.lba, e.size_bytes, e.op)?;
+        writeln!(
+            writer,
+            "{},{},{},{}",
+            e.timestamp_ns, e.lba, e.size_bytes, e.op
+        )?;
     }
     Ok(())
 }

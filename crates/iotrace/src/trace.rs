@@ -220,7 +220,12 @@ pub fn merge_traces(name: impl Into<String>, tenants: &[Trace]) -> Trace {
             .max()
             .unwrap_or(0);
         for e in t {
-            events.push(TraceEvent::new(e.timestamp_ns, base + e.lba, e.size_bytes, e.op));
+            events.push(TraceEvent::new(
+                e.timestamp_ns,
+                base + e.lba,
+                e.size_bytes,
+                e.op,
+            ));
         }
         base += span + 2048; // separate tenants by a 1 MiB guard band
     }
@@ -301,9 +306,7 @@ mod tests {
     #[test]
     fn sequential_ratio_detects_streams() {
         // 4 KiB back-to-back requests: fully sequential.
-        let seq: Vec<TraceEvent> = (0..10)
-            .map(|i| ev(i, i * 8, 4096, OpKind::Read))
-            .collect();
+        let seq: Vec<TraceEvent> = (0..10).map(|i| ev(i, i * 8, 4096, OpKind::Read)).collect();
         let t = Trace::from_events("seq", seq);
         assert_eq!(t.sequential_ratio(), 1.0);
 
@@ -340,10 +343,7 @@ mod tests {
 
     #[test]
     fn slice_subsets_events() {
-        let t = Trace::from_events(
-            "x",
-            (0..10).map(|i| ev(i, i, 512, OpKind::Read)).collect(),
-        );
+        let t = Trace::from_events("x", (0..10).map(|i| ev(i, i, 512, OpKind::Read)).collect());
         let s = t.slice(2, 3);
         assert_eq!(s.len(), 3);
         assert_eq!(s.events()[0].timestamp_ns, 2);
@@ -370,9 +370,7 @@ mod tests {
 
     #[test]
     fn collect_and_extend() {
-        let mut t: Trace = (0..5)
-            .map(|i| ev(i, i, 512, OpKind::Write))
-            .collect();
+        let mut t: Trace = (0..5).map(|i| ev(i, i, 512, OpKind::Write)).collect();
         t.extend((5..8).map(|i| ev(i, i, 512, OpKind::Read)));
         assert_eq!(t.len(), 8);
         assert_eq!(t.iter().count(), 8);

@@ -151,8 +151,7 @@ fn features_of(events: &[crate::trace::TraceEvent]) -> Vec<f64> {
         .count() as f64
         / (n - 1.0);
 
-    let duration_s =
-        ((events.last().expect("nonempty").timestamp_ns - t0) as f64 / 1e9).max(1e-9);
+    let duration_s = ((events.last().expect("nonempty").timestamp_ns - t0) as f64 / 1e9).max(1e-9);
     let bytes: f64 = events.iter().map(|e| f64::from(e.size_bytes)).sum();
     let log_bps = (bytes / duration_s + 1.0).ln();
 
@@ -238,7 +237,14 @@ mod tests {
             "shifted",
             base.events()
                 .iter()
-                .map(|e| TraceEvent::new(e.timestamp_ns + 1_000_000, e.lba + 999_999, e.size_bytes, e.op))
+                .map(|e| {
+                    TraceEvent::new(
+                        e.timestamp_ns + 1_000_000,
+                        e.lba + 999_999,
+                        e.size_bytes,
+                        e.op,
+                    )
+                })
                 .collect(),
         );
         let f0 = window_features(&base, WindowOptions::default());

@@ -83,10 +83,18 @@ mod tests {
 
     #[test]
     fn display_other_variants() {
-        assert!(MlError::NotPositiveDefinite.to_string().contains("positive definite"));
-        assert!(MlError::NoConvergence { iterations: 7 }.to_string().contains('7'));
-        assert!(MlError::InsufficientData("empty".into()).to_string().contains("empty"));
-        assert!(MlError::InvalidArgument("k=0".into()).to_string().contains("k=0"));
+        assert!(MlError::NotPositiveDefinite
+            .to_string()
+            .contains("positive definite"));
+        assert!(MlError::NoConvergence { iterations: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(MlError::InsufficientData("empty".into())
+            .to_string()
+            .contains("empty"));
+        assert!(MlError::InvalidArgument("k=0".into())
+            .to_string()
+            .contains("k=0"));
     }
 
     #[test]

@@ -181,14 +181,7 @@ impl GprBuilder {
     }
 
     /// Derivative-free coordinate search over log hyperparameters.
-    fn tune(
-        kernel: &mut SumKernel,
-        x: &Matrix,
-        y: &[f64],
-        mean: f64,
-        jitter: f64,
-        rounds: usize,
-    ) {
+    fn tune(kernel: &mut SumKernel, x: &Matrix, y: &[f64], mean: f64, jitter: f64, rounds: usize) {
         let mut best_p = kernel.params();
         let mut best_lml = match Self::factorize(kernel, x, y, mean, jitter) {
             Ok((_, _, lml)) => lml,
@@ -245,8 +238,7 @@ impl Gpr {
                 .sum::<f64>();
         let v = self.chol.solve(&k_star)?;
         let k_ss = self.kernel.diag(point);
-        let variance =
-            (k_ss - k_star.iter().zip(&v).map(|(k, w)| k * w).sum::<f64>()).max(0.0);
+        let variance = (k_ss - k_star.iter().zip(&v).map(|(k, w)| k * w).sum::<f64>()).max(0.0);
         Ok(Prediction { mean, variance })
     }
 

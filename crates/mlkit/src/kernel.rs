@@ -49,7 +49,9 @@ pub trait Kernel: std::fmt::Debug + Send + Sync {
                 (i..n).map(|j| entry(i, j)).collect()
             })
         } else {
-            (0..n).map(|i| (i..n).map(|j| entry(i, j)).collect()).collect()
+            (0..n)
+                .map(|i| (i..n).map(|j| entry(i, j)).collect())
+                .collect()
         };
         let mut k = Matrix::zeros(n, n);
         for (i, row) in rows.into_iter().enumerate() {

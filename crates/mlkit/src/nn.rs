@@ -166,7 +166,9 @@ impl Mlp {
             ));
         }
         if widths.contains(&0) {
-            return Err(MlError::InvalidArgument("layer widths must be positive".into()));
+            return Err(MlError::InvalidArgument(
+                "layer widths must be positive".into(),
+            ));
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let layers = widths
@@ -373,9 +375,7 @@ mod tests {
                 .as_slice()
                 .chunks(2)
                 .zip(&y)
-                .filter(|(row, &target)| {
-                    (net.predict(row).unwrap() - target).abs() < 0.5
-                })
+                .filter(|(row, &target)| (net.predict(row).unwrap() - target).abs() < 0.5)
                 .count();
             best_correct = best_correct.max(correct);
             if best_correct == 4 {

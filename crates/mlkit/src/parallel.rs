@@ -14,10 +14,93 @@
 //! makes the sequential baseline trivially exact.
 
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use telemetry::Counter;
 
 /// Process-wide thread-count override; `0` means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+// Pool utilization telemetry. Every counter is recorded only while
+// `telemetry::enabled()` is on, so the default (disabled) fan-out path
+// performs exactly one relaxed atomic load per batch and nothing else.
+static POOL_BATCHES: Counter = Counter::new();
+static POOL_INLINE_BATCHES: Counter = Counter::new();
+static POOL_JOBS: Counter = Counter::new();
+static POOL_INLINE_JOBS: Counter = Counter::new();
+static POOL_WORKERS_SPAWNED: Counter = Counter::new();
+static POOL_BUSY_NS: Counter = Counter::new();
+static POOL_WALL_NS: Counter = Counter::new();
+static POOL_WORKER_WALL_NS: Counter = Counter::new();
+
+/// Snapshot of the worker pool's utilization counters.
+///
+/// Collected process-wide across every [`parallel_map`] /
+/// [`parallel_map_with`] call while telemetry is enabled (see the
+/// `telemetry` crate); all zeros otherwise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// Batches that spawned worker threads.
+    pub batches: u64,
+    /// Batches that ran inline on the calling thread (1 thread or 1 item).
+    pub inline_batches: u64,
+    /// Work items processed by spawned workers.
+    pub jobs: u64,
+    /// Work items processed inline.
+    pub inline_jobs: u64,
+    /// Worker threads spawned in total.
+    pub workers_spawned: u64,
+    /// Summed busy time of all spawned workers, ns.
+    pub busy_ns: u64,
+    /// Summed wall-clock time of the spawning batches, ns.
+    pub wall_ns: u64,
+    /// Summed `workers x batch wall-clock` capacity, ns (the utilization
+    /// denominator).
+    pub worker_wall_ns: u64,
+}
+
+impl PoolStats {
+    /// Fraction of the spawned workers' available time spent busy, in
+    /// `0.0..=1.0`; `0.0` before any instrumented batch ran.
+    pub fn utilization(&self) -> f64 {
+        if self.worker_wall_ns == 0 {
+            0.0
+        } else {
+            (self.busy_ns as f64 / self.worker_wall_ns as f64).min(1.0)
+        }
+    }
+}
+
+/// Snapshot of the process-wide pool utilization counters.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        batches: POOL_BATCHES.get(),
+        inline_batches: POOL_INLINE_BATCHES.get(),
+        jobs: POOL_JOBS.get(),
+        inline_jobs: POOL_INLINE_JOBS.get(),
+        workers_spawned: POOL_WORKERS_SPAWNED.get(),
+        busy_ns: POOL_BUSY_NS.get(),
+        wall_ns: POOL_WALL_NS.get(),
+        worker_wall_ns: POOL_WORKER_WALL_NS.get(),
+    }
+}
+
+/// Resets the process-wide pool utilization counters to zero (used at the
+/// start of an instrumented run so the report covers exactly that run).
+pub fn reset_pool_stats() {
+    for c in [
+        &POOL_BATCHES,
+        &POOL_INLINE_BATCHES,
+        &POOL_JOBS,
+        &POOL_INLINE_JOBS,
+        &POOL_WORKERS_SPAWNED,
+        &POOL_BUSY_NS,
+        &POOL_WALL_NS,
+        &POOL_WORKER_WALL_NS,
+    ] {
+        c.reset();
+    }
+}
 
 /// Environment variable consulted for the default worker count.
 pub const THREADS_ENV: &str = "AUTOBLOX_THREADS";
@@ -78,9 +161,20 @@ where
 {
     let n = items.len();
     let threads = threads.min(n);
+    let instrument = telemetry::enabled();
     if threads <= 1 {
+        if instrument {
+            POOL_INLINE_BATCHES.inc();
+            POOL_INLINE_JOBS.add(n as u64);
+        }
         return items.into_iter().map(f).collect();
     }
+    if instrument {
+        POOL_BATCHES.inc();
+        POOL_JOBS.add(n as u64);
+        POOL_WORKERS_SPAWNED.add(threads as u64);
+    }
+    let batch_start = telemetry::start();
     // Each slot is locked only for the instant of its take/store; the atomic
     // counter hands out indices so a slow item never blocks the others.
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
@@ -90,14 +184,20 @@ where
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|_| {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                scope.spawn(|| {
+                    // A worker claims indices until the list is exhausted,
+                    // so its spawn-to-exit elapsed time IS its busy time.
+                    let busy = telemetry::start();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = slots[i].lock().take().expect("each index claimed once");
+                        let r = f(item);
+                        *results[i].lock() = Some(r);
                     }
-                    let item = slots[i].lock().take().expect("each index claimed once");
-                    let r = f(item);
-                    *results[i].lock() = Some(r);
+                    POOL_BUSY_NS.add(telemetry::elapsed_ns(busy));
                 })
             })
             .collect();
@@ -108,6 +208,11 @@ where
             }
         }
     });
+    let wall = telemetry::elapsed_ns(batch_start);
+    if instrument {
+        POOL_WALL_NS.add(wall);
+        POOL_WORKER_WALL_NS.add(wall * threads as u64);
+    }
     results
         .into_iter()
         .map(|m| m.into_inner().expect("worker filled its slot"))
@@ -151,6 +256,36 @@ mod tests {
         assert_eq!(max_threads(), 3);
         set_max_threads(0);
         assert!(max_threads() >= 1);
+    }
+
+    /// The only test that toggles the process-wide telemetry switch, so it
+    /// cannot race siblings over it; assertions are lower bounds because
+    /// concurrently running tests may also record while the switch is on.
+    #[test]
+    fn pool_stats_record_when_enabled() {
+        let disabled_before = pool_stats();
+        let out = parallel_map_with(3, (0..64).collect(), |i: u64| i + 1);
+        assert_eq!(out.len(), 64);
+        let disabled_after = pool_stats();
+        assert_eq!(
+            disabled_before, disabled_after,
+            "disabled telemetry must not move pool counters"
+        );
+
+        telemetry::set_enabled(true);
+        let before = pool_stats();
+        let _ = parallel_map_with(3, (0..64).collect(), |i: u64| i + 1);
+        let _ = parallel_map_with(1, (0..10).collect(), |i: u64| i + 1);
+        let after = pool_stats();
+        telemetry::set_enabled(false);
+
+        assert!(after.batches > before.batches);
+        assert!(after.jobs >= before.jobs + 64);
+        assert!(after.workers_spawned >= before.workers_spawned + 3);
+        assert!(after.inline_batches > before.inline_batches);
+        assert!(after.inline_jobs >= before.inline_jobs + 10);
+        assert!(after.worker_wall_ns > before.worker_wall_ns);
+        assert!(after.utilization() >= 0.0 && after.utilization() <= 1.0);
     }
 
     #[test]

@@ -13,7 +13,10 @@ fn arb_vector(len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-100.0f64..100.0, len)
 }
 
-fn arb_matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+fn arb_matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = Matrix> {
     (rows, cols).prop_flat_map(|(r, c)| {
         prop::collection::vec(-50.0f64..50.0, r * c)
             .prop_map(move |data| Matrix::from_vec(r, c, data))

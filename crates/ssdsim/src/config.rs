@@ -481,10 +481,9 @@ impl SsdConfig {
 
     /// Time to move one page over a flash channel, in nanoseconds.
     pub fn channel_transfer_ns(&self) -> u64 {
-        let bytes_per_sec = f64::from(self.channel_transfer_rate_mts)
-            * 1e6
-            * f64::from(self.channel_width_bits)
-            / 8.0;
+        let bytes_per_sec =
+            f64::from(self.channel_transfer_rate_mts) * 1e6 * f64::from(self.channel_width_bits)
+                / 8.0;
         let payload = f64::from(self.page_size_bytes);
         ((payload / bytes_per_sec) * 1e9) as u64 + self.flash_cmd_overhead_ns
     }
@@ -548,7 +547,10 @@ impl SsdConfig {
             ("blocks_per_plane", u64::from(self.blocks_per_plane)),
             ("pages_per_block", u64::from(self.pages_per_block)),
             ("page_size_bytes", u64::from(self.page_size_bytes)),
-            ("channel_transfer_rate_mts", u64::from(self.channel_transfer_rate_mts)),
+            (
+                "channel_transfer_rate_mts",
+                u64::from(self.channel_transfer_rate_mts),
+            ),
             ("channel_width_bits", u64::from(self.channel_width_bits)),
             ("io_queue_depth", u64::from(self.io_queue_depth)),
             ("read_latency_ns", self.read_latency_ns),
@@ -571,7 +573,9 @@ impl SsdConfig {
             ));
         }
         if !(0.0..1.0).contains(&self.gc_threshold) {
-            return Err(InvalidConfigError("gc_threshold must be within [0, 1)".into()));
+            return Err(InvalidConfigError(
+                "gc_threshold must be within [0, 1)".into(),
+            ));
         }
         if self.gc_hard_threshold > self.gc_threshold {
             return Err(InvalidConfigError(

@@ -143,8 +143,7 @@ impl FlashArray {
         for p in &mut planes {
             p.blocks[0].state = BlockState::Active;
         }
-        let gc_threshold_pages =
-            (cfg.pages_per_plane() as f64 * cfg.gc_threshold).ceil() as u64;
+        let gc_threshold_pages = (cfg.pages_per_plane() as f64 * cfg.gc_threshold).ceil() as u64;
         FlashArray {
             planes,
             pages_per_block: cfg.pages_per_block,
@@ -192,8 +191,7 @@ impl FlashArray {
         let fill = fill_fraction.clamp(0.0, 0.95);
         let ppb = u64::from(self.pages_per_block);
         for (pi, plane) in self.planes.iter_mut().enumerate() {
-            let target_blocks =
-                (fill * f64::from(self.blocks_per_plane)).floor() as usize;
+            let target_blocks = (fill * f64::from(self.blocks_per_plane)).floor() as usize;
             let mut filled = 0u64;
             for (bi, b) in plane.blocks.iter_mut().enumerate() {
                 if bi >= target_blocks || b.state != BlockState::Free {
@@ -267,8 +265,7 @@ impl FlashArray {
         self.stats.programs += 1;
 
         // Trigger GC when the plane dips below the threshold.
-        if self.planes[pidx].free_pages < self.gc_threshold_pages
-            && !self.planes[pidx].gc_pressure
+        if self.planes[pidx].free_pages < self.gc_threshold_pages && !self.planes[pidx].gc_pressure
         {
             self.planes[pidx].gc_pressure = true;
             if let Some(op) = self.collect_garbage(plane) {

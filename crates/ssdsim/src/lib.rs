@@ -41,6 +41,6 @@ pub mod power;
 pub mod report;
 pub mod sim;
 
-pub use config::{Interface, FlashTechnology, SsdConfig};
+pub use config::{FlashTechnology, Interface, SsdConfig};
 pub use report::SimReport;
 pub use sim::Simulator;

@@ -110,9 +110,7 @@ impl LruCache {
 
     /// `true` if `key` is cached and marked dirty.
     pub fn is_dirty(&self, key: u64) -> bool {
-        self.map
-            .get(&key)
-            .is_some_and(|&idx| self.nodes[idx].dirty)
+        self.map.get(&key).is_some_and(|&idx| self.nodes[idx].dirty)
     }
 
     /// Clears the dirty bit of a cached key; returns `false` if absent.
@@ -355,7 +353,9 @@ mod tests {
         let mut model: Vec<u64> = Vec::new(); // front = most recent
         let mut x: u64 = 0x12345;
         for _ in 0..10_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = (x >> 33) % 10;
             let evicted = c.insert(key, false);
             if let Some(pos) = model.iter().position(|&k| k == key) {

@@ -48,6 +48,44 @@ impl LatencySummary {
     }
 }
 
+/// Number of logarithmic latency buckets in a [`LatencyBuckets`] histogram.
+pub const LATENCY_BUCKET_COUNT: usize = 16;
+
+/// Simulated-time histogram of request latencies on a log scale.
+///
+/// Bucket `i` counts requests whose latency fell in
+/// `[BASE_NS * 2^i, BASE_NS * 2^(i+1))` (bucket 0 also absorbs anything
+/// faster; the last bucket absorbs anything slower). With `BASE_NS` = 1 µs
+/// the histogram spans 1 µs to ~65 ms, covering everything from a DRAM
+/// cache hit to a GC-stalled worst case.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBuckets {
+    /// Per-bucket request counts.
+    pub counts: [u64; LATENCY_BUCKET_COUNT],
+}
+
+impl LatencyBuckets {
+    /// Lower bound of bucket 0, ns.
+    pub const BASE_NS: u64 = 1_000;
+
+    /// Records one request latency.
+    pub fn observe(&mut self, latency_ns: u64) {
+        let scaled = (latency_ns / Self::BASE_NS).max(1);
+        let idx = (63 - scaled.leading_zeros()) as usize; // floor(log2(scaled))
+        self.counts[idx.min(LATENCY_BUCKET_COUNT - 1)] += 1;
+    }
+
+    /// Inclusive lower bound of bucket `i`, ns.
+    pub fn bucket_floor_ns(i: usize) -> u64 {
+        Self::BASE_NS << i.min(LATENCY_BUCKET_COUNT - 1)
+    }
+
+    /// Total requests recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
 /// Where flash-read time went, on average (diagnostic decomposition).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct ReadBreakdown {
@@ -80,6 +118,13 @@ pub struct SimReport {
     pub read_cache_hit_rate: f64,
     /// Cached-mapping-table hit fraction.
     pub cmt_hit_rate: f64,
+    /// Data-cache evictions (pages displaced by capacity pressure, across
+    /// the simulator's lifetime — matching the hit-rate counters).
+    pub data_cache_evictions: u64,
+    /// Cached-mapping-table evictions (translation pages displaced).
+    pub cmt_evictions: u64,
+    /// Log-scale request-latency histogram for this run.
+    pub latency_buckets: LatencyBuckets,
     /// Flash-array statistics (programs, erases, GC, wear leveling).
     pub flash: FlashStats,
     /// Read-path wait decomposition.
@@ -133,6 +178,36 @@ mod tests {
         let s = LatencySummary::from_latencies(&mut lats);
         assert_eq!(s.max_ns, 9);
         assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn latency_buckets_are_logarithmic() {
+        let mut b = LatencyBuckets::default();
+        b.observe(0); // absorbed by bucket 0
+        b.observe(999);
+        b.observe(1_000);
+        b.observe(1_999);
+        b.observe(2_000);
+        b.observe(u64::MAX); // absorbed by the last bucket
+        assert_eq!(b.counts[0], 4);
+        assert_eq!(b.counts[1], 1);
+        assert_eq!(b.counts[LATENCY_BUCKET_COUNT - 1], 1);
+        assert_eq!(b.total(), 6);
+        assert_eq!(LatencyBuckets::bucket_floor_ns(0), 1_000);
+        assert_eq!(LatencyBuckets::bucket_floor_ns(3), 8_000);
+    }
+
+    #[test]
+    fn bucket_boundaries_split_exactly() {
+        let mut b = LatencyBuckets::default();
+        for i in 0..LATENCY_BUCKET_COUNT {
+            b.observe(LatencyBuckets::bucket_floor_ns(i));
+        }
+        for i in 0..LATENCY_BUCKET_COUNT - 1 {
+            assert_eq!(b.counts[i], 1, "bucket {i}");
+        }
+        // The last floor lands in the last bucket alongside nothing else.
+        assert_eq!(b.counts[LATENCY_BUCKET_COUNT - 1], 1);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::config::{CacheMode, SsdConfig};
 use crate::flash::{pseudo_location, splitmix64, BackgroundOp, FlashArray};
 use crate::lru::LruCache;
 use crate::power::{compute_energy, ActivityCounters};
-use crate::report::{LatencySummary, ReadBreakdown, SimReport};
+use crate::report::{LatencyBuckets, LatencySummary, ReadBreakdown, SimReport};
 use iotrace::{OpKind, Trace};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -35,8 +35,7 @@ struct Timing {
 
 impl Timing {
     fn from_config(cfg: &SsdConfig) -> Self {
-        let dram_bytes_per_ns =
-            f64::from(cfg.dram_data_rate_mts.max(200)) * 1e6 * 8.0 / 1e9;
+        let dram_bytes_per_ns = f64::from(cfg.dram_data_rate_mts.max(200)) * 1e6 * 8.0 / 1e9;
         Timing {
             read_ns: cfg.read_latency_ns,
             program_ns: cfg.program_latency_ns,
@@ -100,6 +99,8 @@ pub struct Simulator {
     cache_read_misses: u64,
     cmt_hits: u64,
     cmt_misses: u64,
+    data_cache_evictions: u64,
+    cmt_evictions: u64,
     host_page_writes: u64,
     planes_per_channel: u32,
     planes_per_die: u32,
@@ -126,12 +127,10 @@ impl Simulator {
         let data_cache_pages =
             (u64::from(cfg.data_cache_mb) << 20) / u64::from(cfg.page_size_bytes);
         let cmt_tps = (u64::from(cfg.cmt_capacity_mb) << 20) / u64::from(cfg.page_size_bytes);
-        let entries_per_tp =
-            u64::from(cfg.page_size_bytes) / u64::from(cfg.cmt_entry_bytes.max(1));
+        let entries_per_tp = u64::from(cfg.page_size_bytes) / u64::from(cfg.cmt_entry_bytes.max(1));
         let timing = Timing::from_config(&cfg);
         let flash = FlashArray::new(&cfg);
-        let planes_per_channel =
-            cfg.chips_per_channel * cfg.dies_per_chip * cfg.planes_per_die;
+        let planes_per_channel = cfg.chips_per_channel * cfg.dies_per_chip * cfg.planes_per_die;
         Simulator {
             timing,
             mapping: HashMap::new(),
@@ -154,6 +153,8 @@ impl Simulator {
             cache_read_misses: 0,
             cmt_hits: 0,
             cmt_misses: 0,
+            data_cache_evictions: 0,
+            cmt_evictions: 0,
             host_page_writes: 0,
             planes_per_channel,
             planes_per_die: cfg.planes_per_die,
@@ -212,6 +213,7 @@ impl Simulator {
         let mut latencies: Vec<u64> = Vec::with_capacity(trace.len());
         let mut read_lat: Vec<u64> = Vec::new();
         let mut write_lat: Vec<u64> = Vec::new();
+        let mut latency_buckets = LatencyBuckets::default();
         let mut outstanding: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
         let qd = self.cfg.effective_queue_depth() as usize;
         let mut host_bytes: u64 = 0;
@@ -278,8 +280,7 @@ impl Simulator {
                         // pages from being a free lunch for small writes.
                         let covers_whole_page = byte_start <= (first_lpn + i) * page
                             && byte_end >= (first_lpn + i + 1) * page;
-                        let t_ready = if covers_whole_page || self.data_cache.contains(lpn)
-                        {
+                        let t_ready = if covers_whole_page || self.data_cache.contains(lpn) {
                             data_at
                         } else {
                             self.service_read(lpn, data_at)
@@ -298,6 +299,7 @@ impl Simulator {
             // request's latency.
             let latency = completion.saturating_sub(admit);
             latencies.push(latency);
+            latency_buckets.observe(latency);
             match event.op {
                 OpKind::Read => read_lat.push(latency),
                 OpKind::Write => write_lat.push(latency),
@@ -308,7 +310,9 @@ impl Simulator {
             outstanding_time_ns += u128::from(latency);
         }
 
-        let makespan = last_completion.saturating_sub(first_arrival.unwrap_or(0)).max(1);
+        let makespan = last_completion
+            .saturating_sub(first_arrival.unwrap_or(0))
+            .max(1);
         self.counters.elapsed_ns = makespan;
         // ~6% of each request's in-device time costs controller cycles,
         // bounded by wall-clock (the processor cannot be more than busy).
@@ -337,6 +341,9 @@ impl Simulator {
             } else {
                 0.0
             },
+            data_cache_evictions: self.data_cache_evictions,
+            cmt_evictions: self.cmt_evictions,
+            latency_buckets,
             flash: flash_stats,
             read_breakdown: ReadBreakdown {
                 flash_reads: self.diag_flash_reads,
@@ -445,7 +452,10 @@ impl Simulator {
         let plane = loc.plane_index(&self.cfg);
         self.diag_tp_reads += 1;
         let done = self.flash_read_at(plane, t);
-        if let Some((_, dirty)) = self.cmt.insert(tpn, false) {
+        if let Some((evicted, dirty)) = self.cmt.insert(tpn, false) {
+            if evicted != tpn {
+                self.cmt_evictions += 1;
+            }
             if dirty {
                 // Write back the evicted dirty translation page.
                 self.internal_program(done);
@@ -499,8 +509,11 @@ impl Simulator {
         let done = self.flash_read_at(plane, t);
         // Fill the cache with the clean page.
         if let Some((evicted, dirty)) = self.data_cache.insert(lpn, false) {
-            if dirty && evicted != lpn {
-                self.program_lpn(evicted, done);
+            if evicted != lpn {
+                self.data_cache_evictions += 1;
+                if dirty {
+                    self.program_lpn(evicted, done);
+                }
             }
         }
         done
@@ -519,6 +532,7 @@ impl Simulator {
                         return self.program_lpn(lpn, t);
                     }
                     Some((evicted, dirty)) => {
+                        self.data_cache_evictions += 1;
                         if dirty {
                             // Background flush of the evicted victim.
                             self.program_lpn(evicted, t);
@@ -548,7 +562,11 @@ impl Simulator {
             }
             CacheMode::WriteThrough => {
                 let done = self.program_lpn(lpn, t);
-                let _ = self.data_cache.insert(lpn, false);
+                if let Some((evicted, _)) = self.data_cache.insert(lpn, false) {
+                    if evicted != lpn {
+                        self.data_cache_evictions += 1;
+                    }
+                }
                 done
             }
         }
@@ -577,7 +595,10 @@ impl Simulator {
         // Update the translation entry (dirty in the CMT).
         let tpn = lpn / self.entries_per_tp;
         if !self.cmt.mark_dirty(tpn) {
-            if let Some((_, dirty)) = self.cmt.insert(tpn, true) {
+            if let Some((evicted, dirty)) = self.cmt.insert(tpn, true) {
+                if evicted != tpn {
+                    self.cmt_evictions += 1;
+                }
                 if dirty {
                     self.internal_program(t);
                 }
@@ -620,9 +641,7 @@ impl Simulator {
         // transaction scheduler batches programs that arrive while a
         // program window is still executing on the die, up to one per
         // plane. This is what makes planes multiply write bandwidth.
-        if self.mp_used[didx] < self.cfg.planes_per_die
-            && self.mp_window_end[didx] > data_in
-        {
+        if self.mp_used[didx] < self.cfg.planes_per_die && self.mp_window_end[didx] > data_in {
             self.mp_used[didx] += 1;
             return self.mp_window_end[didx];
         }
@@ -645,8 +664,7 @@ impl Simulator {
             BackgroundOp::GcCycle { plane, pages } => (plane, pages),
             BackgroundOp::WearLevelSwap { plane, pages } => (plane, pages),
         };
-        let per_page =
-            self.timing.read_ns + self.timing.program_ns + 2 * self.timing.transfer_ns;
+        let per_page = self.timing.read_ns + self.timing.program_ns + 2 * self.timing.transfer_ns;
         let mut total = u64::from(pages) * per_page;
         if !self.cfg.erase_suspension_enabled {
             total += self.timing.erase_ns;
@@ -815,6 +833,23 @@ mod tests {
         // A shallow queue throttles admission: per-request latency drops
         // (no in-device queueing) but throughput collapses.
         assert!(rs.throughput_bps < rd.throughput_bps);
+    }
+
+    #[test]
+    fn eviction_counters_and_histogram_populate() {
+        let tight = SsdConfig {
+            data_cache_mb: 1,
+            cmt_capacity_mb: 1,
+            ..SsdConfig::default()
+        };
+        let r = run_with(tight, WorkloadKind::CloudStorage, 4_000);
+        assert_eq!(r.latency_buckets.total(), 4_000);
+        assert!(
+            r.data_cache_evictions > 0,
+            "a 1 MiB data cache must evict under 4k requests"
+        );
+        // Evictions cannot outnumber insertions (misses fill the cache).
+        assert!(r.data_cache_evictions <= r.latency.count * MAX_PAGES_PER_REQUEST);
     }
 
     #[test]

@@ -17,19 +17,25 @@ fn arb_layout() -> impl Strategy<Value = SsdConfig> {
         0usize..16,
         prop::bool::ANY,
     )
-        .prop_map(|(ch, chips, dies, planes, blocks, pages, scheme, greedy)| SsdConfig {
-            channel_count: ch,
-            chips_per_channel: chips,
-            dies_per_chip: dies,
-            planes_per_die: planes,
-            blocks_per_plane: blocks,
-            pages_per_block: pages,
-            plane_allocation_scheme: PlaneAllocationScheme::ALL[scheme],
-            gc_policy: if greedy { GcPolicy::Greedy } else { GcPolicy::Random },
-            gc_threshold: 0.2,
-            gc_hard_threshold: 0.01,
-            ..SsdConfig::default()
-        })
+        .prop_map(
+            |(ch, chips, dies, planes, blocks, pages, scheme, greedy)| SsdConfig {
+                channel_count: ch,
+                chips_per_channel: chips,
+                dies_per_chip: dies,
+                planes_per_die: planes,
+                blocks_per_plane: blocks,
+                pages_per_block: pages,
+                plane_allocation_scheme: PlaneAllocationScheme::ALL[scheme],
+                gc_policy: if greedy {
+                    GcPolicy::Greedy
+                } else {
+                    GcPolicy::Random
+                },
+                gc_threshold: 0.2,
+                gc_hard_threshold: 0.01,
+                ..SsdConfig::default()
+            },
+        )
 }
 
 proptest! {

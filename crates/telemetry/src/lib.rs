@@ -1,0 +1,157 @@
+//! Process-wide telemetry switch and lightweight primitives.
+//!
+//! This crate sits below every other crate in the workspace so that the
+//! simulator, the worker pool, and the tuning pipeline can all ask one
+//! question — [`enabled`] — before paying for any instrumentation. The
+//! answer is a single relaxed atomic load, and every timing helper returns
+//! a zero immediately when telemetry is off, so the hot path costs nothing
+//! by default (the "global no-op" guarantee documented in DESIGN.md §11).
+//!
+//! What lives here is deliberately tiny: the switch, a relaxed [`Counter`],
+//! and gated stopwatch helpers ([`start`] / [`elapsed_ns`]). The structured
+//! collection layer (`TelemetrySink`, the JSON run report) lives in
+//! `autoblox::telemetry`, which re-exports this crate's surface.
+//!
+//! # Examples
+//!
+//! ```
+//! telemetry::set_enabled(true);
+//! let t = telemetry::start();
+//! let n: u64 = (0..1000).sum();
+//! assert!(n > 0);
+//! let ns = telemetry::elapsed_ns(t);
+//! assert!(ns > 0, "enabled stopwatch must measure time");
+//! telemetry::set_enabled(false);
+//! assert_eq!(telemetry::elapsed_ns(telemetry::start()), 0);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The process-wide telemetry switch; off by default.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns telemetry collection on or off for the whole process.
+///
+/// Off (the default) means every instrumented call site skips its
+/// measurement work entirely — no clock reads, no record pushes.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether telemetry collection is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Starts a stopwatch — only if telemetry is enabled.
+///
+/// When telemetry is off this is a single atomic load and returns `None`,
+/// so instrumented hot paths never touch the clock.
+#[inline]
+pub fn start() -> Option<Instant> {
+    if enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Nanoseconds elapsed on a stopwatch from [`start`]; `0` if telemetry was
+/// disabled when the stopwatch was started.
+#[inline]
+pub fn elapsed_ns(since: Option<Instant>) -> u64 {
+    match since {
+        Some(t) => u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        None => 0,
+    }
+}
+
+/// A relaxed monotone event counter.
+///
+/// Thread-safe and allocation-free; increments are single relaxed atomic
+/// adds. Call sites that want the zero-cost-when-off guarantee gate their
+/// increments on [`enabled`] — the counter itself does not consult the
+/// switch, so always-on counters (e.g. the validator's simulator-run
+/// count) can use it too.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All switch-toggling assertions live in one test so the process-wide
+    /// flag is never raced by a sibling test.
+    #[test]
+    fn switch_gates_stopwatches() {
+        assert!(!enabled(), "telemetry must default to off");
+        assert_eq!(elapsed_ns(start()), 0, "disabled stopwatch reads zero");
+        set_enabled(true);
+        assert!(enabled());
+        let t = start();
+        assert!(t.is_some());
+        std::hint::black_box((0..100).sum::<u64>());
+        assert!(elapsed_ns(t) > 0);
+        set_enabled(false);
+        assert!(!enabled());
+        assert_eq!(elapsed_ns(start()), 0);
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_is_thread_safe() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+}

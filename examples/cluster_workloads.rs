@@ -29,12 +29,18 @@ fn main() {
     );
 
     // Validation: unseen traces (different seeds) of the studied kinds.
-    println!("\n{:<16} {:>8} {:>10}  decision", "workload", "cluster", "distance");
+    println!(
+        "\n{:<16} {:>8} {:>10}  decision",
+        "workload", "cluster", "distance"
+    );
     for kind in WorkloadKind::STUDIED {
         let fresh = kind.spec().generate(4_000, 977);
         match model.classify(&fresh).expect("classify") {
             ClusterDecision::Existing { cluster, distance } => {
-                println!("{:<16} {cluster:>8} {distance:>10.3}  existing", kind.name());
+                println!(
+                    "{:<16} {cluster:>8} {distance:>10.3}  existing",
+                    kind.name()
+                );
             }
             ClusterDecision::New { nearest, distance } => {
                 println!("{:<16} {nearest:>8} {distance:>10.3}  NEW", kind.name());

@@ -66,11 +66,29 @@ fn main() {
 
     let c = &best.config;
     println!("\nlearned configuration (vs Intel 750):");
-    println!("  flash channels     : {:4}  (baseline 12)", c.channel_count);
-    println!("  chips per channel  : {:4}  (baseline 5)", c.chips_per_channel);
+    println!(
+        "  flash channels     : {:4}  (baseline 12)",
+        c.channel_count
+    );
+    println!(
+        "  chips per channel  : {:4}  (baseline 5)",
+        c.chips_per_channel
+    );
     println!("  dies per chip      : {:4}  (baseline 8)", c.dies_per_chip);
-    println!("  planes per die     : {:4}  (baseline 1)", c.planes_per_die);
-    println!("  data cache (MiB)   : {:4}  (baseline 800)", c.data_cache_mb);
-    println!("  CMT capacity (MiB) : {:4}  (baseline 256)", c.cmt_capacity_mb);
-    println!("  queue depth        : {:4}  (baseline 32)", c.io_queue_depth);
+    println!(
+        "  planes per die     : {:4}  (baseline 1)",
+        c.planes_per_die
+    );
+    println!(
+        "  data cache (MiB)   : {:4}  (baseline 800)",
+        c.data_cache_mb
+    );
+    println!(
+        "  CMT capacity (MiB) : {:4}  (baseline 256)",
+        c.cmt_capacity_mb
+    );
+    println!(
+        "  queue depth        : {:4}  (baseline 32)",
+        c.io_queue_depth
+    );
 }

@@ -46,8 +46,13 @@ fn main() {
         WorkloadKind::CloudStorage,
     ];
     let train: Vec<Trace> = kinds.iter().map(|k| k.spec().generate(6_000, 3)).collect();
-    framework.train_clustering(&train, kinds.len()).expect("train");
-    println!("clustering trained: {} clusters", framework.clusterer().unwrap().k());
+    framework
+        .train_clustering(&train, kinds.len())
+        .expect("train");
+    println!(
+        "clustering trained: {} clusters",
+        framework.clusterer().unwrap().k()
+    );
 
     // First encounter with a database-like trace: AutoBlox learns.
     let trace1 = WorkloadKind::Database.spec().generate(3_000, 404);

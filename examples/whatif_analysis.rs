@@ -29,8 +29,14 @@ fn main() {
     let goals = [
         (WorkloadKind::Vdi, WhatIfGoal::LatencyReduction(1.5)),
         (WorkloadKind::WebSearch, WhatIfGoal::LatencyReduction(1.5)),
-        (WorkloadKind::Database, WhatIfGoal::ThroughputImprovement(1.2)),
-        (WorkloadKind::KvStore, WhatIfGoal::ThroughputImprovement(1.2)),
+        (
+            WorkloadKind::Database,
+            WhatIfGoal::ThroughputImprovement(1.2),
+        ),
+        (
+            WorkloadKind::KvStore,
+            WhatIfGoal::ThroughputImprovement(1.2),
+        ),
     ];
 
     for (kind, goal) in goals {

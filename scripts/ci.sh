@@ -1,21 +1,111 @@
 #!/usr/bin/env bash
-# Offline CI gate: release build, full test suite, and (when installed)
-# clippy. No network access is assumed anywhere — every dependency is a
-# vendored in-repo shim (see vendor/).
-set -euo pipefail
+# Staged offline CI gate.
+#
+# Runs every stage even after a failure and prints a PASS/FAIL/SKIP summary
+# table at the end; exits non-zero if any stage failed. No network access is
+# assumed anywhere — every dependency is a vendored in-repo shim (see
+# vendor/), so all cargo invocations run with --offline.
+#
+# Usage:
+#   scripts/ci.sh            full gate (fmt, builds, tests, clippy, doc, smoke)
+#   scripts/ci.sh --quick    debug build + tests only
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release --offline"
-cargo build --release --offline --workspace
-
-echo "==> cargo test -q --offline"
-cargo test -q --offline --workspace
-
-if cargo clippy --version >/dev/null 2>&1; then
-    echo "==> cargo clippy --offline"
-    cargo clippy --offline --workspace --all-targets -- -D warnings
-else
-    echo "==> clippy not installed; skipping lint"
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+    QUICK=1
 fi
 
-echo "==> ci ok"
+STAGE_NAMES=()
+STAGE_RESULTS=()
+FAILED=0
+
+record() { # name result
+    STAGE_NAMES+=("$1")
+    STAGE_RESULTS+=("$2")
+    if [[ "$2" == FAIL ]]; then
+        FAILED=1
+    fi
+}
+
+run_stage() { # name command...
+    local name=$1
+    shift
+    echo "==> ${name}: $*"
+    if "$@"; then
+        record "$name" PASS
+    else
+        record "$name" FAIL
+    fi
+}
+
+# --- Stage: rustfmt (skipped when the component is not installed) ---------
+if [[ $QUICK -eq 0 ]]; then
+    if cargo fmt --version >/dev/null 2>&1; then
+        run_stage "fmt" cargo fmt --all -- --check
+    else
+        echo "==> fmt: rustfmt not installed; skipping"
+        record "fmt" SKIP
+    fi
+fi
+
+# --- Stage: builds --------------------------------------------------------
+run_stage "build-debug" cargo build --offline --workspace
+if [[ $QUICK -eq 0 ]]; then
+    run_stage "build-release" cargo build --offline --release --workspace
+fi
+
+# --- Stage: tests ---------------------------------------------------------
+run_stage "test" cargo test -q --offline --workspace
+
+if [[ $QUICK -eq 0 ]]; then
+    # --- Stage: clippy ----------------------------------------------------
+    if cargo clippy --version >/dev/null 2>&1; then
+        run_stage "clippy" cargo clippy --offline --workspace --all-targets -- -D warnings
+    else
+        echo "==> clippy: not installed; skipping"
+        record "clippy" SKIP
+    fi
+
+    # --- Stage: docs (warnings are errors) --------------------------------
+    doc_gate() {
+        RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
+    }
+    run_stage "doc" doc_gate
+
+    # --- Stage: telemetry smoke -------------------------------------------
+    # A tiny end-to-end tuning run with --telemetry, then a schema check on
+    # the emitted report (required keys + schema version) via the CLI's own
+    # telemetry-check subcommand. Entirely offline and fast.
+    telemetry_smoke() {
+        local out
+        out=$(mktemp /tmp/autoblox-ci-telemetry.XXXXXX.json) || return 1
+        ./target/release/autoblox tune database \
+            --iterations 2 --events 300 --telemetry "$out" \
+            >/dev/null || { rm -f "$out"; return 1; }
+        ./target/release/autoblox telemetry-check "$out" || { rm -f "$out"; return 1; }
+        rm -f "$out"
+    }
+    if [[ -x ./target/release/autoblox ]]; then
+        run_stage "telemetry-smoke" telemetry_smoke
+    else
+        echo "==> telemetry-smoke: release binary missing (build failed?); skipping"
+        record "telemetry-smoke" SKIP
+    fi
+fi
+
+# --- Summary --------------------------------------------------------------
+echo
+echo "ci summary:"
+echo "  ----------------------------"
+for i in "${!STAGE_NAMES[@]}"; do
+    printf "  %-18s %s\n" "${STAGE_NAMES[$i]}" "${STAGE_RESULTS[$i]}"
+done
+echo "  ----------------------------"
+
+if [[ $FAILED -ne 0 ]]; then
+    echo "ci FAILED"
+    exit 1
+fi
+echo "ci ok"

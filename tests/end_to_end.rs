@@ -65,7 +65,9 @@ fn learn_store_recall_roundtrip_with_persistence() {
         let runs_before = v.simulator_runs();
         let t2 = WorkloadKind::Database.spec().generate(2_000, 909);
         match fw.recommend(&t2, &presets::intel_750()) {
-            Recommendation::Recalled { cluster, stored, .. } => {
+            Recommendation::Recalled {
+                cluster, stored, ..
+            } => {
                 assert_eq!(cluster, learned_cluster);
                 stored.config.validate().unwrap();
             }
@@ -107,6 +109,10 @@ fn framework_handles_all_thirteen_workload_categories() {
         let m = v.evaluate(&presets::intel_750(), *kind);
         assert!(m.latency_ns > 0.0, "{kind}: zero latency");
         assert!(m.throughput_bps > 0.0, "{kind}: zero throughput");
-        assert!(m.power_w > 0.0 && m.power_w < 100.0, "{kind}: power {}", m.power_w);
+        assert!(
+            m.power_w > 0.0 && m.power_w < 100.0,
+            "{kind}: power {}",
+            m.power_w
+        );
     }
 }

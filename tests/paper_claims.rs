@@ -67,7 +67,12 @@ fn insensitive_sets_differ_by_workload() {
 fn fine_pruning_produces_a_usable_tuning_order() {
     let v = quick_validator();
     let space = ParamSpace::new();
-    let names = ["channel_count", "data_cache_size", "io_queue_depth", "init_delay"];
+    let names = [
+        "channel_count",
+        "data_cache_size",
+        "io_queue_depth",
+        "init_delay",
+    ];
     let report = fine_prune(
         &space,
         &presets::intel_750(),
@@ -95,7 +100,11 @@ fn fine_pruning_produces_a_usable_tuning_order() {
 fn tuning_order_does_not_hurt_final_grade() {
     let constraints = Constraints::paper_default();
     let reference = presets::intel_750();
-    let order = ["channel_count", "plane_allocation_scheme", "program_suspension"];
+    let order = [
+        "channel_count",
+        "plane_allocation_scheme",
+        "program_suspension",
+    ];
 
     let run = |use_order: bool| {
         let v = quick_validator();

@@ -11,16 +11,16 @@ use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = SsdConfig> {
     (
-        1u32..=8,             // channels
-        1u32..=4,             // chips
-        1u32..=4,             // dies
-        prop::sample::select(vec![1u32, 2, 4, 8]), // planes
-        prop::sample::select(vec![32u32, 64, 128]), // blocks
-        prop::sample::select(vec![32u32, 64, 128]), // pages
+        1u32..=8,                                        // channels
+        1u32..=4,                                        // chips
+        1u32..=4,                                        // dies
+        prop::sample::select(vec![1u32, 2, 4, 8]),       // planes
+        prop::sample::select(vec![32u32, 64, 128]),      // blocks
+        prop::sample::select(vec![32u32, 64, 128]),      // pages
         prop::sample::select(vec![2048u32, 4096, 8192]), // page size
-        0usize..16,           // allocation scheme index
-        prop::bool::ANY,      // suspension
-        prop::bool::ANY,      // write-back
+        0usize..16,                                      // allocation scheme index
+        prop::bool::ANY,                                 // suspension
+        prop::bool::ANY,                                 // write-back
     )
         .prop_map(
             |(ch, chips, dies, planes, blocks, pages, page_size, scheme, susp, wb)| SsdConfig {

@@ -23,19 +23,14 @@ fn saturated(cfg: SsdConfig, kind: WorkloadKind, n: usize) -> (f64, SimReport) {
         trace
             .events()
             .iter()
-            .map(|e| {
-                autoblox_repro::iotrace::TraceEvent::new(0, e.lba, e.size_bytes, e.op)
-            })
+            .map(|e| autoblox_repro::iotrace::TraceEvent::new(0, e.lba, e.size_bytes, e.op))
             .collect(),
     );
     let mut sim = Simulator::new(cfg);
     sim.warm_up(0.5);
     let report = sim.run(&compressed);
     let drained = sim.drain(report.makespan_ns).max(1);
-    (
-        report.host_bytes as f64 / (drained as f64 / 1e9),
-        report,
-    )
+    (report.host_bytes as f64 / (drained as f64 / 1e9), report)
 }
 
 #[test]

@@ -70,7 +70,12 @@ impl Bencher {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: u64, throughput: Option<Throughput>, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
     // Calibrate the batch size so quick routines are averaged over many
     // runs while slow ones (whole tuning iterations) only run a few times.
     let mut probe = Bencher {
@@ -149,7 +154,12 @@ impl BenchmarkGroup<'_> {
 
     /// Runs a benchmark within the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_one(&format!("{}/{name}", self.name), self.sample_size, self.throughput, f);
+        run_one(
+            &format!("{}/{name}", self.name),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
         self
     }
 

@@ -284,7 +284,7 @@ pub mod prop {
     pub mod collection {
         use super::super::*;
 
-        /// Length specification for [`vec`]: an exact size or a range.
+        /// Length specification for [`vec()`]: an exact size or a range.
         #[derive(Debug, Clone, Copy)]
         pub struct SizeRange {
             min: usize,
@@ -491,8 +491,8 @@ macro_rules! prop_oneof {
 pub mod prelude {
     pub use crate::strategy::{Just, Strategy};
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
-        proptest, Arbitrary, ProptestConfig,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, ProptestConfig,
     };
 }
 

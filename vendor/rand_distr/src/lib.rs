@@ -67,7 +67,9 @@ impl LogNormal {
         if sigma >= 0.0 && sigma.is_finite() && mu.is_finite() {
             Ok(LogNormal { mu, sigma })
         } else {
-            Err(ParamError("LogNormal sigma must be finite and non-negative"))
+            Err(ParamError(
+                "LogNormal sigma must be finite and non-negative",
+            ))
         }
     }
 }

@@ -363,9 +363,8 @@ impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
     fn deserialize_value(v: &Value) -> Result<Self, DeError> {
         let items = Vec::<T>::deserialize_value(v)?;
         let len = items.len();
-        <[T; N]>::try_from(items).map_err(|_| {
-            DeError::custom(format!("expected array of length {N}, got {len}"))
-        })
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, got {len}")))
     }
 }
 
@@ -447,7 +446,10 @@ mod tests {
     fn option_null_roundtrip() {
         let none: Option<u32> = None;
         assert_eq!(none.serialize_value(), Value::Null);
-        assert_eq!(Option::<u32>::deserialize_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::deserialize_value(&Value::Null).unwrap(),
+            None
+        );
         assert_eq!(
             Option::<u32>::deserialize_value(&Value::Int(1)).unwrap(),
             Some(1)

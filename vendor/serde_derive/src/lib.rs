@@ -37,8 +37,14 @@ struct Variant {
 }
 
 enum Item {
-    Struct { name: String, fields: Vec<Field> },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Derives `serde::Serialize` (value-based shim flavor).
@@ -49,7 +55,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Item::Struct { name, fields } => gen_struct_serialize(name, fields),
         Item::Enum { name, variants } => gen_enum_serialize(name, variants),
     };
-    code.parse().expect("serde_derive emitted invalid Serialize impl")
+    code.parse()
+        .expect("serde_derive emitted invalid Serialize impl")
 }
 
 /// Derives `serde::Deserialize` (value-based shim flavor).
@@ -60,7 +67,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Item::Struct { name, fields } => gen_struct_deserialize(name, fields),
         Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
     };
-    code.parse().expect("serde_derive emitted invalid Deserialize impl")
+    code.parse()
+        .expect("serde_derive emitted invalid Deserialize impl")
 }
 
 // ---------------------------------------------------------------------------
@@ -317,7 +325,10 @@ fn gen_struct_serialize(name: &str, fields: &[Field]) -> String {
         );
         match &f.skip_if {
             Some(path) => {
-                body.push_str(&format!("if !{path}(&self.{n}) {{ {insert} }}\n", n = f.name));
+                body.push_str(&format!(
+                    "if !{path}(&self.{n}) {{ {insert} }}\n",
+                    n = f.name
+                ));
             }
             None => body.push_str(&insert),
         }

@@ -377,8 +377,7 @@ impl<'a> Parser<'a> {
                                 .get(self.pos..self.pos + 4)
                                 .ok_or_else(|| self.err("bad \\u escape"))?;
                             let code = u32::from_str_radix(
-                                std::str::from_utf8(hex)
-                                    .map_err(|_| self.err("bad \\u escape"))?,
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
                                 16,
                             )
                             .map_err(|_| self.err("bad \\u escape"))?;
@@ -451,7 +450,10 @@ mod tests {
         assert_eq!(to_string(&json!(true)).unwrap(), "true");
         assert_eq!(to_string(&json!(42)).unwrap(), "42");
         assert_eq!(to_string(&json!(1.5)).unwrap(), "1.5");
-        assert_eq!(to_string(&json!("hi\n\"there\"")).unwrap(), "\"hi\\n\\\"there\\\"\"");
+        assert_eq!(
+            to_string(&json!("hi\n\"there\"")).unwrap(),
+            "\"hi\\n\\\"there\\\"\""
+        );
     }
 
     #[test]
