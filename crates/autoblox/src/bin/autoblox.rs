@@ -7,10 +7,15 @@
 //! autoblox simulate <workload|trace-file> [config.json]
 //! autoblox tune <workload> [--iterations N] [--events N] [--capacity GIB]
 //!               [--interface nvme|sata] [--flash slc|mlc|tlc] [--power W]
-//!               [--telemetry out.json]
+//!               [--telemetry out.json] [--journal out.jsonl]
 //! autoblox whatif <workload> --goal latency|throughput --factor F
-//!               [--telemetry out.json]
+//!               [--telemetry out.json] [--journal out.jsonl]
 //! autoblox telemetry-check <report.json>
+//! autoblox trace export --chrome <journal.jsonl> <out.json>
+//! autoblox report diff <baseline.json> <candidate.json> [--ignore-time]
+//!               [--max-grade-drop F] [--max-validation-increase F]
+//!               [--max-hit-rate-drop F] [--max-sim-time-increase F]
+//!               [--max-tail-shift F]
 //! ```
 //!
 //! Trace files are auto-detected by extension when the format argument is
@@ -23,6 +28,8 @@
 
 use autoblox::clustering::{ClusterDecision, WorkloadClusterer};
 use autoblox::constraints::Constraints;
+use autoblox::journal::Journal;
+use autoblox::report_diff::{diff_reports, DiffThresholds};
 use autoblox::tuner::{Tuner, TunerOptions};
 use autoblox::validator::{Validator, ValidatorOptions};
 use autoblox::whatif::{what_if, WhatIfGoal, WhatIfOptions};
@@ -48,10 +55,16 @@ fn usage() -> ExitCode {
          \x20 simulate <workload|trace-file> [config.json]    run the SSD simulator\n\
          \x20 tune     <workload> [--iterations N] [--events N] [--capacity GIB]\n\
          \x20          [--interface nvme|sata] [--flash slc|mlc|tlc] [--power W]\n\
-         \x20          [--telemetry out.json]\n\
+         \x20          [--telemetry out.json] [--journal out.jsonl]\n\
          \x20 whatif   <workload> --goal latency|throughput --factor F\n\
-         \x20          [--telemetry out.json]\n\
+         \x20          [--telemetry out.json] [--journal out.jsonl]\n\
          \x20 telemetry-check <report.json>                   validate a telemetry report\n\
+         \x20 trace    export --chrome <journal.jsonl> <out.json>\n\
+         \x20                                                 convert a run journal to Perfetto\n\
+         \x20 report   diff <baseline.json> <candidate.json>  regression-diff two telemetry\n\
+         \x20          [--ignore-time] [--max-grade-drop F]   reports (exit 3 on regression)\n\
+         \x20          [--max-validation-increase F] [--max-hit-rate-drop F]\n\
+         \x20          [--max-sim-time-increase F] [--max-tail-shift F]\n\
          \n\
          workloads: {}",
         WorkloadKind::STUDIED
@@ -222,27 +235,67 @@ where
     Ok(None)
 }
 
-/// Consumes the `--telemetry <path>` flag; when present, arms telemetry
-/// collection for the whole process and clears any prior state so the
-/// eventual report covers exactly this command.
-fn telemetry_setup(args: &[String]) -> Result<Option<String>, String> {
-    let path: Option<String> = parse_flag(args, "--telemetry")?;
-    if path.is_some() {
-        autoblox::telemetry::set_enabled(true);
-        autoblox::parallel::reset_pool_stats();
-        autoblox::telemetry::global().clear();
-    }
-    Ok(path)
+/// Shared observability sink configuration for the `tune` and `whatif`
+/// subcommands: the `--telemetry` report path and the `--journal` stream
+/// path are parsed, armed, and flushed in exactly one place, so a flag
+/// added here can never drift between the two commands.
+struct SinkConfig {
+    telemetry: Option<String>,
+    journal_path: Option<String>,
+    journal: Option<Journal>,
 }
 
-/// Writes the global sink's report (with the validator's statistics folded
-/// in) to `path` as pretty JSON.
-fn write_telemetry(path: &str, validator: &Validator) -> Result<(), String> {
-    let report = autoblox::telemetry::global().report(Some(validator));
-    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
-    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
-    eprintln!("telemetry report written to {path}");
-    Ok(())
+impl SinkConfig {
+    /// Parses `--telemetry` / `--journal` and, when either is present, arms
+    /// telemetry collection (clearing prior state so the outputs cover
+    /// exactly this command) and opens the journal.
+    fn from_args(args: &[String]) -> Result<SinkConfig, String> {
+        let telemetry: Option<String> = parse_flag(args, "--telemetry")?;
+        let journal_path: Option<String> = parse_flag(args, "--journal")?;
+        if telemetry.is_some() || journal_path.is_some() {
+            autoblox::telemetry::set_enabled(true);
+            autoblox::parallel::reset_pool_stats();
+            autoblox::telemetry::global().clear();
+        }
+        let journal = match &journal_path {
+            Some(path) => {
+                let j = Journal::create(path)?;
+                autoblox::telemetry::global().attach_journal(j.handle());
+                eprintln!("streaming run journal to {path}");
+                Some(j)
+            }
+            None => None,
+        };
+        Ok(SinkConfig {
+            telemetry,
+            journal_path,
+            journal,
+        })
+    }
+
+    /// Writes the telemetry report (if requested) and closes the journal
+    /// (if open), printing the histogram-derived latency percentiles the
+    /// run observed.
+    fn finish(mut self, validator: &Validator) -> Result<(), String> {
+        if let Some(path) = &self.telemetry {
+            let report = autoblox::telemetry::global().report(Some(validator));
+            let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+            std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            let p = report.latency_percentiles;
+            eprintln!(
+                "telemetry report written to {path} \
+                 (latency p50 {} ns, p95 {} ns, p99 {} ns)",
+                p.p50_ns, p.p95_ns, p.p99_ns
+            );
+        }
+        if let Some(j) = self.journal.take() {
+            autoblox::telemetry::global().detach_journal();
+            let path = self.journal_path.as_deref().expect("journal has a path");
+            j.finish(path)?;
+            eprintln!("run journal closed: {path}");
+        }
+        Ok(())
+    }
 }
 
 fn cmd_telemetry_check(args: &[String]) -> Result<(), String> {
@@ -250,16 +303,124 @@ fn cmd_telemetry_check(args: &[String]) -> Result<(), String> {
         return Err("telemetry-check needs <report.json>".into());
     };
     let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let report =
-        autoblox::telemetry::RunReport::parse_checked(&json).map_err(|e| format!("{path}: {e}"))?;
+    let checked = autoblox::telemetry::RunReport::parse_checked_verbose(&json)
+        .map_err(|e| format!("{path}: {e}"))?;
+    for w in &checked.warnings {
+        eprintln!("warning: {path}: {w}");
+    }
+    let report = checked.report;
+    let p = report.latency_percentiles;
     eprintln!(
-        "{path}: valid {} report ({} phase(s), {} tuner run(s), {} simulator run(s))",
+        "{path}: valid {} report ({} phase(s), {} tuner run(s), {} simulator run(s); \
+         latency p50 {} ns, p95 {} ns, p99 {} ns)",
         report.schema,
         report.phases.len(),
         report.tuner.len(),
         report.validator.simulator_runs,
+        p.p50_ns,
+        p.p95_ns,
+        p.p99_ns,
     );
     Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let [sub, rest @ ..] = args else {
+        return Err("trace needs: export --chrome <journal.jsonl> <out.json>".into());
+    };
+    if sub != "export" {
+        return Err(format!(
+            "unknown trace subcommand {sub:?} (expected `export`)"
+        ));
+    }
+    let [flag, journal_path, out_path] = rest else {
+        return Err("trace export needs: --chrome <journal.jsonl> <out.json>".into());
+    };
+    if flag != "--chrome" {
+        return Err(format!(
+            "unknown trace export format {flag:?} (expected `--chrome`)"
+        ));
+    }
+    let journal = std::fs::read_to_string(journal_path)
+        .map_err(|e| format!("cannot read {journal_path}: {e}"))?;
+    let chrome = autoblox::journal::export_chrome(&journal)?;
+    std::fs::write(out_path, &chrome).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    eprintln!(
+        "wrote {out_path} ({} bytes); open it in https://ui.perfetto.dev or chrome://tracing",
+        chrome.len()
+    );
+    Ok(())
+}
+
+/// Exit code returned by `report diff` when a checked metric regressed
+/// (distinct from `1` = usage/parse error so CI can tell them apart).
+const EXIT_REGRESSION: u8 = 3;
+
+fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
+    let [sub, rest @ ..] = args else {
+        return Err("report needs: diff <baseline.json> <candidate.json> [flags]".into());
+    };
+    if sub != "diff" {
+        return Err(format!(
+            "unknown report subcommand {sub:?} (expected `diff`)"
+        ));
+    }
+    let [baseline_path, candidate_path, flags @ ..] = rest else {
+        return Err("report diff needs <baseline.json> <candidate.json>".into());
+    };
+    let defaults = DiffThresholds::default();
+    let thresholds = DiffThresholds {
+        max_grade_drop: parse_flag(flags, "--max-grade-drop")?.unwrap_or(defaults.max_grade_drop),
+        max_validation_increase: parse_flag(flags, "--max-validation-increase")?
+            .unwrap_or(defaults.max_validation_increase),
+        max_hit_rate_drop: parse_flag(flags, "--max-hit-rate-drop")?
+            .unwrap_or(defaults.max_hit_rate_drop),
+        max_sim_time_increase: parse_flag(flags, "--max-sim-time-increase")?
+            .unwrap_or(defaults.max_sim_time_increase),
+        max_tail_latency_shift: parse_flag(flags, "--max-tail-shift")?
+            .unwrap_or(defaults.max_tail_latency_shift),
+        ignore_time: flags.iter().any(|a| a == "--ignore-time"),
+    };
+    let load = |path: &str| -> Result<autoblox::telemetry::RunReport, String> {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        autoblox::telemetry::RunReport::parse_checked(&json).map_err(|e| format!("{path}: {e}"))
+    };
+    let baseline = load(baseline_path)?;
+    let candidate = load(candidate_path)?;
+    let diff = diff_reports(&baseline, &candidate, &thresholds);
+    // Machine-readable verdict to stdout; the human summary to stderr.
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&diff).map_err(|e| e.to_string())?
+    );
+    for m in &diff.metrics {
+        eprintln!(
+            "{} {:<28} {:>14.3} -> {:>14.3}  ({:+.1}%){}",
+            if m.regressed {
+                "REGRESSED"
+            } else if m.checked {
+                "ok       "
+            } else {
+                "info     "
+            },
+            m.metric,
+            m.baseline,
+            m.candidate,
+            m.relative * 100.0,
+            if m.checked {
+                String::new()
+            } else {
+                " [unchecked]".to_string()
+            },
+        );
+    }
+    if diff.pass {
+        eprintln!("verdict: PASS");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("verdict: REGRESSION ({})", diff.regressions.join(", "));
+        Ok(ExitCode::from(EXIT_REGRESSION))
+    }
 }
 
 fn constraints_from(args: &[String]) -> Result<Constraints, String> {
@@ -298,7 +459,7 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
     let iterations: usize = parse_flag(rest, "--iterations")?.unwrap_or(20);
     let trace_events: usize =
         parse_flag(rest, "--events")?.unwrap_or(ValidatorOptions::default().trace_events);
-    let telemetry_path = telemetry_setup(rest)?;
+    let sinks = SinkConfig::from_args(rest)?;
     let validator = Validator::new(ValidatorOptions {
         trace_events,
         ..ValidatorOptions::default()
@@ -335,10 +496,7 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
         "{}",
         serde_json::to_string_pretty(&outcome.best.config).map_err(|e| e.to_string())?
     );
-    if let Some(path) = telemetry_path {
-        write_telemetry(&path, &validator)?;
-    }
-    Ok(())
+    sinks.finish(&validator)
 }
 
 fn cmd_whatif(args: &[String]) -> Result<(), String> {
@@ -355,7 +513,7 @@ fn cmd_whatif(args: &[String]) -> Result<(), String> {
     let constraints = constraints_from(rest)?;
     let trace_events: usize =
         parse_flag(rest, "--events")?.unwrap_or(ValidatorOptions::default().trace_events);
-    let telemetry_path = telemetry_setup(rest)?;
+    let sinks = SinkConfig::from_args(rest)?;
     let validator = Validator::new(ValidatorOptions {
         trace_events,
         ..ValidatorOptions::default()
@@ -384,10 +542,7 @@ fn cmd_whatif(args: &[String]) -> Result<(), String> {
         "{}",
         serde_json::to_string_pretty(&out.tuning.best.config).map_err(|e| e.to_string())?
     );
-    if let Some(path) = telemetry_path {
-        write_telemetry(&path, &validator)?;
-    }
-    Ok(())
+    sinks.finish(&validator)
 }
 
 fn main() -> ExitCode {
@@ -396,6 +551,17 @@ fn main() -> ExitCode {
         return usage();
     };
     let rest = &args[1..];
+    // `report diff` distinguishes "regression found" (exit 3) from plain
+    // success/failure, so it returns an ExitCode directly.
+    if command == "report" {
+        return match cmd_report(rest) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let result = match command.as_str() {
         "generate" => cmd_generate(rest),
         "profile" => cmd_profile(rest),
@@ -404,6 +570,7 @@ fn main() -> ExitCode {
         "tune" => cmd_tune(rest),
         "whatif" => cmd_whatif(rest),
         "telemetry-check" => cmd_telemetry_check(rest),
+        "trace" => cmd_trace(rest),
         _ => return usage(),
     };
     match result {

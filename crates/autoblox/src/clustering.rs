@@ -140,6 +140,7 @@ impl WorkloadClusterer {
         seed: u64,
         pca_dims: usize,
     ) -> Result<Self> {
+        let _span = telemetry::span::Span::enter_keyed("cluster.fit", k as u64);
         let mut rows: Vec<Vec<f64>> = Vec::new();
         for t in traces {
             rows.extend(window_features(t, window));
@@ -254,6 +255,10 @@ impl WorkloadClusterer {
     ///
     /// Propagates [`WorkloadClusterer::project`] errors.
     pub fn classify(&self, trace: &Trace) -> Result<ClusterDecision> {
+        let _span = telemetry::span::Span::enter_keyed(
+            "cluster.classify",
+            telemetry::span::key_str(trace.name()),
+        );
         let center = self.center(trace)?;
         let cluster = self.kmeans.predict_row(&center)?;
         let distance = self.kmeans.distance_to_nearest(&center)?;

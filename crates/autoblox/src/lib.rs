@@ -49,9 +49,11 @@
 pub mod clustering;
 pub mod constraints;
 pub mod framework;
+pub mod journal;
 pub mod metrics;
 pub mod params;
 pub mod pruning;
+pub mod report_diff;
 pub mod telemetry;
 pub mod tuner;
 pub mod validator;

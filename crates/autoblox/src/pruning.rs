@@ -103,6 +103,10 @@ pub fn coarse_prune(
     workload: WorkloadKind,
     validator: &Validator,
 ) -> CoarseReport {
+    let _span = telemetry::span::Span::enter_keyed(
+        "prune.coarse",
+        telemetry::span::key_str(workload.name()),
+    );
     let stage_start = telemetry::start();
     let baseline = validator.evaluate(base, workload);
     // Score of any probe whose grid index reproduces the baseline value
@@ -325,6 +329,8 @@ pub fn fine_prune(
     validator: &Validator,
     opts: FineOptions,
 ) -> FineReport {
+    let _span =
+        telemetry::span::Span::enter_keyed("prune.fine", telemetry::span::key_str(workload.name()));
     let stage_start = telemetry::start();
     let indices: Vec<usize> = names.iter().filter_map(|n| space.index_of(n)).collect();
     assert!(

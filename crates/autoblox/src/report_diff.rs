@@ -1,0 +1,407 @@
+//! Cross-run regression diffing of telemetry [`RunReport`]s.
+//!
+//! [`diff_reports`] compares a baseline and a candidate report metric by
+//! metric — grade, validation count, cache hit rate, simulator time, and
+//! the histogram-derived tail-latency percentiles — against configurable
+//! [`DiffThresholds`], producing a machine-readable [`ReportDiff`] with a
+//! single `pass` verdict. This is what `autoblox report diff` prints and
+//! what the `regression-gate` CI stage acts on: a pinned-seed smoke tune
+//! diffed against a checked-in golden report catches behavioural drift
+//! (more simulator runs, a worse converged grade, a fatter latency tail)
+//! the unit-test suite cannot see.
+//!
+//! Wall-clock metrics vary by host, so the gate runs with
+//! `ignore_time = true`; deterministic metrics (grades, validation counts)
+//! use tight-ish relative thresholds and time-based ones stay advisory.
+
+use crate::telemetry::RunReport;
+use serde::{Deserialize, Serialize};
+
+/// Regression thresholds for [`diff_reports`]. Relative thresholds are
+/// fractions (0.05 = 5%); the hit-rate threshold is an absolute delta of a
+/// 0..=1 rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiffThresholds {
+    /// Maximum tolerated relative drop of the best grade.
+    pub max_grade_drop: f64,
+    /// Maximum tolerated relative increase in simulator validations.
+    pub max_validation_increase: f64,
+    /// Maximum tolerated absolute drop of the validator cache hit rate.
+    pub max_hit_rate_drop: f64,
+    /// Maximum tolerated relative increase in total simulate time.
+    pub max_sim_time_increase: f64,
+    /// Maximum tolerated relative shift (either direction) of the
+    /// histogram-derived p95/p99 latency.
+    pub max_tail_latency_shift: f64,
+    /// When `true`, wall-clock-derived metrics (simulate time) are reported
+    /// but never fail the diff — the right setting when baseline and
+    /// candidate ran on different machines.
+    pub ignore_time: bool,
+}
+
+impl Default for DiffThresholds {
+    fn default() -> Self {
+        DiffThresholds {
+            max_grade_drop: 0.05,
+            max_validation_increase: 0.25,
+            max_hit_rate_drop: 0.10,
+            max_sim_time_increase: 0.50,
+            max_tail_latency_shift: 0.25,
+            ignore_time: false,
+        }
+    }
+}
+
+/// One compared metric in a [`ReportDiff`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricDelta {
+    /// Metric name (e.g. `best_grade`, `validations`, `p95_latency_ns`).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Candidate value.
+    pub candidate: f64,
+    /// `candidate - baseline`.
+    pub delta: f64,
+    /// Delta relative to the baseline magnitude (0 when the baseline is 0).
+    pub relative: f64,
+    /// The threshold this metric was judged against.
+    pub threshold: f64,
+    /// Whether this metric can fail the diff (informational metrics and
+    /// time metrics under `ignore_time` report `false`).
+    pub checked: bool,
+    /// Whether this metric regressed beyond its threshold.
+    pub regressed: bool,
+}
+
+/// Machine-readable verdict of one report comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportDiff {
+    /// Schema identifier; always [`ReportDiff::SCHEMA`].
+    pub schema: String,
+    /// The thresholds the diff ran with.
+    pub thresholds: DiffThresholds,
+    /// Every compared metric, in a stable order.
+    pub metrics: Vec<MetricDelta>,
+    /// Names of the metrics that regressed (subset of `metrics`).
+    pub regressions: Vec<String>,
+    /// `true` when no checked metric regressed.
+    pub pass: bool,
+}
+
+impl ReportDiff {
+    /// The schema identifier written into every diff document.
+    pub const SCHEMA: &'static str = "autoblox.diff.v1";
+}
+
+fn relative(baseline: f64, delta: f64) -> f64 {
+    if baseline.abs() < 1e-12 {
+        0.0
+    } else {
+        delta / baseline.abs()
+    }
+}
+
+/// Builds one metric row; `fails` decides regression from (delta, relative).
+fn metric(
+    name: &str,
+    baseline: f64,
+    candidate: f64,
+    threshold: f64,
+    checked: bool,
+    fails: impl Fn(f64, f64) -> bool,
+) -> MetricDelta {
+    let delta = candidate - baseline;
+    let rel = relative(baseline, delta);
+    MetricDelta {
+        metric: name.to_string(),
+        baseline,
+        candidate,
+        delta,
+        relative: rel,
+        threshold,
+        checked,
+        regressed: checked && fails(delta, rel),
+    }
+}
+
+fn best_grade(r: &RunReport) -> f64 {
+    r.tuner
+        .iter()
+        .map(|t| t.best_grade)
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Maximum absolute divergence of the two grade trajectories over their
+/// common prefix (0 when either report has no iteration records).
+fn trajectory_divergence(a: &RunReport, b: &RunReport) -> f64 {
+    let series = |r: &RunReport| -> Vec<f64> {
+        r.tuner
+            .iter()
+            .flat_map(|t| t.records.iter().map(|i| i.best_grade))
+            .collect()
+    };
+    let (sa, sb) = (series(a), series(b));
+    sa.iter()
+        .zip(&sb)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+fn hit_rate(r: &RunReport) -> f64 {
+    let v = &r.validator;
+    let total = v.cache_hits + v.cache_misses + v.dedup_waits;
+    if total == 0 {
+        0.0
+    } else {
+        v.cache_hits as f64 / total as f64
+    }
+}
+
+/// Compares `candidate` against `baseline` and judges every metric against
+/// `t`. Metrics absent from both reports (all-zero) are reported unchecked
+/// so a smoke run without tuner records cannot fail on them.
+pub fn diff_reports(baseline: &RunReport, candidate: &RunReport, t: &DiffThresholds) -> ReportDiff {
+    let mut metrics = Vec::new();
+
+    // Grade: lower is worse; only a drop beyond the threshold fails.
+    let (gb, gc) = (best_grade(baseline), best_grade(candidate));
+    let have_grades = gb.is_finite() && gc.is_finite();
+    metrics.push(metric(
+        "best_grade",
+        if have_grades { gb } else { 0.0 },
+        if have_grades { gc } else { 0.0 },
+        t.max_grade_drop,
+        have_grades,
+        |_d, rel| rel < -t.max_grade_drop,
+    ));
+
+    // Trajectory divergence is informational: it localizes where two runs
+    // drifted apart, but convergence order may legitimately differ.
+    let div = trajectory_divergence(baseline, candidate);
+    // Threshold 0.0 = "no threshold" (JSON has no infinity); the metric is
+    // unchecked so the value is advisory either way.
+    metrics.push(metric(
+        "grade_trajectory_divergence",
+        0.0,
+        div,
+        0.0,
+        false,
+        |_, _| false,
+    ));
+
+    // Validations: more simulator runs for the same problem is a cost
+    // regression (a cache or pruning mechanism stopped working).
+    let (vb, vc) = (
+        baseline.validator.simulator_runs as f64,
+        candidate.validator.simulator_runs as f64,
+    );
+    metrics.push(metric(
+        "validations",
+        vb,
+        vc,
+        t.max_validation_increase,
+        vb > 0.0 || vc > 0.0,
+        |_d, rel| rel > t.max_validation_increase,
+    ));
+
+    // Cache hit rate: judged on the absolute delta of the 0..=1 rate.
+    let (hb, hc) = (hit_rate(baseline), hit_rate(candidate));
+    metrics.push(metric(
+        "cache_hit_rate",
+        hb,
+        hc,
+        t.max_hit_rate_drop,
+        hb > 0.0 || hc > 0.0,
+        |d, _rel| -d > t.max_hit_rate_drop,
+    ));
+
+    // Simulate time: wall-clock, so only checked when times are comparable.
+    let (sb, sc) = (
+        baseline.validator.simulate_ns as f64,
+        candidate.validator.simulate_ns as f64,
+    );
+    metrics.push(metric(
+        "simulate_ns",
+        sb,
+        sc,
+        t.max_sim_time_increase,
+        !t.ignore_time && sb > 0.0,
+        |_d, rel| rel > t.max_sim_time_increase,
+    ));
+
+    // Histogram-derived latency percentiles: simulated time, deterministic,
+    // so they are checked even under `ignore_time`. p50 stays informational
+    // (median shifts are usually intentional retuning); the tail is judged.
+    for (name, pb, pc, checked) in [
+        (
+            "p50_latency_ns",
+            baseline.latency_percentiles.p50_ns as f64,
+            candidate.latency_percentiles.p50_ns as f64,
+            false,
+        ),
+        (
+            "p95_latency_ns",
+            baseline.latency_percentiles.p95_ns as f64,
+            candidate.latency_percentiles.p95_ns as f64,
+            true,
+        ),
+        (
+            "p99_latency_ns",
+            baseline.latency_percentiles.p99_ns as f64,
+            candidate.latency_percentiles.p99_ns as f64,
+            true,
+        ),
+    ] {
+        metrics.push(metric(
+            name,
+            pb,
+            pc,
+            t.max_tail_latency_shift,
+            checked && pb > 0.0,
+            |_d, rel| rel.abs() > t.max_tail_latency_shift,
+        ));
+    }
+
+    let regressions: Vec<String> = metrics
+        .iter()
+        .filter(|m| m.regressed)
+        .map(|m| m.metric.clone())
+        .collect();
+    ReportDiff {
+        schema: ReportDiff::SCHEMA.to_string(),
+        thresholds: *t,
+        pass: regressions.is_empty(),
+        regressions,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::TunerRunTelemetry;
+    use crate::tuner::IterationRecord;
+
+    fn report_with(grade: f64, runs: u64, hits: u64, misses: u64, p95: u64) -> RunReport {
+        let mut r = RunReport {
+            schema: RunReport::SCHEMA.to_string(),
+            ..Default::default()
+        };
+        r.tuner.push(TunerRunTelemetry {
+            workload: "database".into(),
+            best_grade: grade,
+            records: vec![IterationRecord {
+                iteration: 1,
+                best_grade: grade,
+                ..Default::default()
+            }],
+            ..Default::default()
+        });
+        r.validator.simulator_runs = runs;
+        r.validator.cache_hits = hits;
+        r.validator.cache_misses = misses;
+        r.latency_percentiles.p50_ns = p95 / 2;
+        r.latency_percentiles.p95_ns = p95;
+        r.latency_percentiles.p99_ns = p95 * 2;
+        r
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let a = report_with(0.5, 20, 10, 10, 8_000);
+        let d = diff_reports(&a, &a.clone(), &DiffThresholds::default());
+        assert!(d.pass, "regressions: {:?}", d.regressions);
+        assert!(d.regressions.is_empty());
+        assert_eq!(d.schema, ReportDiff::SCHEMA);
+    }
+
+    #[test]
+    fn grade_drop_beyond_threshold_fails() {
+        let a = report_with(0.50, 20, 10, 10, 8_000);
+        let b = report_with(0.40, 20, 10, 10, 8_000); // -20% > 5%
+        let d = diff_reports(&a, &b, &DiffThresholds::default());
+        assert!(!d.pass);
+        assert!(d.regressions.contains(&"best_grade".to_string()));
+    }
+
+    #[test]
+    fn small_grade_drop_within_threshold_passes() {
+        let a = report_with(0.500, 20, 10, 10, 8_000);
+        let b = report_with(0.495, 20, 10, 10, 8_000); // -1% < 5%
+        let d = diff_reports(&a, &b, &DiffThresholds::default());
+        assert!(d.pass, "regressions: {:?}", d.regressions);
+    }
+
+    #[test]
+    fn validation_explosion_fails() {
+        let a = report_with(0.5, 20, 10, 10, 8_000);
+        let b = report_with(0.5, 40, 10, 10, 8_000); // +100% > 25%
+        let d = diff_reports(&a, &b, &DiffThresholds::default());
+        assert!(!d.pass);
+        assert!(d.regressions.contains(&"validations".to_string()));
+    }
+
+    #[test]
+    fn hit_rate_collapse_fails() {
+        let a = report_with(0.5, 20, 30, 10, 8_000); // 75% hit rate
+        let b = report_with(0.5, 20, 10, 30, 8_000); // 25% hit rate
+        let d = diff_reports(&a, &b, &DiffThresholds::default());
+        assert!(!d.pass);
+        assert!(d.regressions.contains(&"cache_hit_rate".to_string()));
+    }
+
+    #[test]
+    fn tail_latency_shift_fails_in_both_directions() {
+        let base = report_with(0.5, 20, 10, 10, 8_000);
+        for p95 in [16_000u64, 4_000] {
+            let b = report_with(0.5, 20, 10, 10, p95);
+            let d = diff_reports(&base, &b, &DiffThresholds::default());
+            assert!(!d.pass, "p95 {p95} must trip the diff");
+            assert!(d.regressions.contains(&"p95_latency_ns".to_string()));
+        }
+    }
+
+    #[test]
+    fn ignore_time_unchecks_simulate_ns() {
+        let mut a = report_with(0.5, 20, 10, 10, 8_000);
+        let mut b = report_with(0.5, 20, 10, 10, 8_000);
+        a.validator.simulate_ns = 1_000_000;
+        b.validator.simulate_ns = 100_000_000; // 100x slower
+        let strict = diff_reports(&a, &b, &DiffThresholds::default());
+        assert!(!strict.pass);
+        let lenient = diff_reports(
+            &a,
+            &b,
+            &DiffThresholds {
+                ignore_time: true,
+                ..Default::default()
+            },
+        );
+        assert!(lenient.pass, "regressions: {:?}", lenient.regressions);
+        let sim = lenient
+            .metrics
+            .iter()
+            .find(|m| m.metric == "simulate_ns")
+            .expect("metric present");
+        assert!(!sim.checked);
+    }
+
+    #[test]
+    fn empty_reports_pass_with_nothing_checked() {
+        let a = RunReport::default();
+        let d = diff_reports(&a, &a.clone(), &DiffThresholds::default());
+        assert!(d.pass);
+        assert!(d.metrics.iter().all(|m| !m.regressed));
+    }
+
+    #[test]
+    fn diff_serializes_round_trip() {
+        let a = report_with(0.5, 20, 10, 10, 8_000);
+        let b = report_with(0.4, 30, 10, 10, 16_000);
+        let d = diff_reports(&a, &b, &DiffThresholds::default());
+        let json = serde_json::to_string(&d).expect("serializes");
+        let back: ReportDiff = serde_json::from_str(&json).expect("parses");
+        assert_eq!(d, back);
+    }
+}

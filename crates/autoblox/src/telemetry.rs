@@ -27,13 +27,15 @@
 //! assert_eq!(report.schema, RunReport::SCHEMA);
 //! ```
 
+use crate::journal::JournalHandle;
 use crate::pruning::{CoarseReport, FineReport};
 use crate::tuner::{IterationRecord, TuningOutcome};
 use crate::validator::{Validator, ValidatorStats};
 use mlkit::parallel::PoolStats;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::sync::OnceLock;
+use ssdsim::report::HistogramPercentiles;
+use std::sync::{Arc, OnceLock};
 
 pub use telemetry::{elapsed_ns, enabled, set_enabled, start, Counter};
 
@@ -128,6 +130,12 @@ pub struct RunReport {
     pub validator: ValidatorStats,
     /// Worker-pool utilization counters.
     pub pool: PoolStats,
+    /// Tail-latency percentiles estimated from the validator's aggregated
+    /// latency histogram (all zeros when telemetry was off or no simulator
+    /// ran). Absent in reports written before the field existed — the
+    /// default keeps those parseable.
+    #[serde(default)]
+    pub latency_percentiles: HistogramPercentiles,
 }
 
 impl RunReport {
@@ -150,10 +158,27 @@ impl RunReport {
     /// every required top-level key, match the schema identifier, and
     /// deserialize back into a [`RunReport`].
     ///
+    /// Newer **minor** schema versions (`autoblox.telemetry.v2` and up)
+    /// parse with a warning (see [`RunReport::parse_checked_verbose`] to
+    /// observe it) rather than failing, so a new producer and an old
+    /// checker can coexist.
+    ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first problem found.
+    /// Returns a human-readable description of the first problem found; for
+    /// field-level mismatches the message names the exact field path (e.g.
+    /// `validator.simulate_ns`).
     pub fn parse_checked(json: &str) -> Result<RunReport, String> {
+        Self::parse_checked_verbose(json).map(|c| c.report)
+    }
+
+    /// Like [`RunReport::parse_checked`], also returning any non-fatal
+    /// warnings (currently: a newer minor schema version was accepted).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RunReport::parse_checked`].
+    pub fn parse_checked_verbose(json: &str) -> Result<CheckedReport, String> {
         let value: serde_json::Value =
             serde_json::from_str(json).map_err(|e| format!("invalid JSON: {e}"))?;
         let obj = match &value {
@@ -165,17 +190,127 @@ impl RunReport {
                 return Err(format!("missing required key `{key}`"));
             }
         }
-        let report: RunReport =
-            serde_json::from_str(json).map_err(|e| format!("schema mismatch: {e}"))?;
-        if report.schema != Self::SCHEMA {
-            return Err(format!(
-                "unknown schema `{}` (expected `{}`)",
-                report.schema,
+        let schema = value["schema"].as_str().unwrap_or("").to_string();
+        let mut warnings = Vec::new();
+        match schema_minor_version(&schema) {
+            Some(1) => {}
+            Some(v) if v > 1 => warnings.push(format!(
+                "report uses newer schema `{schema}`; parsing best-effort as `{}` \
+                 (unknown fields ignored)",
                 Self::SCHEMA
-            ));
+            )),
+            _ => {
+                return Err(format!(
+                    "unknown schema `{schema}` (expected `{}`)",
+                    Self::SCHEMA
+                ))
+            }
         }
-        Ok(report)
+        let report: RunReport =
+            serde_json::from_str(json).map_err(|e| match locate_schema_mismatch(&value) {
+                Some(path) => format!("schema mismatch at `{path}`: {e}"),
+                None => format!("schema mismatch: {e}"),
+            })?;
+        Ok(CheckedReport { report, warnings })
     }
+}
+
+/// A successfully validated report plus any non-fatal warnings.
+#[derive(Debug, Clone)]
+pub struct CheckedReport {
+    /// The parsed report.
+    pub report: RunReport,
+    /// Non-fatal validation warnings (e.g. a newer minor schema version).
+    pub warnings: Vec<String>,
+}
+
+/// Extracts `N` from `autoblox.telemetry.vN`; `None` for anything else.
+fn schema_minor_version(schema: &str) -> Option<u64> {
+    let rest = schema.strip_prefix("autoblox.telemetry.v")?;
+    let n: u64 = rest.parse().ok()?;
+    (n >= 1).then_some(n)
+}
+
+/// A fully-populated v1 report (one element in every list) used as the
+/// structural template for field-level mismatch reporting.
+fn schema_template() -> serde_json::Value {
+    let report = RunReport {
+        schema: RunReport::SCHEMA.to_string(),
+        phases: vec![PhaseRecord::default()],
+        tuner: vec![TunerRunTelemetry {
+            records: vec![IterationRecord::default()],
+            ..Default::default()
+        }],
+        pruning: PruningTelemetry {
+            coarse: vec![CoarsePruneTelemetry::default()],
+            fine: vec![FinePruneTelemetry::default()],
+        },
+        ..Default::default()
+    };
+    serde_json::to_value(&report).expect("template serializes")
+}
+
+/// Walks `candidate` against the v1 template and names the first field that
+/// does not fit the schema (wrong type or missing member). `None` when the
+/// document is structurally conformant — then the deserializer's own error
+/// message is the best description available.
+fn locate_schema_mismatch(candidate: &serde_json::Value) -> Option<String> {
+    fn kind(v: &serde_json::Value) -> &'static str {
+        use serde_json::Value::*;
+        match v {
+            Null => "null",
+            Bool(_) => "boolean",
+            Int(_) => "integer",
+            Float(_) => "number",
+            Str(_) => "string",
+            Array(_) => "array",
+            Object(_) => "object",
+        }
+    }
+    fn walk(tpl: &serde_json::Value, got: &serde_json::Value, path: &str) -> Option<String> {
+        use serde_json::Value::*;
+        match (tpl, got) {
+            (Object(t), Object(g)) => {
+                for (k, tv) in t {
+                    let sub = if path.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{path}.{k}")
+                    };
+                    // Absent members are serde's department (its error
+                    // already names the missing field, and `default`ed
+                    // fields are legitimately absent) — the walker only
+                    // hunts type mismatches, which serde reports pathless.
+                    if let Some(gv) = g.get(k) {
+                        if let Some(hit) = walk(tv, gv, &sub) {
+                            return Some(hit);
+                        }
+                    }
+                }
+                None
+            }
+            (Array(t), Array(g)) => {
+                let elem_tpl = t.first()?;
+                for (i, gv) in g.iter().enumerate() {
+                    if let Some(hit) = walk(elem_tpl, gv, &format!("{path}[{i}]")) {
+                        return Some(hit);
+                    }
+                }
+                None
+            }
+            // Numbers are interchangeable where integral; everything else
+            // must match the template's kind exactly.
+            (Int(_), Int(_)) | (Float(_), Float(_)) | (Float(_), Int(_)) => None,
+            (Int(_), Float(f)) if f.fract() == 0.0 => None,
+            (Bool(_), Bool(_)) | (Str(_), Str(_)) | (Null, _) => None,
+            _ => Some(format!(
+                "{path} (expected {}, got {})",
+                kind(tpl),
+                kind(got)
+            )),
+        }
+    }
+    walk(&schema_template(), candidate, "")
 }
 
 #[derive(Debug, Default)]
@@ -184,6 +319,7 @@ struct SinkInner {
     tuner: Vec<TunerRunTelemetry>,
     coarse: Vec<CoarsePruneTelemetry>,
     fine: Vec<FinePruneTelemetry>,
+    journal: Option<Arc<JournalHandle>>,
 }
 
 /// Thread-safe collector for structured telemetry.
@@ -204,8 +340,10 @@ impl TelemetrySink {
     }
 
     /// Runs `f` as a named pipeline stage, recording its wall-clock time
-    /// when telemetry is enabled. The closure's result passes through.
-    pub fn phase<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+    /// when telemetry is enabled and opening a span around it when tracing
+    /// is armed. The closure's result passes through.
+    pub fn phase<R>(&self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let _span = telemetry::span::Span::enter_keyed(name, telemetry::span::key_str(name));
         let t = start();
         let out = f();
         if enabled() {
@@ -214,13 +352,40 @@ impl TelemetrySink {
         out
     }
 
-    /// Records an already-measured stage duration.
+    /// Records an already-measured stage duration, streaming it to an
+    /// attached journal.
     pub fn record_phase_ns(&self, name: &str, wall_ns: u64) {
         if enabled() {
-            self.inner.lock().phases.push(PhaseRecord {
+            let mut inner = self.inner.lock();
+            inner.phases.push(PhaseRecord {
                 name: name.to_string(),
                 wall_ns,
             });
+            if let Some(j) = &inner.journal {
+                j.record_phase(name, wall_ns);
+            }
+        }
+    }
+
+    /// Attaches a run journal: subsequent phase completions and tuner
+    /// iteration records stream into it as they happen.
+    pub fn attach_journal(&self, handle: Arc<JournalHandle>) {
+        self.inner.lock().journal = Some(handle);
+    }
+
+    /// Detaches the journal, if any (the handle's writer keeps draining
+    /// whatever was already queued).
+    pub fn detach_journal(&self) {
+        self.inner.lock().journal = None;
+    }
+
+    /// Streams one tuner iteration record to the attached journal; a no-op
+    /// without one. Unlike the other recorders this is not gated on the
+    /// telemetry switch — a journal is an explicit opt-in of its own.
+    pub fn record_iteration(&self, workload: &str, record: &IterationRecord) {
+        let inner = self.inner.lock();
+        if let Some(j) = &inner.journal {
+            j.record_iteration(workload, record);
         }
     }
 
@@ -271,7 +436,9 @@ impl TelemetrySink {
     /// instrumented run so the report covers exactly that run).
     pub fn clear(&self) {
         let mut inner = self.inner.lock();
+        let journal = inner.journal.take();
         *inner = SinkInner::default();
+        inner.journal = journal;
     }
 
     /// Snapshots everything recorded into a serializable [`RunReport`],
@@ -279,6 +446,7 @@ impl TelemetrySink {
     /// validator's cache statistics.
     pub fn report(&self, validator: Option<&Validator>) -> RunReport {
         let inner = self.inner.lock();
+        let validator = validator.map(Validator::stats).unwrap_or_default();
         RunReport {
             schema: RunReport::SCHEMA.to_string(),
             enabled: enabled(),
@@ -289,7 +457,8 @@ impl TelemetrySink {
                 coarse: inner.coarse.clone(),
                 fine: inner.fine.clone(),
             },
-            validator: validator.map(Validator::stats).unwrap_or_default(),
+            latency_percentiles: validator.sim.latency_buckets.percentiles(),
+            validator,
             pool: mlkit::parallel::pool_stats(),
         }
     }
@@ -349,6 +518,56 @@ mod tests {
         let json = serde_json::to_string(&report).expect("serializes");
         let err = RunReport::parse_checked(&json).unwrap_err();
         assert!(err.contains("unknown schema"), "{err}");
+    }
+
+    #[test]
+    fn newer_minor_schema_parses_with_warning() {
+        let report = RunReport {
+            schema: "autoblox.telemetry.v2".to_string(),
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&report).expect("serializes");
+        let checked = RunReport::parse_checked_verbose(&json)
+            .expect("a newer minor version must still parse");
+        assert_eq!(checked.report.schema, "autoblox.telemetry.v2");
+        assert_eq!(checked.warnings.len(), 1, "exactly one version warning");
+        assert!(
+            checked.warnings[0].contains("newer schema"),
+            "{}",
+            checked.warnings[0]
+        );
+        // The strict entry point stays warning-free on the current version.
+        let current = serde_json::to_string(&RunReport {
+            schema: RunReport::SCHEMA.to_string(),
+            ..Default::default()
+        })
+        .expect("serializes");
+        let checked = RunReport::parse_checked_verbose(&current).expect("parses");
+        assert!(checked.warnings.is_empty());
+    }
+
+    #[test]
+    fn type_mismatch_names_the_exact_field() {
+        let report = RunReport {
+            schema: RunReport::SCHEMA.to_string(),
+            ..Default::default()
+        };
+        let mut value = serde_json::to_value(&report).expect("to value");
+        // Corrupt one deeply nested field: validator.cache_hits: u64 -> str.
+        if let serde_json::Value::Object(map) = &mut value {
+            if let Some(serde_json::Value::Object(v)) = map.get_mut("validator") {
+                v.insert(
+                    "cache_hits".to_string(),
+                    serde_json::Value::Str("lots".to_string()),
+                );
+            }
+        }
+        let err = RunReport::parse_checked(&serde_json::to_string(&value).unwrap())
+            .expect_err("a corrupted field must not parse");
+        assert!(
+            err.contains("validator.cache_hits"),
+            "error must name the exact field path: {err}"
+        );
     }
 
     #[test]

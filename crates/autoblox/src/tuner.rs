@@ -300,6 +300,10 @@ impl<'a> Tuner<'a> {
         tuning_order: Option<&[&str]>,
     ) -> TuningOutcome {
         let target = target.into();
+        let _tune_span = telemetry::span::Span::enter_keyed(
+            "tuner.tune",
+            telemetry::span::key_str(target.name()),
+        );
         let mut reference = reference.clone();
         self.constraints.pin(&mut reference);
         self.constraints
@@ -307,6 +311,7 @@ impl<'a> Tuner<'a> {
             .expect("reference configuration must satisfy the constraints");
 
         let runs_before = self.validator.simulator_runs();
+        let ref_span = telemetry::span::Span::enter("tuner.reference");
         // Reference measurements: the target and every non-target workload
         // are independent simulator runs, evaluated on the worker pool. The
         // validator memoizes deterministically and `parallel_map` preserves
@@ -328,7 +333,9 @@ impl<'a> Tuner<'a> {
         let ref_target = ref_meas.next().expect("target measurement");
         let ref_non: Vec<(WorkloadKind, Measurement)> =
             non_kinds.into_iter().zip(ref_meas).collect();
+        drop(ref_span);
 
+        let init_span = telemetry::span::Span::enter("tuner.init_set");
         let mut state = SearchState {
             validated: Vec::new(),
             seen: HashSet::new(),
@@ -372,6 +379,7 @@ impl<'a> Tuner<'a> {
                 false,
             );
         }
+        drop(init_span);
 
         let (order_indices, explicit_order) = self.order_indices(tuning_order);
         let mut rng = StdRng::seed_from_u64(
@@ -387,6 +395,10 @@ impl<'a> Tuner<'a> {
         // identical results at any thread count is a design invariant.
         for _iter in 0..self.opts.max_iterations {
             iterations += 1;
+            // Keyed by the iteration index: the loop is sequential, but a
+            // content key keeps the id independent of any earlier spans.
+            let _iter_span =
+                telemetry::span::Span::enter_keyed("tuner.iteration", iterations as u64);
             let iter_start = telemetry::start();
             let runs_at_iter_start = self.validator.simulator_runs();
             // Step 3: pick the search root among the top-k elite at random.
@@ -399,7 +411,9 @@ impl<'a> Tuner<'a> {
             // Step 4: the surrogate fitted on the validated set predicts
             // candidate grades.
             let fit_start = telemetry::start();
+            let fit_span = telemetry::span::Span::enter("tuner.fit_surrogate");
             let surrogate = self.fit_surrogate(&state);
+            drop(fit_span);
             let surrogate_fit_ns = telemetry::elapsed_ns(fit_start);
 
             // The SGD walk keeps moving while the predicted mean improves;
@@ -409,6 +423,7 @@ impl<'a> Tuner<'a> {
             let mut chosen: Option<Vec<usize>> = None;
             let mut sgd_steps: u64 = 0;
             let mut candidates_considered: u64 = 0;
+            let sgd_span = telemetry::span::Span::enter("tuner.sgd_walk");
             for _ in 0..self.opts.sgd_iterations {
                 sgd_steps += 1;
                 let candidates =
@@ -449,6 +464,8 @@ impl<'a> Tuner<'a> {
                 }
             }
 
+            drop(sgd_span);
+
             // Step 5: validate the explored configuration.
             let exploration_distance = chosen
                 .as_ref()
@@ -457,6 +474,7 @@ impl<'a> Tuner<'a> {
             if let Some(vec) = chosen {
                 if !state.seen.contains(&vec) {
                     if let Some(cfg) = self.materialize(&reference, &vec) {
+                        let _validate_span = telemetry::span::Span::enter("tuner.validate");
                         self.validate_into(
                             &cfg,
                             target,
@@ -483,7 +501,7 @@ impl<'a> Tuner<'a> {
                 convergence_delta = (hi - lo) / scale;
                 converged = convergence_delta <= self.opts.convergence_epsilon;
             }
-            records.push(IterationRecord {
+            let record = IterationRecord {
                 iteration: iterations as u64,
                 candidates_considered,
                 sgd_steps,
@@ -493,7 +511,11 @@ impl<'a> Tuner<'a> {
                 convergence_delta,
                 validations: self.validator.simulator_runs() - runs_at_iter_start,
                 wall_ns: telemetry::elapsed_ns(iter_start),
-            });
+            };
+            // Stream the record to an attached run journal (no-op without
+            // one) so a live tuning run is observable before it finishes.
+            crate::telemetry::global().record_iteration(target.name(), &record);
+            records.push(record);
             if converged {
                 break;
             }

@@ -234,7 +234,13 @@ impl Validator {
         }
         // Generation is deterministic per (kind, seed), so a racing thread
         // building the same trace is wasted work at worst, never divergence;
-        // `entry` keeps exactly one copy.
+        // `entry` keeps exactly one copy. The span is keyed by the workload
+        // name, so a racing duplicate build collapses to the same identity
+        // in the canonical span tree.
+        let _span = telemetry::span::Span::enter_keyed(
+            "validator.trace_build",
+            telemetry::span::key_str(kind.name()),
+        );
         let built = telemetry::start();
         let fresh = Arc::new(kind.spec().generate(self.opts.trace_events, self.opts.seed));
         if telemetry::enabled() {
@@ -296,6 +302,16 @@ impl Validator {
 
     /// The two uncached simulator runs behind one measurement.
     fn simulate(&self, cfg: &SsdConfig, trace: &Trace) -> Measurement {
+        // Keyed by (configuration, trace) content, so the span id does not
+        // depend on which thread won the `OnceLock` race to simulate.
+        let _span = telemetry::span::Span::enter_keyed(
+            "validator.simulate",
+            if telemetry::span::tracing_enabled() {
+                ConfigKey::of(cfg).0[0] ^ telemetry::span::key_str(trace.name())
+            } else {
+                0
+            },
+        );
         let sim_start = telemetry::start();
         // Timed replay: latency, power, energy.
         //

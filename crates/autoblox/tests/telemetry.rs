@@ -7,6 +7,7 @@
 //! concurrent threads within one process).
 
 use autoblox::constraints::Constraints;
+use autoblox::journal::Journal;
 use autoblox::parallel;
 use autoblox::telemetry::{self, RunReport, TelemetrySink};
 use autoblox::tuner::{Tuner, TunerOptions};
@@ -14,6 +15,9 @@ use autoblox::validator::{Validator, ValidatorOptions, ValidatorStats};
 use iotrace::gen::WorkloadKind;
 use ssdsim::config::{presets, SsdConfig};
 use std::sync::Mutex;
+// The standalone `telemetry` crate (span tracing) vs the `autoblox::telemetry`
+// module imported as `telemetry` above — disambiguate with a crate path.
+use ::telemetry::span;
 
 static SWITCH_LOCK: Mutex<()> = Mutex::new(());
 
@@ -167,4 +171,138 @@ fn populated_report_round_trips_through_json() {
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     let back = RunReport::parse_checked(&json).expect("report parses back");
     assert_eq!(report, back, "JSON round-trip must be lossless");
+}
+
+/// Runs a small tuning session with span tracing on and returns the
+/// canonical span tree: the sorted, deduplicated set of
+/// `(parent, id, name, disc)` edges. Racing duplicate builds collapse under
+/// dedup, so two runs that did the same logical work produce the same tree
+/// regardless of how the work was scheduled.
+fn traced_span_tree(threads: usize) -> Vec<(u64, u64, &'static str, u64)> {
+    parallel::set_max_threads(threads);
+    span::reset_tracing_state();
+    span::set_tracing(true);
+
+    let v = quick_validator(200);
+    let opts = TunerOptions {
+        max_iterations: 2,
+        sgd_iterations: 2,
+        convergence_window: 2,
+        non_target: vec![WorkloadKind::WebSearch],
+        ..Default::default()
+    };
+    let tuner = Tuner::new(Constraints::paper_default(), &v, opts);
+    let _ = tuner.tune(WorkloadKind::Database, &presets::intel_750(), &[], None);
+
+    span::set_tracing(false);
+    let mut spans = Vec::new();
+    span::drain_spans(&mut spans);
+    let mut tree: Vec<_> = spans
+        .iter()
+        .map(|s| (s.parent, s.id, s.name, s.disc))
+        .collect();
+    tree.sort_unstable();
+    tree.dedup();
+    tree
+}
+
+/// The span-determinism invariant: the canonical span tree of a run is a
+/// pure function of the work performed, not of the thread count that
+/// performed it. One worker and four workers must produce identical trees —
+/// ids, parents, names, and discriminators all match.
+#[test]
+fn span_tree_identical_across_thread_counts() {
+    let _guard = SWITCH_LOCK.lock().unwrap();
+    telemetry::set_enabled(false);
+
+    let serial = traced_span_tree(1);
+    let parallel_tree = traced_span_tree(4);
+    parallel::set_max_threads(0); // restore the default
+
+    assert!(
+        serial.len() > 10,
+        "the instrumented tune must produce a real tree, got {} spans",
+        serial.len()
+    );
+    assert_eq!(
+        serial, parallel_tree,
+        "span tree must not depend on thread count"
+    );
+    let root = serial.iter().find(|(parent, ..)| *parent == 0);
+    assert!(root.is_some(), "tree has a root span");
+    assert!(
+        serial
+            .iter()
+            .any(|(_, _, name, _)| *name == "tuner.iteration"),
+        "tuner iterations are in the tree"
+    );
+    assert!(
+        serial.iter().any(|(_, _, name, _)| *name == "sim.run"),
+        "simulator phases are in the tree"
+    );
+}
+
+/// End-to-end journal: a tuning run streamed to disk must produce a valid
+/// JSONL file (meta first, summary last, zero drops at this scale) that the
+/// Chrome exporter accepts.
+#[test]
+fn journal_streams_run_and_exports_chrome_trace() {
+    let _guard = SWITCH_LOCK.lock().unwrap();
+    telemetry::set_enabled(true);
+    autoblox::telemetry::global().clear();
+
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!(
+        "autoblox-test-journal-{}.jsonl",
+        std::process::id()
+    ));
+    let path_str = path.to_string_lossy().into_owned();
+
+    let journal = Journal::create(&path_str).expect("journal opens");
+    autoblox::telemetry::global().attach_journal(journal.handle());
+
+    let v = quick_validator(200);
+    let opts = TunerOptions {
+        max_iterations: 2,
+        sgd_iterations: 2,
+        convergence_window: 2,
+        non_target: vec![WorkloadKind::WebSearch],
+        ..Default::default()
+    };
+    let tuner = Tuner::new(Constraints::paper_default(), &v, opts);
+    let outcome = autoblox::telemetry::global().phase("tune", || {
+        tuner.tune(WorkloadKind::Database, &presets::intel_750(), &[], None)
+    });
+
+    autoblox::telemetry::global().detach_journal();
+    journal.finish(&path_str).expect("journal closes");
+    telemetry::set_enabled(false);
+
+    let text = std::fs::read_to_string(&path).expect("journal readable");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 3, "journal has meta + spans + summary");
+    assert!(lines[0].contains("\"t\":\"meta\""), "first line is meta");
+    assert!(
+        lines[0].contains("autoblox.journal.v1"),
+        "meta carries the schema"
+    );
+    let last = lines.last().unwrap();
+    assert!(last.contains("\"t\":\"summary\""), "last line is summary");
+    assert!(
+        last.contains("\"spans_dropped\":0") && last.contains("\"events_dropped\":0"),
+        "nothing dropped at this scale: {last}"
+    );
+    assert!(
+        text.contains("\"t\":\"iteration\""),
+        "per-iteration records streamed"
+    );
+
+    let chrome = autoblox::journal::export_chrome(&text).expect("chrome export succeeds");
+    assert!(chrome.contains("traceEvents"));
+    assert!(chrome.contains("tuner.iteration"));
+    // Every tuner iteration produced one instant event.
+    let instants = chrome.matches("\"ph\":\"i\"").count();
+    assert_eq!(instants, outcome.iterations, "one instant per iteration");
+
+    std::fs::remove_file(&path).ok();
 }

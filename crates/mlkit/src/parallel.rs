@@ -175,6 +175,9 @@ where
         POOL_WORKERS_SPAWNED.add(threads as u64);
     }
     let batch_start = telemetry::start();
+    // Workers adopt the caller's current span as their ambient parent, so
+    // spans opened inside `f` nest identically to an inline run.
+    let fanout_span = telemetry::span::current_span();
     // Each slot is locked only for the instant of its take/store; the atomic
     // counter hands out indices so a slow item never blocks the others.
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
@@ -185,6 +188,7 @@ where
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    let _parent = telemetry::span::adopt_parent(fanout_span);
                     // A worker claims indices until the list is exhausted,
                     // so its spawn-to-exit elapsed time IS its busy time.
                     let busy = telemetry::start();

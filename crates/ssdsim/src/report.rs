@@ -84,6 +84,61 @@ impl LatencyBuckets {
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
     }
+
+    /// Estimates the `p`-th percentile (`0.0..=1.0`) from the histogram by
+    /// linear interpolation within the containing bucket. Returns `0` for an
+    /// empty histogram.
+    ///
+    /// The estimate is bucket-resolution-bounded: exact at bucket edges,
+    /// within a factor of two inside a bucket — good enough to detect
+    /// tail-latency regressions between runs, which is what it exists for.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        // 1-based rank of the target request, at least 1.
+        let rank = ((p * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let within = rank - cum; // 1..=c
+                let floor = Self::bucket_floor_ns(i);
+                // Width of the bucket equals its floor (log2 buckets); the
+                // last bucket is open-ended but we cap at 2x its floor.
+                let width = floor;
+                let frac = within as f64 / c as f64;
+                return floor + (frac * width as f64) as u64;
+            }
+            cum += c;
+        }
+        Self::bucket_floor_ns(LATENCY_BUCKET_COUNT - 1) * 2
+    }
+
+    /// Derives the standard tail-latency percentiles from the histogram.
+    pub fn percentiles(&self) -> HistogramPercentiles {
+        HistogramPercentiles {
+            p50_ns: self.percentile_ns(0.50),
+            p95_ns: self.percentile_ns(0.95),
+            p99_ns: self.percentile_ns(0.99),
+        }
+    }
+}
+
+/// Tail-latency percentiles estimated from a [`LatencyBuckets`] histogram
+/// (bucket-resolution-bounded; see [`LatencyBuckets::percentile_ns`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramPercentiles {
+    /// Estimated median latency, ns.
+    pub p50_ns: u64,
+    /// Estimated 95th-percentile latency, ns.
+    pub p95_ns: u64,
+    /// Estimated 99th-percentile latency, ns.
+    pub p99_ns: u64,
 }
 
 /// Where flash-read time went, on average (diagnostic decomposition).
@@ -125,6 +180,11 @@ pub struct SimReport {
     pub cmt_evictions: u64,
     /// Log-scale request-latency histogram for this run.
     pub latency_buckets: LatencyBuckets,
+    /// Percentiles estimated from `latency_buckets` (not the exact
+    /// per-request summaries above — these are what cross-run diffs use,
+    /// because histograms aggregate losslessly across runs).
+    #[serde(default)]
+    pub histogram_percentiles: HistogramPercentiles,
     /// Flash-array statistics (programs, erases, GC, wear leveling).
     pub flash: FlashStats,
     /// Read-path wait decomposition.
@@ -208,6 +268,64 @@ mod tests {
         }
         // The last floor lands in the last bucket alongside nothing else.
         assert_eq!(b.counts[LATENCY_BUCKET_COUNT - 1], 1);
+    }
+
+    #[test]
+    fn percentiles_of_known_histogram() {
+        // 100 requests in bucket 0 ([1000, 2000)): every percentile lies in
+        // that bucket and interpolates by rank.
+        let mut b = LatencyBuckets::default();
+        b.counts[0] = 100;
+        assert_eq!(b.percentile_ns(0.50), 1_500);
+        assert_eq!(b.percentile_ns(0.99), 1_990);
+        assert_eq!(b.percentile_ns(1.0), 2_000);
+
+        // 90 fast + 10 slow: p50 in the fast bucket, p95/p99 in the slow
+        // one ([8000, 16000)).
+        let mut b = LatencyBuckets::default();
+        b.counts[0] = 90;
+        b.counts[3] = 10;
+        let p = b.percentiles();
+        assert!(p.p50_ns >= 1_000 && p.p50_ns < 2_000, "p50 {}", p.p50_ns);
+        assert!(p.p95_ns >= 8_000 && p.p95_ns <= 16_000, "p95 {}", p.p95_ns);
+        assert!(p.p99_ns >= 8_000 && p.p99_ns <= 16_000, "p99 {}", p.p99_ns);
+        assert!(p.p95_ns < p.p99_ns, "higher percentile is later in bucket");
+    }
+
+    #[test]
+    fn percentiles_edge_cases() {
+        let empty = LatencyBuckets::default();
+        assert_eq!(empty.percentile_ns(0.99), 0);
+        assert_eq!(empty.percentiles(), HistogramPercentiles::default());
+
+        // A single request: all percentiles land in its bucket.
+        let mut one = LatencyBuckets::default();
+        one.observe(5_000); // bucket 2: [4000, 8000)
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            let v = one.percentile_ns(p);
+            assert!((4_000..=8_000).contains(&v), "p{p} -> {v}");
+        }
+
+        // Everything in the open-ended last bucket stays bounded.
+        let mut tail = LatencyBuckets::default();
+        tail.counts[LATENCY_BUCKET_COUNT - 1] = 10;
+        let v = tail.percentile_ns(0.99);
+        let floor = LatencyBuckets::bucket_floor_ns(LATENCY_BUCKET_COUNT - 1);
+        assert!(v >= floor && v <= floor * 2);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_p() {
+        let mut b = LatencyBuckets::default();
+        for (i, n) in [(0, 500), (1, 300), (2, 150), (5, 40), (9, 10)] {
+            b.counts[i] = n;
+        }
+        let mut last = 0;
+        for p in [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let v = b.percentile_ns(p);
+            assert!(v >= last, "p{p}: {v} < {last}");
+            last = v;
+        }
     }
 
     #[test]

@@ -177,6 +177,7 @@ impl Simulator {
     /// Pre-fills the flash array to `fill_fraction` occupancy, modeling the
     /// paper's warm-up phase (§4.2: "occupy at least 50% of the capacity").
     pub fn warm_up(&mut self, fill_fraction: f64) {
+        let _span = telemetry::span::Span::enter("sim.warm_up");
         self.flash.warm_up(fill_fraction);
     }
 
@@ -187,6 +188,7 @@ impl Simulator {
     /// end of a run: sustained write throughput must include it, otherwise
     /// a large write-back cache makes bandwidth look DRAM-bound.
     pub fn drain(&mut self, from_ns: u64) -> u64 {
+        let _span = telemetry::span::Span::enter("sim.drain");
         let mut done = from_ns;
         while let Some((lpn, _)) = self.dirty_fifo.pop_front() {
             if self.data_cache.is_dirty(lpn) {
@@ -210,6 +212,7 @@ impl Simulator {
     /// persist across calls, so back-to-back runs model a continuously
     /// operating device).
     pub fn run(&mut self, trace: &Trace) -> SimReport {
+        let _span = telemetry::span::Span::enter("sim.run");
         let mut latencies: Vec<u64> = Vec::with_capacity(trace.len());
         let mut read_lat: Vec<u64> = Vec::new();
         let mut write_lat: Vec<u64> = Vec::new();
@@ -343,6 +346,7 @@ impl Simulator {
             },
             data_cache_evictions: self.data_cache_evictions,
             cmt_evictions: self.cmt_evictions,
+            histogram_percentiles: latency_buckets.percentiles(),
             latency_buckets,
             flash: flash_stats,
             read_breakdown: ReadBreakdown {

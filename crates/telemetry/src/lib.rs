@@ -8,9 +8,10 @@
 //! by default (the "global no-op" guarantee documented in DESIGN.md §11).
 //!
 //! What lives here is deliberately tiny: the switch, a relaxed [`Counter`],
-//! and gated stopwatch helpers ([`start`] / [`elapsed_ns`]). The structured
-//! collection layer (`TelemetrySink`, the JSON run report) lives in
-//! `autoblox::telemetry`, which re-exports this crate's surface.
+//! gated stopwatch helpers ([`start`] / [`elapsed_ns`]), and the structured
+//! [`span`] tracing layer (nested, thread-aware, deterministic ids). The
+//! structured collection layer (`TelemetrySink`, the JSON run report) lives
+//! in `autoblox::telemetry`, which re-exports this crate's surface.
 //!
 //! # Examples
 //!
@@ -26,6 +27,8 @@
 //! ```
 
 #![warn(missing_docs)]
+
+pub mod span;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;

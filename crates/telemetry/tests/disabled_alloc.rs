@@ -1,0 +1,68 @@
+//! Proves the disabled-tracing path is allocation-free.
+//!
+//! A counting global allocator wraps the system allocator; with tracing
+//! off, entering and dropping spans (and probing the ambient parent) must
+//! not allocate at all — the whole point of the relaxed-load early-out.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_tracing_does_not_allocate() {
+    telemetry::span::set_tracing(false);
+    // Warm anything lazily initialised outside the measured window.
+    {
+        let _s = telemetry::span::Span::enter("warmup");
+        let _g = telemetry::span::adopt_parent(telemetry::span::current_span());
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        let s = telemetry::span::Span::enter("hot");
+        let k = telemetry::span::Span::enter_keyed("hot_keyed", i);
+        let g = telemetry::span::adopt_parent(telemetry::span::current_span());
+        std::hint::black_box((s.id(), k.id()));
+        drop(g);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled span path must not allocate (got {} allocations over 10k iterations)",
+        after - before
+    );
+}
+
+#[test]
+fn disabled_stopwatch_does_not_allocate() {
+    telemetry::set_enabled(false);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        let t = telemetry::start();
+        std::hint::black_box(telemetry::elapsed_ns(t));
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "disabled stopwatch must not allocate");
+}

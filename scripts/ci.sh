@@ -93,6 +93,38 @@ if [[ $QUICK -eq 0 ]]; then
         echo "==> telemetry-smoke: release binary missing (build failed?); skipping"
         record "telemetry-smoke" SKIP
     fi
+
+    # --- Stage: regression gate -------------------------------------------
+    # Re-runs the pinned-seed smoke tune and diffs its telemetry report
+    # against the checked-in golden (scripts/golden/). `report diff` exits 3
+    # when a checked metric (best grade, validation count, cache hit rate,
+    # tail latency) regressed beyond its threshold. Time-based metrics are
+    # ignored — wall clock is not comparable across machines. The run is
+    # forced single-threaded so cache/dedup counters are exactly
+    # reproducible.
+    GOLDEN=scripts/golden/telemetry-database.json
+    regression_gate() {
+        local out
+        out=$(mktemp /tmp/autoblox-ci-regression.XXXXXX.json) || return 1
+        AUTOBLOX_THREADS=1 ./target/release/autoblox tune database \
+            --iterations 3 --events 300 --telemetry "$out" \
+            >/dev/null || { rm -f "$out"; return 1; }
+        ./target/release/autoblox report diff "$GOLDEN" "$out" --ignore-time
+        local rc=$?
+        rm -f "$out"
+        return $rc
+    }
+    if [[ ! -x ./target/release/autoblox ]]; then
+        echo "==> regression-gate: release binary missing (build failed?); skipping"
+        record "regression-gate" SKIP
+    elif [[ ! -f "$GOLDEN" ]]; then
+        echo "==> regression-gate: golden report $GOLDEN absent; skipping"
+        echo "    (regenerate with: AUTOBLOX_THREADS=1 autoblox tune database" \
+             "--iterations 3 --events 300 --telemetry $GOLDEN)"
+        record "regression-gate" SKIP
+    else
+        run_stage "regression-gate" regression_gate
+    fi
 fi
 
 # --- Summary --------------------------------------------------------------
