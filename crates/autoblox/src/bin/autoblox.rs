@@ -11,11 +11,14 @@
 //! autoblox whatif <workload> --goal latency|throughput --factor F
 //!               [--telemetry out.json] [--journal out.jsonl]
 //! autoblox telemetry-check <report.json>
-//! autoblox trace export --chrome <journal.jsonl> <out.json>
+//! autoblox explain <telemetry.json> [--json]
+//! autoblox explain diff <baseline.json> <candidate.json> [--json]
+//! autoblox trace export --chrome|--csv <journal.jsonl> <out-file>
 //! autoblox report diff <baseline.json> <candidate.json> [--ignore-time]
 //!               [--max-grade-drop F] [--max-validation-increase F]
 //!               [--max-hit-rate-drop F] [--max-sim-time-increase F]
-//!               [--max-tail-shift F]
+//!               [--max-tail-shift F] [--max-bottleneck-shift F]
+//!               [--ignore <metric>]...
 //! ```
 //!
 //! Trace files are auto-detected by extension when the format argument is
@@ -59,12 +62,17 @@ fn usage() -> ExitCode {
          \x20 whatif   <workload> --goal latency|throughput --factor F\n\
          \x20          [--telemetry out.json] [--journal out.jsonl]\n\
          \x20 telemetry-check <report.json>                   validate a telemetry report\n\
-         \x20 trace    export --chrome <journal.jsonl> <out.json>\n\
+         \x20 explain  <telemetry.json> [--json]              bottleneck fingerprint of a run\n\
+         \x20 explain  diff <baseline.json> <candidate.json> [--json]\n\
+         \x20                                                 did the bottleneck move?\n\
+         \x20 trace    export --chrome|--csv <journal.jsonl> <out-file>\n\
          \x20                                                 convert a run journal to Perfetto\n\
+         \x20                                                 or a device-sample CSV\n\
          \x20 report   diff <baseline.json> <candidate.json>  regression-diff two telemetry\n\
          \x20          [--ignore-time] [--max-grade-drop F]   reports (exit 3 on regression)\n\
          \x20          [--max-validation-increase F] [--max-hit-rate-drop F]\n\
          \x20          [--max-sim-time-increase F] [--max-tail-shift F]\n\
+         \x20          [--max-bottleneck-shift F] [--ignore <metric>]...\n\
          \n\
          workloads: {}",
         WorkloadKind::STUDIED
@@ -321,12 +329,67 @@ fn cmd_telemetry_check(args: &[String]) -> Result<(), String> {
         p.p95_ns,
         p.p99_ns,
     );
+    // Machine-readable verdict (with the accepted schema version echoed)
+    // to stdout so CI can assert on it without scraping stderr.
+    let verdict = serde_json::json!({
+        "path": path.clone(),
+        "schema": report.schema.clone(),
+        "valid": true,
+        "warnings": checked.warnings,
+        "phases": report.phases.len() as u64,
+        "tuner_runs": report.tuner.len() as u64,
+        "simulator_runs": report.validator.simulator_runs,
+    });
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&verdict).map_err(|e| e.to_string())?
+    );
     Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let json_out = args.iter().any(|a| a == "--json");
+    let positional: Vec<&String> = args.iter().filter(|a| *a != "--json").collect();
+    let load = |path: &str| -> Result<autoblox::telemetry::RunReport, String> {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        autoblox::telemetry::RunReport::parse_checked(&json).map_err(|e| format!("{path}: {e}"))
+    };
+    match positional.as_slice() {
+        [path] if *path != "diff" => {
+            let fp = autoblox::explain::fingerprint(&load(path)?);
+            if json_out {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&fp).map_err(|e| e.to_string())?
+                );
+            } else {
+                print!("{}", autoblox::explain::render_fingerprint(&fp));
+            }
+            Ok(())
+        }
+        [sub, baseline, candidate] if *sub == "diff" => {
+            let diff = autoblox::explain::explain_diff(&load(baseline)?, &load(candidate)?);
+            if json_out {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&diff).map_err(|e| e.to_string())?
+                );
+            } else {
+                print!("{}", autoblox::explain::render_diff(&diff));
+            }
+            Ok(())
+        }
+        _ => Err(
+            "explain needs <telemetry.json> [--json] or diff <baseline.json> <candidate.json> \
+             [--json]"
+                .into(),
+        ),
+    }
 }
 
 fn cmd_trace(args: &[String]) -> Result<(), String> {
     let [sub, rest @ ..] = args else {
-        return Err("trace needs: export --chrome <journal.jsonl> <out.json>".into());
+        return Err("trace needs: export --chrome|--csv <journal.jsonl> <out-file>".into());
     };
     if sub != "export" {
         return Err(format!(
@@ -334,21 +397,35 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         ));
     }
     let [flag, journal_path, out_path] = rest else {
-        return Err("trace export needs: --chrome <journal.jsonl> <out.json>".into());
+        return Err("trace export needs: --chrome|--csv <journal.jsonl> <out-file>".into());
     };
-    if flag != "--chrome" {
-        return Err(format!(
-            "unknown trace export format {flag:?} (expected `--chrome`)"
-        ));
-    }
     let journal = std::fs::read_to_string(journal_path)
         .map_err(|e| format!("cannot read {journal_path}: {e}"))?;
-    let chrome = autoblox::journal::export_chrome(&journal)?;
-    std::fs::write(out_path, &chrome).map_err(|e| format!("cannot write {out_path}: {e}"))?;
-    eprintln!(
-        "wrote {out_path} ({} bytes); open it in https://ui.perfetto.dev or chrome://tracing",
-        chrome.len()
-    );
+    match flag.as_str() {
+        "--chrome" => {
+            let chrome = autoblox::journal::export_chrome(&journal)?;
+            std::fs::write(out_path, &chrome)
+                .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            eprintln!(
+                "wrote {out_path} ({} bytes); open it in https://ui.perfetto.dev or \
+                 chrome://tracing",
+                chrome.len()
+            );
+        }
+        "--csv" => {
+            let csv = autoblox::journal::export_csv(&journal)?;
+            std::fs::write(out_path, &csv).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            eprintln!(
+                "wrote {out_path} ({} device-sample row(s))",
+                csv.lines().count().saturating_sub(1)
+            );
+        }
+        other => {
+            return Err(format!(
+                "unknown trace export format {other:?} (expected `--chrome` or `--csv`)"
+            ))
+        }
+    }
     Ok(())
 }
 
@@ -379,15 +456,32 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
             .unwrap_or(defaults.max_sim_time_increase),
         max_tail_latency_shift: parse_flag(flags, "--max-tail-shift")?
             .unwrap_or(defaults.max_tail_latency_shift),
+        max_bottleneck_shift: parse_flag(flags, "--max-bottleneck-shift")?
+            .unwrap_or(defaults.max_bottleneck_shift),
         ignore_time: flags.iter().any(|a| a == "--ignore-time"),
     };
+    // `--ignore <metric>` is repeatable, so it cannot go through parse_flag
+    // (which stops at the first hit).
+    let mut ignore: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < flags.len() {
+        if flags[i] == "--ignore" {
+            let value = flags
+                .get(i + 1)
+                .ok_or_else(|| "--ignore needs a metric name".to_string())?;
+            ignore.push(value.clone());
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
     let load = |path: &str| -> Result<autoblox::telemetry::RunReport, String> {
         let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         autoblox::telemetry::RunReport::parse_checked(&json).map_err(|e| format!("{path}: {e}"))
     };
     let baseline = load(baseline_path)?;
     let candidate = load(candidate_path)?;
-    let diff = diff_reports(&baseline, &candidate, &thresholds);
+    let diff = diff_reports(&baseline, &candidate, &thresholds, &ignore);
     // Machine-readable verdict to stdout; the human summary to stderr.
     println!(
         "{}",
@@ -570,6 +664,7 @@ fn main() -> ExitCode {
         "tune" => cmd_tune(rest),
         "whatif" => cmd_whatif(rest),
         "telemetry-check" => cmd_telemetry_check(rest),
+        "explain" => cmd_explain(rest),
         "trace" => cmd_trace(rest),
         _ => return usage(),
     };

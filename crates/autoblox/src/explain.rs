@@ -1,0 +1,393 @@
+//! `autoblox explain`: bottleneck fingerprints over telemetry reports.
+//!
+//! Turns a serialized [`RunReport`] (the `--telemetry out.json` document)
+//! into a compact, human-readable answer to "where did this run's simulated
+//! time go?" — the per-resource latency attribution the device observatory
+//! collects — and diffs two such fingerprints to say whether (and where) the
+//! bottleneck moved between runs.
+//!
+//! Everything here is a pure function of the input reports: no clocks, no
+//! environment, so `explain` output is bit-identical whenever its inputs
+//! are, which the determinism suite asserts across thread counts.
+
+use crate::telemetry::RunReport;
+use serde::{Deserialize, Serialize};
+use ssdsim::report::HistogramPercentiles;
+use ssdsim::BottleneckReport;
+
+/// Schema identifier of the `explain --json` document.
+pub const EXPLAIN_SCHEMA: &str = "autoblox.explain.v1";
+
+/// Schema identifier of the `explain diff --json` document.
+pub const EXPLAIN_DIFF_SCHEMA: &str = "autoblox.explain-diff.v1";
+
+/// One resource's share of the attributed request time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceShare {
+    /// Resource name (`channel-wait`, `plane-busy`, `gc-stall`,
+    /// `cache-miss`, `host-queue`, or `other`).
+    pub resource: String,
+    /// Fraction of total request time attributed to it.
+    pub frac: f64,
+}
+
+/// The bottleneck fingerprint of one telemetry report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fingerprint {
+    /// Always [`EXPLAIN_SCHEMA`].
+    pub schema: String,
+    /// Schema of the report the fingerprint was taken from.
+    pub source_schema: String,
+    /// Workloads the run tuned, in recording order.
+    pub workloads: Vec<String>,
+    /// Best grade over every recorded tuning run (0 when none ran).
+    pub best_grade: f64,
+    /// Simulator validations the run performed.
+    pub validations: u64,
+    /// Total attributed request time, simulated ns.
+    pub total_latency_ns: u64,
+    /// Resource with the largest share, `"none"` when nothing attributed.
+    pub dominant: String,
+    /// All six shares, sorted descending by fraction (ties by name).
+    pub shares: Vec<ResourceShare>,
+    /// Tail-latency percentiles from the aggregated histogram.
+    pub latency_percentiles: HistogramPercentiles,
+    /// Device-observatory samples retained across all simulator runs.
+    pub device_samples: u64,
+    /// Samples dropped by the bounded per-run buffers.
+    pub device_samples_dropped: u64,
+}
+
+fn shares_of(b: &BottleneckReport) -> Vec<ResourceShare> {
+    let mut shares: Vec<ResourceShare> = b
+        .fractions()
+        .iter()
+        .map(|(name, frac)| ResourceShare {
+            resource: name.to_string(),
+            frac: *frac,
+        })
+        .collect();
+    shares.push(ResourceShare {
+        resource: "other".to_string(),
+        frac: b.other_frac,
+    });
+    shares.sort_by(|a, b| {
+        b.frac
+            .total_cmp(&a.frac)
+            .then_with(|| a.resource.cmp(&b.resource))
+    });
+    shares
+}
+
+/// Extracts the bottleneck fingerprint of a parsed telemetry report.
+pub fn fingerprint(report: &RunReport) -> Fingerprint {
+    let b = &report.bottleneck;
+    Fingerprint {
+        schema: EXPLAIN_SCHEMA.to_string(),
+        source_schema: report.schema.clone(),
+        workloads: report.tuner.iter().map(|t| t.workload.clone()).collect(),
+        best_grade: report
+            .tuner
+            .iter()
+            .map(|t| t.best_grade)
+            .fold(0.0, f64::max),
+        validations: report.validator.simulator_runs,
+        total_latency_ns: b.total_latency_ns,
+        dominant: b.dominant().to_string(),
+        shares: shares_of(b),
+        latency_percentiles: report.latency_percentiles,
+        device_samples: report.validator.sim.device_samples,
+        device_samples_dropped: report.validator.sim.device_samples_dropped,
+    }
+}
+
+/// Width of the ASCII share bars in [`render_fingerprint`].
+const BAR_WIDTH: usize = 40;
+
+fn bar(frac: f64) -> String {
+    let filled = ((frac.clamp(0.0, 1.0) * BAR_WIDTH as f64).round() as usize).min(BAR_WIDTH);
+    let mut s = String::with_capacity(BAR_WIDTH);
+    for i in 0..BAR_WIDTH {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+/// Renders a fingerprint for humans: one bar per resource share plus the
+/// run's headline numbers.
+pub fn render_fingerprint(fp: &Fingerprint) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "bottleneck fingerprint ({})\n",
+        if fp.workloads.is_empty() {
+            "no tuning runs recorded".to_string()
+        } else {
+            fp.workloads.join(", ")
+        }
+    ));
+    out.push_str(&format!(
+        "  validations: {}   best grade: {:.4}   attributed: {:.3} ms simulated\n",
+        fp.validations,
+        fp.best_grade,
+        fp.total_latency_ns as f64 / 1e6
+    ));
+    out.push_str(&format!(
+        "  latency p50/p95/p99: {}/{}/{} us\n",
+        fp.latency_percentiles.p50_ns / 1_000,
+        fp.latency_percentiles.p95_ns / 1_000,
+        fp.latency_percentiles.p99_ns / 1_000
+    ));
+    out.push_str(&format!(
+        "  device samples: {} retained, {} dropped\n",
+        fp.device_samples, fp.device_samples_dropped
+    ));
+    out.push_str(&format!("  dominant: {}\n", fp.dominant));
+    for share in &fp.shares {
+        out.push_str(&format!(
+            "  {:<12} {} {:5.1}%\n",
+            share.resource,
+            bar(share.frac),
+            share.frac * 100.0
+        ));
+    }
+    out
+}
+
+/// One resource's share movement between two reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShareDelta {
+    /// Resource name.
+    pub resource: String,
+    /// Share in the baseline report.
+    pub baseline_frac: f64,
+    /// Share in the candidate report.
+    pub candidate_frac: f64,
+    /// `candidate_frac - baseline_frac`.
+    pub delta: f64,
+}
+
+/// The difference between two bottleneck fingerprints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplainDiff {
+    /// Always [`EXPLAIN_DIFF_SCHEMA`].
+    pub schema: String,
+    /// Fingerprint of the baseline report.
+    pub baseline: Fingerprint,
+    /// Fingerprint of the candidate report.
+    pub candidate: Fingerprint,
+    /// Per-resource share movement, in the stable resource order
+    /// (channel-wait, plane-busy, gc-stall, cache-miss, host-queue, other).
+    pub deltas: Vec<ShareDelta>,
+    /// Candidate best grade minus baseline best grade.
+    pub grade_delta: f64,
+    /// Whether the dominant resource changed.
+    pub bottleneck_moved: bool,
+    /// Dominant resource of the baseline.
+    pub moved_from: String,
+    /// Dominant resource of the candidate.
+    pub moved_to: String,
+    /// One-line human verdict.
+    pub verdict: String,
+}
+
+fn frac_by_name(fp: &Fingerprint, name: &str) -> f64 {
+    fp.shares
+        .iter()
+        .find(|s| s.resource == name)
+        .map(|s| s.frac)
+        .unwrap_or(0.0)
+}
+
+/// The stable resource order diff rows are emitted in.
+const RESOURCES: [&str; 6] = [
+    "channel-wait",
+    "plane-busy",
+    "gc-stall",
+    "cache-miss",
+    "host-queue",
+    "other",
+];
+
+/// Diffs two parsed telemetry reports' bottleneck fingerprints.
+pub fn explain_diff(baseline: &RunReport, candidate: &RunReport) -> ExplainDiff {
+    let base = fingerprint(baseline);
+    let cand = fingerprint(candidate);
+    let deltas: Vec<ShareDelta> = RESOURCES
+        .iter()
+        .map(|name| {
+            let b = frac_by_name(&base, name);
+            let c = frac_by_name(&cand, name);
+            ShareDelta {
+                resource: name.to_string(),
+                baseline_frac: b,
+                candidate_frac: c,
+                delta: c - b,
+            }
+        })
+        .collect();
+    let moved = base.dominant != cand.dominant;
+    let largest = deltas
+        .iter()
+        .max_by(|a, b| a.delta.abs().total_cmp(&b.delta.abs()))
+        .cloned();
+    let verdict = if moved {
+        format!("bottleneck moved: {} -> {}", base.dominant, cand.dominant)
+    } else {
+        match largest {
+            Some(d) if d.delta.abs() > 1e-12 => format!(
+                "bottleneck unchanged ({}); largest shift {} {:+.1} pts",
+                base.dominant,
+                d.resource,
+                d.delta * 100.0
+            ),
+            _ => format!("bottleneck unchanged ({}); no share moved", base.dominant),
+        }
+    };
+    ExplainDiff {
+        schema: EXPLAIN_DIFF_SCHEMA.to_string(),
+        grade_delta: cand.best_grade - base.best_grade,
+        bottleneck_moved: moved,
+        moved_from: base.dominant.clone(),
+        moved_to: cand.dominant.clone(),
+        baseline: base,
+        candidate: cand,
+        deltas,
+        verdict,
+    }
+}
+
+/// Renders an [`ExplainDiff`] for humans: one row per resource with both
+/// shares and the movement, then the verdict.
+pub fn render_diff(diff: &ExplainDiff) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>9} {:>9} {:>9}\n",
+        "resource", "baseline", "candidate", "delta"
+    ));
+    for d in &diff.deltas {
+        out.push_str(&format!(
+            "{:<12} {:>8.1}% {:>8.1}% {:>+8.1}p\n",
+            d.resource,
+            d.baseline_frac * 100.0,
+            d.candidate_frac * 100.0,
+            d.delta * 100.0
+        ));
+    }
+    out.push_str(&format!("grade delta: {:+.4}\n", diff.grade_delta));
+    out.push_str(&diff.verdict);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validator::ValidatorStats;
+
+    fn report_with(b: BottleneckReport, grade: f64) -> RunReport {
+        RunReport {
+            schema: RunReport::SCHEMA.to_string(),
+            bottleneck: b,
+            tuner: vec![crate::telemetry::TunerRunTelemetry {
+                workload: "database".to_string(),
+                best_grade: grade,
+                ..Default::default()
+            }],
+            validator: ValidatorStats {
+                simulator_runs: 7,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fingerprint_sorts_shares_descending() {
+        let r = report_with(
+            BottleneckReport::from_totals(1_000, 50, 300, 100, 20, 30),
+            0.5,
+        );
+        let fp = fingerprint(&r);
+        assert_eq!(fp.dominant, "plane-busy");
+        assert_eq!(fp.shares.len(), 6);
+        // "other" here is 1 - 0.5 = 0.5, the largest share.
+        assert_eq!(fp.shares[0].resource, "other");
+        assert_eq!(fp.shares[1].resource, "plane-busy");
+        for w in fp.shares.windows(2) {
+            assert!(w[0].frac >= w[1].frac, "shares must be sorted");
+        }
+        assert_eq!(fp.validations, 7);
+        assert_eq!(fp.workloads, vec!["database".to_string()]);
+    }
+
+    #[test]
+    fn diff_reports_a_moved_bottleneck() {
+        let a = report_with(BottleneckReport::from_totals(1_000, 600, 100, 0, 0, 0), 0.4);
+        let b = report_with(BottleneckReport::from_totals(1_000, 100, 0, 700, 0, 0), 0.6);
+        let d = explain_diff(&a, &b);
+        assert!(d.bottleneck_moved);
+        assert_eq!(d.moved_from, "channel-wait");
+        assert_eq!(d.moved_to, "gc-stall");
+        assert!((d.grade_delta - 0.2).abs() < 1e-12);
+        assert!(d.verdict.contains("moved"), "{}", d.verdict);
+        assert_eq!(d.deltas.len(), 6);
+        let gc = d.deltas.iter().find(|x| x.resource == "gc-stall").unwrap();
+        assert!((gc.delta - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_of_identical_reports_is_stable() {
+        let a = report_with(
+            BottleneckReport::from_totals(1_000, 200, 100, 50, 25, 125),
+            0.4,
+        );
+        let d = explain_diff(&a, &a.clone());
+        assert!(!d.bottleneck_moved);
+        assert_eq!(d.grade_delta, 0.0);
+        for delta in &d.deltas {
+            assert_eq!(delta.delta, 0.0);
+        }
+        assert!(d.verdict.contains("unchanged"), "{}", d.verdict);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_mentions_every_resource() {
+        let r = report_with(
+            BottleneckReport::from_totals(1_000, 200, 100, 50, 25, 125),
+            0.4,
+        );
+        let fp = fingerprint(&r);
+        let a = render_fingerprint(&fp);
+        let b = render_fingerprint(&fp);
+        assert_eq!(a, b);
+        for name in [
+            "channel-wait",
+            "plane-busy",
+            "gc-stall",
+            "cache-miss",
+            "host-queue",
+            "other",
+        ] {
+            assert!(a.contains(name), "render must mention {name}:\n{a}");
+        }
+        let d = explain_diff(&r, &r.clone());
+        let rendered = render_diff(&d);
+        assert!(rendered.contains("grade delta"), "{rendered}");
+    }
+
+    #[test]
+    fn explain_json_round_trips() {
+        let r = report_with(
+            BottleneckReport::from_totals(1_000, 200, 100, 50, 25, 125),
+            0.4,
+        );
+        let fp = fingerprint(&r);
+        let json = serde_json::to_string(&fp).expect("serializes");
+        let back: Fingerprint = serde_json::from_str(&json).expect("parses");
+        assert_eq!(fp, back);
+        let d = explain_diff(&r, &r.clone());
+        let json = serde_json::to_string(&d).expect("serializes");
+        let back: ExplainDiff = serde_json::from_str(&json).expect("parses");
+        assert_eq!(d, back);
+    }
+}

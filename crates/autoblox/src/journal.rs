@@ -14,13 +14,20 @@
 //!   vendored JSON shim carries integers as `i64`).
 //! - `iteration` — one tuner [`IterationRecord`], streamed as it happens.
 //! - `phase` — one completed pipeline stage.
+//! - `series` — one simulator run's sampled [`ssdsim::DeviceSeries`]
+//!   (samples embedded, one line per run — never one line per sample, so
+//!   queue pressure cannot drop part of a series nondeterministically).
+//! - `bottleneck` — one simulator run's [`ssdsim::BottleneckReport`].
 //! - `summary` — last line; totals and drop counters.
 //!
 //! [`export_chrome`] converts a journal into the Chrome `about://tracing` /
-//! Perfetto JSON format (`trace export --chrome`).
+//! Perfetto JSON format (`trace export --chrome`); [`export_csv`] flattens
+//! the `series` lines into a spreadsheet-friendly table
+//! (`trace export --csv`).
 
 use crate::tuner::IterationRecord;
 use serde_json::Value;
+use ssdsim::{BottleneckReport, DeviceSeries};
 use std::collections::VecDeque;
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -72,6 +79,31 @@ impl JournalHandle {
             "convergence_delta": r.convergence_delta,
             "validations": r.validations,
             "wall_ns": r.wall_ns,
+            "bottleneck": r.bottleneck,
+        }));
+    }
+
+    /// Streams one simulator run's sampled device series as a single line
+    /// (samples embedded), keyed by the trace it ran and which replay
+    /// (`timed` or `saturated`) produced it.
+    pub fn record_series(&self, trace: &str, replay: &str, series: &DeviceSeries) {
+        self.push(serde_json::json!({
+            "t": "series",
+            "trace": trace,
+            "replay": replay,
+            "interval_ns": series.interval_ns,
+            "dropped": series.dropped,
+            "samples": series.samples,
+        }));
+    }
+
+    /// Streams one simulator run's bottleneck attribution.
+    pub fn record_bottleneck(&self, trace: &str, replay: &str, b: &BottleneckReport) {
+        self.push(serde_json::json!({
+            "t": "bottleneck",
+            "trace": trace,
+            "replay": replay,
+            "report": b,
         }));
     }
 
@@ -356,6 +388,75 @@ pub fn export_chrome(journal: &str) -> Result<String, String> {
         "traceEvents": events,
     });
     serde_json::to_string(&doc).map_err(|e| format!("cannot serialize trace: {e}"))
+}
+
+fn get_f64(obj: &Value, key: &str) -> f64 {
+    match obj.get(key) {
+        Some(Value::Float(f)) => *f,
+        Some(Value::Int(i)) => *i as f64,
+        _ => 0.0,
+    }
+}
+
+/// Flattens the `series` lines of a JSONL run journal into CSV: one row per
+/// device sample, keyed by the trace and replay that produced it.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line, or an error when the
+/// journal contains no `series` lines at all (e.g. it was recorded with the
+/// telemetry switch off).
+pub fn export_csv(journal: &str) -> Result<String, String> {
+    let mut out = String::from(
+        "trace,replay,sample,t_ns,channel_busy,plane_busy,gc_activity,queue_depth,\
+         data_cache_occupancy,data_cache_hit_rate,cmt_occupancy,cmt_hit_rate,\
+         gc_backlog_pages,write_amplification\n",
+    );
+    let mut rows = 0u64;
+    for (lineno, line) in journal.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v: Value = serde_json::from_str(line)
+            .map_err(|e| format!("journal line {}: invalid JSON: {e}", lineno + 1))?;
+        if get_str(&v, "t") != "series" {
+            continue;
+        }
+        let trace = get_str(&v, "trace").to_string();
+        let replay = get_str(&v, "replay").to_string();
+        let Some(Value::Array(samples)) = v.get("samples") else {
+            return Err(format!(
+                "journal line {}: series without samples array",
+                lineno + 1
+            ));
+        };
+        for (i, s) in samples.iter().enumerate() {
+            out.push_str(&format!(
+                "{trace},{replay},{i},{},{},{},{},{},{},{},{},{},{},{}\n",
+                get_u64(s, "t_ns"),
+                get_f64(s, "channel_busy"),
+                get_f64(s, "plane_busy"),
+                get_f64(s, "gc_activity"),
+                get_u64(s, "queue_depth"),
+                get_f64(s, "data_cache_occupancy"),
+                get_f64(s, "data_cache_hit_rate"),
+                get_f64(s, "cmt_occupancy"),
+                get_f64(s, "cmt_hit_rate"),
+                get_u64(s, "gc_backlog_pages"),
+                get_f64(s, "write_amplification"),
+            ));
+            rows += 1;
+        }
+    }
+    if rows == 0 {
+        return Err(
+            "journal contains no device series (was the run recorded with --telemetry \
+             and the sampler enabled?)"
+                .to_string(),
+        );
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -48,6 +48,7 @@
 
 pub mod clustering;
 pub mod constraints;
+pub mod explain;
 pub mod framework;
 pub mod journal;
 pub mod metrics;

@@ -33,6 +33,12 @@ pub struct DiffThresholds {
     /// Maximum tolerated relative shift (either direction) of the
     /// histogram-derived p95/p99 latency.
     pub max_tail_latency_shift: f64,
+    /// Maximum tolerated absolute shift (either direction) of any
+    /// bottleneck-attribution fraction — a 0..=1 share of request time.
+    /// New in v2 reports; the serde default (0, meaning "judge exactly")
+    /// keeps diff documents written before the field existed parseable.
+    #[serde(default)]
+    pub max_bottleneck_shift: f64,
     /// When `true`, wall-clock-derived metrics (simulate time) are reported
     /// but never fail the diff — the right setting when baseline and
     /// candidate ran on different machines.
@@ -47,6 +53,7 @@ impl Default for DiffThresholds {
             max_hit_rate_drop: 0.10,
             max_sim_time_increase: 0.50,
             max_tail_latency_shift: 0.25,
+            max_bottleneck_shift: 0.15,
             ignore_time: false,
         }
     }
@@ -85,6 +92,10 @@ pub struct ReportDiff {
     pub metrics: Vec<MetricDelta>,
     /// Names of the metrics that regressed (subset of `metrics`).
     pub regressions: Vec<String>,
+    /// Metric names excluded from judgement via `--ignore` (they still
+    /// appear in `metrics`, unchecked).
+    #[serde(default)]
+    pub ignored: Vec<String>,
     /// `true` when no checked metric regressed.
     pub pass: bool,
 }
@@ -160,8 +171,15 @@ fn hit_rate(r: &RunReport) -> f64 {
 
 /// Compares `candidate` against `baseline` and judges every metric against
 /// `t`. Metrics absent from both reports (all-zero) are reported unchecked
-/// so a smoke run without tuner records cannot fail on them.
-pub fn diff_reports(baseline: &RunReport, candidate: &RunReport, t: &DiffThresholds) -> ReportDiff {
+/// so a smoke run without tuner records cannot fail on them. Metric names
+/// in `ignore` (the CLI's repeatable `--ignore <metric>`) are reported but
+/// excluded from judgement.
+pub fn diff_reports(
+    baseline: &RunReport,
+    candidate: &RunReport,
+    t: &DiffThresholds,
+    ignore: &[String],
+) -> ReportDiff {
     let mut metrics = Vec::new();
 
     // Grade: lower is worse; only a drop beyond the threshold fails.
@@ -263,6 +281,59 @@ pub fn diff_reports(baseline: &RunReport, candidate: &RunReport, t: &DiffThresho
         ));
     }
 
+    // Bottleneck fingerprint: the observatory's latency attribution is a
+    // pure function of (configuration, trace), so a shifted share means the
+    // device's behaviour changed, not just its speed. Judged on the
+    // absolute delta of each 0..=1 share; only meaningful when at least one
+    // report attributed anything.
+    let attributed =
+        baseline.bottleneck.total_latency_ns > 0 || candidate.bottleneck.total_latency_ns > 0;
+    for (name, fb, fc) in [
+        (
+            "bottleneck_channel_wait_frac",
+            baseline.bottleneck.channel_wait_frac,
+            candidate.bottleneck.channel_wait_frac,
+        ),
+        (
+            "bottleneck_plane_busy_frac",
+            baseline.bottleneck.plane_wait_frac,
+            candidate.bottleneck.plane_wait_frac,
+        ),
+        (
+            "bottleneck_gc_stall_frac",
+            baseline.bottleneck.gc_stall_frac,
+            candidate.bottleneck.gc_stall_frac,
+        ),
+        (
+            "bottleneck_cache_miss_frac",
+            baseline.bottleneck.cache_miss_frac,
+            candidate.bottleneck.cache_miss_frac,
+        ),
+        (
+            "bottleneck_host_queue_frac",
+            baseline.bottleneck.host_queue_frac,
+            candidate.bottleneck.host_queue_frac,
+        ),
+    ] {
+        metrics.push(metric(
+            name,
+            fb,
+            fc,
+            t.max_bottleneck_shift,
+            attributed,
+            |d, _rel| d.abs() > t.max_bottleneck_shift,
+        ));
+    }
+
+    let mut ignored: Vec<String> = Vec::new();
+    for m in &mut metrics {
+        if ignore.iter().any(|i| i == &m.metric) {
+            m.checked = false;
+            m.regressed = false;
+            ignored.push(m.metric.clone());
+        }
+    }
+
     let regressions: Vec<String> = metrics
         .iter()
         .filter(|m| m.regressed)
@@ -273,6 +344,7 @@ pub fn diff_reports(baseline: &RunReport, candidate: &RunReport, t: &DiffThresho
         thresholds: *t,
         pass: regressions.is_empty(),
         regressions,
+        ignored,
         metrics,
     }
 }
@@ -310,7 +382,7 @@ mod tests {
     #[test]
     fn identical_reports_pass() {
         let a = report_with(0.5, 20, 10, 10, 8_000);
-        let d = diff_reports(&a, &a.clone(), &DiffThresholds::default());
+        let d = diff_reports(&a, &a.clone(), &DiffThresholds::default(), &[]);
         assert!(d.pass, "regressions: {:?}", d.regressions);
         assert!(d.regressions.is_empty());
         assert_eq!(d.schema, ReportDiff::SCHEMA);
@@ -320,7 +392,7 @@ mod tests {
     fn grade_drop_beyond_threshold_fails() {
         let a = report_with(0.50, 20, 10, 10, 8_000);
         let b = report_with(0.40, 20, 10, 10, 8_000); // -20% > 5%
-        let d = diff_reports(&a, &b, &DiffThresholds::default());
+        let d = diff_reports(&a, &b, &DiffThresholds::default(), &[]);
         assert!(!d.pass);
         assert!(d.regressions.contains(&"best_grade".to_string()));
     }
@@ -329,7 +401,7 @@ mod tests {
     fn small_grade_drop_within_threshold_passes() {
         let a = report_with(0.500, 20, 10, 10, 8_000);
         let b = report_with(0.495, 20, 10, 10, 8_000); // -1% < 5%
-        let d = diff_reports(&a, &b, &DiffThresholds::default());
+        let d = diff_reports(&a, &b, &DiffThresholds::default(), &[]);
         assert!(d.pass, "regressions: {:?}", d.regressions);
     }
 
@@ -337,7 +409,7 @@ mod tests {
     fn validation_explosion_fails() {
         let a = report_with(0.5, 20, 10, 10, 8_000);
         let b = report_with(0.5, 40, 10, 10, 8_000); // +100% > 25%
-        let d = diff_reports(&a, &b, &DiffThresholds::default());
+        let d = diff_reports(&a, &b, &DiffThresholds::default(), &[]);
         assert!(!d.pass);
         assert!(d.regressions.contains(&"validations".to_string()));
     }
@@ -346,7 +418,7 @@ mod tests {
     fn hit_rate_collapse_fails() {
         let a = report_with(0.5, 20, 30, 10, 8_000); // 75% hit rate
         let b = report_with(0.5, 20, 10, 30, 8_000); // 25% hit rate
-        let d = diff_reports(&a, &b, &DiffThresholds::default());
+        let d = diff_reports(&a, &b, &DiffThresholds::default(), &[]);
         assert!(!d.pass);
         assert!(d.regressions.contains(&"cache_hit_rate".to_string()));
     }
@@ -356,7 +428,7 @@ mod tests {
         let base = report_with(0.5, 20, 10, 10, 8_000);
         for p95 in [16_000u64, 4_000] {
             let b = report_with(0.5, 20, 10, 10, p95);
-            let d = diff_reports(&base, &b, &DiffThresholds::default());
+            let d = diff_reports(&base, &b, &DiffThresholds::default(), &[]);
             assert!(!d.pass, "p95 {p95} must trip the diff");
             assert!(d.regressions.contains(&"p95_latency_ns".to_string()));
         }
@@ -368,7 +440,7 @@ mod tests {
         let mut b = report_with(0.5, 20, 10, 10, 8_000);
         a.validator.simulate_ns = 1_000_000;
         b.validator.simulate_ns = 100_000_000; // 100x slower
-        let strict = diff_reports(&a, &b, &DiffThresholds::default());
+        let strict = diff_reports(&a, &b, &DiffThresholds::default(), &[]);
         assert!(!strict.pass);
         let lenient = diff_reports(
             &a,
@@ -377,6 +449,7 @@ mod tests {
                 ignore_time: true,
                 ..Default::default()
             },
+            &[],
         );
         assert!(lenient.pass, "regressions: {:?}", lenient.regressions);
         let sim = lenient
@@ -390,16 +463,69 @@ mod tests {
     #[test]
     fn empty_reports_pass_with_nothing_checked() {
         let a = RunReport::default();
-        let d = diff_reports(&a, &a.clone(), &DiffThresholds::default());
+        let d = diff_reports(&a, &a.clone(), &DiffThresholds::default(), &[]);
         assert!(d.pass);
         assert!(d.metrics.iter().all(|m| !m.regressed));
+    }
+
+    #[test]
+    fn bottleneck_shift_beyond_threshold_fails() {
+        use ssdsim::BottleneckReport;
+        let mut a = report_with(0.5, 20, 10, 10, 8_000);
+        let mut b = report_with(0.5, 20, 10, 10, 8_000);
+        a.bottleneck = BottleneckReport::from_totals(1_000, 500, 100, 0, 0, 0);
+        b.bottleneck = BottleneckReport::from_totals(1_000, 100, 100, 400, 0, 0);
+        let d = diff_reports(&a, &b, &DiffThresholds::default(), &[]);
+        assert!(!d.pass);
+        assert!(d
+            .regressions
+            .contains(&"bottleneck_channel_wait_frac".to_string()));
+        assert!(d
+            .regressions
+            .contains(&"bottleneck_gc_stall_frac".to_string()));
+        // Same shift with a generous threshold passes.
+        let lenient = DiffThresholds {
+            max_bottleneck_shift: 0.5,
+            ..Default::default()
+        };
+        let d = diff_reports(&a, &b, &lenient, &[]);
+        assert!(d.pass, "regressions: {:?}", d.regressions);
+    }
+
+    #[test]
+    fn bottleneck_unchecked_when_nothing_attributed() {
+        let a = report_with(0.5, 20, 10, 10, 8_000);
+        let d = diff_reports(&a, &a.clone(), &DiffThresholds::default(), &[]);
+        let m = d
+            .metrics
+            .iter()
+            .find(|m| m.metric == "bottleneck_gc_stall_frac")
+            .expect("metric present");
+        assert!(!m.checked, "all-zero bottlenecks must stay advisory");
+    }
+
+    #[test]
+    fn ignore_excludes_named_metrics_from_judgement() {
+        let a = report_with(0.50, 20, 10, 10, 8_000);
+        let b = report_with(0.40, 40, 10, 10, 8_000); // grade + validations fail
+        let strict = diff_reports(&a, &b, &DiffThresholds::default(), &[]);
+        assert!(!strict.pass);
+        let ignore = vec!["best_grade".to_string(), "validations".to_string()];
+        let d = diff_reports(&a, &b, &DiffThresholds::default(), &ignore);
+        assert!(d.pass, "regressions: {:?}", d.regressions);
+        assert_eq!(d.ignored, ignore);
+        for name in &ignore {
+            let m = d.metrics.iter().find(|m| &m.metric == name).unwrap();
+            assert!(!m.checked);
+            assert!(!m.regressed);
+        }
     }
 
     #[test]
     fn diff_serializes_round_trip() {
         let a = report_with(0.5, 20, 10, 10, 8_000);
         let b = report_with(0.4, 30, 10, 10, 16_000);
-        let d = diff_reports(&a, &b, &DiffThresholds::default());
+        let d = diff_reports(&a, &b, &DiffThresholds::default(), &[]);
         let json = serde_json::to_string(&d).expect("serializes");
         let back: ReportDiff = serde_json::from_str(&json).expect("parses");
         assert_eq!(d, back);

@@ -34,7 +34,8 @@ use crate::validator::{Validator, ValidatorStats};
 use mlkit::parallel::PoolStats;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use ssdsim::report::HistogramPercentiles;
+use ssdsim::report::{HistogramPercentiles, SimReport};
+use ssdsim::BottleneckReport;
 use std::sync::{Arc, OnceLock};
 
 pub use telemetry::{elapsed_ns, enabled, set_enabled, start, Counter};
@@ -136,11 +137,16 @@ pub struct RunReport {
     /// default keeps those parseable.
     #[serde(default)]
     pub latency_percentiles: HistogramPercentiles,
+    /// Bottleneck attribution over every simulator run the validator
+    /// performed (all zeros when telemetry was off). New in schema v2;
+    /// the default keeps v1 reports parseable.
+    #[serde(default)]
+    pub bottleneck: BottleneckReport,
 }
 
 impl RunReport {
     /// The schema identifier written into every report.
-    pub const SCHEMA: &'static str = "autoblox.telemetry.v1";
+    pub const SCHEMA: &'static str = "autoblox.telemetry.v2";
 
     /// Top-level keys every serialized report must carry.
     pub const REQUIRED_KEYS: [&'static str; 8] = [
@@ -158,10 +164,11 @@ impl RunReport {
     /// every required top-level key, match the schema identifier, and
     /// deserialize back into a [`RunReport`].
     ///
-    /// Newer **minor** schema versions (`autoblox.telemetry.v2` and up)
-    /// parse with a warning (see [`RunReport::parse_checked_verbose`] to
-    /// observe it) rather than failing, so a new producer and an old
-    /// checker can coexist.
+    /// Both current minor schema versions (`autoblox.telemetry.v1` and
+    /// `.v2`) parse silently — v1 reports simply default the fields v2
+    /// added. Newer minor versions (`.v3` and up) parse with a warning
+    /// (see [`RunReport::parse_checked_verbose`] to observe it) rather
+    /// than failing, so a new producer and an old checker can coexist.
     ///
     /// # Errors
     ///
@@ -193,8 +200,8 @@ impl RunReport {
         let schema = value["schema"].as_str().unwrap_or("").to_string();
         let mut warnings = Vec::new();
         match schema_minor_version(&schema) {
-            Some(1) => {}
-            Some(v) if v > 1 => warnings.push(format!(
+            Some(1) | Some(2) => {}
+            Some(v) if v > 2 => warnings.push(format!(
                 "report uses newer schema `{schema}`; parsing best-effort as `{}` \
                  (unknown fields ignored)",
                 Self::SCHEMA
@@ -389,6 +396,22 @@ impl TelemetrySink {
         }
     }
 
+    /// Streams one simulator run's device observatory output — the sampled
+    /// [`ssdsim::DeviceSeries`] and the per-run bottleneck attribution — to
+    /// the attached journal; a no-op without one. `replay` distinguishes the
+    /// timed from the saturated replay of a validation.
+    pub fn record_device(&self, trace: &str, replay: &str, report: &SimReport) {
+        let inner = self.inner.lock();
+        if let Some(j) = &inner.journal {
+            if !report.device.is_empty() {
+                j.record_series(trace, replay, &report.device);
+            }
+            if report.bottleneck.total_latency_ns > 0 {
+                j.record_bottleneck(trace, replay, &report.bottleneck);
+            }
+        }
+    }
+
     /// Records one tuning run's outcome (including its iteration records).
     pub fn record_outcome(&self, outcome: &TuningOutcome) {
         if enabled() {
@@ -458,6 +481,7 @@ impl TelemetrySink {
                 fine: inner.fine.clone(),
             },
             latency_percentiles: validator.sim.latency_buckets.percentiles(),
+            bottleneck: validator.sim.bottleneck(),
             validator,
             pool: mlkit::parallel::pool_stats(),
         }
@@ -523,13 +547,13 @@ mod tests {
     #[test]
     fn newer_minor_schema_parses_with_warning() {
         let report = RunReport {
-            schema: "autoblox.telemetry.v2".to_string(),
+            schema: "autoblox.telemetry.v3".to_string(),
             ..Default::default()
         };
         let json = serde_json::to_string(&report).expect("serializes");
         let checked = RunReport::parse_checked_verbose(&json)
             .expect("a newer minor version must still parse");
-        assert_eq!(checked.report.schema, "autoblox.telemetry.v2");
+        assert_eq!(checked.report.schema, "autoblox.telemetry.v3");
         assert_eq!(checked.warnings.len(), 1, "exactly one version warning");
         assert!(
             checked.warnings[0].contains("newer schema"),
@@ -544,6 +568,25 @@ mod tests {
         .expect("serializes");
         let checked = RunReport::parse_checked_verbose(&current).expect("parses");
         assert!(checked.warnings.is_empty());
+    }
+
+    #[test]
+    fn v1_reports_still_parse_silently() {
+        // A report written by the v1 producer has no `bottleneck` member;
+        // the serde default fills it and no warning is raised.
+        let report = RunReport {
+            schema: "autoblox.telemetry.v1".to_string(),
+            ..Default::default()
+        };
+        let mut value = serde_json::to_value(&report).expect("to value");
+        if let serde_json::Value::Object(map) = &mut value {
+            map.remove("bottleneck");
+            map.remove("latency_percentiles");
+        }
+        let json = serde_json::to_string(&value).expect("serializes");
+        let checked = RunReport::parse_checked_verbose(&json).expect("v1 parses");
+        assert!(checked.warnings.is_empty(), "{:?}", checked.warnings);
+        assert_eq!(checked.report.bottleneck, BottleneckReport::default());
     }
 
     #[test]

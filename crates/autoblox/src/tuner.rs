@@ -136,6 +136,11 @@ pub struct IterationRecord {
     pub validations: u64,
     /// Wall-clock time of the iteration, ns (0 when telemetry is off).
     pub wall_ns: u64,
+    /// Bottleneck fingerprint of the simulator work this iteration performed
+    /// (all zeros when telemetry is off or the iteration was a full cache
+    /// hit). Deterministic for a given tuning problem at any thread count.
+    #[serde(default)]
+    pub bottleneck: ssdsim::BottleneckReport,
 }
 
 /// Result of one tuning run.
@@ -401,6 +406,7 @@ impl<'a> Tuner<'a> {
                 telemetry::span::Span::enter_keyed("tuner.iteration", iterations as u64);
             let iter_start = telemetry::start();
             let runs_at_iter_start = self.validator.simulator_runs();
+            let agg_at_iter_start = telemetry::enabled().then(|| self.validator.sim_aggregate());
             // Step 3: pick the search root among the top-k elite at random.
             let elite = state.elite(self.opts.top_k);
             let root_i = elite[rng.gen_range(0..elite.len())];
@@ -511,6 +517,9 @@ impl<'a> Tuner<'a> {
                 convergence_delta,
                 validations: self.validator.simulator_runs() - runs_at_iter_start,
                 wall_ns: telemetry::elapsed_ns(iter_start),
+                bottleneck: agg_at_iter_start
+                    .map(|earlier| self.validator.sim_aggregate().bottleneck_delta(&earlier))
+                    .unwrap_or_default(),
             };
             // Stream the record to an attached run journal (no-op without
             // one) so a live tuning run is observable before it finishes.

@@ -14,7 +14,7 @@ use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use ssdsim::config::SsdConfig;
 use ssdsim::report::{LatencyBuckets, SimReport};
-use ssdsim::Simulator;
+use ssdsim::{BottleneckReport, Simulator};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -101,6 +101,30 @@ pub struct SimAggregate {
     pub cmt_evictions: u64,
     /// Simulated-time request-latency histogram summed over all runs.
     pub latency_buckets: LatencyBuckets,
+    /// Simulated ns requests spent waiting on busy channels (reads+writes).
+    #[serde(default)]
+    pub channel_wait_ns: u64,
+    /// Simulated ns requests spent waiting on busy dies/planes.
+    #[serde(default)]
+    pub plane_wait_ns: u64,
+    /// Simulated ns of die time consumed by GC/wear-leveling cycles.
+    #[serde(default)]
+    pub gc_stall_ns: u64,
+    /// Simulated ns requests waited for admission into the device queue.
+    #[serde(default)]
+    pub queue_wait_ns: u64,
+    /// Simulated ns of flash service caused by cache/CMT misses.
+    #[serde(default)]
+    pub cache_miss_ns: u64,
+    /// Total arrival-to-completion simulated ns over all requests.
+    #[serde(default)]
+    pub total_latency_ns: u64,
+    /// Device-observatory samples retained across all runs.
+    #[serde(default)]
+    pub device_samples: u64,
+    /// Device-observatory samples dropped by the bounded buffers.
+    #[serde(default)]
+    pub device_samples_dropped: u64,
 }
 
 impl SimAggregate {
@@ -121,6 +145,40 @@ impl SimAggregate {
         {
             *dst += src;
         }
+        self.channel_wait_ns += r.bottleneck.channel_wait_ns;
+        self.plane_wait_ns += r.bottleneck.plane_wait_ns;
+        self.gc_stall_ns += r.bottleneck.gc_stall_ns;
+        self.queue_wait_ns += r.bottleneck.queue_wait_ns;
+        self.cache_miss_ns += r.bottleneck.cache_miss_ns;
+        self.total_latency_ns += r.bottleneck.total_latency_ns;
+        self.device_samples += r.device.len() as u64;
+        self.device_samples_dropped += r.device.dropped;
+    }
+
+    /// Bottleneck attribution over everything absorbed so far.
+    pub fn bottleneck(&self) -> BottleneckReport {
+        BottleneckReport::from_totals(
+            self.total_latency_ns,
+            self.channel_wait_ns,
+            self.plane_wait_ns,
+            self.gc_stall_ns,
+            self.cache_miss_ns,
+            self.queue_wait_ns,
+        )
+    }
+
+    /// Bottleneck attribution over the work absorbed since `earlier` was
+    /// snapshotted (used for per-iteration fingerprints in the tuner).
+    pub fn bottleneck_delta(&self, earlier: &SimAggregate) -> BottleneckReport {
+        BottleneckReport::from_totals(
+            self.total_latency_ns
+                .saturating_sub(earlier.total_latency_ns),
+            self.channel_wait_ns.saturating_sub(earlier.channel_wait_ns),
+            self.plane_wait_ns.saturating_sub(earlier.plane_wait_ns),
+            self.gc_stall_ns.saturating_sub(earlier.gc_stall_ns),
+            self.cache_miss_ns.saturating_sub(earlier.cache_miss_ns),
+            self.queue_wait_ns.saturating_sub(earlier.queue_wait_ns),
+        )
     }
 }
 
@@ -343,11 +401,22 @@ impl Validator {
             self.counters
                 .simulate_ns
                 .add(telemetry::elapsed_ns(sim_start));
-            let mut agg = self.counters.sim_agg.lock();
-            agg.absorb(&report);
-            agg.absorb(&sat_report);
+            {
+                let mut agg = self.counters.sim_agg.lock();
+                agg.absorb(&report);
+                agg.absorb(&sat_report);
+            }
+            let sink = crate::telemetry::global();
+            sink.record_device(trace.name(), "timed", &report);
+            sink.record_device(trace.name(), "saturated", &sat_report);
         }
         m
+    }
+
+    /// Snapshot of the simulator activity aggregate (zero unless telemetry
+    /// was enabled while the validator ran).
+    pub fn sim_aggregate(&self) -> SimAggregate {
+        *self.counters.sim_agg.lock()
     }
 
     /// Drops all memoized measurements (used between experiments that reset

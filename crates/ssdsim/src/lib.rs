@@ -14,6 +14,9 @@
 //!   mapping table;
 //! - [`sim`]: the simulator that drives a block I/O [`iotrace::Trace`]
 //!   through host interface → FTL → flash back end;
+//! - [`observe`]: the device observatory — bounded time-series sampling of
+//!   channel/die utilization, caches, queue depth, and GC pressure, plus
+//!   per-run bottleneck attribution ([`observe::BottleneckReport`]);
 //! - [`power`]: the flash/DRAM/controller energy model the paper adds to
 //!   MQSim;
 //! - [`report`]: latency/throughput/energy results.
@@ -37,10 +40,12 @@
 pub mod config;
 pub mod flash;
 pub mod lru;
+pub mod observe;
 pub mod power;
 pub mod report;
 pub mod sim;
 
 pub use config::{FlashTechnology, Interface, SsdConfig};
+pub use observe::{BottleneckReport, DeviceSample, DeviceSeries};
 pub use report::SimReport;
 pub use sim::Simulator;

@@ -76,6 +76,15 @@ impl LruCache {
         self.dirty_len
     }
 
+    /// Fill fraction, `len / capacity` (0.0 for a zero-capacity cache).
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.map.len() as f64 / self.capacity as f64
+        }
+    }
+
     /// Removes and returns the least-recently-used `(key, dirty)` entry.
     pub fn pop_lru(&mut self) -> Option<(u64, bool)> {
         if self.tail == NIL {

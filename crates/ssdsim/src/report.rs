@@ -2,6 +2,7 @@
 //! GC activity, and energy.
 
 use crate::flash::FlashStats;
+use crate::observe::{BottleneckReport, DeviceSeries};
 use crate::power::EnergyReport;
 use serde::{Deserialize, Serialize};
 
@@ -154,6 +155,20 @@ pub struct ReadBreakdown {
     pub mean_channel_wait_ns: f64,
 }
 
+/// Where flash-program time went, on average (the write-side counterpart
+/// of [`ReadBreakdown`]; GC migrations are charged separately and show up
+/// in [`BottleneckReport::gc_stall_ns`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WriteBreakdown {
+    /// Flash page programs issued (host destages + metadata writes).
+    pub flash_programs: u64,
+    /// Mean time a program waited for its die, ns (programs that merged
+    /// into an executing multiplane window waited zero).
+    pub mean_die_wait_ns: f64,
+    /// Mean time a program's data transfer waited for its channel, ns.
+    pub mean_channel_wait_ns: f64,
+}
+
 /// Full result of simulating one trace against one configuration.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
@@ -189,6 +204,18 @@ pub struct SimReport {
     pub flash: FlashStats,
     /// Read-path wait decomposition.
     pub read_breakdown: ReadBreakdown,
+    /// Write-path wait decomposition (absent in pre-observatory reports —
+    /// the default keeps those parseable).
+    #[serde(default)]
+    pub write_breakdown: WriteBreakdown,
+    /// Per-resource latency attribution for this run (always populated —
+    /// built from the always-on wait counters).
+    #[serde(default)]
+    pub bottleneck: BottleneckReport,
+    /// Sampled device time series; empty unless telemetry was enabled
+    /// while the run executed (see [`crate::observe`]).
+    #[serde(default)]
+    pub device: DeviceSeries,
     /// Write amplification: physical programs / host page-writes (0 when
     /// the host wrote nothing).
     pub write_amplification: f64,

@@ -5,6 +5,7 @@
 use proptest::prelude::*;
 use ssdsim::config::{GcPolicy, PlaneAllocationScheme, SsdConfig};
 use ssdsim::flash::{pseudo_location, FlashArray};
+use ssdsim::BottleneckReport;
 
 fn arb_layout() -> impl Strategy<Value = SsdConfig> {
     (
@@ -106,6 +107,32 @@ proptest! {
             prop_assert!(a.page < cfg.pages_per_block);
             prop_assert!(u64::from(a.plane_index(&cfg)) < cfg.total_planes());
         }
+    }
+
+    #[test]
+    fn bottleneck_fractions_stay_normalized(
+        total in 0u64..u64::MAX / 8,
+        channel in 0u64..u64::MAX / 8,
+        plane in 0u64..u64::MAX / 8,
+        gc in 0u64..u64::MAX / 8,
+        cache in 0u64..u64::MAX / 8,
+        queue in 0u64..u64::MAX / 8,
+    ) {
+        let report = BottleneckReport::from_totals(total, channel, plane, gc, cache, queue);
+        let mut sum = 0.0f64;
+        for (name, frac) in report.fractions() {
+            prop_assert!((0.0..=1.0).contains(&frac), "{name} = {frac} out of range");
+            sum += frac;
+        }
+        prop_assert!((0.0..=1.0).contains(&report.other_frac), "other = {} out of range", report.other_frac);
+        sum += report.other_frac;
+        // The six attributed fractions can never explain more than 100% of
+        // the observed latency; `other` absorbs exactly the remainder.
+        prop_assert!(sum <= 1.0 + 1e-9, "fractions sum to {sum}");
+        if total > 0 {
+            prop_assert!(sum >= 1.0 - 1e-9, "with latency observed, shares must cover it (sum = {sum})");
+        }
+        prop_assert!(!report.dominant().is_empty());
     }
 
     #[test]

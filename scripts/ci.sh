@@ -125,6 +125,39 @@ if [[ $QUICK -eq 0 ]]; then
     else
         run_stage "regression-gate" regression_gate
     fi
+
+    # --- Stage: explain smoke ---------------------------------------------
+    # End-to-end check of the device observatory: a telemetry-enabled tune
+    # must emit a v2 report (version echoed by telemetry-check's stdout
+    # verdict), `explain` must render a bottleneck fingerprint in both human
+    # and JSON form, and `explain diff` against the golden must work.
+    explain_smoke() {
+        local out
+        out=$(mktemp /tmp/autoblox-ci-explain.XXXXXX.json) || return 1
+        AUTOBLOX_THREADS=1 ./target/release/autoblox tune database \
+            --iterations 2 --events 300 --telemetry "$out" \
+            >/dev/null || { rm -f "$out"; return 1; }
+        ./target/release/autoblox telemetry-check "$out" \
+            | grep -q '"autoblox.telemetry.v2"' \
+            || { echo "telemetry-check did not echo the v2 schema"; rm -f "$out"; return 1; }
+        ./target/release/autoblox explain "$out" \
+            | grep -q 'dominant' \
+            || { echo "explain did not render a fingerprint"; rm -f "$out"; return 1; }
+        ./target/release/autoblox explain --json "$out" \
+            | grep -q '"autoblox.explain.v1"' \
+            || { echo "explain --json did not emit the explain schema"; rm -f "$out"; return 1; }
+        if [[ -f "$GOLDEN" ]]; then
+            ./target/release/autoblox explain diff "$GOLDEN" "$out" >/dev/null \
+                || { echo "explain diff against the golden failed"; rm -f "$out"; return 1; }
+        fi
+        rm -f "$out"
+    }
+    if [[ -x ./target/release/autoblox ]]; then
+        run_stage "explain-smoke" explain_smoke
+    else
+        echo "==> explain-smoke: release binary missing (build failed?); skipping"
+        record "explain-smoke" SKIP
+    fi
 fi
 
 # --- Summary --------------------------------------------------------------
