@@ -8,9 +8,12 @@
 //! autoblox tune <workload> [--iterations N] [--events N] [--capacity GIB]
 //!               [--interface nvme|sata] [--flash slc|mlc|tlc] [--power W]
 //!               [--telemetry out.json] [--journal out.jsonl]
+//!               [--checkpoint dir/] [--checkpoint-every N] [--resume]
+//!               [--stop-after-iter N]
 //! autoblox whatif <workload> --goal latency|throughput --factor F
 //!               [--telemetry out.json] [--journal out.jsonl]
 //! autoblox telemetry-check <report.json>
+//! autoblox checkpoint inspect <checkpoint.json> [--json]
 //! autoblox explain <telemetry.json> [--json]
 //! autoblox explain diff <baseline.json> <candidate.json> [--json]
 //! autoblox trace export --chrome|--csv <journal.jsonl> <out-file>
@@ -28,12 +31,17 @@
 //! cluster decisions, simulator reports, telemetry) go to **stdout**;
 //! progress and human-oriented commentary go to **stderr**, so pipelines
 //! can consume the JSON without scraping.
+//!
+//! Exit codes: `0` success, `1` runtime failure, `2` usage error or a
+//! malformed input file (unparseable trace, telemetry report, config, run
+//! journal, or checkpoint), `3` a `report diff` regression.
 
+use autoblox::checkpoint::Checkpoint;
 use autoblox::clustering::{ClusterDecision, WorkloadClusterer};
 use autoblox::constraints::Constraints;
 use autoblox::journal::Journal;
 use autoblox::report_diff::{diff_reports, DiffThresholds};
-use autoblox::tuner::{Tuner, TunerOptions};
+use autoblox::tuner::{Tuner, TunerOptions, TuningTarget};
 use autoblox::validator::{Validator, ValidatorOptions};
 use autoblox::whatif::{what_if, WhatIfGoal, WhatIfOptions};
 use iotrace::gen::WorkloadKind;
@@ -47,6 +55,28 @@ use std::fs::File;
 use std::io::BufReader;
 use std::process::ExitCode;
 
+/// A classified CLI failure so `main` can pick the right exit code:
+/// malformed user input exits `2` (like a usage error), anything else `1`.
+enum CliError {
+    /// A user-supplied input file (trace, config JSON, telemetry report,
+    /// run journal, or checkpoint) could not be read or failed validation.
+    Input(String),
+    /// Any other runtime failure.
+    Other(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Other(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Other(msg.to_string())
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: autoblox <command> ...\n\
@@ -59,9 +89,12 @@ fn usage() -> ExitCode {
          \x20 tune     <workload> [--iterations N] [--events N] [--capacity GIB]\n\
          \x20          [--interface nvme|sata] [--flash slc|mlc|tlc] [--power W]\n\
          \x20          [--telemetry out.json] [--journal out.jsonl]\n\
+         \x20          [--checkpoint dir/] [--checkpoint-every N] [--resume]\n\
+         \x20          [--stop-after-iter N]\n\
          \x20 whatif   <workload> --goal latency|throughput --factor F\n\
          \x20          [--telemetry out.json] [--journal out.jsonl]\n\
          \x20 telemetry-check <report.json>                   validate a telemetry report\n\
+         \x20 checkpoint inspect <checkpoint.json> [--json]   summarize a tuning checkpoint\n\
          \x20 explain  <telemetry.json> [--json]              bottleneck fingerprint of a run\n\
          \x20 explain  diff <baseline.json> <candidate.json> [--json]\n\
          \x20                                                 did the bottleneck move?\n\
@@ -111,7 +144,7 @@ fn parse_workload(name: &str) -> Result<WorkloadKind, String> {
         .map_err(|_| format!("unknown workload {name:?}; see `autoblox` for the list"))
 }
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
+fn cmd_generate(args: &[String]) -> Result<(), CliError> {
     let [workload, events, seed, rest @ ..] = args else {
         return Err("generate needs <workload> <events> <seed> [out.csv]".into());
     };
@@ -134,20 +167,20 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_profile(args: &[String]) -> Result<(), String> {
+fn cmd_profile(args: &[String]) -> Result<(), CliError> {
     let [path, rest @ ..] = args else {
         return Err("profile needs <trace-file> [format]".into());
     };
-    let trace = load_trace(path, rest.first().map(String::as_str))?;
+    let trace = load_trace(path, rest.first().map(String::as_str)).map_err(CliError::Input)?;
     println!("{}", TraceProfile::of(&trace));
     Ok(())
 }
 
-fn cmd_classify(args: &[String]) -> Result<(), String> {
+fn cmd_classify(args: &[String]) -> Result<(), CliError> {
     let [path, rest @ ..] = args else {
         return Err("classify needs <trace-file> [format]".into());
     };
-    let trace = load_trace(path, rest.first().map(String::as_str))?;
+    let trace = load_trace(path, rest.first().map(String::as_str)).map_err(CliError::Input)?;
     eprintln!("training the clustering front end on the studied categories ...");
     let window = WindowOptions { window_len: 1_000 };
     let train: Vec<Trace> = WorkloadKind::STUDIED
@@ -201,18 +234,20 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_simulate(args: &[String]) -> Result<(), String> {
+fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
     let [source, rest @ ..] = args else {
         return Err("simulate needs <workload|trace-file> [config.json]".into());
     };
     let trace = match parse_workload(source) {
         Ok(kind) => kind.spec().generate(5_000, 0xB10C5),
-        Err(_) => load_trace(source, None)?,
+        Err(_) => load_trace(source, None).map_err(CliError::Input)?,
     };
     let cfg: SsdConfig = match rest.first() {
         Some(path) => {
-            let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-            serde_json::from_reader(f).map_err(|e| format!("bad config JSON: {e}"))?
+            let f = File::open(path)
+                .map_err(|e| CliError::Input(format!("cannot open {path}: {e}")))?;
+            serde_json::from_reader(f)
+                .map_err(|e| CliError::Input(format!("bad config JSON in {path}: {e}")))?
         }
         None => presets::intel_750(),
     };
@@ -306,13 +341,14 @@ impl SinkConfig {
     }
 }
 
-fn cmd_telemetry_check(args: &[String]) -> Result<(), String> {
+fn cmd_telemetry_check(args: &[String]) -> Result<(), CliError> {
     let [path] = args else {
         return Err("telemetry-check needs <report.json>".into());
     };
-    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Input(format!("cannot read {path}: {e}")))?;
     let checked = autoblox::telemetry::RunReport::parse_checked_verbose(&json)
-        .map_err(|e| format!("{path}: {e}"))?;
+        .map_err(|e| CliError::Input(format!("{path}: {e}")))?;
     for w in &checked.warnings {
         eprintln!("warning: {path}: {w}");
     }
@@ -347,7 +383,7 @@ fn cmd_telemetry_check(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_explain(args: &[String]) -> Result<(), String> {
+fn cmd_explain(args: &[String]) -> Result<(), CliError> {
     let json_out = args.iter().any(|a| a == "--json");
     let positional: Vec<&String> = args.iter().filter(|a| *a != "--json").collect();
     let load = |path: &str| -> Result<autoblox::telemetry::RunReport, String> {
@@ -356,7 +392,7 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     };
     match positional.as_slice() {
         [path] if *path != "diff" => {
-            let fp = autoblox::explain::fingerprint(&load(path)?);
+            let fp = autoblox::explain::fingerprint(&load(path).map_err(CliError::Input)?);
             if json_out {
                 println!(
                     "{}",
@@ -368,7 +404,10 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         [sub, baseline, candidate] if *sub == "diff" => {
-            let diff = autoblox::explain::explain_diff(&load(baseline)?, &load(candidate)?);
+            let diff = autoblox::explain::explain_diff(
+                &load(baseline).map_err(CliError::Input)?,
+                &load(candidate).map_err(CliError::Input)?,
+            );
             if json_out {
                 println!(
                     "{}",
@@ -387,23 +426,21 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn cmd_trace(args: &[String]) -> Result<(), String> {
+fn cmd_trace(args: &[String]) -> Result<(), CliError> {
     let [sub, rest @ ..] = args else {
         return Err("trace needs: export --chrome|--csv <journal.jsonl> <out-file>".into());
     };
     if sub != "export" {
-        return Err(format!(
-            "unknown trace subcommand {sub:?} (expected `export`)"
-        ));
+        return Err(format!("unknown trace subcommand {sub:?} (expected `export`)").into());
     }
     let [flag, journal_path, out_path] = rest else {
         return Err("trace export needs: --chrome|--csv <journal.jsonl> <out-file>".into());
     };
     let journal = std::fs::read_to_string(journal_path)
-        .map_err(|e| format!("cannot read {journal_path}: {e}"))?;
+        .map_err(|e| CliError::Input(format!("cannot read {journal_path}: {e}")))?;
     match flag.as_str() {
         "--chrome" => {
-            let chrome = autoblox::journal::export_chrome(&journal)?;
+            let chrome = autoblox::journal::export_chrome(&journal).map_err(CliError::Input)?;
             std::fs::write(out_path, &chrome)
                 .map_err(|e| format!("cannot write {out_path}: {e}"))?;
             eprintln!(
@@ -413,7 +450,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             );
         }
         "--csv" => {
-            let csv = autoblox::journal::export_csv(&journal)?;
+            let csv = autoblox::journal::export_csv(&journal).map_err(CliError::Input)?;
             std::fs::write(out_path, &csv).map_err(|e| format!("cannot write {out_path}: {e}"))?;
             eprintln!(
                 "wrote {out_path} ({} device-sample row(s))",
@@ -423,7 +460,8 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         other => {
             return Err(format!(
                 "unknown trace export format {other:?} (expected `--chrome` or `--csv`)"
-            ))
+            )
+            .into())
         }
     }
     Ok(())
@@ -433,14 +471,12 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
 /// (distinct from `1` = usage/parse error so CI can tell them apart).
 const EXIT_REGRESSION: u8 = 3;
 
-fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_report(args: &[String]) -> Result<ExitCode, CliError> {
     let [sub, rest @ ..] = args else {
         return Err("report needs: diff <baseline.json> <candidate.json> [flags]".into());
     };
     if sub != "diff" {
-        return Err(format!(
-            "unknown report subcommand {sub:?} (expected `diff`)"
-        ));
+        return Err(format!("unknown report subcommand {sub:?} (expected `diff`)").into());
     }
     let [baseline_path, candidate_path, flags @ ..] = rest else {
         return Err("report diff needs <baseline.json> <candidate.json>".into());
@@ -479,8 +515,8 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
         let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         autoblox::telemetry::RunReport::parse_checked(&json).map_err(|e| format!("{path}: {e}"))
     };
-    let baseline = load(baseline_path)?;
-    let candidate = load(candidate_path)?;
+    let baseline = load(baseline_path).map_err(CliError::Input)?;
+    let candidate = load(candidate_path).map_err(CliError::Input)?;
     let diff = diff_reports(&baseline, &candidate, &thresholds, &ignore);
     // Machine-readable verdict to stdout; the human summary to stderr.
     println!(
@@ -544,7 +580,7 @@ fn reference_for(constraints: &Constraints) -> SsdConfig {
     reference
 }
 
-fn cmd_tune(args: &[String]) -> Result<(), String> {
+fn cmd_tune(args: &[String]) -> Result<(), CliError> {
     let [workload, rest @ ..] = args else {
         return Err("tune needs <workload> [flags]".into());
     };
@@ -553,6 +589,19 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
     let iterations: usize = parse_flag(rest, "--iterations")?.unwrap_or(20);
     let trace_events: usize =
         parse_flag(rest, "--events")?.unwrap_or(ValidatorOptions::default().trace_events);
+    let checkpoint_dir: Option<String> = parse_flag(rest, "--checkpoint")?;
+    let checkpoint_every: u64 = parse_flag(rest, "--checkpoint-every")?.unwrap_or(1);
+    if checkpoint_every == 0 {
+        return Err("--checkpoint-every must be at least 1".into());
+    }
+    let resume = rest.iter().any(|a| a == "--resume");
+    let stop_after: Option<u64> = parse_flag(rest, "--stop-after-iter")?;
+    if stop_after == Some(0) {
+        return Err("--stop-after-iter must be at least 1".into());
+    }
+    if (resume || stop_after.is_some()) && checkpoint_dir.is_none() {
+        return Err("--resume and --stop-after-iter need --checkpoint <dir>".into());
+    }
     let sinks = SinkConfig::from_args(rest)?;
     let validator = Validator::new(ValidatorOptions {
         trace_events,
@@ -569,11 +618,84 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
         ..TunerOptions::default()
     };
     let reference = reference_for(&constraints);
-    eprintln!("tuning {kind} for up to {iterations} iterations ...");
+    let ckpt_path = match &checkpoint_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create checkpoint dir {dir}: {e}"))?;
+            Some(std::path::Path::new(dir).join(format!("checkpoint-{}.json", kind.name())))
+        }
+        None => None,
+    };
     let sink = autoblox::telemetry::global();
     let tuner = Tuner::new(constraints, &validator, opts);
-    let outcome = sink.phase("tune", || tuner.tune(kind, &reference, &[], None));
+    let target = TuningTarget::Category(kind);
+    let state = if resume {
+        let path = ckpt_path.as_ref().expect("--resume implies --checkpoint");
+        let cp = Checkpoint::read(path).map_err(CliError::Input)?;
+        cp.verify(&tuner, target, &validator)
+            .map_err(|e| CliError::Input(format!("cannot resume from {}: {e}", path.display())))?;
+        validator.import_cache(&cp.cache).map_err(CliError::Input)?;
+        eprintln!(
+            "resuming {kind} from {} (iteration {}, {} observation(s))",
+            path.display(),
+            cp.state.iterations,
+            cp.state.observations.len()
+        );
+        sink.record_checkpoint(
+            &cp.state.workload,
+            "resumed",
+            cp.state.iterations,
+            &path.display().to_string(),
+        );
+        cp.state
+    } else {
+        tuner.init_state(target, &reference, &[], None)
+    };
+    eprintln!("tuning {kind} for up to {iterations} iterations ...");
+    let outcome = sink.phase("tune", || {
+        tuner.drive(target, state, |s| {
+            let Some(path) = &ckpt_path else { return };
+            // `--stop-after-iter` only fires at outer-iteration boundaries
+            // (`iterations` is 0 through both warm-up phases and N >= 1).
+            let stop_now = stop_after.is_some_and(|n| s.iterations == n);
+            let cadence = !s.done() && s.iterations % checkpoint_every == 0;
+            if !stop_now && !cadence {
+                return;
+            }
+            let cp = Checkpoint::capture(&tuner, target, &validator, s);
+            match cp.write_atomic(path) {
+                Ok(()) => {
+                    sink.record_checkpoint(
+                        &s.workload,
+                        "written",
+                        s.iterations,
+                        &path.display().to_string(),
+                    );
+                    if stop_now {
+                        eprintln!(
+                            "stopped after iteration {} (checkpoint written to {})",
+                            s.iterations,
+                            path.display()
+                        );
+                        std::process::exit(0);
+                    }
+                }
+                Err(e) => {
+                    if stop_now {
+                        eprintln!("error: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("warning: {e}");
+                }
+            }
+        })
+    });
     sink.record_outcome(&outcome);
+    // The run completed: the snapshot would only resume into a no-op, so
+    // clean it up rather than leave a stale file to mis-resume from later.
+    if let Some(path) = &ckpt_path {
+        let _ = std::fs::remove_file(path);
+    }
     eprintln!(
         "converged after {} iterations ({} validations); grade {:+.4}; \
          latency {:.2}x, throughput {:.2}x vs reference",
@@ -590,10 +712,45 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
         "{}",
         serde_json::to_string_pretty(&outcome.best.config).map_err(|e| e.to_string())?
     );
-    sinks.finish(&validator)
+    sinks.finish(&validator)?;
+    Ok(())
 }
 
-fn cmd_whatif(args: &[String]) -> Result<(), String> {
+fn cmd_checkpoint(args: &[String]) -> Result<(), CliError> {
+    let [sub, rest @ ..] = args else {
+        return Err("checkpoint needs: inspect <checkpoint.json> [--json]".into());
+    };
+    if sub != "inspect" {
+        return Err(format!("unknown checkpoint subcommand {sub:?} (expected `inspect`)").into());
+    }
+    let json_out = rest.iter().any(|a| a == "--json");
+    let positional: Vec<&String> = rest.iter().filter(|a| *a != "--json").collect();
+    let [path] = positional.as_slice() else {
+        return Err("checkpoint inspect needs <checkpoint.json> [--json]".into());
+    };
+    let cp = Checkpoint::read(path).map_err(CliError::Input)?;
+    let summary = cp.summary();
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    if json_out {
+        let verdict = serde_json::json!({
+            "path": path.to_string(),
+            "valid": true,
+            "summary": serde_json::to_value(&summary).map_err(|e| e.to_string())?,
+        });
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&verdict).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!("{}", summary.render(now));
+    }
+    Ok(())
+}
+
+fn cmd_whatif(args: &[String]) -> Result<(), CliError> {
     let [workload, rest @ ..] = args else {
         return Err("whatif needs <workload> --goal latency|throughput --factor F".into());
     };
@@ -602,7 +759,7 @@ fn cmd_whatif(args: &[String]) -> Result<(), String> {
     let goal = match parse_flag::<String>(rest, "--goal")?.as_deref() {
         None | Some("latency") => WhatIfGoal::LatencyReduction(factor),
         Some("throughput") => WhatIfGoal::ThroughputImprovement(factor),
-        Some(other) => return Err(format!("unknown goal {other:?}")),
+        Some(other) => return Err(format!("unknown goal {other:?}").into()),
     };
     let constraints = constraints_from(rest)?;
     let trace_events: usize =
@@ -636,7 +793,8 @@ fn cmd_whatif(args: &[String]) -> Result<(), String> {
         "{}",
         serde_json::to_string_pretty(&out.tuning.best.config).map_err(|e| e.to_string())?
     );
-    sinks.finish(&validator)
+    sinks.finish(&validator)?;
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -650,10 +808,7 @@ fn main() -> ExitCode {
     if command == "report" {
         return match cmd_report(rest) {
             Ok(code) => code,
-            Err(msg) => {
-                eprintln!("error: {msg}");
-                ExitCode::FAILURE
-            }
+            Err(err) => fail(err),
         };
     }
     let result = match command.as_str() {
@@ -664,13 +819,25 @@ fn main() -> ExitCode {
         "tune" => cmd_tune(rest),
         "whatif" => cmd_whatif(rest),
         "telemetry-check" => cmd_telemetry_check(rest),
+        "checkpoint" => cmd_checkpoint(rest),
         "explain" => cmd_explain(rest),
         "trace" => cmd_trace(rest),
         _ => return usage(),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(err) => fail(err),
+    }
+}
+
+/// Prints the error and maps its class to the documented exit code.
+fn fail(err: CliError) -> ExitCode {
+    match err {
+        CliError::Input(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+        CliError::Other(msg) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
         }

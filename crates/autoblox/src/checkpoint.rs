@@ -1,0 +1,609 @@
+//! Crash-safe snapshots of an in-flight tuning run.
+//!
+//! A [`Checkpoint`] is a versioned JSON document (schema
+//! [`Checkpoint::SCHEMA`]) bundling the tuner's serializable
+//! [`TuneState`], the exact [`TunerOptions`] it runs under, the
+//! validator's measurement cache, and fingerprints of everything the
+//! search trajectory depends on — the parameter space, the tuning target,
+//! and the reference configuration. Resuming from a checkpoint whose
+//! fingerprints match replays the run bit-identically: the outer loop is
+//! sequential and every stochastic draw flows from the RNG state embedded
+//! in `TuneState`, so a run interrupted at any iteration boundary and
+//! resumed produces the same final report as an uninterrupted one, at any
+//! thread count.
+//!
+//! Files are written atomically (temp file + rename in the destination
+//! directory) so a crash mid-write never leaves a truncated checkpoint in
+//! place of a good one. [`Checkpoint::parse_checked`] follows the same
+//! validation ladder as telemetry reports: JSON well-formedness, required
+//! top-level keys, schema identifier, then a typed deserialize — every
+//! failure is a human-readable message, never a panic.
+//!
+//! The vendored JSON layer stores `u64` lossily above `i64::MAX`, so the
+//! two places that need full 64-bit fidelity route around it: the RNG
+//! state lives in `TuneState` as hex strings, and the tuner seed is
+//! carried redundantly in [`Checkpoint::seed_hex`] and restored into
+//! `opts.seed` on load.
+
+use crate::params::{ParamKind, ParamSpace};
+use crate::tuner::{TunePhase, TuneState, Tuner, TunerOptions, TuningTarget};
+use crate::validator::{CacheEntry, Validator, ValidatorOptions};
+use serde::{Deserialize, Serialize};
+use ssdsim::SsdConfig;
+use std::fs;
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// A complete, resumable snapshot of one tuning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Schema identifier; always [`Checkpoint::SCHEMA`].
+    pub schema: String,
+    /// Display name of the tuning target (workload category or trace).
+    pub workload: String,
+    /// FNV-1a fingerprint (16 hex digits) of the parameter space: names,
+    /// kinds, and grids of every tunable parameter, in order.
+    pub space_fingerprint: String,
+    /// Fingerprint of the tuning target and validator options: target
+    /// name, trace-generation settings, and (for trace targets) the full
+    /// event content.
+    pub target_fingerprint: String,
+    /// Fingerprint of the reference configuration's canonical words.
+    pub reference_fingerprint: String,
+    /// Unix timestamp (seconds) when the snapshot was captured.
+    pub written_at_unix: u64,
+    /// The tuner seed as 16 hex digits; authoritative over `opts.seed`,
+    /// which the JSON layer may have stored lossily.
+    pub seed_hex: String,
+    /// The exact options the interrupted run used. Resume refuses to
+    /// proceed under different options — the trajectory depends on all of
+    /// them.
+    pub opts: TunerOptions,
+    /// The serialized tuner state machine, including RNG state.
+    pub state: TuneState,
+    /// The validator's measurement cache at snapshot time; re-imported on
+    /// resume so replayed validations are cache hits, not re-simulations.
+    pub cache: Vec<CacheEntry>,
+}
+
+impl Checkpoint {
+    /// The schema identifier written into every checkpoint.
+    pub const SCHEMA: &'static str = "autoblox.checkpoint.v1";
+
+    /// Top-level keys every serialized checkpoint must carry.
+    pub const REQUIRED_KEYS: [&'static str; 10] = [
+        "schema",
+        "workload",
+        "space_fingerprint",
+        "target_fingerprint",
+        "reference_fingerprint",
+        "written_at_unix",
+        "seed_hex",
+        "opts",
+        "state",
+        "cache",
+    ];
+
+    /// Captures a snapshot of `state` mid-run, fingerprinting the tuner's
+    /// space and options, the target, and the validator's settings and
+    /// cache so [`Checkpoint::verify`] can detect any drift at resume
+    /// time.
+    pub fn capture(
+        tuner: &Tuner<'_>,
+        target: TuningTarget<'_>,
+        validator: &Validator,
+        state: &TuneState,
+    ) -> Checkpoint {
+        let written_at_unix = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        Checkpoint {
+            schema: Self::SCHEMA.to_string(),
+            workload: target.name().to_string(),
+            space_fingerprint: fingerprint_space(tuner.space()),
+            target_fingerprint: fingerprint_target(target, &validator.options()),
+            reference_fingerprint: fingerprint_config(&state.reference),
+            written_at_unix,
+            seed_hex: format!("{:016x}", tuner.options().seed),
+            opts: tuner.options().clone(),
+            state: state.clone(),
+            cache: validator.export_cache(),
+        }
+    }
+
+    /// Parses and validates a serialized checkpoint: the JSON must parse,
+    /// carry every required top-level key, match the schema identifier,
+    /// deserialize into a [`Checkpoint`], and hold a well-formed RNG
+    /// state. The authoritative `seed_hex` is folded back into
+    /// `opts.seed` before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn parse_checked(json: &str) -> Result<Checkpoint, String> {
+        let value: serde_json::Value =
+            serde_json::from_str(json).map_err(|e| format!("invalid JSON: {e}"))?;
+        let obj = match &value {
+            serde_json::Value::Object(map) => map,
+            _ => return Err("checkpoint must be a JSON object".to_string()),
+        };
+        for key in Self::REQUIRED_KEYS {
+            if !obj.contains_key(key) {
+                return Err(format!("missing required key `{key}`"));
+            }
+        }
+        let schema = value["schema"].as_str().unwrap_or("");
+        if schema != Self::SCHEMA {
+            return Err(format!(
+                "unknown schema `{schema}` (expected `{}`)",
+                Self::SCHEMA
+            ));
+        }
+        let mut cp: Checkpoint =
+            serde_json::from_str(json).map_err(|e| format!("schema mismatch: {e}"))?;
+        cp.opts.seed = parse_hex_word(&cp.seed_hex)
+            .ok_or_else(|| format!("`seed_hex` is not 16 hex digits: `{}`", cp.seed_hex))?;
+        if cp.state.rng.len() != 4 {
+            return Err(format!(
+                "`state.rng` must hold 4 hex words, found {}",
+                cp.state.rng.len()
+            ));
+        }
+        for word in &cp.state.rng {
+            if parse_hex_word(word).is_none() {
+                return Err(format!("`state.rng` word is not 16 hex digits: `{word}`"));
+            }
+        }
+        Ok(cp)
+    }
+
+    /// Reads and validates the checkpoint at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the path for unreadable files and the
+    /// first validation failure for malformed ones.
+    pub fn read(path: impl AsRef<Path>) -> Result<Checkpoint, String> {
+        let path = path.as_ref();
+        let json = fs::read_to_string(path)
+            .map_err(|e| format!("cannot read checkpoint `{}`: {e}", path.display()))?;
+        Self::parse_checked(&json)
+            .map_err(|e| format!("malformed checkpoint `{}`: {e}", path.display()))
+    }
+
+    /// Writes the checkpoint to `path` atomically: the document is
+    /// serialized to a temp file in the destination directory, flushed,
+    /// and renamed over the target, so a crash mid-write cannot leave a
+    /// truncated file where a good checkpoint (or none) should be.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the path on any I/O failure.
+    pub fn write_atomic(&self, path: impl AsRef<Path>) -> Result<(), String> {
+        let path = path.as_ref();
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| format!("cannot serialize checkpoint: {e}"))?;
+        let tmp = path.with_extension("json.tmp");
+        fs::write(&tmp, json)
+            .map_err(|e| format!("cannot write checkpoint `{}`: {e}", tmp.display()))?;
+        fs::rename(&tmp, path).map_err(|e| {
+            format!(
+                "cannot move checkpoint into place at `{}`: {e}",
+                path.display()
+            )
+        })
+    }
+
+    /// Checks that this checkpoint was produced by the same tuning
+    /// problem the caller is about to resume: same target, parameter
+    /// space, reference configuration, validator settings, and tuner
+    /// options.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first mismatch; resuming anyway would
+    /// silently change the search trajectory.
+    pub fn verify(
+        &self,
+        tuner: &Tuner<'_>,
+        target: TuningTarget<'_>,
+        validator: &Validator,
+    ) -> Result<(), String> {
+        if self.workload != target.name() {
+            return Err(format!(
+                "checkpoint is for workload `{}`, not `{}`",
+                self.workload,
+                target.name()
+            ));
+        }
+        let space = fingerprint_space(tuner.space());
+        if self.space_fingerprint != space {
+            return Err(format!(
+                "parameter space changed since the checkpoint was written \
+                 (fingerprint {} != {space})",
+                self.space_fingerprint
+            ));
+        }
+        let target_fp = fingerprint_target(target, &validator.options());
+        if self.target_fingerprint != target_fp {
+            return Err(format!(
+                "tuning target or validator settings changed since the \
+                 checkpoint was written (fingerprint {} != {target_fp})",
+                self.target_fingerprint
+            ));
+        }
+        let reference = fingerprint_config(&self.state.reference);
+        if self.reference_fingerprint != reference {
+            return Err(format!(
+                "checkpoint is internally inconsistent: reference \
+                 fingerprint {} does not match the embedded state \
+                 ({reference})",
+                self.reference_fingerprint
+            ));
+        }
+        if *tuner.options() != self.opts {
+            return Err(
+                "tuner options differ from the checkpoint's; re-run with the \
+                 original flags to resume"
+                    .to_string(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Condenses the checkpoint into the fields `checkpoint inspect`
+    /// prints.
+    pub fn summary(&self) -> CheckpointSummary {
+        CheckpointSummary {
+            schema: self.schema.clone(),
+            workload: self.workload.clone(),
+            phase: phase_name(self.state.phase).to_string(),
+            iteration: self.state.iterations,
+            max_iterations: self.opts.max_iterations as u64,
+            observations: self.state.observations.len() as u64,
+            best_grade: self.state.best.as_ref().map(|b| b.grade),
+            validations: self.state.validations,
+            cache_entries: self.cache.len() as u64,
+            written_at_unix: self.written_at_unix,
+        }
+    }
+}
+
+/// The human-facing digest of a checkpoint, also emitted as JSON by
+/// `checkpoint inspect --json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointSummary {
+    /// Schema identifier of the inspected file.
+    pub schema: String,
+    /// Tuning target the run was optimizing.
+    pub workload: String,
+    /// Phase the state machine was in (`reference`, `init-set`,
+    /// `iterating`, or `done`).
+    pub phase: String,
+    /// Outer iterations completed when the snapshot was taken.
+    pub iteration: u64,
+    /// Iteration cap the run was configured with.
+    pub max_iterations: u64,
+    /// Validated configurations observed so far.
+    pub observations: u64,
+    /// Best Formula-2 grade so far, if any configuration was validated.
+    pub best_grade: Option<f64>,
+    /// Simulator validations the run had performed.
+    pub validations: u64,
+    /// Measurement-cache entries embedded in the snapshot.
+    pub cache_entries: u64,
+    /// Unix timestamp (seconds) when the snapshot was captured.
+    pub written_at_unix: u64,
+}
+
+impl CheckpointSummary {
+    /// Renders the multi-line human summary, computing the snapshot's age
+    /// against `now_unix` (pass 0 to omit the age).
+    pub fn render(&self, now_unix: u64) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("workload:      {}\n", self.workload));
+        out.push_str(&format!(
+            "phase:         {} (iteration {}/{})\n",
+            self.phase, self.iteration, self.max_iterations
+        ));
+        out.push_str(&format!("observations:  {}\n", self.observations));
+        match self.best_grade {
+            Some(g) => out.push_str(&format!("best grade:    {g:.6}\n")),
+            None => out.push_str("best grade:    (none yet)\n"),
+        }
+        out.push_str(&format!("validations:   {}\n", self.validations));
+        out.push_str(&format!("cache entries: {}\n", self.cache_entries));
+        if now_unix > 0 && self.written_at_unix > 0 && now_unix >= self.written_at_unix {
+            out.push_str(&format!(
+                "snapshot age:  {}\n",
+                render_age(now_unix - self.written_at_unix)
+            ));
+        }
+        out
+    }
+}
+
+/// Formats an age in seconds as the largest sensible unit pair.
+fn render_age(secs: u64) -> String {
+    if secs < 60 {
+        format!("{secs}s")
+    } else if secs < 3600 {
+        format!("{}m {}s", secs / 60, secs % 60)
+    } else if secs < 86_400 {
+        format!("{}h {}m", secs / 3600, (secs % 3600) / 60)
+    } else {
+        format!("{}d {}h", secs / 86_400, (secs % 86_400) / 3600)
+    }
+}
+
+/// Human-readable name for a tuner phase.
+fn phase_name(phase: TunePhase) -> &'static str {
+    match phase {
+        TunePhase::Reference => "reference",
+        TunePhase::InitSet => "init-set",
+        TunePhase::Iterating => "iterating",
+        TunePhase::Done => "done",
+    }
+}
+
+/// Parses a 16-digit lowercase/uppercase hex word.
+fn parse_hex_word(word: &str) -> Option<u64> {
+    if word.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(word, 16).ok()
+}
+
+/// 64-bit FNV-1a over a stream of words (each folded byte-wise).
+#[derive(Debug)]
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+    }
+
+    fn word(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+
+    fn hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// Fingerprints the parameter space: every parameter's name, kind, and
+/// grid, in order. Any change here redefines what a state vector means.
+pub fn fingerprint_space(space: &ParamSpace) -> String {
+    let mut h = Fnv::new();
+    h.word(space.len() as u64);
+    for p in space.params() {
+        h.bytes(p.name.as_bytes());
+        h.byte(0xff);
+        h.byte(match p.kind {
+            ParamKind::Continuous => 0,
+            ParamKind::Discrete => 1,
+            ParamKind::Boolean => 2,
+            ParamKind::Categorical => 3,
+        });
+        h.word(p.grid.len() as u64);
+        for &g in &p.grid {
+            h.word(g.to_bits());
+        }
+    }
+    h.hex()
+}
+
+/// Fingerprints the tuning problem's inputs outside the parameter space:
+/// the validator's trace-generation settings and the target itself. For
+/// trace targets the full event content is folded in — two traces with
+/// the same name but different events must not resume each other.
+pub fn fingerprint_target(target: TuningTarget<'_>, vopts: &ValidatorOptions) -> String {
+    let mut h = Fnv::new();
+    h.word(vopts.trace_events as u64);
+    h.word(vopts.warm_fill.to_bits());
+    h.word(vopts.seed);
+    match target {
+        TuningTarget::Category(kind) => {
+            h.byte(0);
+            h.bytes(kind.name().as_bytes());
+        }
+        TuningTarget::Trace(trace) => {
+            h.byte(1);
+            h.bytes(trace.name().as_bytes());
+            h.byte(0xff);
+            h.word(trace.events().len() as u64);
+            for e in trace.events() {
+                h.word(e.timestamp_ns);
+                h.word(e.lba);
+                h.word(u64::from(e.size_bytes));
+                h.byte(match e.op {
+                    iotrace::OpKind::Read => 0,
+                    iotrace::OpKind::Write => 1,
+                });
+            }
+        }
+    }
+    h.hex()
+}
+
+/// Fingerprints a configuration via its canonical word encoding.
+pub fn fingerprint_config(cfg: &SsdConfig) -> String {
+    let mut h = Fnv::new();
+    for w in cfg.canonical_words() {
+        h.word(w);
+    }
+    h.hex()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::Constraints;
+    use ssdsim::config::presets;
+
+    fn small_validator() -> Validator {
+        Validator::new(ValidatorOptions {
+            trace_events: 60,
+            ..Default::default()
+        })
+    }
+
+    fn tuner_for(validator: &Validator) -> Tuner<'_> {
+        Tuner::new(
+            Constraints::paper_default(),
+            validator,
+            TunerOptions {
+                max_iterations: 2,
+                non_target: Vec::new(),
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn capture_round_trips_through_parse_checked() {
+        let validator = small_validator();
+        let tuner = tuner_for(&validator);
+        let target = TuningTarget::Category(iotrace::WorkloadKind::Database);
+        let state = tuner.init_state(target, &presets::intel_750(), &[], None);
+        let cp = Checkpoint::capture(&tuner, target, &validator, &state);
+        let json = serde_json::to_string_pretty(&cp).unwrap();
+        let back = Checkpoint::parse_checked(&json).unwrap();
+        assert_eq!(back, cp);
+        assert_eq!(back.opts.seed, tuner.options().seed);
+        back.verify(&tuner, target, &validator).unwrap();
+    }
+
+    #[test]
+    fn parse_checked_rejects_bad_documents() {
+        assert!(Checkpoint::parse_checked("{ nope")
+            .unwrap_err()
+            .contains("invalid JSON"));
+        assert!(Checkpoint::parse_checked("[1,2]")
+            .unwrap_err()
+            .contains("must be a JSON object"));
+        assert!(Checkpoint::parse_checked("{}")
+            .unwrap_err()
+            .contains("missing required key"));
+
+        let validator = small_validator();
+        let tuner = tuner_for(&validator);
+        let target = TuningTarget::Category(iotrace::WorkloadKind::Database);
+        let state = tuner.init_state(target, &presets::intel_750(), &[], None);
+        let cp = Checkpoint::capture(&tuner, target, &validator, &state);
+
+        let mut wrong_schema = cp.clone();
+        wrong_schema.schema = "autoblox.checkpoint.v9".to_string();
+        let json = serde_json::to_string(&wrong_schema).unwrap();
+        assert!(Checkpoint::parse_checked(&json)
+            .unwrap_err()
+            .contains("unknown schema"));
+
+        let mut bad_seed = cp.clone();
+        bad_seed.seed_hex = "xyz".to_string();
+        let json = serde_json::to_string(&bad_seed).unwrap();
+        assert!(Checkpoint::parse_checked(&json)
+            .unwrap_err()
+            .contains("seed_hex"));
+
+        let mut bad_rng = cp;
+        bad_rng.state.rng = vec!["00".to_string(); 4];
+        let json = serde_json::to_string(&bad_rng).unwrap();
+        assert!(Checkpoint::parse_checked(&json)
+            .unwrap_err()
+            .contains("state.rng"));
+    }
+
+    #[test]
+    fn verify_detects_drift() {
+        let validator = small_validator();
+        let tuner = tuner_for(&validator);
+        let target = TuningTarget::Category(iotrace::WorkloadKind::Database);
+        let state = tuner.init_state(target, &presets::intel_750(), &[], None);
+        let cp = Checkpoint::capture(&tuner, target, &validator, &state);
+
+        let other_target = TuningTarget::Category(iotrace::WorkloadKind::KvStore);
+        assert!(cp
+            .verify(&tuner, other_target, &validator)
+            .unwrap_err()
+            .contains("workload"));
+
+        let other_validator = Validator::new(ValidatorOptions {
+            trace_events: 61,
+            ..Default::default()
+        });
+        let same_target_tuner = tuner_for(&other_validator);
+        assert!(cp
+            .verify(&same_target_tuner, target, &other_validator)
+            .unwrap_err()
+            .contains("validator settings"));
+
+        let mut changed_opts = cp.clone();
+        changed_opts.opts.max_iterations += 1;
+        assert!(changed_opts
+            .verify(&tuner, target, &validator)
+            .unwrap_err()
+            .contains("options differ"));
+    }
+
+    #[test]
+    fn write_atomic_leaves_no_temp_file() {
+        let validator = small_validator();
+        let tuner = tuner_for(&validator);
+        let target = TuningTarget::Category(iotrace::WorkloadKind::Database);
+        let state = tuner.init_state(target, &presets::intel_750(), &[], None);
+        let cp = Checkpoint::capture(&tuner, target, &validator, &state);
+
+        let dir = std::env::temp_dir().join(format!("abx-ckpt-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint-Database.json");
+        cp.write_atomic(&path).unwrap();
+        assert!(path.exists());
+        assert!(!path.with_extension("json.tmp").exists());
+        let back = Checkpoint::read(&path).unwrap();
+        assert_eq!(back, cp);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn summary_reports_phase_and_counts() {
+        let validator = small_validator();
+        let tuner = tuner_for(&validator);
+        let target = TuningTarget::Category(iotrace::WorkloadKind::Database);
+        let mut state = tuner.init_state(target, &presets::intel_750(), &[], None);
+        tuner.step(target, &mut state);
+        assert_eq!(
+            Checkpoint::capture(&tuner, target, &validator, &state)
+                .summary()
+                .phase,
+            "init-set"
+        );
+        tuner.step(target, &mut state);
+        let cp = Checkpoint::capture(&tuner, target, &validator, &state);
+        let s = cp.summary();
+        assert_eq!(s.workload, "Database");
+        assert_eq!(s.phase, "iterating");
+        assert!(s.best_grade.is_some());
+        assert!(s.validations > 0);
+        let text = s.render(cp.written_at_unix + 90);
+        assert!(text.contains("iterating"));
+        assert!(text.contains("snapshot age:  1m 30s"));
+    }
+}

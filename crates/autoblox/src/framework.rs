@@ -2,6 +2,7 @@
 //! front, AutoDB recall in the middle, pruning + automated tuning at the
 //! back.
 
+use crate::checkpoint::Checkpoint;
 use crate::clustering::{ClusterDecision, WorkloadClusterer};
 use crate::constraints::Constraints;
 use crate::pruning::{coarse_prune, fine_prune, CoarseReport, FineOptions, FineReport};
@@ -79,6 +80,17 @@ pub struct AutoBloxOptions {
     pub outlier_threshold: usize,
     /// Clustering seed.
     pub seed: u64,
+    /// When `Some(n)`, every tuning run snapshots a resumable
+    /// [`Checkpoint`] into AutoDB every `n` outer iterations (keyed
+    /// `checkpoint:category:<name>` / `checkpoint:cluster:<id>`); the key
+    /// is deleted once the run completes. `None` (the default) disables
+    /// snapshotting entirely — no serialization on the hot path.
+    pub checkpoint_every: Option<u64>,
+    /// When `true`, a tuning run first looks for a compatible checkpoint
+    /// under its AutoDB key and continues from it instead of starting
+    /// over. Incompatible or absent checkpoints fall back to a cold
+    /// start.
+    pub resume: bool,
 }
 
 impl Default for AutoBloxOptions {
@@ -89,6 +101,8 @@ impl Default for AutoBloxOptions {
             window: WindowOptions::default(),
             outlier_threshold: 1,
             seed: 0xB10C,
+            checkpoint_every: None,
+            resume: false,
         }
     }
 }
@@ -179,20 +193,75 @@ impl<'v> AutoBlox<'v> {
         reference: &SsdConfig,
         tuning_order: Option<&[&str]>,
     ) -> TuningOutcome {
-        let sink = crate::telemetry::global();
-        let initial = self.stored_configs(&Self::category_key(kind));
-        let tuner = Tuner::new(self.constraints, self.validator, self.opts.tuner.clone());
-        let outcome = sink.phase("tune", || {
-            tuner.tune(
-                kind,
-                reference,
-                &initial.iter().map(|s| s.config.clone()).collect::<Vec<_>>(),
-                tuning_order,
-            )
-        });
-        sink.record_outcome(&outcome);
+        let initial: Vec<SsdConfig> = self
+            .stored_configs(&Self::category_key(kind))
+            .iter()
+            .map(|s| s.config.clone())
+            .collect();
+        let ckpt_key = format!("checkpoint:{}", Self::category_key(kind));
+        let outcome = self.run_tuner(kind.into(), reference, &initial, tuning_order, &ckpt_key);
         self.store(&Self::category_key(kind), kind.name(), &outcome);
         outcome
+    }
+
+    /// Runs one tuning pass for `target`, layering the checkpoint/resume
+    /// policy from [`AutoBloxOptions`] over the tuner's step-driven state
+    /// machine. Snapshots are persisted in AutoDB under `ckpt_key` and
+    /// removed once the run completes; resume is best-effort — a missing
+    /// or incompatible checkpoint means a cold start, never an error.
+    fn run_tuner(
+        &self,
+        target: TuningTarget<'_>,
+        reference: &SsdConfig,
+        initial: &[SsdConfig],
+        tuning_order: Option<&[&str]>,
+        ckpt_key: &str,
+    ) -> TuningOutcome {
+        let sink = crate::telemetry::global();
+        let tuner = Tuner::new(self.constraints, self.validator, self.opts.tuner.clone());
+        let resumed = if self.opts.resume {
+            self.load_checkpoint(&tuner, target, ckpt_key)
+        } else {
+            None
+        };
+        if let Some(state) = &resumed {
+            sink.record_checkpoint(&state.workload, "resumed", state.iterations, ckpt_key);
+        }
+        let state =
+            resumed.unwrap_or_else(|| tuner.init_state(target, reference, initial, tuning_order));
+        let every = self.opts.checkpoint_every.filter(|&n| n > 0);
+        let outcome = sink.phase("tune", || {
+            tuner.drive(target, state, |s| {
+                let Some(n) = every else { return };
+                if s.done() || s.iterations % n != 0 {
+                    return;
+                }
+                let cp = Checkpoint::capture(&tuner, target, self.validator, s);
+                if self.db.put_record(ckpt_key, &cp).is_ok() {
+                    sink.record_checkpoint(&s.workload, "written", s.iterations, ckpt_key);
+                }
+            })
+        });
+        sink.record_outcome(&outcome);
+        if every.is_some() || self.opts.resume {
+            let _ = self.db.delete(ckpt_key);
+        }
+        outcome
+    }
+
+    /// Fetches, verifies, and rehydrates the checkpoint under `ckpt_key`,
+    /// importing its measurement cache into the validator. Returns `None`
+    /// when there is nothing usable to resume from.
+    fn load_checkpoint(
+        &self,
+        tuner: &Tuner<'_>,
+        target: TuningTarget<'_>,
+        ckpt_key: &str,
+    ) -> Option<crate::tuner::TuneState> {
+        let cp = self.db.get_record::<Checkpoint>(ckpt_key).ok().flatten()?;
+        cp.verify(tuner, target, self.validator).ok()?;
+        self.validator.import_cache(&cp.cache).ok()?;
+        Some(cp.state)
     }
 
     /// The full new-workload flow of Figure 3: classify the trace; recall a
@@ -222,7 +291,7 @@ impl<'v> AutoBlox<'v> {
                     };
                 }
                 // Known cluster but nothing learned yet: learn now.
-                let outcome = self.tune_trace(trace, reference);
+                let outcome = self.tune_trace(trace, reference, cluster);
                 self.store(&key, trace.name(), &outcome);
                 Recommendation::Learned {
                     cluster,
@@ -246,7 +315,7 @@ impl<'v> AutoBlox<'v> {
                             stored,
                         };
                     }
-                    let outcome = self.tune_trace(trace, reference);
+                    let outcome = self.tune_trace(trace, reference, nearest);
                     self.store(&key, trace.name(), &outcome);
                     return Recommendation::Learned {
                         cluster: nearest,
@@ -261,7 +330,7 @@ impl<'v> AutoBlox<'v> {
                     .expect("trained")
                     .learn_new_cluster(trace)
                     .expect("retraining succeeds");
-                let outcome = self.tune_trace(trace, reference);
+                let outcome = self.tune_trace(trace, reference, cluster);
                 self.store(&Self::cluster_key(cluster), trace.name(), &outcome);
                 Recommendation::Learned {
                     cluster,
@@ -272,14 +341,9 @@ impl<'v> AutoBlox<'v> {
         }
     }
 
-    fn tune_trace(&self, trace: &Trace, reference: &SsdConfig) -> TuningOutcome {
-        let sink = crate::telemetry::global();
-        let tuner = Tuner::new(self.constraints, self.validator, self.opts.tuner.clone());
-        let outcome = sink.phase("tune", || {
-            tuner.tune(TuningTarget::Trace(trace), reference, &[], None)
-        });
-        sink.record_outcome(&outcome);
-        outcome
+    fn tune_trace(&self, trace: &Trace, reference: &SsdConfig, cluster: usize) -> TuningOutcome {
+        let ckpt_key = format!("checkpoint:{}", Self::cluster_key(cluster));
+        self.run_tuner(TuningTarget::Trace(trace), reference, &[], None, &ckpt_key)
     }
 
     fn category_key(kind: WorkloadKind) -> String {
@@ -459,6 +523,46 @@ mod tests {
             other => panic!("expected a learned new cluster, got {other:?}"),
         }
         assert_eq!(fw.clusterer().unwrap().k(), k0 + 1);
+    }
+
+    #[test]
+    fn resume_from_stored_checkpoint_matches_uninterrupted_run() {
+        // Uninterrupted baseline.
+        let v1 = validator();
+        let fw1 = quick_framework(&v1);
+        let full = fw1.tune_category(WorkloadKind::Database, &presets::intel_750(), None);
+
+        // Interrupted run: drive the same problem two steps by hand, snapshot
+        // it into the store under the framework's key, then let a resume-
+        // enabled framework (fresh validator, so nothing is cached) continue.
+        let v2 = validator();
+        let fw2 = quick_framework(&v2);
+        let tuner = Tuner::new(Constraints::paper_default(), &v2, fw2.opts.tuner.clone());
+        let target = TuningTarget::Category(WorkloadKind::Database);
+        let mut state = tuner.init_state(target, &presets::intel_750(), &[], None);
+        tuner.step(target, &mut state);
+        tuner.step(target, &mut state);
+        let cp = Checkpoint::capture(&tuner, target, &v2, &state);
+
+        let v3 = validator();
+        let mut fw3 = quick_framework(&v3);
+        fw3.opts.resume = true;
+        fw3.db()
+            .put_record("checkpoint:category:Database", &cp)
+            .unwrap();
+        let resumed = fw3.tune_category(WorkloadKind::Database, &presets::intel_750(), None);
+
+        assert_eq!(
+            serde_json::to_string(&resumed).unwrap(),
+            serde_json::to_string(&full).unwrap(),
+            "resumed run must reproduce the uninterrupted outcome bit-identically"
+        );
+        // The checkpoint key is cleaned up once the run completes.
+        assert!(fw3
+            .db()
+            .get_record::<Checkpoint>("checkpoint:category:Database")
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //!   (samples embedded, one line per run — never one line per sample, so
 //!   queue pressure cannot drop part of a series nondeterministically).
 //! - `bottleneck` — one simulator run's [`ssdsim::BottleneckReport`].
+//! - `checkpoint` — one tuner snapshot write or resume event.
 //! - `summary` — last line; totals and drop counters.
 //!
 //! [`export_chrome`] converts a journal into the Chrome `about://tracing` /
@@ -104,6 +105,19 @@ impl JournalHandle {
             "trace": trace,
             "replay": replay,
             "report": b,
+        }));
+    }
+
+    /// Streams one checkpoint event: `event` is `written` or `resumed`,
+    /// `iteration` the snapshot's outer-iteration counter, and `location`
+    /// where the snapshot lives (a file path or an AutoDB key).
+    pub fn record_checkpoint(&self, workload: &str, event: &str, iteration: u64, location: &str) {
+        self.push(serde_json::json!({
+            "t": "checkpoint",
+            "workload": workload,
+            "event": event,
+            "iteration": iteration,
+            "location": location,
         }));
     }
 

@@ -46,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod clustering;
 pub mod constraints;
 pub mod explain;
@@ -60,6 +61,7 @@ pub mod tuner;
 pub mod validator;
 pub mod whatif;
 
+pub use checkpoint::{Checkpoint, CheckpointSummary};
 pub use constraints::Constraints;
 pub use framework::{AutoBlox, AutoBloxOptions, Recommendation};
 pub use metrics::{grade, performance, Measurement};

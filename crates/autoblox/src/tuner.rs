@@ -1,6 +1,16 @@
 //! Automated tuning of SSD configurations (§3.4): the customized Bayesian
 //! optimization loop combining discrete SGD-style neighborhood search, GPR
 //! grade prediction, constraint repair, and simulator validation.
+//!
+//! The loop is an explicit state machine: [`Tuner::init_state`] builds a
+//! [`TuneState`], [`Tuner::step`] advances it by one phase transition (one
+//! simulator-validated outer iteration once the search is running), and
+//! [`Tuner::outcome`] folds a finished state into a [`TuningOutcome`].
+//! `TuneState` is fully serializable — everything the loop carries between
+//! iterations, including the RNG stream position — which is what makes
+//! crash-safe checkpoint/resume (`autoblox::checkpoint`) possible: a run
+//! resumed from a snapshot replays the exact remaining iterations and
+//! produces a bit-identical outcome.
 
 use crate::constraints::Constraints;
 use crate::metrics::{grade, performance, Measurement};
@@ -16,7 +26,6 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use ssdsim::config::SsdConfig;
-use std::collections::HashSet;
 
 /// The surrogate model predicting configuration grades in the search loop.
 ///
@@ -37,7 +46,13 @@ pub enum SurrogateKind {
 }
 
 /// Options controlling the tuning loop; defaults mirror the paper.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so a checkpoint can embed the exact options it was produced
+/// under and refuse to resume with different ones (the search trajectory is
+/// a function of every field here). Note the vendored JSON layer stores
+/// `u64` lossily above `i64::MAX`; `autoblox::checkpoint` therefore carries
+/// `seed` redundantly as a hex string and restores it on load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TunerOptions {
     /// Latency/throughput balance (Formula 1).
     pub alpha: f64,
@@ -97,7 +112,7 @@ impl Default for TunerOptions {
 }
 
 /// A validated configuration with its grade.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GradedConfig {
     /// The configuration.
     pub config: SsdConfig,
@@ -162,47 +177,168 @@ pub struct TuningOutcome {
     pub iteration_records: Vec<IterationRecord>,
 }
 
-struct SearchState {
-    /// Validated points: (grid vector, normalized vector, grade).
-    validated: Vec<(Vec<usize>, Vec<f64>, f64)>,
-    /// Grid vectors already validated or rejected (dedup).
-    seen: HashSet<Vec<usize>>,
+/// Where a [`TuneState`] stands in the tuning workflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TunePhase {
+    /// The reference configuration has not been measured yet.
+    Reference,
+    /// Reference measured; the initial configuration set awaits validation.
+    InitSet,
+    /// The outer BO loop is running.
+    Iterating,
+    /// Converged or hit the iteration cap; [`Tuner::step`] is a no-op.
+    Done,
 }
 
-impl SearchState {
+/// One validated point of the search: a grid vector, its normalized
+/// (surrogate-input) form, and the Formula-2 grade.
+///
+/// A named struct rather than the former `(Vec<usize>, Vec<f64>, f64)`
+/// triple so the observation set serializes through the vendored serde
+/// (which only implements tuples up to arity 2) and reads clearly in
+/// checkpoint files.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Grid-index vector over the parameter space.
+    pub vector: Vec<usize>,
+    /// The vector normalized to `[0, 1]` per parameter (GPR input).
+    pub normalized: Vec<f64>,
+    /// Formula-2 grade relative to the reference.
+    pub grade: f64,
+}
+
+/// Reference measurement of one non-target workload on the baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NonTargetReference {
+    /// The non-target workload cluster.
+    pub kind: WorkloadKind,
+    /// Its measurement on the pinned reference configuration.
+    pub measurement: Measurement,
+}
+
+/// Everything the tuning loop carries between iterations, fully
+/// serializable.
+///
+/// Invariants the serialization preserves exactly:
+/// - `rng` holds the xoshiro256++ state as four 16-digit hex words (the
+///   vendored JSON number type is lossy above `i64::MAX`, strings are not),
+///   so a resumed run draws the identical random stream.
+/// - `seen` is a sorted vector probed by binary search — deterministic
+///   order on disk, and membership-only semantics identical to the
+///   `HashSet` it replaced.
+/// - `validations` accumulates the simulator-run delta of every executed
+///   step, so a resumed run reports the same total as an uninterrupted one
+///   even though its validator's own counter only saw the tail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneState {
+    /// Display name of the tuning target.
+    pub workload: String,
+    /// Current phase of the workflow.
+    pub phase: TunePhase,
+    /// The pinned, constraint-checked reference configuration.
+    pub reference: SsdConfig,
+    /// Initial configuration set: the reference plus any AutoDB recalls.
+    pub init_set: Vec<SsdConfig>,
+    /// Reference measurement on the target workload (set after the
+    /// `Reference` phase).
+    pub ref_target: Option<Measurement>,
+    /// Reference measurements of the non-target workloads.
+    pub ref_non: Vec<NonTargetReference>,
+    /// Validated observations, in validation order (GPR training set).
+    pub observations: Vec<Observation>,
+    /// Grid vectors already validated or rejected, sorted (dedup set).
+    pub seen: Vec<Vec<usize>>,
+    /// Best configuration found so far.
+    pub best: Option<GradedConfig>,
+    /// Resolved parameter exploration order (indices into the space).
+    pub order_indices: Vec<usize>,
+    /// Whether an explicit pruning-derived order is in effect.
+    pub explicit_order: bool,
+    /// xoshiro256++ state as four hex words (see type-level docs).
+    pub rng: Vec<String>,
+    /// Best-so-far grade after the init set and after each iteration.
+    pub grade_history: Vec<f64>,
+    /// Outer iterations executed so far.
+    pub iterations: u64,
+    /// Per-iteration diagnostics accumulated so far.
+    pub records: Vec<IterationRecord>,
+    /// Simulator runs performed by the executed steps (survives resume).
+    pub validations: u64,
+}
+
+impl TuneState {
+    /// Whether the run has finished (converged or hit the iteration cap).
+    pub fn done(&self) -> bool {
+        self.phase == TunePhase::Done
+    }
+
+    /// Best grade over the validated set so far.
+    pub fn best_grade(&self) -> f64 {
+        self.observations
+            .iter()
+            .map(|o| o.grade)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    fn seen_contains(&self, vec: &[usize]) -> bool {
+        self.seen
+            .binary_search_by(|s| s.as_slice().cmp(vec))
+            .is_ok()
+    }
+
+    fn seen_insert(&mut self, vec: Vec<usize>) {
+        if let Err(i) = self.seen.binary_search(&vec) {
+            self.seen.insert(i, vec);
+        }
+    }
+
+    /// Indices of the top-`k` observations by grade (stable order on ties).
     fn elite(&self, k: usize) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..self.validated.len()).collect();
+        let mut idx: Vec<usize> = (0..self.observations.len()).collect();
         idx.sort_by(|&a, &b| {
-            self.validated[b]
-                .2
-                .partial_cmp(&self.validated[a].2)
+            self.observations[b]
+                .grade
+                .partial_cmp(&self.observations[a].grade)
                 .expect("finite grades")
         });
         idx.truncate(k);
         idx
     }
 
-    fn best_grade(&self) -> f64 {
-        self.validated
-            .iter()
-            .map(|(_, _, g)| *g)
-            .fold(f64::NEG_INFINITY, f64::max)
-    }
-
     fn worst_elite_grade(&self, k: usize) -> f64 {
         let elite = self.elite(k);
         elite
             .last()
-            .map(|&i| self.validated[i].2)
+            .map(|&i| self.observations[i].grade)
             .unwrap_or(f64::NEG_INFINITY)
     }
 
     fn min_manhattan(&self, space: &ParamSpace, vec: &[usize]) -> u64 {
-        self.validated
+        self.observations
             .iter()
-            .map(|(v, _, _)| space.manhattan(v, vec))
+            .map(|o| space.manhattan(&o.vector, vec))
             .min()
             .unwrap_or(0)
+    }
+
+    /// Rebuilds the RNG from the stored hex words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stored state is not four 16-digit hex words; states
+    /// written by [`TuneState::store_rng`] always are, and the checkpoint
+    /// layer validates files before they reach the tuner.
+    fn rng(&self) -> StdRng {
+        assert_eq!(self.rng.len(), 4, "RNG state must be four hex words");
+        let mut s = [0u64; 4];
+        for (slot, word) in s.iter_mut().zip(&self.rng) {
+            *slot = u64::from_str_radix(word, 16).expect("RNG state word must be hex");
+        }
+        StdRng::from_state(s)
+    }
+
+    fn store_rng(&mut self, rng: &StdRng) {
+        self.rng = rng.state().iter().map(|w| format!("{w:016x}")).collect();
     }
 }
 
@@ -288,10 +424,19 @@ impl<'a> Tuner<'a> {
         &self.space
     }
 
+    /// The options the tuner runs with.
+    pub fn options(&self) -> &TunerOptions {
+        &self.opts
+    }
+
     /// Runs the full tuning workflow for `target`, starting from the
     /// `reference` commodity configuration plus any `initial` configurations
     /// recalled from AutoDB, optionally following a pruning-derived
     /// `tuning_order` (parameter names, most important first).
+    ///
+    /// Equivalent to [`Tuner::init_state`] followed by [`Tuner::drive`]
+    /// with a no-op observer: the step-driven state machine on the hot
+    /// path, zero serialization.
     ///
     /// # Panics
     ///
@@ -305,16 +450,128 @@ impl<'a> Tuner<'a> {
         tuning_order: Option<&[&str]>,
     ) -> TuningOutcome {
         let target = target.into();
-        let _tune_span = telemetry::span::Span::enter_keyed(
-            "tuner.tune",
-            telemetry::span::key_str(target.name()),
-        );
+        let state = self.init_state(target, reference, initial, tuning_order);
+        self.drive(target, state, |_| {})
+    }
+
+    /// Builds the initial [`TuneState`] for `target`: pins and checks the
+    /// reference, resolves the exploration order, and seeds the RNG. Does
+    /// no simulator work — the first [`Tuner::step`] measures the
+    /// reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference configuration violates the constraints.
+    pub fn init_state<'t>(
+        &self,
+        target: impl Into<TuningTarget<'t>>,
+        reference: &SsdConfig,
+        initial: &[SsdConfig],
+        tuning_order: Option<&[&str]>,
+    ) -> TuneState {
+        let target = target.into();
         let mut reference = reference.clone();
         self.constraints.pin(&mut reference);
         self.constraints
             .check_structural(&reference)
             .expect("reference configuration must satisfy the constraints");
+        let (order_indices, explicit_order) = self.order_indices(tuning_order);
+        let rng = StdRng::seed_from_u64(
+            self.opts.seed ^ target.name().bytes().map(u64::from).sum::<u64>(),
+        );
+        // Initialize with the reference and any AutoDB recalls (step 1).
+        let mut init_set: Vec<SsdConfig> = vec![reference.clone()];
+        init_set.extend(initial.iter().cloned());
+        let mut state = TuneState {
+            workload: target.name().to_string(),
+            phase: TunePhase::Reference,
+            reference,
+            init_set,
+            ref_target: None,
+            ref_non: Vec::new(),
+            observations: Vec::new(),
+            seen: Vec::new(),
+            best: None,
+            order_indices,
+            explicit_order,
+            rng: Vec::new(),
+            grade_history: Vec::new(),
+            iterations: 0,
+            records: Vec::new(),
+            validations: 0,
+        };
+        state.store_rng(&rng);
+        state
+    }
 
+    /// Advances `state` by one transition: measure the reference, validate
+    /// the initial set, or run one outer BO iteration. Returns `false` once
+    /// the state is [`TunePhase::Done`] (the call is then a no-op).
+    ///
+    /// Each step is a pure `TuneState -> TuneState` transition plus
+    /// simulator calls: the identical sequence of steps from the identical
+    /// state produces the identical result, at any thread count, which is
+    /// the invariant checkpoint/resume relies on.
+    pub fn step<'t>(&self, target: impl Into<TuningTarget<'t>>, state: &mut TuneState) -> bool {
+        let target = target.into();
+        match state.phase {
+            TunePhase::Reference => {
+                self.step_reference(target, state);
+                true
+            }
+            TunePhase::InitSet => {
+                self.step_init_set(target, state);
+                true
+            }
+            TunePhase::Iterating => {
+                self.step_iterate(target, state);
+                true
+            }
+            TunePhase::Done => false,
+        }
+    }
+
+    /// Steps `state` to completion under the `tuner.tune` span, invoking
+    /// `after_step` after every transition (the checkpoint layer's hook),
+    /// and folds the final state into a [`TuningOutcome`].
+    pub fn drive<'t>(
+        &self,
+        target: impl Into<TuningTarget<'t>>,
+        mut state: TuneState,
+        mut after_step: impl FnMut(&TuneState),
+    ) -> TuningOutcome {
+        let target = target.into();
+        let _tune_span = telemetry::span::Span::enter_keyed(
+            "tuner.tune",
+            telemetry::span::key_str(target.name()),
+        );
+        while self.step(target, &mut state) {
+            after_step(&state);
+        }
+        Self::outcome(state)
+    }
+
+    /// Folds a finished (or abandoned) state into a [`TuningOutcome`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no configuration was validated yet (the state never got
+    /// past its `InitSet` phase with a within-budget reference).
+    pub fn outcome(state: TuneState) -> TuningOutcome {
+        TuningOutcome {
+            workload: state.workload,
+            best: state.best.expect("at least the reference was validated"),
+            reference: state.ref_target.expect("reference was measured"),
+            grade_history: state.grade_history,
+            iterations: state.iterations as usize,
+            validations: state.validations,
+            iteration_records: state.records,
+        }
+    }
+
+    /// Phase 1: measure the reference on the target and every non-target
+    /// workload.
+    fn step_reference(&self, target: TuningTarget<'_>, state: &mut TuneState) {
         let runs_before = self.validator.simulator_runs();
         let ref_span = telemetry::span::Span::enter("tuner.reference");
         // Reference measurements: the target and every non-target workload
@@ -330,26 +587,29 @@ impl<'a> Tuner<'a> {
             .collect();
         let mut ref_jobs: Vec<Option<WorkloadKind>> = vec![None];
         ref_jobs.extend(non_kinds.iter().copied().map(Some));
+        let reference = state.reference.clone();
         let mut ref_meas = mlkit::parallel::parallel_map(ref_jobs, |w| match w {
             None => self.eval_target(&reference, target),
             Some(k) => self.validator.evaluate(&reference, k),
         })
         .into_iter();
-        let ref_target = ref_meas.next().expect("target measurement");
-        let ref_non: Vec<(WorkloadKind, Measurement)> =
-            non_kinds.into_iter().zip(ref_meas).collect();
+        state.ref_target = Some(ref_meas.next().expect("target measurement"));
+        state.ref_non = non_kinds
+            .into_iter()
+            .zip(ref_meas)
+            .map(|(kind, measurement)| NonTargetReference { kind, measurement })
+            .collect();
         drop(ref_span);
+        state.validations += self.validator.simulator_runs() - runs_before;
+        state.phase = TunePhase::InitSet;
+    }
 
+    /// Phase 2: validate the initial configuration set.
+    fn step_init_set(&self, target: TuningTarget<'_>, state: &mut TuneState) {
+        let runs_before = self.validator.simulator_runs();
         let init_span = telemetry::span::Span::enter("tuner.init_set");
-        let mut state = SearchState {
-            validated: Vec::new(),
-            seen: HashSet::new(),
-        };
-        // Initialize with the reference and any AutoDB recalls (step 1).
-        let mut init_set: Vec<SsdConfig> = vec![reference.clone()];
-        init_set.extend(initial.iter().cloned());
-        let mut best: Option<GradedConfig> = None;
-        let prepared: Vec<SsdConfig> = init_set
+        let prepared: Vec<SsdConfig> = state
+            .init_set
             .iter()
             .filter_map(|cfg| {
                 let mut cfg = cfg.clone();
@@ -369,175 +629,155 @@ impl<'a> Tuner<'a> {
         let mut non_jobs: Vec<(SsdConfig, WorkloadKind)> = Vec::new();
         for (cfg, m) in prepared.iter().zip(&init_meas) {
             if self.constraints.check_power(m.power_w) {
-                non_jobs.extend(ref_non.iter().map(|&(w, _)| (cfg.clone(), w)));
+                non_jobs.extend(state.ref_non.iter().map(|r| (cfg.clone(), r.kind)));
             }
         }
         mlkit::parallel::parallel_map(non_jobs, |(cfg, w)| self.validator.evaluate(&cfg, w));
         for cfg in &prepared {
-            self.validate_into(
-                cfg,
-                target,
-                &ref_target,
-                &ref_non,
-                &mut state,
-                &mut best,
-                false,
-            );
+            self.validate_into(cfg, target, state, false);
         }
         drop(init_span);
+        state.grade_history.push(state.best_grade());
+        state.validations += self.validator.simulator_runs() - runs_before;
+        state.phase = if self.opts.max_iterations == 0 {
+            TunePhase::Done
+        } else {
+            TunePhase::Iterating
+        };
+    }
 
-        let (order_indices, explicit_order) = self.order_indices(tuning_order);
-        let mut rng = StdRng::seed_from_u64(
-            self.opts.seed ^ target.name().bytes().map(u64::from).sum::<u64>(),
-        );
-        let mut history: Vec<f64> = vec![state.best_grade()];
-        let mut iterations = 0;
-        let mut records: Vec<IterationRecord> = Vec::new();
+    /// Phase 3: one outer BO iteration — pick a root, fit the surrogate,
+    /// walk, validate, check convergence.
+    ///
+    /// The outer loop stays deliberately sequential: iteration N's
+    /// surrogate is fitted on every validation from iterations 0..N-1, a
+    /// strict data dependency speculative parallelism would break —
+    /// identical results at any thread count is a design invariant.
+    fn step_iterate(&self, target: TuningTarget<'_>, state: &mut TuneState) {
+        state.iterations += 1;
+        // Keyed by the iteration index: the loop is sequential, but a
+        // content key keeps the id independent of any earlier spans.
+        let _iter_span = telemetry::span::Span::enter_keyed("tuner.iteration", state.iterations);
+        let iter_start = telemetry::start();
+        let runs_at_iter_start = self.validator.simulator_runs();
+        let agg_at_iter_start = telemetry::enabled().then(|| self.validator.sim_aggregate());
+        let mut rng = state.rng();
+        // Step 3: pick the search root among the top-k elite at random.
+        let elite = state.elite(self.opts.top_k);
+        let root_i = elite[rng.gen_range(0..elite.len())];
+        let root_vec = state.observations[root_i].vector.clone();
+        let mut cur = root_vec.clone();
+        let mut cur_pred = state.observations[root_i].grade;
 
-        // The outer BO loop stays deliberately sequential: iteration N's
-        // surrogate is fitted on every validation from iterations 0..N-1, a
-        // strict data dependency speculative parallelism would break —
-        // identical results at any thread count is a design invariant.
-        for _iter in 0..self.opts.max_iterations {
-            iterations += 1;
-            // Keyed by the iteration index: the loop is sequential, but a
-            // content key keeps the id independent of any earlier spans.
-            let _iter_span =
-                telemetry::span::Span::enter_keyed("tuner.iteration", iterations as u64);
-            let iter_start = telemetry::start();
-            let runs_at_iter_start = self.validator.simulator_runs();
-            let agg_at_iter_start = telemetry::enabled().then(|| self.validator.sim_aggregate());
-            // Step 3: pick the search root among the top-k elite at random.
-            let elite = state.elite(self.opts.top_k);
-            let root_i = elite[rng.gen_range(0..elite.len())];
-            let root_vec = state.validated[root_i].0.clone();
-            let mut cur = root_vec.clone();
-            let mut cur_pred = state.validated[root_i].2;
+        // Step 4: the surrogate fitted on the validated set predicts
+        // candidate grades.
+        let fit_start = telemetry::start();
+        let fit_span = telemetry::span::Span::enter("tuner.fit_surrogate");
+        let surrogate = self.fit_surrogate(state);
+        drop(fit_span);
+        let surrogate_fit_ns = telemetry::elapsed_ns(fit_start);
 
-            // Step 4: the surrogate fitted on the validated set predicts
-            // candidate grades.
-            let fit_start = telemetry::start();
-            let fit_span = telemetry::span::Span::enter("tuner.fit_surrogate");
-            let surrogate = self.fit_surrogate(&state);
-            drop(fit_span);
-            let surrogate_fit_ns = telemetry::elapsed_ns(fit_start);
-
-            // The SGD walk keeps moving while the predicted mean improves;
-            // whatever candidate it last considered gets validated, so every
-            // outer iteration contributes one new measurement (exploration
-            // never stalls on a pessimistic surrogate).
-            let mut chosen: Option<Vec<usize>> = None;
-            let mut sgd_steps: u64 = 0;
-            let mut candidates_considered: u64 = 0;
-            let sgd_span = telemetry::span::Span::enter("tuner.sgd_walk");
-            for _ in 0..self.opts.sgd_iterations {
-                sgd_steps += 1;
-                let candidates =
-                    self.candidates(&reference, &cur, &order_indices, explicit_order, &state);
-                if candidates.is_empty() {
-                    break;
-                }
-                candidates_considered += candidates.len() as u64;
-                let mut best_cand: Option<(Vec<usize>, f64, f64)> = None;
-                match &surrogate {
-                    Some(model) => {
-                        for cand in candidates {
-                            let norm = self.normalize(&cand);
-                            let (ucb, mean) = model.predict(&norm);
-                            if best_cand.as_ref().is_none_or(|(_, u, _)| ucb > *u) {
-                                best_cand = Some((cand, ucb, mean));
-                            }
+        // The SGD walk keeps moving while the predicted mean improves;
+        // whatever candidate it last considered gets validated, so every
+        // outer iteration contributes one new measurement (exploration
+        // never stalls on a pessimistic surrogate).
+        let mut chosen: Option<Vec<usize>> = None;
+        let mut sgd_steps: u64 = 0;
+        let mut candidates_considered: u64 = 0;
+        let sgd_span = telemetry::span::Span::enter("tuner.sgd_walk");
+        for _ in 0..self.opts.sgd_iterations {
+            sgd_steps += 1;
+            let candidates = self.candidates(state, &cur);
+            if candidates.is_empty() {
+                break;
+            }
+            candidates_considered += candidates.len() as u64;
+            let mut best_cand: Option<(Vec<usize>, f64, f64)> = None;
+            match &surrogate {
+                Some(model) => {
+                    for cand in candidates {
+                        let norm = self.normalize(&cand);
+                        let (ucb, mean) = model.predict(&norm);
+                        if best_cand.as_ref().is_none_or(|(_, u, _)| ucb > *u) {
+                            best_cand = Some((cand, ucb, mean));
                         }
                     }
-                    None => {
-                        // Random-proposal ablation: no surrogate guidance.
-                        let pick = rng.gen_range(0..candidates.len());
-                        best_cand = Some((candidates[pick].clone(), 0.0, f64::NEG_INFINITY));
-                    }
                 }
-                let Some((cand, _ucb, mean)) = best_cand else {
-                    break;
-                };
-                chosen = Some(cand.clone());
-                if mean <= cur_pred {
-                    break;
-                }
-                cur = cand;
-                cur_pred = mean;
-                // Heuristic exploration bound (minimum Manhattan distance).
-                if state.min_manhattan(&self.space, &cur) >= self.opts.manhattan_limit {
-                    break;
+                None => {
+                    // Random-proposal ablation: no surrogate guidance.
+                    let pick = rng.gen_range(0..candidates.len());
+                    best_cand = Some((candidates[pick].clone(), 0.0, f64::NEG_INFINITY));
                 }
             }
-
-            drop(sgd_span);
-
-            // Step 5: validate the explored configuration.
-            let exploration_distance = chosen
-                .as_ref()
-                .map(|c| self.space.manhattan(&root_vec, c))
-                .unwrap_or(0);
-            if let Some(vec) = chosen {
-                if !state.seen.contains(&vec) {
-                    if let Some(cfg) = self.materialize(&reference, &vec) {
-                        let _validate_span = telemetry::span::Span::enter("tuner.validate");
-                        self.validate_into(
-                            &cfg,
-                            target,
-                            &ref_target,
-                            &ref_non,
-                            &mut state,
-                            &mut best,
-                            self.opts.validation_pruning,
-                        );
-                    }
-                }
-            }
-
-            let g = state.best_grade();
-            history.push(g);
-            // Convergence: the elite grade barely moved over the window.
-            let mut converged = false;
-            let mut convergence_delta = -1.0;
-            if history.len() > self.opts.convergence_window {
-                let w = &history[history.len() - 1 - self.opts.convergence_window..];
-                let lo = w.iter().cloned().fold(f64::INFINITY, f64::min);
-                let hi = w.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                let scale = hi.abs().max(1e-6);
-                convergence_delta = (hi - lo) / scale;
-                converged = convergence_delta <= self.opts.convergence_epsilon;
-            }
-            let record = IterationRecord {
-                iteration: iterations as u64,
-                candidates_considered,
-                sgd_steps,
-                surrogate_fit_ns,
-                exploration_distance,
-                best_grade: g,
-                convergence_delta,
-                validations: self.validator.simulator_runs() - runs_at_iter_start,
-                wall_ns: telemetry::elapsed_ns(iter_start),
-                bottleneck: agg_at_iter_start
-                    .map(|earlier| self.validator.sim_aggregate().bottleneck_delta(&earlier))
-                    .unwrap_or_default(),
+            let Some((cand, _ucb, mean)) = best_cand else {
+                break;
             };
-            // Stream the record to an attached run journal (no-op without
-            // one) so a live tuning run is observable before it finishes.
-            crate::telemetry::global().record_iteration(target.name(), &record);
-            records.push(record);
-            if converged {
+            chosen = Some(cand.clone());
+            if mean <= cur_pred {
+                break;
+            }
+            cur = cand;
+            cur_pred = mean;
+            // Heuristic exploration bound (minimum Manhattan distance).
+            if state.min_manhattan(&self.space, &cur) >= self.opts.manhattan_limit {
                 break;
             }
         }
+        drop(sgd_span);
+        // All random draws for this iteration happened; persist the stream
+        // position so a resume continues it exactly.
+        state.store_rng(&rng);
 
-        TuningOutcome {
-            workload: target.name().to_string(),
-            best: best.expect("at least the reference was validated"),
-            reference: ref_target,
-            grade_history: history,
-            iterations,
-            validations: self.validator.simulator_runs() - runs_before,
-            iteration_records: records,
+        // Step 5: validate the explored configuration.
+        let exploration_distance = chosen
+            .as_ref()
+            .map(|c| self.space.manhattan(&root_vec, c))
+            .unwrap_or(0);
+        if let Some(vec) = chosen {
+            if !state.seen_contains(&vec) {
+                if let Some(cfg) = self.materialize(&state.reference, &vec) {
+                    let _validate_span = telemetry::span::Span::enter("tuner.validate");
+                    self.validate_into(&cfg, target, state, self.opts.validation_pruning);
+                }
+            }
+        }
+
+        let g = state.best_grade();
+        state.grade_history.push(g);
+        // Convergence: the elite grade barely moved over the window.
+        let mut converged = false;
+        let mut convergence_delta = -1.0;
+        let history = &state.grade_history;
+        if history.len() > self.opts.convergence_window {
+            let w = &history[history.len() - 1 - self.opts.convergence_window..];
+            let lo = w.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = w.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let scale = hi.abs().max(1e-6);
+            convergence_delta = (hi - lo) / scale;
+            converged = convergence_delta <= self.opts.convergence_epsilon;
+        }
+        let validations = self.validator.simulator_runs() - runs_at_iter_start;
+        let record = IterationRecord {
+            iteration: state.iterations,
+            candidates_considered,
+            sgd_steps,
+            surrogate_fit_ns,
+            exploration_distance,
+            best_grade: g,
+            convergence_delta,
+            validations,
+            wall_ns: telemetry::elapsed_ns(iter_start),
+            bottleneck: agg_at_iter_start
+                .map(|earlier| self.validator.sim_aggregate().bottleneck_delta(&earlier))
+                .unwrap_or_default(),
+        };
+        // Stream the record to an attached run journal (no-op without
+        // one) so a live tuning run is observable before it finishes.
+        crate::telemetry::global().record_iteration(target.name(), &record);
+        state.records.push(record);
+        state.validations += validations;
+        if converged || state.iterations as usize >= self.opts.max_iterations {
+            state.phase = TunePhase::Done;
         }
     }
 
@@ -570,14 +810,7 @@ impl<'a> Tuner<'a> {
     /// Generates constraint-respecting neighbor vectors of `cur`, exploring
     /// parameters in order (and only the leading ones when an order is
     /// enforced).
-    fn candidates(
-        &self,
-        base: &SsdConfig,
-        cur: &[usize],
-        order: &[usize],
-        explicit_order: bool,
-        state: &SearchState,
-    ) -> Vec<Vec<usize>> {
+    fn candidates(&self, state: &TuneState, cur: &[usize]) -> Vec<Vec<usize>> {
         let mut pinned: Vec<usize> = ["interface", "flash_technology"]
             .iter()
             .filter_map(|n| self.space.index_of(n))
@@ -592,7 +825,8 @@ impl<'a> Tuner<'a> {
         // With a pruning-derived order, focus the walk on the leading
         // parameters (Fig. 9's efficiency mechanism). Without one, every
         // parameter — numeric, boolean, and categorical — is explorable.
-        let limit = if explicit_order && self.opts.use_tuning_order {
+        let order = &state.order_indices;
+        let limit = if state.explicit_order && self.opts.use_tuning_order {
             order.len().min(12)
         } else {
             order.len()
@@ -605,11 +839,11 @@ impl<'a> Tuner<'a> {
             for mut cand in self.space.neighbors_of_param(cur, pi) {
                 // Repair dependent parameters to hold the capacity
                 // constraint, then re-vectorize.
-                let Some(cfg) = self.materialize_vec(base, &cand) else {
+                let Some(cfg) = self.materialize_vec(&state.reference, &cand) else {
                     continue;
                 };
                 cand = self.space.vectorize(&cfg);
-                if state.seen.contains(&cand) || cand == cur {
+                if state.seen_contains(&cand) || cand == cur {
                     continue;
                 }
                 if state.min_manhattan(&self.space, &cand) > self.opts.manhattan_limit {
@@ -653,12 +887,16 @@ impl<'a> Tuner<'a> {
             .collect()
     }
 
-    fn fit_surrogate(&self, state: &SearchState) -> Option<FittedSurrogate> {
-        if state.validated.len() < 2 || self.opts.surrogate == SurrogateKind::Random {
+    fn fit_surrogate(&self, state: &TuneState) -> Option<FittedSurrogate> {
+        if state.observations.len() < 2 || self.opts.surrogate == SurrogateKind::Random {
             return None;
         }
-        let rows: Vec<Vec<f64>> = state.validated.iter().map(|(_, n, _)| n.clone()).collect();
-        let ys: Vec<f64> = state.validated.iter().map(|(_, _, g)| *g).collect();
+        let rows: Vec<Vec<f64>> = state
+            .observations
+            .iter()
+            .map(|o| o.normalized.clone())
+            .collect();
+        let ys: Vec<f64> = state.observations.iter().map(|o| o.grade).collect();
         let x = Matrix::from_rows(&rows);
         match self.opts.surrogate {
             SurrogateKind::Gpr => GprBuilder::new()
@@ -692,58 +930,60 @@ impl<'a> Tuner<'a> {
     /// Validates `cfg` (steps 5-6): measures the target workload, optionally
     /// prunes the non-target runs, enforces the power budget, and records
     /// the grade.
-    #[allow(clippy::too_many_arguments)]
     fn validate_into(
         &self,
         cfg: &SsdConfig,
         target: TuningTarget<'_>,
-        ref_target: &Measurement,
-        ref_non: &[(WorkloadKind, Measurement)],
-        state: &mut SearchState,
-        best: &mut Option<GradedConfig>,
+        state: &mut TuneState,
         allow_pruned_validation: bool,
     ) {
         let vec = self.space.vectorize(cfg);
-        if state.seen.contains(&vec) {
+        if state.seen_contains(&vec) {
             return;
         }
-        state.seen.insert(vec.clone());
+        state.seen_insert(vec.clone());
 
+        let ref_target = state.ref_target.expect("reference was measured");
         let m = self.eval_target(cfg, target);
         // Power-budget constraint is enforced at validation time (§3.4).
         if !self.constraints.check_power(m.power_w) {
             return;
         }
-        let perf_t = performance(&m, ref_target, self.opts.alpha);
+        let perf_t = performance(&m, &ref_target, self.opts.alpha);
 
         // Validation-pruning optimization: if even a perfect non-target
         // score cannot lift this configuration above the current elite
         // floor, skip the expensive non-target runs.
         let target_only_grade = (1.0 - self.opts.beta) * perf_t;
         let g = if allow_pruned_validation
-            && !ref_non.is_empty()
+            && !state.ref_non.is_empty()
             && target_only_grade < state.worst_elite_grade(self.opts.top_k)
-            && state.validated.len() >= self.opts.top_k
+            && state.observations.len() >= self.opts.top_k
         {
             target_only_grade
         } else {
             // Independent per-workload simulator runs: fan out, grade in
             // order (deterministic — see `mlkit::parallel`).
-            let kinds: Vec<WorkloadKind> = ref_non.iter().map(|&(w, _)| w).collect();
+            let kinds: Vec<WorkloadKind> = state.ref_non.iter().map(|r| r.kind).collect();
             let non_meas =
                 mlkit::parallel::parallel_map(kinds, |w| self.validator.evaluate(cfg, w));
-            let non_perfs: Vec<f64> = ref_non
+            let non_perfs: Vec<f64> = state
+                .ref_non
                 .iter()
                 .zip(non_meas)
-                .map(|((_, r), mw)| performance(&mw, r, self.opts.alpha))
+                .map(|(r, mw)| performance(&mw, &r.measurement, self.opts.alpha))
                 .collect();
             grade(perf_t, &non_perfs, self.opts.beta)
         };
 
         let norm = self.normalize(&vec);
-        state.validated.push((vec, norm, g));
-        if best.as_ref().is_none_or(|b| g > b.grade) {
-            *best = Some(GradedConfig {
+        state.observations.push(Observation {
+            vector: vec,
+            normalized: norm,
+            grade: g,
+        });
+        if state.best.as_ref().is_none_or(|b| g > b.grade) {
+            state.best = Some(GradedConfig {
                 config: cfg.clone(),
                 grade: g,
                 target_performance: perf_t,
@@ -933,5 +1173,83 @@ mod tests {
         );
         // Intel 750 is ~480 GiB; a 64 GiB constraint cannot hold it.
         let _ = tuner.tune(WorkloadKind::Database, &presets::intel_750(), &[], None);
+    }
+
+    #[test]
+    fn phases_progress_in_order() {
+        let v = quick_validator();
+        let tuner = Tuner::new(cons(), &v, quick_opts());
+        let mut state = tuner.init_state(WorkloadKind::Database, &presets::intel_750(), &[], None);
+        assert_eq!(state.phase, TunePhase::Reference);
+        assert_eq!(state.validations, 0);
+        assert!(state.ref_target.is_none());
+
+        assert!(tuner.step(WorkloadKind::Database, &mut state));
+        assert_eq!(state.phase, TunePhase::InitSet);
+        assert!(state.ref_target.is_some());
+        assert!(state.observations.is_empty());
+
+        assert!(tuner.step(WorkloadKind::Database, &mut state));
+        assert_eq!(state.phase, TunePhase::Iterating);
+        assert!(!state.observations.is_empty());
+        assert_eq!(state.grade_history.len(), 1);
+        assert_eq!(state.iterations, 0);
+
+        while !state.done() {
+            tuner.step(WorkloadKind::Database, &mut state);
+        }
+        assert!(state.iterations >= 1);
+        // A finished state ignores further steps.
+        let before = state.clone();
+        assert!(!tuner.step(WorkloadKind::Database, &mut state));
+        assert_eq!(state, before);
+    }
+
+    #[test]
+    fn step_driven_loop_matches_tune() {
+        let v1 = quick_validator();
+        let tuner1 = Tuner::new(cons(), &v1, quick_opts());
+        let whole = tuner1.tune(WorkloadKind::KvStore, &presets::intel_750(), &[], None);
+
+        let v2 = quick_validator();
+        let tuner2 = Tuner::new(cons(), &v2, quick_opts());
+        let mut state = tuner2.init_state(WorkloadKind::KvStore, &presets::intel_750(), &[], None);
+        while tuner2.step(WorkloadKind::KvStore, &mut state) {}
+        let stepped = Tuner::outcome(state);
+
+        assert_eq!(
+            serde_json::to_string(&whole).expect("json"),
+            serde_json::to_string(&stepped).expect("json"),
+        );
+    }
+
+    #[test]
+    fn rng_state_round_trips_through_hex() {
+        let mut rng = StdRng::seed_from_u64(0xDEAD_BEEF_DEAD_BEEF);
+        // Advance so the state words exercise the full u64 range.
+        for _ in 0..17 {
+            let _ = rng.gen::<u64>();
+        }
+        let mut state = TuneState {
+            workload: String::new(),
+            phase: TunePhase::Iterating,
+            reference: presets::intel_750(),
+            init_set: Vec::new(),
+            ref_target: None,
+            ref_non: Vec::new(),
+            observations: Vec::new(),
+            seen: Vec::new(),
+            best: None,
+            order_indices: Vec::new(),
+            explicit_order: false,
+            rng: Vec::new(),
+            grade_history: Vec::new(),
+            iterations: 0,
+            records: Vec::new(),
+            validations: 0,
+        };
+        state.store_rng(&rng);
+        let mut restored = state.rng();
+        assert_eq!(restored.gen::<u64>(), rng.gen::<u64>());
     }
 }

@@ -79,6 +79,22 @@ const CACHE_SHARDS: usize = 16;
 type CacheKey = (ConfigKey, String);
 type Shard = RwLock<HashMap<CacheKey, Arc<OnceLock<Measurement>>>>;
 
+/// One exported measurement-cache entry: a `(configuration, trace)` key and
+/// its memoized measurement.
+///
+/// The two [`ConfigKey`] words travel as 16-digit hex strings because the
+/// vendored JSON number type is lossy above `i64::MAX`; hex round-trips
+/// every `u64` exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// The configuration fingerprint, two hex words.
+    pub key: [String; 2],
+    /// The validation-trace name.
+    pub trace: String,
+    /// The memoized measurement.
+    pub measurement: Measurement,
+}
+
 /// Simulator activity summed over every uncached evaluation (both the timed
 /// and the saturated replay), collected only while telemetry is enabled.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -427,6 +443,62 @@ impl Validator {
         }
     }
 
+    /// Exports every completed measurement-cache entry, sorted by
+    /// `(key, trace)` so the output is deterministic regardless of shard
+    /// iteration order. In-flight (incomplete) evaluations are skipped.
+    ///
+    /// Together with [`Validator::import_cache`] this lets a resumed tuning
+    /// run skip every simulation its interrupted predecessor already paid
+    /// for.
+    pub fn export_cache(&self) -> Vec<CacheEntry> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for ((key, trace), cell) in shard.read().iter() {
+                if let Some(m) = cell.get() {
+                    out.push(CacheEntry {
+                        key: [format!("{:016x}", key.0[0]), format!("{:016x}", key.0[1])],
+                        trace: trace.clone(),
+                        measurement: *m,
+                    });
+                }
+            }
+        }
+        out.sort_by(|a, b| (&a.key, &a.trace).cmp(&(&b.key, &b.trace)));
+        out
+    }
+
+    /// Imports previously exported cache entries; returns how many were
+    /// newly installed (entries already present are left untouched, so an
+    /// import never overwrites a live measurement).
+    ///
+    /// The simulator-run counter is not advanced: imported measurements were
+    /// paid for by the exporting run, and a resumed tune accounts for them
+    /// through its own `TuneState` tally.
+    ///
+    /// # Errors
+    ///
+    /// Rejects entries whose key words are not 16-digit hex (a corrupt or
+    /// hand-edited checkpoint); nothing before the bad entry is rolled back.
+    pub fn import_cache(&self, entries: &[CacheEntry]) -> Result<usize, String> {
+        let mut installed = 0;
+        for e in entries {
+            let mut words = [0u64; 2];
+            for (slot, word) in words.iter_mut().zip(&e.key) {
+                *slot = u64::from_str_radix(word, 16)
+                    .map_err(|_| format!("cache entry key {word:?} is not a hex word"))?;
+            }
+            let key = (ConfigKey(words), e.trace.clone());
+            let cell = {
+                let mut map = self.shards[key.0.shard()].write();
+                Arc::clone(map.entry(key).or_default())
+            };
+            if cell.set(e.measurement).is_ok() {
+                installed += 1;
+            }
+        }
+        Ok(installed)
+    }
+
     /// Snapshot of this validator's cache and simulator activity.
     ///
     /// `simulator_runs` and `shard_entries` are exact regardless of the
@@ -534,5 +606,62 @@ mod tests {
     fn validator_is_sync() {
         fn assert_sync<T: Sync + Send>() {}
         assert_sync::<Validator>();
+    }
+
+    #[test]
+    fn imported_cache_gives_run_count_parity() {
+        let v = quick();
+        let base = SsdConfig::default();
+        let other = SsdConfig {
+            channel_count: 4,
+            ..SsdConfig::default()
+        };
+        let a = v.evaluate(&base, WorkloadKind::Database);
+        let b = v.evaluate(&other, WorkloadKind::Database);
+        assert_eq!(v.simulator_runs(), 2);
+
+        let exported = v.export_cache();
+        assert_eq!(exported.len(), 2);
+
+        // A fresh validator with the import answers the same evaluations
+        // without a single simulator run.
+        let w = quick();
+        assert_eq!(w.import_cache(&exported).expect("import"), 2);
+        assert_eq!(w.evaluate(&base, WorkloadKind::Database), a);
+        assert_eq!(w.evaluate(&other, WorkloadKind::Database), b);
+        assert_eq!(w.simulator_runs(), 0, "imports must be pure cache hits");
+
+        // Re-importing is idempotent and never overwrites live entries.
+        assert_eq!(w.import_cache(&exported).expect("import"), 0);
+    }
+
+    #[test]
+    fn export_is_sorted_and_round_trips() {
+        let v = quick();
+        v.evaluate(&SsdConfig::default(), WorkloadKind::WebSearch);
+        v.evaluate(&SsdConfig::default(), WorkloadKind::Database);
+        let exported = v.export_cache();
+        let mut sorted = exported.clone();
+        sorted.sort_by(|a, b| (&a.key, &a.trace).cmp(&(&b.key, &b.trace)));
+        assert_eq!(exported, sorted);
+        let json = serde_json::to_string(&exported).expect("serialize");
+        let back: Vec<CacheEntry> = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, exported);
+    }
+
+    #[test]
+    fn import_rejects_malformed_keys() {
+        let v = quick();
+        let bad = CacheEntry {
+            key: ["zzzz".into(), "0".into()],
+            trace: "t".into(),
+            measurement: Measurement {
+                latency_ns: 1.0,
+                throughput_bps: 1.0,
+                power_w: 1.0,
+                energy_mj: 1.0,
+            },
+        };
+        assert!(v.import_cache(&[bad]).is_err());
     }
 }

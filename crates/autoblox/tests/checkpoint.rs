@@ -1,0 +1,211 @@
+//! Checkpoint/resume invariants: `TuneState` JSON round-trips losslessly,
+//! a run interrupted at any outer-iteration boundary resumes into a
+//! bit-identical final report at any thread count, and the CLI reports a
+//! malformed checkpoint as a clean error (exit 2), never a backtrace.
+
+use autoblox::checkpoint::Checkpoint;
+use autoblox::constraints::Constraints;
+use autoblox::parallel;
+use autoblox::tuner::{Observation, TunePhase, Tuner, TunerOptions, TuningTarget};
+use autoblox::validator::{Validator, ValidatorOptions};
+use iotrace::gen::WorkloadKind;
+use proptest::prelude::*;
+use ssdsim::config::presets;
+use std::cell::RefCell;
+use std::process::Command;
+
+fn validator(events: usize) -> Validator {
+    Validator::new(ValidatorOptions {
+        trace_events: events,
+        ..Default::default()
+    })
+}
+
+fn tuning_opts() -> TunerOptions {
+    TunerOptions {
+        max_iterations: 5,
+        sgd_iterations: 3,
+        non_target: vec![WorkloadKind::KvStore],
+        ..Default::default()
+    }
+}
+
+/// Runs the full tune at `threads`, snapshotting a complete checkpoint
+/// after every state-machine step, and returns the serialized outcome
+/// plus the snapshots.
+fn run_with_snapshots(threads: usize) -> (String, Vec<Checkpoint>) {
+    parallel::set_max_threads(threads);
+    let v = validator(150);
+    let tuner = Tuner::new(Constraints::paper_default(), &v, tuning_opts());
+    let target = TuningTarget::Category(WorkloadKind::Database);
+    let state = tuner.init_state(target, &presets::intel_750(), &[], None);
+    let snaps = RefCell::new(Vec::new());
+    let outcome = tuner.drive(target, state, |s| {
+        snaps
+            .borrow_mut()
+            .push(Checkpoint::capture(&tuner, target, &v, s));
+    });
+    parallel::set_max_threads(0);
+    (
+        serde_json::to_string(&outcome).expect("outcome serializes"),
+        snaps.into_inner(),
+    )
+}
+
+/// Rebuilds the tuning run from `cp` on a completely fresh validator (only
+/// the checkpoint's cache is imported) and returns the serialized outcome.
+fn resume_from(cp: &Checkpoint, threads: usize) -> String {
+    parallel::set_max_threads(threads);
+    let v = validator(150);
+    v.import_cache(&cp.cache).expect("cache imports");
+    let tuner = Tuner::new(Constraints::paper_default(), &v, cp.opts.clone());
+    let target = TuningTarget::Category(WorkloadKind::Database);
+    cp.verify(&tuner, target, &v)
+        .expect("checkpoint compatible");
+    let outcome = tuner.drive(target, cp.state.clone(), |_| {});
+    parallel::set_max_threads(0);
+    serde_json::to_string(&outcome).expect("outcome serializes")
+}
+
+/// The headline invariant: interrupting at iteration 1, the midpoint, and
+/// last-1, then resuming from the serialized checkpoint on a fresh
+/// validator, reproduces the uninterrupted final report byte-for-byte —
+/// at one worker thread and at four.
+#[test]
+fn interrupted_runs_resume_bit_identically() {
+    for &threads in &[1usize, 4] {
+        let (full, snaps) = run_with_snapshots(threads);
+        let last = snaps.last().expect("at least one step").state.iterations;
+        assert!(last >= 3, "need enough iterations to interrupt mid-run");
+        let mut points = vec![1, (last / 2).max(1), (last - 1).max(1)];
+        points.sort_unstable();
+        points.dedup();
+        for p in points {
+            // The first snapshot with this iteration count is the one taken
+            // right after iteration `p` completed.
+            let cp = snaps
+                .iter()
+                .find(|c| {
+                    c.state.iterations == p
+                        && matches!(c.state.phase, TunePhase::Iterating | TunePhase::Done)
+                })
+                .expect("snapshot at iteration boundary");
+            // Round-trip through the serialized form so the resume path
+            // exercises parse_checked on a real document.
+            let json = serde_json::to_string(cp).expect("checkpoint serializes");
+            let cp = Checkpoint::parse_checked(&json).expect("checkpoint parses");
+            assert_eq!(
+                resume_from(&cp, threads),
+                full,
+                "resume at iteration {p} with {threads} thread(s) diverged"
+            );
+        }
+    }
+}
+
+/// Resuming a snapshot of an already-finished run is a no-op that still
+/// yields the identical report.
+#[test]
+fn resuming_a_done_checkpoint_returns_the_same_report() {
+    let (full, snaps) = run_with_snapshots(1);
+    let done = snaps.last().expect("at least one step");
+    assert!(done.state.done());
+    assert_eq!(resume_from(done, 1), full);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `TuneState` (inside its checkpoint document) survives
+    /// serialize → parse_checked → serialize byte-identically, for
+    /// arbitrary observation sets, RNG states, grades, and counters.
+    #[test]
+    fn tune_state_json_round_trips_byte_identically(
+        obs in prop::collection::vec(
+            (
+                prop::collection::vec(0usize..16, 1..6),
+                -1.0e9f64..1.0e9,
+            ),
+            0..8,
+        ),
+        rng_words in prop::collection::vec(any::<u64>(), 4),
+        grades in prop::collection::vec(-1.0f64..1.0, 0..10),
+        iterations in 0u64..1_000,
+        validations in 0u64..100_000,
+        phase_pick in 0usize..4,
+    ) {
+        let v = validator(60);
+        let tuner = Tuner::new(Constraints::paper_default(), &v, tuning_opts());
+        let target = TuningTarget::Category(WorkloadKind::Database);
+        let mut state = tuner.init_state(target, &presets::intel_750(), &[], None);
+
+        // Graft the generated values onto the real skeleton.
+        state.phase = [
+            TunePhase::Reference,
+            TunePhase::InitSet,
+            TunePhase::Iterating,
+            TunePhase::Done,
+        ][phase_pick];
+        state.observations = obs
+            .iter()
+            .map(|(vec, grade)| Observation {
+                vector: vec.clone(),
+                normalized: vec.iter().map(|&i| i as f64 / 16.0).collect(),
+                grade: *grade,
+            })
+            .collect();
+        state.rng = rng_words.iter().map(|w| format!("{w:016x}")).collect();
+        state.grade_history = grades;
+        state.iterations = iterations;
+        state.validations = validations;
+
+        let cp = Checkpoint::capture(&tuner, target, &v, &state);
+        let json = serde_json::to_string_pretty(&cp).expect("serializes");
+        let back = Checkpoint::parse_checked(&json).expect("parses");
+        prop_assert_eq!(&back.state, &state);
+        let json2 = serde_json::to_string_pretty(&back).expect("re-serializes");
+        prop_assert_eq!(json, json2);
+    }
+}
+
+/// A truncated checkpoint file must produce a one-line error and exit
+/// code 2 from both `checkpoint inspect` and `tune --resume` — not a
+/// panic backtrace.
+#[test]
+fn truncated_checkpoint_is_a_clean_cli_error() {
+    let dir = std::env::temp_dir().join(format!("abx-cli-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("checkpoint-Database.json");
+    std::fs::write(&path, r#"{"schema": "autoblox.checkpoint.v1", "work"#).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_autoblox"))
+        .arg("checkpoint")
+        .arg("inspect")
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(
+        stderr.contains("error: malformed checkpoint"),
+        "stderr: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_autoblox"))
+        .args(["tune", "database", "--iterations", "1", "--events", "60"])
+        .arg("--checkpoint")
+        .arg(&dir)
+        .arg("--resume")
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(
+        stderr.contains("error: malformed checkpoint"),
+        "stderr: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

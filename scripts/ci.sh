@@ -131,20 +131,23 @@ if [[ $QUICK -eq 0 ]]; then
     # must emit a v2 report (version echoed by telemetry-check's stdout
     # verdict), `explain` must render a bottleneck fingerprint in both human
     # and JSON form, and `explain diff` against the golden must work.
+    # Capture CLI stdout before grepping it: `cli | grep -q` races — grep
+    # exits at the first match, and the CLI can then die on a broken pipe,
+    # which pipefail turns into a stage failure.
     explain_smoke() {
-        local out
+        local out captured
         out=$(mktemp /tmp/autoblox-ci-explain.XXXXXX.json) || return 1
         AUTOBLOX_THREADS=1 ./target/release/autoblox tune database \
             --iterations 2 --events 300 --telemetry "$out" \
             >/dev/null || { rm -f "$out"; return 1; }
-        ./target/release/autoblox telemetry-check "$out" \
-            | grep -q '"autoblox.telemetry.v2"' \
+        captured=$(./target/release/autoblox telemetry-check "$out") \
+            && grep -q '"autoblox.telemetry.v2"' <<<"$captured" \
             || { echo "telemetry-check did not echo the v2 schema"; rm -f "$out"; return 1; }
-        ./target/release/autoblox explain "$out" \
-            | grep -q 'dominant' \
+        captured=$(./target/release/autoblox explain "$out") \
+            && grep -q 'dominant' <<<"$captured" \
             || { echo "explain did not render a fingerprint"; rm -f "$out"; return 1; }
-        ./target/release/autoblox explain --json "$out" \
-            | grep -q '"autoblox.explain.v1"' \
+        captured=$(./target/release/autoblox explain --json "$out") \
+            && grep -q '"autoblox.explain.v1"' <<<"$captured" \
             || { echo "explain --json did not emit the explain schema"; rm -f "$out"; return 1; }
         if [[ -f "$GOLDEN" ]]; then
             ./target/release/autoblox explain diff "$GOLDEN" "$out" >/dev/null \
@@ -157,6 +160,63 @@ if [[ $QUICK -eq 0 ]]; then
     else
         echo "==> explain-smoke: release binary missing (build failed?); skipping"
         record "explain-smoke" SKIP
+    fi
+
+    # --- Stage: resume smoke ----------------------------------------------
+    # Kill-and-resume determinism, end to end through the CLI: a pinned-seed
+    # tune is interrupted at iteration 2 via --stop-after-iter, the written
+    # checkpoint must pass `checkpoint inspect --json`, and the resumed run
+    # must emit a byte-identical tuned configuration plus a telemetry report
+    # whose deterministic tuner metrics match the uninterrupted run's.
+    # Validator-level statistics (simulator-run counts, cache hit rate, tail
+    # latencies, bottleneck fractions) are ignored in the diff: the resumed
+    # process only aggregates post-resume simulations, so those counters
+    # legitimately differ while best_grade and the per-iteration records
+    # must not.
+    resume_smoke() {
+        local dir cfg_a cfg_b tel_a tel_b inspected rc
+        dir=$(mktemp -d /tmp/autoblox-ci-resume.XXXXXX) || return 1
+        cfg_a="$dir/config-full.json"
+        cfg_b="$dir/config-resumed.json"
+        tel_a="$dir/telemetry-full.json"
+        tel_b="$dir/telemetry-resumed.json"
+        AUTOBLOX_THREADS=1 ./target/release/autoblox tune database \
+            --iterations 4 --events 300 --telemetry "$tel_a" \
+            >"$cfg_a" || { rm -rf "$dir"; return 1; }
+        AUTOBLOX_THREADS=1 ./target/release/autoblox tune database \
+            --iterations 4 --events 300 \
+            --checkpoint "$dir/ck" --stop-after-iter 2 \
+            >/dev/null || { rm -rf "$dir"; return 1; }
+        [[ -f "$dir/ck/checkpoint-Database.json" ]] \
+            || { echo "interrupted run left no checkpoint"; rm -rf "$dir"; return 1; }
+        inspected=$(./target/release/autoblox checkpoint inspect --json \
+            "$dir/ck/checkpoint-Database.json") \
+            && grep -q '"valid": true' <<<"$inspected" \
+            || { echo "checkpoint inspect rejected the snapshot"; rm -rf "$dir"; return 1; }
+        AUTOBLOX_THREADS=1 ./target/release/autoblox tune database \
+            --iterations 4 --events 300 --telemetry "$tel_b" \
+            --checkpoint "$dir/ck" --resume \
+            >"$cfg_b" || { rm -rf "$dir"; return 1; }
+        cmp -s "$cfg_a" "$cfg_b" \
+            || { echo "resumed configuration differs from the uninterrupted run"; \
+                 rm -rf "$dir"; return 1; }
+        ./target/release/autoblox report diff "$tel_a" "$tel_b" --ignore-time \
+            --ignore validations --ignore cache_hit_rate \
+            --ignore p95_latency_ns --ignore p99_latency_ns \
+            --ignore bottleneck_cache_miss_frac --ignore bottleneck_channel_wait_frac \
+            --ignore bottleneck_plane_busy_frac --ignore bottleneck_host_queue_frac \
+            --ignore bottleneck_gc_stall_frac \
+            >/dev/null
+        rc=$?
+        [[ $rc -eq 0 ]] || echo "resumed telemetry drifted from the uninterrupted run"
+        rm -rf "$dir"
+        return $rc
+    }
+    if [[ -x ./target/release/autoblox ]]; then
+        run_stage "resume-smoke" resume_smoke
+    else
+        echo "==> resume-smoke: release binary missing (build failed?); skipping"
+        record "resume-smoke" SKIP
     fi
 fi
 

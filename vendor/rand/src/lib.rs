@@ -200,6 +200,23 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// Returns the raw xoshiro256++ state, e.g. for checkpointing.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured [`state`].
+        ///
+        /// The reconstructed generator continues the exact stream the
+        /// original would have produced.
+        ///
+        /// [`state`]: StdRng::state
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             // SplitMix64 expansion, the canonical xoshiro seeding routine.
