@@ -7,7 +7,7 @@
 //! autoblox simulate <workload|trace-file> [config.json]
 //! autoblox tune <workload> [--iterations N] [--events N] [--capacity GIB]
 //!               [--interface nvme|sata] [--flash slc|mlc|tlc] [--power W]
-//!               [--telemetry out.json] [--journal out.jsonl]
+//!               [--speculate K] [--telemetry out.json] [--journal out.jsonl]
 //!               [--checkpoint dir/] [--checkpoint-every N] [--resume]
 //!               [--stop-after-iter N]
 //! autoblox whatif <workload> --goal latency|throughput --factor F
@@ -88,7 +88,7 @@ fn usage() -> ExitCode {
          \x20 simulate <workload|trace-file> [config.json]    run the SSD simulator\n\
          \x20 tune     <workload> [--iterations N] [--events N] [--capacity GIB]\n\
          \x20          [--interface nvme|sata] [--flash slc|mlc|tlc] [--power W]\n\
-         \x20          [--telemetry out.json] [--journal out.jsonl]\n\
+         \x20          [--speculate K] [--telemetry out.json] [--journal out.jsonl]\n\
          \x20          [--checkpoint dir/] [--checkpoint-every N] [--resume]\n\
          \x20          [--stop-after-iter N]\n\
          \x20 whatif   <workload> --goal latency|throughput --factor F\n\
@@ -329,6 +329,25 @@ impl SinkConfig {
                 "telemetry report written to {path} \
                  (latency p50 {} ns, p95 {} ns, p99 {} ns)",
                 p.p50_ns, p.p95_ns, p.p99_ns
+            );
+            // Optimization-visibility summary: total surrogate fitting time
+            // (the incremental GPR chain should keep this flat as the
+            // observation set grows) and the speculation ledger (hits =
+            // prefetched results a demand later consumed; wasted = bounded
+            // extra simulator work that never got used).
+            let fit_ns: u64 = report
+                .tuner
+                .iter()
+                .flat_map(|t| t.records.iter())
+                .map(|r| r.surrogate_fit_ns)
+                .sum();
+            let v = &report.validator;
+            eprintln!(
+                "surrogate fit {:.3} ms total; speculation: {} run(s), {} hit(s), {} wasted",
+                fit_ns as f64 / 1e6,
+                v.speculative_runs,
+                v.speculative_hits,
+                v.speculative_wasted,
             );
         }
         if let Some(j) = self.journal.take() {
@@ -594,6 +613,16 @@ fn cmd_tune(args: &[String]) -> Result<(), CliError> {
     if checkpoint_every == 0 {
         return Err("--checkpoint-every must be at least 1".into());
     }
+    // Speculative batch width: `--speculate 0` (the default) means "one
+    // candidate per worker thread", which degrades to sequential on one
+    // thread. Any k produces byte-identical results; k only affects how
+    // much simulator work runs ahead of demand.
+    let speculate: usize = parse_flag(rest, "--speculate")?.unwrap_or(0);
+    let speculative_batch = if speculate == 0 {
+        autoblox::parallel::max_threads()
+    } else {
+        speculate
+    };
     let resume = rest.iter().any(|a| a == "--resume");
     let stop_after: Option<u64> = parse_flag(rest, "--stop-after-iter")?;
     if stop_after == Some(0) {
@@ -609,6 +638,7 @@ fn cmd_tune(args: &[String]) -> Result<(), CliError> {
     });
     let opts = TunerOptions {
         max_iterations: iterations,
+        speculative_batch,
         non_target: WorkloadKind::STUDIED
             .iter()
             .copied()

@@ -242,7 +242,13 @@ impl Checkpoint {
                 self.reference_fingerprint
             ));
         }
-        if *tuner.options() != self.opts {
+        // `speculative_batch` is explicitly trajectory-neutral (any k yields
+        // byte-identical results), so a resume may pick a different width —
+        // e.g. auto-sizing to a different machine's thread count — without
+        // changing the search the checkpoint captured.
+        let mut resumable = self.opts.clone();
+        resumable.speculative_batch = tuner.options().speculative_batch;
+        if *tuner.options() != resumable {
             return Err(
                 "tuner options differ from the checkpoint's; re-run with the \
                  original flags to resume"

@@ -18,14 +18,16 @@ use crate::params::ParamSpace;
 use crate::validator::Validator;
 use iotrace::gen::WorkloadKind;
 use iotrace::Trace;
-use mlkit::gpr::GprBuilder;
+use mlkit::gpr::{Gpr, GprBuilder};
 use mlkit::kernel::{Rbf, SumKernel, White};
 use mlkit::linalg::Matrix;
 use mlkit::nn::{Mlp, TrainOptions};
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use ssdsim::config::SsdConfig;
+use std::collections::BTreeMap;
 
 /// The surrogate model predicting configuration grades in the search loop.
 ///
@@ -88,6 +90,18 @@ pub struct TunerOptions {
     pub non_target: Vec<WorkloadKind>,
     /// RNG seed for root selection.
     pub seed: u64,
+    /// Speculative batch width `k`: besides validating the walk's chosen
+    /// candidate, prefetch the `k - 1` next-best scored candidates on the
+    /// worker pool. Prefetched measurements sit in the validator's side
+    /// store without touching any sequential-visible accounting, so the
+    /// search trajectory, checkpoints, and fingerprints are byte-identical
+    /// at every `k` — later iterations that would re-simulate one of them
+    /// hit the warm cache instead. `0` and `1` both disable speculation
+    /// (`0` is what checkpoints written before this field existed
+    /// deserialize to via `#[serde(default)]`; the vendored serde has no
+    /// custom field defaults).
+    #[serde(default)]
+    pub speculative_batch: usize,
 }
 
 impl Default for TunerOptions {
@@ -107,6 +121,7 @@ impl Default for TunerOptions {
             explore_flash_timing: false,
             non_target: Vec::new(),
             seed: 0xA070,
+            speculative_batch: 1,
         }
     }
 }
@@ -369,10 +384,45 @@ impl From<WorkloadKind> for TuningTarget<'static> {
     }
 }
 
+/// How often the GPR surrogate's hyperparameters are re-tuned from scratch.
+///
+/// Between scheduled full fits the model is grown by one rank-1
+/// [`Gpr::extend`] per new observation — O(n²) instead of the O(n³)
+/// refactorization — keeping the hyperparameters frozen at the last
+/// scheduled fit. The schedule is a pure function of the observation count,
+/// so a resumed run (whose in-memory chain is gone) rebuilds the identical
+/// chain: full fit on the last scheduled prefix, then the same extends.
+const GPR_RETUNE_EVERY: usize = 16;
+
+/// The incrementally grown GPR chain: the model fitted on the first
+/// `count` observations, plus a prefix hash guarding against feeding it a
+/// different observation stream (a different tuning target sharing the
+/// tuner, or a state object rebuilt by checkpoint resume).
+#[derive(Debug)]
+struct SurrogateCache {
+    hash: u64,
+    count: usize,
+    gpr: Gpr,
+}
+
+/// FNV-1a over the bit patterns of each observation's normalized vector and
+/// grade — the exact inputs the surrogate trains on.
+fn observation_prefix_hash(obs: &[Observation]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mix = |h: &mut u64, w: u64| *h = (*h ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+    for o in obs {
+        for &x in &o.normalized {
+            mix(&mut h, x.to_bits());
+        }
+        mix(&mut h, o.grade.to_bits());
+    }
+    h
+}
+
 /// A fitted grade surrogate used inside one search iteration.
 #[derive(Debug)]
 enum FittedSurrogate {
-    Gpr(mlkit::gpr::Gpr),
+    Gpr(Gpr),
     Neural(Mlp),
 }
 
@@ -400,6 +450,10 @@ pub struct Tuner<'a> {
     constraints: Constraints,
     validator: &'a Validator,
     opts: TunerOptions,
+    /// Incrementally grown GPR chain (see [`GPR_RETUNE_EVERY`]). Purely a
+    /// memoization of a deterministic computation: dropping it at any point
+    /// (or resuming in a fresh process) replays the identical chain.
+    gpr_cache: Mutex<Option<SurrogateCache>>,
 }
 
 impl<'a> Tuner<'a> {
@@ -410,6 +464,7 @@ impl<'a> Tuner<'a> {
             constraints,
             validator,
             opts,
+            gpr_cache: Mutex::new(None),
         }
     }
 
@@ -647,12 +702,16 @@ impl<'a> Tuner<'a> {
     }
 
     /// Phase 3: one outer BO iteration — pick a root, fit the surrogate,
-    /// walk, validate, check convergence.
+    /// walk, speculate, validate, check convergence.
     ///
-    /// The outer loop stays deliberately sequential: iteration N's
-    /// surrogate is fitted on every validation from iterations 0..N-1, a
-    /// strict data dependency speculative parallelism would break —
-    /// identical results at any thread count is a design invariant.
+    /// The outer loop stays logically sequential: iteration N's surrogate
+    /// is fitted on every validation from iterations 0..N-1, a strict data
+    /// dependency — identical results at any thread count is a design
+    /// invariant. Speculation (`speculative_batch > 1`) respects it by
+    /// construction: extra candidates are simulated ahead of time into the
+    /// validator's uncharged side store, and a result only becomes visible
+    /// (counted, aggregated, journaled, exported) at the exact point a
+    /// sequential execution would have computed it.
     fn step_iterate(&self, target: TuningTarget<'_>, state: &mut TuneState) {
         state.iterations += 1;
         // Keyed by the iteration index: the loop is sequential, but a
@@ -684,6 +743,11 @@ impl<'a> Tuner<'a> {
         let mut chosen: Option<Vec<usize>> = None;
         let mut sgd_steps: u64 = 0;
         let mut candidates_considered: u64 = 0;
+        // Surrogate scores memoized across the walk: neighbor sets of
+        // consecutive positions overlap heavily, and a revisited candidate
+        // costs one map probe instead of a second GPR prediction.
+        // `candidates_considered` counts unique configurations accordingly.
+        let mut scored: BTreeMap<Vec<usize>, (f64, f64)> = BTreeMap::new();
         let sgd_span = telemetry::span::Span::enter("tuner.sgd_walk");
         for _ in 0..self.opts.sgd_iterations {
             sgd_steps += 1;
@@ -691,20 +755,35 @@ impl<'a> Tuner<'a> {
             if candidates.is_empty() {
                 break;
             }
-            candidates_considered += candidates.len() as u64;
             let mut best_cand: Option<(Vec<usize>, f64, f64)> = None;
             match &surrogate {
                 Some(model) => {
                     for cand in candidates {
-                        let norm = self.normalize(&cand);
-                        let (ucb, mean) = model.predict(&norm);
+                        let (ucb, mean) = match scored.get(&cand) {
+                            Some(&s) => s,
+                            None => {
+                                candidates_considered += 1;
+                                let s = model.predict(&self.normalize(&cand));
+                                scored.insert(cand.clone(), s);
+                                s
+                            }
+                        };
                         if best_cand.as_ref().is_none_or(|(_, u, _)| ucb > *u) {
                             best_cand = Some((cand, ucb, mean));
                         }
                     }
                 }
                 None => {
-                    // Random-proposal ablation: no surrogate guidance.
+                    // Random-proposal ablation: no surrogate guidance. The
+                    // pick still consumes exactly one RNG draw per step;
+                    // only the unique-candidate accounting is shared with
+                    // the surrogate branch.
+                    for cand in &candidates {
+                        if !scored.contains_key(cand) {
+                            candidates_considered += 1;
+                            scored.insert(cand.clone(), (0.0, f64::NEG_INFINITY));
+                        }
+                    }
                     let pick = rng.gen_range(0..candidates.len());
                     best_cand = Some((candidates[pick].clone(), 0.0, f64::NEG_INFINITY));
                 }
@@ -727,6 +806,37 @@ impl<'a> Tuner<'a> {
         // All random draws for this iteration happened; persist the stream
         // position so a resume continues it exactly.
         state.store_rng(&rng);
+
+        // Speculative batch (k > 1): while the chosen candidate is about to
+        // be validated anyway, prefetch it together with the k-1 next-best
+        // scored candidates on the worker pool. Prefetches land in the
+        // validator's side store and charge nothing until demanded, so the
+        // trajectory is byte-identical at every k; extras the search later
+        // validates become warm cache hits. The extras ranking needs real
+        // acquisition scores, so the Random ablation never speculates.
+        let k = self.opts.speculative_batch.max(1);
+        if k > 1 && surrogate.is_some() {
+            if let Some(best_vec) = chosen.as_ref().filter(|v| !state.seen_contains(v)) {
+                let mut batch: Vec<SsdConfig> = Vec::with_capacity(k);
+                batch.extend(self.materialize(&state.reference, best_vec));
+                let mut extras: Vec<(f64, &Vec<usize>)> = scored
+                    .iter()
+                    .filter(|(v, _)| *v != best_vec && !state.seen_contains(v))
+                    .map(|(v, &(ucb, _))| (ucb, v))
+                    .collect();
+                // Highest acquisition value first; the BTreeMap iteration
+                // order makes ascending vector order the deterministic
+                // tiebreak (sort_by is stable).
+                extras.sort_by(|a, b| b.0.total_cmp(&a.0));
+                for (_, v) in extras.into_iter().take(k - 1) {
+                    batch.extend(self.materialize(&state.reference, v));
+                }
+                if batch.len() > 1 {
+                    let _spec_span = telemetry::span::Span::enter("tuner.speculate");
+                    mlkit::parallel::parallel_map(batch, |cfg| self.prefetch_target(&cfg, target));
+                }
+            }
+        }
 
         // Step 5: validate the explored configuration.
         let exploration_distance = chosen
@@ -785,6 +895,15 @@ impl<'a> Tuner<'a> {
         match target {
             TuningTarget::Category(k) => self.validator.evaluate(cfg, k),
             TuningTarget::Trace(t) => self.validator.evaluate_trace(cfg, t),
+        }
+    }
+
+    /// Speculative twin of [`Tuner::eval_target`]: simulate now, charge on
+    /// first demand (see [`Validator::prefetch_trace`]).
+    fn prefetch_target(&self, cfg: &SsdConfig, target: TuningTarget<'_>) {
+        match target {
+            TuningTarget::Category(k) => self.validator.prefetch(cfg, k),
+            TuningTarget::Trace(t) => self.validator.prefetch_trace(cfg, t),
         }
     }
 
@@ -899,15 +1018,7 @@ impl<'a> Tuner<'a> {
         let ys: Vec<f64> = state.observations.iter().map(|o| o.grade).collect();
         let x = Matrix::from_rows(&rows);
         match self.opts.surrogate {
-            SurrogateKind::Gpr => GprBuilder::new()
-                .kernel(SumKernel::new(vec![
-                    Box::new(Rbf::new(0.5, 1.0)),
-                    Box::new(White::new(1e-4)),
-                ]))
-                .optimize_rounds(1)
-                .fit(&x, &ys)
-                .ok()
-                .map(FittedSurrogate::Gpr),
+            SurrogateKind::Gpr => self.fit_gpr(state, &x, &ys).map(FittedSurrogate::Gpr),
             SurrogateKind::Neural => {
                 let mut net = Mlp::new(&[x.cols(), 32, 16, 1], self.opts.seed).ok()?;
                 net.fit(
@@ -925,6 +1036,96 @@ impl<'a> Tuner<'a> {
             }
             SurrogateKind::Random => None,
         }
+    }
+
+    /// Fits the GPR surrogate, growing the cached chain incrementally
+    /// between scheduled hyperparameter refits (see [`GPR_RETUNE_EVERY`]).
+    ///
+    /// `x`/`ys` are the full observation design matrix and grades; the
+    /// incremental path only touches the rows the cache has not absorbed
+    /// yet. Every branch is a deterministic function of the observation
+    /// stream alone, so the fitted model — and with it the whole search
+    /// trajectory — is identical whether the chain was kept in memory or
+    /// rebuilt after a checkpoint resume.
+    fn fit_gpr(&self, state: &TuneState, x: &Matrix, ys: &[f64]) -> Option<Gpr> {
+        let paper_kernel = || {
+            SumKernel::new(vec![
+                Box::new(Rbf::new(0.5, 1.0)) as Box<dyn mlkit::kernel::Kernel>,
+                Box::new(White::new(1e-4)),
+            ])
+        };
+        let n = state.observations.len();
+        if n < GPR_RETUNE_EVERY || n.is_multiple_of(GPR_RETUNE_EVERY) {
+            // Scheduled full fit: re-tune hyperparameters from scratch and
+            // restart the chain from here.
+            let g = GprBuilder::new()
+                .kernel(paper_kernel())
+                .optimize_rounds(1)
+                .fit(x, ys)
+                .ok()?;
+            *self.gpr_cache.lock() = Some(SurrogateCache {
+                hash: observation_prefix_hash(&state.observations),
+                count: n,
+                gpr: g.clone(),
+            });
+            return Some(g);
+        }
+        let base = n - n % GPR_RETUNE_EVERY;
+        let frozen_refit = |kernel: SumKernel, count: usize| {
+            let rows: Vec<Vec<f64>> = state.observations[..count]
+                .iter()
+                .map(|o| o.normalized.clone())
+                .collect();
+            let yb: Vec<f64> = state.observations[..count]
+                .iter()
+                .map(|o| o.grade)
+                .collect();
+            GprBuilder::new()
+                .kernel(kernel)
+                .optimize_rounds(0)
+                .fit(&Matrix::from_rows(&rows), &yb)
+                .ok()
+        };
+        let mut cache = self.gpr_cache.lock();
+        let usable = cache.as_ref().is_some_and(|c| {
+            c.count >= base
+                && c.count <= n
+                && c.hash == observation_prefix_hash(&state.observations[..c.count])
+        });
+        if !usable {
+            // Cache miss (fresh process after a resume, or a different
+            // observation stream): replay the chain from its last scheduled
+            // refit — bit-identical to having kept it in memory.
+            let rows: Vec<Vec<f64>> = state.observations[..base]
+                .iter()
+                .map(|o| o.normalized.clone())
+                .collect();
+            let yb: Vec<f64> = state.observations[..base].iter().map(|o| o.grade).collect();
+            let g = GprBuilder::new()
+                .kernel(paper_kernel())
+                .optimize_rounds(1)
+                .fit(&Matrix::from_rows(&rows), &yb)
+                .ok()?;
+            *cache = Some(SurrogateCache {
+                hash: observation_prefix_hash(&state.observations[..base]),
+                count: base,
+                gpr: g,
+            });
+        }
+        let c = cache.as_mut().expect("chain was just (re)built");
+        while c.count < n {
+            let o = &state.observations[c.count];
+            c.gpr = match c.gpr.extend(&o.normalized, o.grade) {
+                Ok(g) => g,
+                // Numerically degenerate extension: refit from scratch with
+                // the chain's frozen hyperparameters — still a deterministic
+                // function of the observation stream.
+                Err(_) => frozen_refit(c.gpr.kernel().clone(), c.count + 1)?,
+            };
+            c.count += 1;
+            c.hash = observation_prefix_hash(&state.observations[..c.count]);
+        }
+        Some(c.gpr.clone())
     }
 
     /// Validates `cfg` (steps 5-6): measures the target workload, optionally

@@ -16,9 +16,23 @@ use ssdsim::config::SsdConfig;
 use ssdsim::report::{LatencyBuckets, SimReport};
 use ssdsim::{BottleneckReport, Simulator};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use telemetry::Counter;
+
+/// A speculative result produced by [`Validator::prefetch_trace`] that no
+/// demand evaluation has consumed yet. It is invisible to every piece of
+/// sequential-exact accounting: the run counter, the simulator aggregate,
+/// the device journal, and [`Validator::export_cache`] all ignore it until
+/// the entry is promoted on first demand access.
+#[derive(Debug)]
+struct PendingSpec {
+    measurement: Measurement,
+    /// The timed and saturated reports, retained only while telemetry is
+    /// enabled so a later promotion can absorb and journal them exactly as
+    /// a demand-time simulation would have.
+    reports: Option<Box<(SimReport, SimReport)>>,
+}
 
 /// Options controlling validation runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -225,6 +239,19 @@ pub struct ValidatorStats {
     pub shard_probes: [u64; CACHE_SHARDS],
     /// Memoized entries currently resident per shard.
     pub shard_entries: [u64; CACHE_SHARDS],
+    /// Speculative (prefetch) simulator evaluations performed. Exact
+    /// regardless of the telemetry switch, like `simulator_runs`.
+    #[serde(default)]
+    pub speculative_runs: u64,
+    /// Speculative results a demand evaluation later consumed — work the
+    /// batched tuner reused instead of re-simulating. Exact.
+    #[serde(default)]
+    pub speculative_hits: u64,
+    /// Speculative results still unconsumed — wasted work if the run ends
+    /// now. Exact; `speculative_runs - speculative_hits - speculative_wasted`
+    /// entries were dropped by `clear_cache` or lost duplicate races.
+    #[serde(default)]
+    pub speculative_wasted: u64,
     /// Simulator activity summed over the uncached evaluations.
     pub sim: SimAggregate,
 }
@@ -273,8 +300,19 @@ struct ValidatorCounters {
 pub struct Validator {
     opts: ValidatorOptions,
     traces: RwLock<HashMap<String, Arc<Trace>>>,
+    /// Saturated (timestamps-compressed) variants of the validation traces,
+    /// keyed by trace name like `traces` — built once per trace instead of
+    /// re-cloning every event on every evaluation.
+    sat_traces: RwLock<HashMap<String, Arc<Trace>>>,
     shards: [Shard; CACHE_SHARDS],
     runs: AtomicU64,
+    /// Speculative results awaiting their first demand access.
+    spec: Mutex<HashMap<CacheKey, PendingSpec>>,
+    /// Relaxed mirror of `spec.len()`, so the demand fast path skips the
+    /// store lock entirely when nothing was ever prefetched.
+    spec_pending: AtomicUsize,
+    spec_runs: AtomicU64,
+    spec_hits: AtomicU64,
     counters: ValidatorCounters,
 }
 
@@ -284,8 +322,13 @@ impl Validator {
         Validator {
             opts,
             traces: RwLock::new(HashMap::new()),
+            sat_traces: RwLock::new(HashMap::new()),
             shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
             runs: AtomicU64::new(0),
+            spec: Mutex::new(HashMap::new()),
+            spec_pending: AtomicUsize::new(0),
+            spec_runs: AtomicU64::new(0),
+            spec_hits: AtomicU64::new(0),
             counters: ValidatorCounters::default(),
         }
     }
@@ -353,17 +396,30 @@ impl Validator {
         }
         let cell = {
             let mut map = shard.write();
-            Arc::clone(map.entry(key).or_default())
+            Arc::clone(map.entry(key.clone()).or_default())
         };
         // First caller simulates; concurrent callers for the same key block
         // here and reuse the result, keeping the run count sequential-exact.
+        // A speculative prefetch of this key is promoted instead of
+        // re-simulated: the run is charged and its reports absorbed/journaled
+        // here — the exact point a sequential execution would have paid.
         let mut ran = false;
         let m = *cell.get_or_init(|| {
             ran = true;
-            let m = self.simulate(cfg, trace);
-            self.runs.fetch_add(1, Ordering::SeqCst);
-            m
+            if let Some(p) = self.take_speculative(&key) {
+                self.spec_hits.fetch_add(1, Ordering::SeqCst);
+                self.runs.fetch_add(1, Ordering::SeqCst);
+                self.commit_reports(trace.name(), p.reports.as_deref());
+                p.measurement
+            } else {
+                let m = self.simulate(cfg, trace);
+                self.runs.fetch_add(1, Ordering::SeqCst);
+                m
+            }
         });
+        // A promoted speculation still counts as a miss: the demand probe
+        // found no completed entry, exactly as in a sequential run — which
+        // keeps the hit/miss counters independent of the speculation depth.
         if instrument {
             if ran {
                 self.counters.misses.inc();
@@ -374,8 +430,92 @@ impl Validator {
         m
     }
 
-    /// The two uncached simulator runs behind one measurement.
+    /// Speculatively evaluates `(cfg, kind)` without charging the run
+    /// accounting; see [`Validator::prefetch_trace`].
+    pub fn prefetch(&self, cfg: &SsdConfig, kind: WorkloadKind) {
+        let trace = self.trace_for(kind);
+        self.prefetch_trace(cfg, &trace);
+    }
+
+    /// Speculatively evaluates a `(configuration, trace)` pair.
+    ///
+    /// The simulation happens now (typically on a worker thread), but every
+    /// piece of sequential-exact accounting — [`Validator::simulator_runs`],
+    /// the simulator aggregate, the device journal, and the exported cache —
+    /// is deferred until a demand [`Validator::evaluate_trace`] consumes the
+    /// result. A speculation that is never demanded therefore leaves all of
+    /// them untouched, which is what keeps batched tuning byte-identical to
+    /// sequential tuning at any speculation depth. Keys already evaluated
+    /// (or already speculated) are skipped.
+    pub fn prefetch_trace(&self, cfg: &SsdConfig, trace: &Trace) {
+        let key = (ConfigKey::of(cfg), trace.name().to_string());
+        // Already demanded — completed or in flight — or already speculated:
+        // nothing useful to do.
+        if self.shards[key.0.shard()].read().contains_key(&key) {
+            return;
+        }
+        if self.spec_pending.load(Ordering::Relaxed) > 0 && self.spec.lock().contains_key(&key) {
+            return;
+        }
+        let (m, reports) = self.simulate_core(cfg, trace);
+        self.spec_runs.fetch_add(1, Ordering::SeqCst);
+        let mut spec = self.spec.lock();
+        // A racing prefetch of the same key keeps the first result; a demand
+        // evaluation that started meanwhile leaves this entry to age out as
+        // wasted work (it will never be promoted past the completed cell).
+        spec.entry(key).or_insert(PendingSpec {
+            measurement: m,
+            reports,
+        });
+        self.spec_pending.store(spec.len(), Ordering::Relaxed);
+    }
+
+    /// Removes and returns the speculative entry for `key`, if any. The
+    /// relaxed `spec_pending` probe keeps this a single atomic load for
+    /// validators that never speculate.
+    fn take_speculative(&self, key: &CacheKey) -> Option<PendingSpec> {
+        if self.spec_pending.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        let mut spec = self.spec.lock();
+        let p = spec.remove(key);
+        self.spec_pending.store(spec.len(), Ordering::Relaxed);
+        p
+    }
+
+    /// Absorbs and journals a simulation's reports — the telemetry side
+    /// effects of one charged simulator evaluation.
+    fn commit_reports(&self, trace_name: &str, reports: Option<&(SimReport, SimReport)>) {
+        if let Some((timed, saturated)) = reports {
+            {
+                let mut agg = self.counters.sim_agg.lock();
+                agg.absorb(timed);
+                agg.absorb(saturated);
+            }
+            let sink = crate::telemetry::global();
+            sink.record_device(trace_name, "timed", timed);
+            sink.record_device(trace_name, "saturated", saturated);
+        }
+    }
+
+    /// The two uncached simulator runs behind one measurement, with the
+    /// telemetry side effects committed immediately (demand path).
     fn simulate(&self, cfg: &SsdConfig, trace: &Trace) -> Measurement {
+        let (m, reports) = self.simulate_core(cfg, trace);
+        self.commit_reports(trace.name(), reports.as_deref());
+        m
+    }
+
+    /// Runs the timed and saturated replays for `(cfg, trace)`. Pure with
+    /// respect to run accounting: neither the run counter nor the aggregate
+    /// nor the journal is touched, so both the demand and the speculative
+    /// path can share it. Returns the two reports while telemetry is
+    /// enabled so the caller can commit (or defer) them.
+    fn simulate_core(
+        &self,
+        cfg: &SsdConfig,
+        trace: &Trace,
+    ) -> (Measurement, Option<Box<(SimReport, SimReport)>>) {
         // Keyed by (configuration, trace) content, so the span id does not
         // depend on which thread won the `OnceLock` race to simulate.
         let _span = telemetry::span::Span::enter_keyed(
@@ -394,22 +534,23 @@ impl Validator {
         // cannot express their real reuse benefit here (the paper's
         // 15-240 h traces move TBs). The DRAM capacity parameters are
         // therefore near-insensitive at this scale; see DESIGN.md §9.
+        // Per-thread scratch: the latency vectors and the outstanding heap
+        // grow once per worker thread and are reused by every replay after
+        // that (reports are pure functions of config + trace; the scratch
+        // only carries capacity).
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<ssdsim::RunScratch> =
+                std::cell::RefCell::new(ssdsim::RunScratch::default());
+        }
         let mut sim = Simulator::new(cfg.clone());
         sim.warm_up(self.opts.warm_fill);
-        let report = sim.run(trace);
+        let report = SCRATCH.with(|s| sim.run_scratch(trace, &mut s.borrow_mut()));
         let mut m = Measurement::from_report(&report);
         // Saturated replay: throughput capability.
-        let saturated = Trace::from_events(
-            trace.name(),
-            trace
-                .events()
-                .iter()
-                .map(|e| iotrace::TraceEvent::new(0, e.lba, e.size_bytes, e.op))
-                .collect(),
-        );
+        let saturated = self.saturated_for(trace);
         let mut sat_sim = Simulator::new(cfg.clone());
         sat_sim.warm_up(self.opts.warm_fill);
-        let sat_report = sat_sim.run(&saturated);
+        let sat_report = SCRATCH.with(|s| sat_sim.run_scratch(&saturated, &mut s.borrow_mut()));
         // Sustained throughput includes draining the write-back cache.
         let drained_ns = sat_sim.drain(sat_report.makespan_ns).max(1);
         m.throughput_bps = (sat_report.host_bytes as f64 / (drained_ns as f64 / 1e9)).max(1.0);
@@ -417,16 +558,31 @@ impl Validator {
             self.counters
                 .simulate_ns
                 .add(telemetry::elapsed_ns(sim_start));
-            {
-                let mut agg = self.counters.sim_agg.lock();
-                agg.absorb(&report);
-                agg.absorb(&sat_report);
-            }
-            let sink = crate::telemetry::global();
-            sink.record_device(trace.name(), "timed", &report);
-            sink.record_device(trace.name(), "saturated", &sat_report);
+            (m, Some(Box::new((report, sat_report))))
+        } else {
+            (m, None)
         }
-        m
+    }
+
+    /// The cached saturated (timestamps-compressed) variant of `trace`.
+    ///
+    /// Keyed by trace name, the same identity assumption the measurement
+    /// cache already makes: one validator treats a trace name as naming one
+    /// immutable event stream.
+    fn saturated_for(&self, trace: &Trace) -> Arc<Trace> {
+        if let Some(t) = self.sat_traces.read().get(trace.name()) {
+            return Arc::clone(t);
+        }
+        let fresh = Arc::new(Trace::from_events(
+            trace.name(),
+            trace
+                .events()
+                .iter()
+                .map(|e| iotrace::TraceEvent::new(0, e.lba, e.size_bytes, e.op))
+                .collect(),
+        ));
+        let mut map = self.sat_traces.write();
+        Arc::clone(map.entry(trace.name().to_string()).or_insert(fresh))
     }
 
     /// Snapshot of the simulator activity aggregate (zero unless telemetry
@@ -436,11 +592,16 @@ impl Validator {
     }
 
     /// Drops all memoized measurements (used between experiments that reset
-    /// the model, e.g. the α/β sweeps of §4.6).
+    /// the model, e.g. the α/β sweeps of §4.6). Unconsumed speculative
+    /// results are dropped too — they must not outlive the cache they were
+    /// meant to warm.
     pub fn clear_cache(&self) {
         for shard in &self.shards {
             shard.write().clear();
         }
+        let mut spec = self.spec.lock();
+        spec.clear();
+        self.spec_pending.store(0, Ordering::Relaxed);
     }
 
     /// Exports every completed measurement-cache entry, sorted by
@@ -521,6 +682,9 @@ impl Validator {
             simulate_ns: self.counters.simulate_ns.get(),
             shard_probes,
             shard_entries,
+            speculative_runs: self.spec_runs.load(Ordering::SeqCst),
+            speculative_hits: self.spec_hits.load(Ordering::SeqCst),
+            speculative_wasted: self.spec.lock().len() as u64,
             sim: *self.counters.sim_agg.lock(),
         }
     }
@@ -647,6 +811,58 @@ mod tests {
         let json = serde_json::to_string(&exported).expect("serialize");
         let back: Vec<CacheEntry> = serde_json::from_str(&json).expect("parse");
         assert_eq!(back, exported);
+    }
+
+    #[test]
+    fn prefetch_defers_run_charging_until_demand() {
+        let v = quick();
+        let cfg = SsdConfig::default();
+        v.prefetch(&cfg, WorkloadKind::Database);
+        // The simulation happened but nothing sequential-visible moved.
+        assert_eq!(v.simulator_runs(), 0, "prefetch must not charge runs");
+        assert!(v.export_cache().is_empty(), "prefetch must not be exported");
+        let s = v.stats();
+        assert_eq!(s.speculative_runs, 1);
+        assert_eq!(s.speculative_hits, 0);
+        assert_eq!(s.speculative_wasted, 1);
+
+        // Demand access promotes: charged now, and bit-identical to a
+        // validator that never speculated.
+        let m = v.evaluate(&cfg, WorkloadKind::Database);
+        assert_eq!(v.simulator_runs(), 1);
+        assert_eq!(v.export_cache().len(), 1);
+        let s = v.stats();
+        assert_eq!(s.speculative_hits, 1);
+        assert_eq!(s.speculative_wasted, 0);
+
+        let w = quick();
+        assert_eq!(w.evaluate(&cfg, WorkloadKind::Database), m);
+    }
+
+    #[test]
+    fn prefetch_skips_known_keys_and_clear_drops_pending() {
+        let v = quick();
+        let cfg = SsdConfig::default();
+        v.evaluate(&cfg, WorkloadKind::Database);
+        v.prefetch(&cfg, WorkloadKind::Database);
+        assert_eq!(
+            v.stats().speculative_runs,
+            0,
+            "prefetch of an evaluated key must be a no-op"
+        );
+        v.prefetch(&cfg, WorkloadKind::WebSearch);
+        v.prefetch(&cfg, WorkloadKind::WebSearch);
+        assert_eq!(
+            v.stats().speculative_runs,
+            1,
+            "re-prefetch of a pending key must be a no-op"
+        );
+        v.clear_cache();
+        assert_eq!(v.stats().speculative_wasted, 0);
+        // After the clear the speculation is gone: demand must re-simulate.
+        v.evaluate(&cfg, WorkloadKind::WebSearch);
+        assert_eq!(v.simulator_runs(), 2);
+        assert_eq!(v.stats().speculative_hits, 0);
     }
 
     #[test]

@@ -50,14 +50,19 @@ impl Prediction {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Gpr {
     kernel: SumKernel,
     train_x: Matrix,
+    train_y: Vec<f64>,
     alpha: Vec<f64>,
     chol: Cholesky,
     mean: f64,
     log_marginal_likelihood: f64,
+    /// Diagonal jitter the factorization actually used (the builder's value
+    /// after any escalation); [`Gpr::extend`] adds the same amount to the
+    /// new diagonal entry so the bordered matrix matches a full refit.
+    jitter: f64,
 }
 
 /// Builder configuring and fitting a [`Gpr`].
@@ -132,14 +137,16 @@ impl GprBuilder {
         if self.optimize_rounds > 0 && x.rows() >= 3 {
             Self::tune(&mut kernel, x, y, mean, self.jitter, self.optimize_rounds);
         }
-        let (chol, alpha, lml) = Self::factorize(&kernel, x, y, mean, self.jitter)?;
+        let (chol, alpha, lml, jitter) = Self::factorize(&kernel, x, y, mean, self.jitter)?;
         Ok(Gpr {
             kernel,
             train_x: x.clone(),
+            train_y: y.to_vec(),
             alpha,
             chol,
             mean,
             log_marginal_likelihood: lml,
+            jitter,
         })
     }
 
@@ -149,7 +156,7 @@ impl GprBuilder {
         y: &[f64],
         mean: f64,
         jitter: f64,
-    ) -> Result<(Cholesky, Vec<f64>, f64)> {
+    ) -> Result<(Cholesky, Vec<f64>, f64, f64)> {
         let n = x.rows();
         let mut k = kernel.gram(x);
         let mut j = jitter;
@@ -177,14 +184,14 @@ impl GprBuilder {
         let lml = -0.5 * fit_term
             - 0.5 * chol.log_det()
             - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
-        Ok((chol, alpha, lml))
+        Ok((chol, alpha, lml, j))
     }
 
     /// Derivative-free coordinate search over log hyperparameters.
     fn tune(kernel: &mut SumKernel, x: &Matrix, y: &[f64], mean: f64, jitter: f64, rounds: usize) {
         let mut best_p = kernel.params();
         let mut best_lml = match Self::factorize(kernel, x, y, mean, jitter) {
-            Ok((_, _, lml)) => lml,
+            Ok((_, _, lml, _)) => lml,
             Err(_) => f64::NEG_INFINITY,
         };
         let mut step = 1.0f64;
@@ -197,7 +204,7 @@ impl GprBuilder {
                     // kernels (e.g. zero-length scales).
                     cand[i] = cand[i].clamp(-10.0, 10.0);
                     kernel.set_params(&cand);
-                    if let Ok((_, _, lml)) = Self::factorize(kernel, x, y, mean, jitter) {
+                    if let Ok((_, _, lml, _)) = Self::factorize(kernel, x, y, mean, jitter) {
                         if lml > best_lml {
                             best_lml = lml;
                             best_p = cand;
@@ -264,6 +271,71 @@ impl Gpr {
     /// Number of training samples.
     pub fn n_samples(&self) -> usize {
         self.train_x.rows()
+    }
+
+    /// The fitted covariance kernel (hyperparameters frozen since the last
+    /// full fit). Callers that need an exact from-scratch refit with the
+    /// same hyperparameters clone this into a [`GprBuilder`] with
+    /// `optimize_rounds(0)`.
+    pub fn kernel(&self) -> &SumKernel {
+        &self.kernel
+    }
+
+    /// Returns a new model trained on the old observations plus
+    /// `(x_new, y_new)`, without refitting from scratch.
+    ///
+    /// Hyperparameters stay frozen; the Cholesky factor grows by one
+    /// bordered row ([`Cholesky::extend`], O(n²)) and the constant mean is
+    /// updated to the new sample mean with `alpha` re-solved against it.
+    /// The result is bit-identical to an `optimize_rounds(0)` refit with
+    /// this model's kernel and jitter on the full n+1 samples, because the
+    /// bordered update replays the same arithmetic — that exactness is what
+    /// lets the tuner's surrogate cache rebuild deterministically after a
+    /// checkpoint resume.
+    ///
+    /// # Errors
+    ///
+    /// - [`MlError::ShapeMismatch`] if the feature dimension differs;
+    /// - [`MlError::NotPositiveDefinite`] if the bordered kernel matrix is
+    ///   no longer positive definite (e.g. a near-duplicate sample); the
+    ///   caller should fall back to a full refit, which re-escalates jitter.
+    pub fn extend(&self, x_new: &[f64], y_new: f64) -> Result<Gpr> {
+        if x_new.len() != self.train_x.cols() {
+            return Err(MlError::ShapeMismatch {
+                left: (1, x_new.len()),
+                right: (1, self.train_x.cols()),
+                op: "gpr_extend",
+            });
+        }
+        let n = self.train_x.rows();
+        let cross: Vec<f64> = (0..n)
+            .map(|i| self.kernel.eval(x_new, self.train_x.row(i)))
+            .collect();
+        let diag = self.kernel.diag(x_new) + self.jitter;
+        let chol = self.chol.extend(&cross, diag)?;
+
+        let mut train_x = self.train_x.clone();
+        train_x.push_row(x_new);
+        let mut train_y = self.train_y.clone();
+        train_y.push(y_new);
+        let m = train_y.len();
+        let mean = train_y.iter().sum::<f64>() / m as f64;
+        let centered: Vec<f64> = train_y.iter().map(|v| v - mean).collect();
+        let alpha = chol.solve(&centered)?;
+        let fit_term: f64 = centered.iter().zip(&alpha).map(|(a, b)| a * b).sum();
+        let lml = -0.5 * fit_term
+            - 0.5 * chol.log_det()
+            - 0.5 * m as f64 * (2.0 * std::f64::consts::PI).ln();
+        Ok(Gpr {
+            kernel: self.kernel.clone(),
+            train_x,
+            train_y,
+            alpha,
+            chol,
+            mean,
+            log_marginal_likelihood: lml,
+            jitter: self.jitter,
+        })
     }
 }
 
@@ -358,5 +430,62 @@ mod tests {
             let single = gp.predict(x.row(i)).unwrap();
             assert_eq!(*b, single);
         }
+    }
+
+    /// `extend` must be bit-identical to a frozen-hyperparameter refit on
+    /// the grown training set — the exactness the tuner's resumable
+    /// surrogate cache depends on.
+    #[test]
+    fn extend_is_bit_identical_to_frozen_refit() {
+        let (x, y) = toy();
+        let base = GprBuilder::new()
+            .optimize_rounds(0)
+            .fit(&x, &y[..x.rows()])
+            .unwrap();
+        let extended = base.extend(&[7.25], 0.9).unwrap();
+
+        let mut x2 = x.clone();
+        x2.push_row(&[7.25]);
+        let mut y2 = y.clone();
+        y2.push(0.9);
+        let refit = GprBuilder::new()
+            .kernel(base.kernel().clone())
+            .optimize_rounds(0)
+            .fit(&x2, &y2)
+            .unwrap();
+
+        assert_eq!(extended.n_samples(), refit.n_samples());
+        assert_eq!(extended.mean(), refit.mean());
+        assert_eq!(
+            extended.log_marginal_likelihood(),
+            refit.log_marginal_likelihood()
+        );
+        for p in 0..30 {
+            let at = [p as f64 * 0.3 - 1.0];
+            let a = extended.predict(&at).unwrap();
+            let b = refit.predict(&at).unwrap();
+            assert_eq!(a.mean, b.mean, "at {at:?}");
+            assert_eq!(a.variance, b.variance, "at {at:?}");
+        }
+    }
+
+    #[test]
+    fn extend_after_tuned_fit_keeps_hyperparameters() {
+        let (x, y) = toy();
+        let tuned = GprBuilder::new().optimize_rounds(2).fit(&x, &y).unwrap();
+        let params_before = tuned.kernel().params();
+        let grown = tuned.extend(&[9.5], -0.2).unwrap();
+        assert_eq!(grown.kernel().params(), params_before);
+        assert_eq!(grown.n_samples(), tuned.n_samples() + 1);
+        // The extended model still interpolates the new observation roughly.
+        let p = grown.predict(&[9.5]).unwrap();
+        assert!((p.mean - (-0.2)).abs() < 0.5, "mean {}", p.mean);
+    }
+
+    #[test]
+    fn extend_rejects_wrong_dimension() {
+        let (x, y) = toy();
+        let gp = GprBuilder::new().optimize_rounds(0).fit(&x, &y).unwrap();
+        assert!(gp.extend(&[1.0, 2.0], 0.0).is_err());
     }
 }

@@ -7,12 +7,30 @@
 use crate::linalg::{sq_dist, Matrix};
 use serde::{Deserialize, Serialize};
 
+/// Smallest Gram dimension worth fanning out on the worker pool.
+///
+/// One row of the upper triangle at `n = 32` is ~16-32 kernel evaluations
+/// (a few microseconds of sums and `exp`/`powf`), so a paired work item
+/// covers ~32 evaluations and a 32x32 Gram offers 16 such items — enough to
+/// amortize the worker-spawn cost measured by `bench_bo_throughput`'s gram
+/// sweep (thread startup is tens of microseconds; the crossover sits between
+/// n = 16, where fan-out loses, and n = 32, where it breaks even and the
+/// surrogate's per-iteration refits start to dominate). Below the threshold
+/// the sequential loop is used unconditionally.
+pub const GRAM_PARALLEL_MIN: usize = 32;
+
 /// A positive-semidefinite covariance function over feature vectors.
 ///
 /// Implementors must be symmetric: `eval(a, b) == eval(b, a)`.
 pub trait Kernel: std::fmt::Debug + Send + Sync {
     /// Covariance between two points.
     fn eval(&self, a: &[f64], b: &[f64]) -> f64;
+
+    /// Clones the kernel behind a fresh box, so compositions of trait
+    /// objects ([`SumKernel`]) can be duplicated — required by the tuner's
+    /// incremental surrogate, which extends a fitted GPR without mutating
+    /// the cached copy.
+    fn clone_box(&self) -> Box<dyn Kernel>;
 
     /// Diagonal term `k(x, x)`; kernels with a noise component add it here.
     fn diag(&self, x: &[f64]) -> f64 {
@@ -31,10 +49,13 @@ pub trait Kernel: std::fmt::Debug + Send + Sync {
 
     /// Builds the Gram matrix `K[i][j] = k(x_i, x_j)` for row-sample `x`.
     ///
-    /// The O(n²) upper triangle is computed row-parallel on the
-    /// [`crate::parallel`] pool once `n` is large enough to amortize thread
-    /// startup; the result is bit-identical to the sequential loop because
-    /// every entry is an independent pure function of two rows.
+    /// Only the O(n²/2) upper triangle is evaluated and then mirrored. Once
+    /// `n` reaches [`GRAM_PARALLEL_MIN`] the triangle is computed on the
+    /// [`crate::parallel`] pool; because triangular rows shrink linearly,
+    /// row `i` is paired with row `n-1-i` so every work item carries ~n
+    /// evaluations and no worker drains early. The result is bit-identical
+    /// to the sequential loop because every entry is an independent pure
+    /// function of two rows.
     fn gram(&self, x: &Matrix) -> Matrix {
         let n = x.rows();
         let entry = |i: usize, j: usize| {
@@ -44,21 +65,32 @@ pub trait Kernel: std::fmt::Debug + Send + Sync {
                 self.eval(x.row(i), x.row(j))
             }
         };
-        let rows: Vec<Vec<f64>> = if n >= 64 && crate::parallel::max_threads() > 1 {
-            crate::parallel::parallel_map((0..n).collect(), |i| {
-                (i..n).map(|j| entry(i, j)).collect()
-            })
-        } else {
-            (0..n)
-                .map(|i| (i..n).map(|j| entry(i, j)).collect())
-                .collect()
-        };
-        let mut k = Matrix::zeros(n, n);
-        for (i, row) in rows.into_iter().enumerate() {
+        // Upper-triangle tail of row `i`: entries (i, i..n).
+        let tail = |i: usize| -> Vec<f64> { (i..n).map(|j| entry(i, j)).collect() };
+        fn mirror(k: &mut Matrix, i: usize, row: Vec<f64>) {
             for (off, v) in row.into_iter().enumerate() {
                 let j = i + off;
                 k[(i, j)] = v;
                 k[(j, i)] = v;
+            }
+        }
+        let mut k = Matrix::zeros(n, n);
+        if n >= GRAM_PARALLEL_MIN && crate::parallel::max_threads() > 1 {
+            let half = n.div_ceil(2);
+            let pairs = crate::parallel::parallel_map((0..half).collect(), |i| {
+                let j = n - 1 - i;
+                let partner = if j > i { Some((j, tail(j))) } else { None };
+                (i, tail(i), partner)
+            });
+            for (i, row, partner) in pairs {
+                mirror(&mut k, i, row);
+                if let Some((j, row_j)) = partner {
+                    mirror(&mut k, j, row_j);
+                }
+            }
+        } else {
+            for i in 0..n {
+                mirror(&mut k, i, tail(i));
             }
         }
         k
@@ -115,6 +147,10 @@ impl Kernel for Rbf {
         self.variance * (-d2 / (2.0 * self.length_scale * self.length_scale)).exp()
     }
 
+    fn clone_box(&self) -> Box<dyn Kernel> {
+        Box::new(self.clone())
+    }
+
     fn params(&self) -> Vec<f64> {
         vec![self.length_scale.ln(), self.variance.ln()]
     }
@@ -161,6 +197,10 @@ impl Kernel for RationalQuadratic {
         self.variance * base.powf(-self.alpha)
     }
 
+    fn clone_box(&self) -> Box<dyn Kernel> {
+        Box::new(self.clone())
+    }
+
     fn params(&self) -> Vec<f64> {
         vec![self.length_scale.ln(), self.alpha.ln(), self.variance.ln()]
     }
@@ -202,6 +242,10 @@ impl Kernel for White {
         0.0
     }
 
+    fn clone_box(&self) -> Box<dyn Kernel> {
+        Box::new(self.clone())
+    }
+
     fn diag(&self, _x: &[f64]) -> f64 {
         self.noise
     }
@@ -220,6 +264,14 @@ impl Kernel for White {
 #[derive(Debug)]
 pub struct SumKernel {
     parts: Vec<Box<dyn Kernel>>,
+}
+
+impl Clone for SumKernel {
+    fn clone(&self) -> Self {
+        SumKernel {
+            parts: self.parts.iter().map(|k| k.clone_box()).collect(),
+        }
+    }
 }
 
 impl SumKernel {
@@ -257,6 +309,10 @@ impl SumKernel {
 impl Kernel for SumKernel {
     fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
         self.parts.iter().map(|k| k.eval(a, b)).sum()
+    }
+
+    fn clone_box(&self) -> Box<dyn Kernel> {
+        Box::new(self.clone())
     }
 
     fn diag(&self, x: &[f64]) -> f64 {
@@ -353,5 +409,44 @@ mod tests {
     #[should_panic(expected = "length_scale")]
     fn rbf_rejects_zero_length_scale() {
         let _ = Rbf::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn sum_kernel_clone_is_independent() {
+        let mut k = SumKernel::autoblox_default();
+        let copy = k.clone();
+        assert_eq!(copy.params(), k.params());
+        let mut p = k.params();
+        p[0] = (3.0f64).ln();
+        k.set_params(&p);
+        // The clone must not observe mutations of the original.
+        assert!((copy.params()[0] - 0.0).abs() < 1e-12);
+        assert!((k.params()[0] - (3.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gram_parallel_pairing_matches_sequential() {
+        // Large enough to cross GRAM_PARALLEL_MIN, odd so the middle row has
+        // no pairing partner.
+        let n = GRAM_PARALLEL_MIN + 5;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64 * 0.37, (i as f64 * 0.11).sin()])
+            .collect();
+        let x = Matrix::from_rows(&rows);
+        let k = SumKernel::autoblox_default();
+        crate::parallel::set_max_threads(4);
+        let par = k.gram(&x);
+        crate::parallel::set_max_threads(0);
+        let mut seq = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                seq[(i, j)] = if i == j {
+                    k.diag(x.row(i))
+                } else {
+                    k.eval(x.row(i), x.row(j))
+                };
+            }
+        }
+        assert_eq!(par, seq, "fan-out must be bit-identical to sequential");
     }
 }

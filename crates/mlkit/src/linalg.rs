@@ -127,6 +127,22 @@ impl Matrix {
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
+    /// Appends one row in place (used by the incremental GPR to grow its
+    /// training set without rebuilding the matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.cols()` on a non-empty matrix. Pushing
+    /// onto a `0 x 0` matrix sets the column count from the row.
+    pub fn push_row(&mut self, row: &[f64]) {
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = row.len();
+        }
+        assert_eq!(row.len(), self.cols, "pushed row has wrong length");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
     /// Returns the transpose.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
@@ -527,6 +543,60 @@ impl Cholesky {
     pub fn log_det(&self) -> f64 {
         (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
     }
+
+    /// Factor of the `(n+1) x (n+1)` matrix obtained by bordering `A` with
+    /// one new column `cross` and diagonal entry `diag`:
+    ///
+    /// ```text
+    /// A' = [ A      cross ]      L' = [ L    0 ]
+    ///      [ crossᵀ diag  ]           [ rᵀ   d ]
+    /// ```
+    ///
+    /// The existing factor is reused unchanged; only the new bottom row is
+    /// computed, by forward substitution `L r = cross` followed by
+    /// `d = sqrt(diag - rᵀr)` — O(n²) instead of the O(n³) full refactor.
+    /// The arithmetic follows the same operation order as
+    /// [`Matrix::cholesky`], so extending a factor row by row yields the
+    /// bit-identical `L'` a from-scratch factorization of `A'` produces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] if `cross.len()` differs from the
+    /// factor dimension and [`MlError::NotPositiveDefinite`] if the bordered
+    /// matrix loses positive definiteness (`diag - rᵀr <= 0`).
+    pub fn extend(&self, cross: &[f64], diag: f64) -> Result<Cholesky> {
+        let n = self.l.rows();
+        if cross.len() != n {
+            return Err(MlError::ShapeMismatch {
+                left: (n, n),
+                right: (cross.len(), 1),
+                op: "cholesky_extend",
+            });
+        }
+        let mut l = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            for j in 0..=i {
+                l[(i, j)] = self.l[(i, j)];
+            }
+        }
+        // New bottom row, in `Matrix::cholesky`'s operation order.
+        for j in 0..n {
+            let mut sum = cross[j];
+            for k in 0..j {
+                sum -= l[(n, k)] * l[(j, k)];
+            }
+            l[(n, j)] = sum / l[(j, j)];
+        }
+        let mut sum = diag;
+        for k in 0..n {
+            sum -= l[(n, k)] * l[(n, k)];
+        }
+        if sum <= 0.0 || !sum.is_finite() {
+            return Err(MlError::NotPositiveDefinite);
+        }
+        l[(n, n)] = sum.sqrt();
+        Ok(Cholesky { l })
+    }
 }
 
 /// Result of a symmetric eigendecomposition.
@@ -735,5 +805,58 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         assert_eq!(a.row(1), &[3.0, 4.0]);
         assert_eq!(a.col(0), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn push_row_grows_matrix() {
+        let mut a = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        a.push_row(&[3.0, 4.0]);
+        assert_eq!(a, Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+        let mut empty = Matrix::zeros(0, 0);
+        empty.push_row(&[7.0, 8.0, 9.0]);
+        assert_eq!(empty.shape(), (1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn push_row_rejects_wrong_width() {
+        let mut a = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        a.push_row(&[3.0]);
+    }
+
+    /// Extending the factor of the leading principal submatrix row by row
+    /// must reproduce the full factorization bit for bit: the bordered
+    /// update performs the same operations in the same order.
+    #[test]
+    fn cholesky_extend_is_bit_identical_to_refactor() {
+        let a = Matrix::from_rows(&[
+            vec![6.0, 2.0, 1.0, 0.5],
+            vec![2.0, 5.0, 0.3, 0.2],
+            vec![1.0, 0.3, 4.0, 0.1],
+            vec![0.5, 0.2, 0.1, 3.0],
+        ]);
+        let full = a.cholesky().unwrap();
+        // Start from the 1x1 leading block and border one row at a time.
+        let mut grown = Matrix::from_rows(&[vec![a[(0, 0)]]]).cholesky().unwrap();
+        for m in 1..4 {
+            let cross: Vec<f64> = (0..m).map(|j| a[(m, j)]).collect();
+            grown = grown.extend(&cross, a[(m, m)]).unwrap();
+        }
+        assert_eq!(grown.factor(), full.factor());
+    }
+
+    #[test]
+    fn cholesky_extend_rejects_bad_input() {
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let ch = a.cholesky().unwrap();
+        assert!(matches!(
+            ch.extend(&[1.0], 5.0),
+            Err(MlError::ShapeMismatch { .. })
+        ));
+        // Bordering with a duplicate of row 0 makes A' singular.
+        assert_eq!(
+            ch.extend(&[4.0, 2.0], 4.0).unwrap_err(),
+            MlError::NotPositiveDefinite
+        );
     }
 }

@@ -162,4 +162,46 @@ proptest! {
             prop_assert!((p.mean - yi).abs() < 1.0, "{} vs {}", p.mean, yi);
         }
     }
+
+    /// The incremental rank-1 update must agree with a from-scratch
+    /// frozen-hyperparameter refit on the grown training set: same posterior
+    /// within 1e-9 at arbitrary query points.
+    #[test]
+    fn gpr_extend_matches_from_scratch_refit(
+        ys in prop::collection::vec(-5.0f64..5.0, 7),
+        y_new in -5.0f64..5.0,
+        x_new_off in 0.1f64..0.9,
+        queries in prop::collection::vec(-2.0f64..10.0, 8),
+    ) {
+        // Distinct 1-D grid points, with the new sample strictly between
+        // grid nodes so no training point is duplicated.
+        let xs = Matrix::from_rows(&(0..7).map(|i| vec![i as f64]).collect::<Vec<_>>());
+        let base = GprBuilder::new().optimize_rounds(0).fit(&xs, &ys).unwrap();
+        let x_new = [6.0 + x_new_off];
+        let extended = base.extend(&x_new, y_new).unwrap();
+
+        let mut xs2 = xs.clone();
+        xs2.push_row(&x_new);
+        let mut ys2 = ys.clone();
+        ys2.push(y_new);
+        let refit = GprBuilder::new()
+            .kernel(base.kernel().clone())
+            .optimize_rounds(0)
+            .fit(&xs2, &ys2)
+            .unwrap();
+
+        prop_assert!((extended.mean() - refit.mean()).abs() < 1e-9);
+        prop_assert!(
+            (extended.log_marginal_likelihood() - refit.log_marginal_likelihood()).abs() < 1e-9
+        );
+        for q in &queries {
+            let a = extended.predict(&[*q]).unwrap();
+            let b = refit.predict(&[*q]).unwrap();
+            prop_assert!((a.mean - b.mean).abs() < 1e-9, "mean {} vs {}", a.mean, b.mean);
+            prop_assert!(
+                (a.variance - b.variance).abs() < 1e-9,
+                "variance {} vs {}", a.variance, b.variance
+            );
+        }
+    }
 }

@@ -48,4 +48,4 @@ pub mod sim;
 pub use config::{FlashTechnology, Interface, SsdConfig};
 pub use observe::{BottleneckReport, DeviceSample, DeviceSeries};
 pub use report::SimReport;
-pub use sim::Simulator;
+pub use sim::{RunScratch, Simulator};

@@ -17,7 +17,7 @@ use crate::power::{compute_energy, ActivityCounters};
 use crate::report::{LatencyBuckets, LatencySummary, ReadBreakdown, SimReport, WriteBreakdown};
 use iotrace::{OpKind, Trace};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Maximum pages a single host request may span (guards degenerate traces).
 const MAX_PAGES_PER_REQUEST: u64 = 2048;
@@ -60,6 +60,62 @@ struct MappedPage {
     block: u32,
 }
 
+/// Entries per lazily allocated mapping chunk (32 KiB of `u64`s).
+const LPN_CHUNK: usize = 4096;
+/// Sentinel for "logical page never mapped" (a real entry would need plane
+/// and block both at `u32::MAX`, far beyond any valid geometry).
+const LPN_EMPTY: u64 = u64::MAX;
+
+/// Chunked logical-to-physical mapping table.
+///
+/// Logical page numbers are pre-reduced modulo `logical_pages`, so the key
+/// space is dense and bounded; a two-level array of lazily allocated
+/// 4096-entry chunks replaces the former `HashMap<u64, MappedPage>` on the
+/// simulator's hottest path — a mapping probe is one shift and two indexed
+/// loads instead of a SipHash computation plus bucket walk, and memory
+/// stays proportional to the touched fraction of the address space.
+#[derive(Debug, Default)]
+struct LpnMap {
+    chunks: Vec<Option<Box<[u64]>>>,
+}
+
+impl LpnMap {
+    #[inline]
+    fn get(&self, lpn: u64) -> Option<MappedPage> {
+        let chunk = self.chunks.get((lpn as usize) / LPN_CHUNK)?.as_ref()?;
+        let v = chunk[(lpn as usize) % LPN_CHUNK];
+        (v != LPN_EMPTY).then_some(MappedPage {
+            plane: (v >> 32) as u32,
+            block: v as u32,
+        })
+    }
+
+    #[inline]
+    fn insert(&mut self, lpn: u64, m: MappedPage) {
+        let ci = (lpn as usize) / LPN_CHUNK;
+        if ci >= self.chunks.len() {
+            self.chunks.resize_with(ci + 1, || None);
+        }
+        let chunk =
+            self.chunks[ci].get_or_insert_with(|| vec![LPN_EMPTY; LPN_CHUNK].into_boxed_slice());
+        chunk[(lpn as usize) % LPN_CHUNK] = (u64::from(m.plane) << 32) | u64::from(m.block);
+    }
+}
+
+/// Reusable per-run buffers: the latency vectors and the outstanding-request
+/// heap [`Simulator::run`] needs. A validator evaluating thousands of
+/// candidate configurations re-runs the simulator constantly; passing one
+/// scratch per worker thread to [`Simulator::run_scratch`] reuses the grown
+/// allocations across runs instead of paying four fresh heap allocations
+/// (plus their growth reallocations) per trace replay.
+#[derive(Debug, Default)]
+pub struct RunScratch {
+    latencies: Vec<u64>,
+    read_lat: Vec<u64>,
+    write_lat: Vec<u64>,
+    outstanding: BinaryHeap<Reverse<u64>>,
+}
+
 /// The SSD simulator.
 ///
 /// # Examples
@@ -81,7 +137,7 @@ pub struct Simulator {
     cfg: SsdConfig,
     timing: Timing,
     flash: FlashArray,
-    mapping: HashMap<u64, MappedPage>,
+    mapping: LpnMap,
     data_cache: LruCache,
     cmt: LruCache,
     channel_free: Vec<u64>,
@@ -163,7 +219,7 @@ impl Simulator {
         let planes_per_channel = cfg.chips_per_channel * cfg.dies_per_chip * cfg.planes_per_die;
         Simulator {
             timing,
-            mapping: HashMap::new(),
+            mapping: LpnMap::default(),
             data_cache: LruCache::new(data_cache_pages.min(1 << 24) as usize),
             cmt: LruCache::new(cmt_tps.min(1 << 22) as usize),
             channel_free: vec![0; cfg.channel_count as usize],
@@ -268,6 +324,15 @@ impl Simulator {
     /// persist across calls, so back-to-back runs model a continuously
     /// operating device).
     pub fn run(&mut self, trace: &Trace) -> SimReport {
+        let mut scratch = RunScratch::default();
+        self.run_scratch(trace, &mut scratch)
+    }
+
+    /// [`Simulator::run`] with caller-provided scratch buffers, for callers
+    /// that replay many traces back to back (the validator's hot path).
+    /// The scratch is cleared on entry; its grown capacity is what carries
+    /// over between runs.
+    pub fn run_scratch(&mut self, trace: &Trace, scratch: &mut RunScratch) -> SimReport {
         let _span = telemetry::span::Span::enter("sim.run");
         // Device-observatory sampling: decided once per run, so the hot
         // loop pays one branch on a cached local when disabled (the
@@ -280,11 +345,18 @@ impl Simulator {
             self.sampled_die_busy_ns = self.die_busy_ns;
             self.sampled_gc_stall_ns = self.diag_gc_stall_ns;
         }
-        let mut latencies: Vec<u64> = Vec::with_capacity(trace.len());
-        let mut read_lat: Vec<u64> = Vec::new();
-        let mut write_lat: Vec<u64> = Vec::new();
+        scratch.latencies.clear();
+        scratch.latencies.reserve(trace.len());
+        scratch.read_lat.clear();
+        scratch.write_lat.clear();
+        scratch.outstanding.clear();
+        let RunScratch {
+            latencies,
+            read_lat,
+            write_lat,
+            outstanding,
+        } = scratch;
         let mut latency_buckets = LatencyBuckets::default();
-        let mut outstanding: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
         let qd = self.cfg.effective_queue_depth() as usize;
         let mut host_bytes: u64 = 0;
         let mut first_arrival = None;
@@ -418,9 +490,9 @@ impl Simulator {
         let denom_reads = self.cache_read_hits + self.cache_read_misses;
         let denom_cmt = self.cmt_hits + self.cmt_misses;
         SimReport {
-            latency: LatencySummary::from_latencies(&mut latencies),
-            read_latency: LatencySummary::from_latencies(&mut read_lat),
-            write_latency: LatencySummary::from_latencies(&mut write_lat),
+            latency: LatencySummary::from_latencies(latencies),
+            read_latency: LatencySummary::from_latencies(read_lat),
+            write_latency: LatencySummary::from_latencies(write_lat),
             throughput_bps: host_bytes as f64 / (makespan as f64 / 1e9),
             makespan_ns: makespan,
             host_bytes,
@@ -625,7 +697,7 @@ impl Simulator {
             return t + self.timing.dram_page_ns;
         }
         self.cache_read_misses += 1;
-        let plane = match self.mapping.get(&lpn) {
+        let plane = match self.mapping.get(lpn) {
             Some(m) => m.plane,
             None => pseudo_location(&self.cfg, lpn).plane_index(&self.cfg),
         };
@@ -700,7 +772,7 @@ impl Simulator {
     /// GC/wear-leveling fallout. Returns the program completion time.
     fn program_lpn(&mut self, lpn: u64, t: u64) -> u64 {
         // Invalidate the previous physical copy.
-        match self.mapping.get(&lpn) {
+        match self.mapping.get(lpn) {
             Some(old) => {
                 let (plane, block) = (old.plane, old.block);
                 self.flash.invalidate(plane, block);

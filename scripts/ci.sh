@@ -218,6 +218,46 @@ if [[ $QUICK -eq 0 ]]; then
         echo "==> resume-smoke: release binary missing (build failed?); skipping"
         record "resume-smoke" SKIP
     fi
+
+    # --- Stage: BO-throughput smoke ---------------------------------------
+    # Batched speculative BO must be invisible in every deterministic
+    # artifact: a 4-thread `--speculate 4` tune of the pinned-seed smoke
+    # problem must emit a byte-identical tuned configuration to the
+    # single-threaded sequential run, and its telemetry must diff clean
+    # against the same golden the regression gate uses with only wall-clock
+    # metrics ignored — cache hit rate, validation counts, latency tails,
+    # and bottleneck fractions must all match exactly, because speculative
+    # simulator runs are charged to the shared accounting only at the
+    # moment the sequential loop would have performed them.
+    bo_throughput_smoke() {
+        local dir rc
+        dir=$(mktemp -d /tmp/autoblox-ci-spec.XXXXXX) || return 1
+        AUTOBLOX_THREADS=1 ./target/release/autoblox tune database \
+            --iterations 3 --events 300 --speculate 1 \
+            >"$dir/config-seq.json" || { rm -rf "$dir"; return 1; }
+        AUTOBLOX_THREADS=4 ./target/release/autoblox tune database \
+            --iterations 3 --events 300 --speculate 4 \
+            --telemetry "$dir/tel.json" \
+            >"$dir/config-spec.json" || { rm -rf "$dir"; return 1; }
+        cmp -s "$dir/config-seq.json" "$dir/config-spec.json" \
+            || { echo "speculative tuned configuration differs from sequential"; \
+                 rm -rf "$dir"; return 1; }
+        rc=0
+        if [[ -f "$GOLDEN" ]]; then
+            ./target/release/autoblox report diff "$GOLDEN" "$dir/tel.json" \
+                --ignore-time >/dev/null
+            rc=$?
+            [[ $rc -eq 0 ]] || echo "speculative telemetry drifted from the golden"
+        fi
+        rm -rf "$dir"
+        return $rc
+    }
+    if [[ -x ./target/release/autoblox ]]; then
+        run_stage "bo-throughput-smoke" bo_throughput_smoke
+    else
+        echo "==> bo-throughput-smoke: release binary missing (build failed?); skipping"
+        record "bo-throughput-smoke" SKIP
+    fi
 fi
 
 # --- Summary --------------------------------------------------------------
