@@ -12,6 +12,10 @@
 //!               [--stop-after-iter N]
 //! autoblox whatif <workload> --goal latency|throughput --factor F
 //!               [--telemetry out.json] [--journal out.jsonl]
+//! autoblox place --devices M --traces <spec|file>[,...] [--db store.db]
+//!               [--json out.json] [--alpha F] [--rounds N] [--no-classify]
+//!               [--capacity GIB] [--interface nvme|sata] [--flash slc|mlc|tlc]
+//!               [--power W] [--telemetry out.json] [--journal out.jsonl]
 //! autoblox telemetry-check <report.json>
 //! autoblox checkpoint inspect <checkpoint.json> [--json]
 //! autoblox explain <telemetry.json> [--json]
@@ -32,8 +36,9 @@
 //! progress and human-oriented commentary go to **stderr**, so pipelines
 //! can consume the JSON without scraping.
 //!
-//! Exit codes: `0` success, `1` runtime failure, `2` usage error or a
-//! malformed input file (unparseable trace, telemetry report, config, run
+//! Exit codes: `0` success, `1` runtime failure, `2` usage error (missing
+//! operands, bad flag values, a zero device budget) or a malformed input
+//! file (unreadable/unparseable trace, telemetry report, config, run
 //! journal, or checkpoint), `3` a `report diff` regression.
 
 use autoblox::checkpoint::Checkpoint;
@@ -56,8 +61,11 @@ use std::io::BufReader;
 use std::process::ExitCode;
 
 /// A classified CLI failure so `main` can pick the right exit code:
-/// malformed user input exits `2` (like a usage error), anything else `1`.
+/// usage errors and malformed user input exit `2`, anything else `1`.
 enum CliError {
+    /// The command line itself is wrong: missing operands, an unknown
+    /// flag value, a zero device budget, and so on.
+    Usage(String),
     /// A user-supplied input file (trace, config JSON, telemetry report,
     /// run journal, or checkpoint) could not be read or failed validation.
     Input(String),
@@ -71,9 +79,12 @@ impl From<String> for CliError {
     }
 }
 
+// The static one-liners in this file ("tune needs <workload> [flags]", …)
+// are all usage messages, so the &str conversion classifies them as such —
+// this is what routes them to exit 2 instead of the generic failure path.
 impl From<&str> for CliError {
     fn from(msg: &str) -> Self {
-        CliError::Other(msg.to_string())
+        CliError::Usage(msg.to_string())
     }
 }
 
@@ -93,6 +104,12 @@ fn usage() -> ExitCode {
          \x20          [--stop-after-iter N]\n\
          \x20 whatif   <workload> --goal latency|throughput --factor F\n\
          \x20          [--telemetry out.json] [--journal out.jsonl]\n\
+         \x20 place    --devices M --traces <spec|file>[,...]  consolidate tenant workloads\n\
+         \x20          [--db store.db] [--json out.json]       onto M virtual devices\n\
+         \x20          [--alpha F] [--rounds N] [--no-classify]\n\
+         \x20          [--capacity GIB] [--interface nvme|sata] [--flash slc|mlc|tlc]\n\
+         \x20          [--power W] [--telemetry out.json] [--journal out.jsonl]\n\
+         \x20          (a trace spec is <workload>:<events>:<seed>)\n\
          \x20 telemetry-check <report.json>                   validate a telemetry report\n\
          \x20 checkpoint inspect <checkpoint.json> [--json]   summarize a tuning checkpoint\n\
          \x20 explain  <telemetry.json> [--json]              bottleneck fingerprint of a run\n\
@@ -106,6 +123,13 @@ fn usage() -> ExitCode {
          \x20          [--max-validation-increase F] [--max-hit-rate-drop F]\n\
          \x20          [--max-sim-time-increase F] [--max-tail-shift F]\n\
          \x20          [--max-bottleneck-shift F] [--ignore <metric>]...\n\
+         \n\
+         exit codes:\n\
+         \x20 0  success\n\
+         \x20 1  runtime failure\n\
+         \x20 2  usage error (missing operands, bad flag values, zero device budget)\n\
+         \x20    or a malformed/unreadable input file\n\
+         \x20 3  `report diff` found a regression\n\
          \n\
          workloads: {}",
         WorkloadKind::STUDIED
@@ -148,11 +172,13 @@ fn cmd_generate(args: &[String]) -> Result<(), CliError> {
     let [workload, events, seed, rest @ ..] = args else {
         return Err("generate needs <workload> <events> <seed> [out.csv]".into());
     };
-    let kind = parse_workload(workload)?;
+    let kind = parse_workload(workload).map_err(CliError::Usage)?;
     let events: usize = events
         .parse()
-        .map_err(|e| format!("bad event count: {e}"))?;
-    let seed: u64 = seed.parse().map_err(|e| format!("bad seed: {e}"))?;
+        .map_err(|e| CliError::Usage(format!("bad event count: {e}")))?;
+    let seed: u64 = seed
+        .parse()
+        .map_err(|e| CliError::Usage(format!("bad seed: {e}")))?;
     let trace = kind.spec().generate(events, seed);
     match rest.first() {
         Some(path) => {
@@ -262,18 +288,18 @@ fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String>
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, CliError>
 where
     T::Err: std::fmt::Display,
 {
     if let Some(pos) = args.iter().position(|a| a == flag) {
         let value = args
             .get(pos + 1)
-            .ok_or_else(|| format!("{flag} needs a value"))?;
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
         return value
             .parse()
             .map(Some)
-            .map_err(|e| format!("bad value for {flag}: {e}"));
+            .map_err(|e| CliError::Usage(format!("bad value for {flag}: {e}")));
     }
     Ok(None)
 }
@@ -292,7 +318,7 @@ impl SinkConfig {
     /// Parses `--telemetry` / `--journal` and, when either is present, arms
     /// telemetry collection (clearing prior state so the outputs cover
     /// exactly this command) and opens the journal.
-    fn from_args(args: &[String]) -> Result<SinkConfig, String> {
+    fn from_args(args: &[String]) -> Result<SinkConfig, CliError> {
         let telemetry: Option<String> = parse_flag(args, "--telemetry")?;
         let journal_path: Option<String> = parse_flag(args, "--journal")?;
         if telemetry.is_some() || journal_path.is_some() {
@@ -302,7 +328,7 @@ impl SinkConfig {
         }
         let journal = match &journal_path {
             Some(path) => {
-                let j = Journal::create(path)?;
+                let j = Journal::create(path).map_err(CliError::Other)?;
                 autoblox::telemetry::global().attach_journal(j.handle());
                 eprintln!("streaming run journal to {path}");
                 Some(j)
@@ -572,19 +598,19 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, CliError> {
     }
 }
 
-fn constraints_from(args: &[String]) -> Result<Constraints, String> {
+fn constraints_from(args: &[String]) -> Result<Constraints, CliError> {
     let capacity: u64 = parse_flag(args, "--capacity")?.unwrap_or(512);
     let power: f64 = parse_flag(args, "--power")?.unwrap_or(25.0);
     let interface = match parse_flag::<String>(args, "--interface")?.as_deref() {
         None | Some("nvme") => Interface::Nvme,
         Some("sata") => Interface::Sata,
-        Some(other) => return Err(format!("unknown interface {other:?}")),
+        Some(other) => return Err(CliError::Usage(format!("unknown interface {other:?}"))),
     };
     let flash = match parse_flag::<String>(args, "--flash")?.as_deref() {
         Some("slc") => FlashTechnology::Slc,
         None | Some("mlc") => FlashTechnology::Mlc,
         Some("tlc") => FlashTechnology::Tlc,
-        Some(other) => return Err(format!("unknown flash type {other:?}")),
+        Some(other) => return Err(CliError::Usage(format!("unknown flash type {other:?}"))),
     };
     Ok(Constraints::new(capacity, interface, flash, power))
 }
@@ -603,7 +629,7 @@ fn cmd_tune(args: &[String]) -> Result<(), CliError> {
     let [workload, rest @ ..] = args else {
         return Err("tune needs <workload> [flags]".into());
     };
-    let kind = parse_workload(workload)?;
+    let kind = parse_workload(workload).map_err(CliError::Usage)?;
     let constraints = constraints_from(rest)?;
     let iterations: usize = parse_flag(rest, "--iterations")?.unwrap_or(20);
     let trace_events: usize =
@@ -784,12 +810,12 @@ fn cmd_whatif(args: &[String]) -> Result<(), CliError> {
     let [workload, rest @ ..] = args else {
         return Err("whatif needs <workload> --goal latency|throughput --factor F".into());
     };
-    let kind = parse_workload(workload)?;
+    let kind = parse_workload(workload).map_err(CliError::Usage)?;
     let factor: f64 = parse_flag(rest, "--factor")?.unwrap_or(3.0);
     let goal = match parse_flag::<String>(rest, "--goal")?.as_deref() {
         None | Some("latency") => WhatIfGoal::LatencyReduction(factor),
         Some("throughput") => WhatIfGoal::ThroughputImprovement(factor),
-        Some(other) => return Err(format!("unknown goal {other:?}").into()),
+        Some(other) => return Err(CliError::Usage(format!("unknown goal {other:?}"))),
     };
     let constraints = constraints_from(rest)?;
     let trace_events: usize =
@@ -827,6 +853,142 @@ fn cmd_whatif(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+fn cmd_place(args: &[String]) -> Result<(), CliError> {
+    let devices: usize = parse_flag(args, "--devices")?
+        .ok_or_else(|| CliError::Usage(String::from("place needs --devices <M>")))?;
+    if devices == 0 {
+        return Err(CliError::Usage(String::from(
+            "--devices must be at least 1",
+        )));
+    }
+    // `--traces` is repeatable and each occurrence is comma-separable; an
+    // entry is either a generator spec (<workload>:<events>:<seed>) or a
+    // trace file path.
+    let mut entries: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--traces" {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| CliError::Usage(String::from("--traces needs a value")))?;
+            entries.extend(
+                value
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from),
+            );
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    if entries.is_empty() {
+        return Err(CliError::Usage(String::from(
+            "place needs --traces <spec|file>[,...]",
+        )));
+    }
+    let constraints = constraints_from(args)?;
+    let alpha: f64 = parse_flag(args, "--alpha")?.unwrap_or(autoblox::metrics::DEFAULT_ALPHA);
+    if !(0.0..=1.0).contains(&alpha) {
+        return Err(CliError::Usage(String::from("--alpha must be in [0, 1]")));
+    }
+    let rounds: usize = parse_flag(args, "--rounds")?.unwrap_or(16);
+    let json_path: Option<String> = parse_flag(args, "--json")?;
+    let db_path: Option<String> = parse_flag(args, "--db")?;
+    let no_classify = args.iter().any(|a| a == "--no-classify");
+    let sinks = SinkConfig::from_args(args)?;
+
+    let db = match &db_path {
+        Some(path) => Some(
+            autodb::Store::open(path)
+                .map_err(|e| CliError::Input(format!("cannot open store {path}: {e}")))?,
+        ),
+        None => None,
+    };
+    if let Some(db) = &db {
+        let families =
+            db.keys_with_prefix("category:").len() + db.keys_with_prefix("cluster:").len();
+        eprintln!(
+            "{} learned config famil{} available in {}",
+            families,
+            if families == 1 { "y" } else { "ies" },
+            db_path.as_deref().unwrap_or("store"),
+        );
+    }
+
+    // Tenant names are `t<i>:<label>`: unique per mix (the validator keys
+    // its caches by trace name) and stable across runs.
+    let mut tenants: Vec<std::sync::Arc<Trace>> = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        let trace = match entry.parse::<iotrace::TenantSpec>() {
+            Ok(spec) => spec.generate(format!("t{i}:{}", spec.kind.name())),
+            Err(_) => {
+                let raw = load_trace(entry, None).map_err(CliError::Input)?;
+                let label = entry.rsplit('/').next().unwrap_or(entry);
+                Trace::from_events(format!("t{i}:{label}"), raw.events().to_vec())
+            }
+        };
+        tenants.push(std::sync::Arc::new(trace));
+    }
+
+    let fallback = reference_for(&constraints);
+    let validator = Validator::new(ValidatorOptions::default());
+    let opts = autoblox::place::PlacementOptions {
+        devices,
+        alpha,
+        max_rounds: rounds,
+        classify: !no_classify,
+        ..Default::default()
+    };
+    eprintln!(
+        "placing {} tenant(s) onto {} device(s) ...",
+        tenants.len(),
+        devices
+    );
+    let report = autoblox::place::place(&tenants, &fallback, db.as_ref(), &validator, &opts)
+        .map_err(CliError::Other)?;
+
+    // Human-oriented summary to stderr; the machine-readable report to
+    // stdout (and to --json when given).
+    for d in &report.device_reports {
+        if d.tenants.is_empty() {
+            eprintln!("device {}: idle", d.device);
+        } else {
+            eprintln!(
+                "device {}: {} (cost {:.4}, config {}, bottleneck {})",
+                d.device,
+                d.tenants.join(" + "),
+                d.cost,
+                d.config_source,
+                d.bottleneck.dominant(),
+            );
+        }
+    }
+    for t in &report.tenants {
+        eprintln!(
+            "  {} -> device {}: solo {:.0} ns, co-located {:.0} ns ({:+.1}% degradation)",
+            t.name,
+            t.device,
+            t.solo_latency_ns,
+            t.co_latency_ns,
+            t.degradation_frac * 100.0,
+        );
+    }
+    eprintln!(
+        "greedy cost {:.4} -> final cost {:.4} after {} move(s) in {} round(s)",
+        report.greedy_cost, report.final_cost, report.moves_applied, report.search_rounds,
+    );
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    if let Some(path) = &json_path {
+        std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("placement report written to {path}");
+    }
+    println!("{json}");
+    sinks.finish(&validator)?;
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
@@ -848,6 +1010,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(rest),
         "tune" => cmd_tune(rest),
         "whatif" => cmd_whatif(rest),
+        "place" => cmd_place(rest),
         "telemetry-check" => cmd_telemetry_check(rest),
         "checkpoint" => cmd_checkpoint(rest),
         "explain" => cmd_explain(rest),
@@ -863,6 +1026,11 @@ fn main() -> ExitCode {
 /// Prints the error and maps its class to the documented exit code.
 fn fail(err: CliError) -> ExitCode {
     match err {
+        CliError::Usage(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `autoblox` with no arguments for usage");
+            ExitCode::from(2)
+        }
         CliError::Input(msg) => {
             eprintln!("error: {msg}");
             ExitCode::from(2)

@@ -108,6 +108,26 @@ impl JournalHandle {
         }));
     }
 
+    /// Streams one placement decision: which tenants share `device`, the
+    /// device's interference cost, and where its compromise configuration
+    /// came from. Exporters that predate this line kind skip it (unknown
+    /// `"t"` tags are ignored).
+    pub fn record_placement(
+        &self,
+        device: u64,
+        tenants: &[String],
+        cost: f64,
+        config_source: &str,
+    ) {
+        self.push(serde_json::json!({
+            "t": "placement",
+            "device": device,
+            "tenants": tenants,
+            "cost": cost,
+            "config_source": config_source,
+        }));
+    }
+
     /// Streams one checkpoint event: `event` is `written` or `resumed`,
     /// `iteration` the snapshot's outer-iteration counter, and `location`
     /// where the snapshot lives (a file path or an AutoDB key).

@@ -54,6 +54,7 @@ pub mod framework;
 pub mod journal;
 pub mod metrics;
 pub mod params;
+pub mod place;
 pub mod pruning;
 pub mod report_diff;
 pub mod telemetry;
@@ -67,5 +68,6 @@ pub use framework::{AutoBlox, AutoBloxOptions, Recommendation};
 pub use metrics::{grade, performance, Measurement};
 pub use mlkit::parallel;
 pub use params::ParamSpace;
+pub use place::{place, PlacementOptions, PlacementReport};
 pub use tuner::{SurrogateKind, Tuner, TunerOptions, TuningOutcome, TuningTarget};
 pub use validator::{Validator, ValidatorOptions};

@@ -423,6 +423,15 @@ impl TelemetrySink {
         }
     }
 
+    /// Streams one placement decision to the attached journal; a no-op
+    /// without one.
+    pub fn record_placement(&self, device: u64, tenants: &[String], cost: f64, source: &str) {
+        let inner = self.inner.lock();
+        if let Some(j) = &inner.journal {
+            j.record_placement(device, tenants, cost, source);
+        }
+    }
+
     /// Records one tuning run's outcome (including its iteration records).
     pub fn record_outcome(&self, outcome: &TuningOutcome) {
         if enabled() {

@@ -252,6 +252,20 @@ impl Store {
         self.inner.lock().index.keys().cloned().collect()
     }
 
+    /// All live keys beginning with `prefix`, sorted ascending. Useful for
+    /// enumerating a key family (e.g. every `cluster:` record) without
+    /// materializing the whole key set.
+    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+        self.inner
+            .lock()
+            .index
+            .range(prefix.to_string()..)
+            .map(|(k, _)| k)
+            .take_while(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
     /// Number of live keys.
     pub fn len(&self) -> usize {
         self.inner.lock().index.len()

@@ -128,12 +128,19 @@ fn tune_row(
 }
 
 fn main() {
-    let scale = autoblox_bench::Scale::from_env();
+    let check = autoblox_bench::check_mode();
+    let scale = autoblox_bench::run_scale();
     let (trace_events, max_iterations) = match scale {
         autoblox_bench::Scale::Quick => (300, 6),
         autoblox_bench::Scale::Standard => (800, 10),
         autoblox_bench::Scale::Full => (2_000, 16),
     };
+    // `--check` shrinks every sweep to its smallest point and a single rep:
+    // the run only has to prove the binary works and its report conforms.
+    let thread_counts: &[usize] = if check { &[1] } else { &THREAD_COUNTS };
+    let fit_sizes: &[usize] = if check { &FIT_SIZES[..1] } else { &FIT_SIZES };
+    let gram_sizes: &[usize] = if check { &GRAM_SIZES[..2] } else { &GRAM_SIZES };
+    let reps = if check { 1 } else { 5 };
 
     // Section 1: tune throughput. Sequential baseline first, then batched
     // speculation with the batch width matched to the thread count.
@@ -142,7 +149,7 @@ fn main() {
     eprintln!("— tune throughput ({trace_events} events, {max_iterations} iterations) —");
     let baseline = tune_row(1, 1, trace_events, max_iterations);
     let mut tune_rows = vec![baseline.clone()];
-    for &threads in &THREAD_COUNTS {
+    for &threads in thread_counts {
         let k = threads.max(2);
         tune_rows.push(tune_row(threads, k, trace_events, max_iterations));
     }
@@ -154,10 +161,10 @@ fn main() {
     // step the tuner performs between scheduled retunes.
     eprintln!("— surrogate fit: full refit vs incremental extend —");
     let mut fit_rows = Vec::new();
-    for &n in &FIT_SIZES {
+    for &n in fit_sizes {
         let (x, y) = synthetic(n);
         let mut full_s = f64::INFINITY;
-        for _ in 0..5 {
+        for _ in 0..reps {
             let t0 = Instant::now();
             let g = GprBuilder::new()
                 .kernel(paper_kernel())
@@ -175,7 +182,7 @@ fn main() {
             .expect("base fit succeeds");
         let last: Vec<f64> = (0..DIMS).map(|d| x[(n - 1, d)]).collect();
         let mut ext_s = f64::INFINITY;
-        for _ in 0..5 {
+        for _ in 0..reps {
             let t0 = Instant::now();
             let g = base.extend(&last, y[n - 1]).expect("extend succeeds");
             ext_s = ext_s.min(t0.elapsed().as_secs_f64());
@@ -200,18 +207,18 @@ fn main() {
     eprintln!("— gram crossover (threshold n = {GRAM_PARALLEL_MIN}) —");
     let kernel = paper_kernel();
     let mut gram_rows = Vec::new();
-    for &n in &GRAM_SIZES {
+    for &n in gram_sizes {
         let (x, _) = synthetic(n);
         let mut seq_s = f64::INFINITY;
         parallel::set_max_threads(1);
-        for _ in 0..5 {
+        for _ in 0..reps {
             let t0 = Instant::now();
             let _ = kernel.gram(&x);
             seq_s = seq_s.min(t0.elapsed().as_secs_f64());
         }
         let mut par_s = f64::INFINITY;
         parallel::set_max_threads(4);
-        for _ in 0..5 {
+        for _ in 0..reps {
             let t0 = Instant::now();
             let _ = kernel.gram(&x);
             par_s = par_s.min(t0.elapsed().as_secs_f64());
@@ -248,11 +255,19 @@ fn main() {
         "gram_parallel_min": GRAM_PARALLEL_MIN,
         "gram": gram_rows,
     });
-    let path = "BENCH_bo_throughput.json";
-    std::fs::write(
-        path,
-        serde_json::to_string_pretty(&doc).expect("serializes"),
-    )
-    .expect("writes benchmark report");
-    println!("wrote {path}");
+    autoblox_bench::write_bench_report(
+        "BENCH_bo_throughput.json",
+        "bo_throughput",
+        &[
+            "host_cpus",
+            "trace_events",
+            "max_iterations",
+            "workload",
+            "tune",
+            "surrogate_fit",
+            "gram_parallel_min",
+            "gram",
+        ],
+        &doc,
+    );
 }

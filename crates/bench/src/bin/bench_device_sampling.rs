@@ -38,12 +38,22 @@ fn main() {
     // A single replay is orders of magnitude cheaper than the tuning-loop
     // benches, so this harness uses much longer traces: a 3% criterion on a
     // millisecond-long region would only measure timer noise.
-    let scale = autoblox_bench::Scale::from_env();
+    let check = autoblox_bench::check_mode();
+    let scale = autoblox_bench::run_scale();
     let trace_events = match scale {
-        autoblox_bench::Scale::Quick => 20_000,
+        autoblox_bench::Scale::Quick => {
+            // `--check` only validates that the harness runs and the
+            // report conforms; the overhead numbers are meaningless there.
+            if check {
+                5_000
+            } else {
+                20_000
+            }
+        }
         autoblox_bench::Scale::Standard => 100_000,
         autoblox_bench::Scale::Full => 400_000,
     };
+    let reps = if check { 1 } else { REPS };
     let trace = WorkloadKind::Database.spec().generate(trace_events, 42);
     let fine_interval = DEFAULT_SAMPLE_INTERVAL_NS / 10;
 
@@ -58,7 +68,7 @@ fn main() {
     let mut default_dropped = 0;
     let mut fine_samples = 0;
     let mut fine_dropped = 0;
-    for _ in 0..REPS {
+    for _ in 0..reps {
         telemetry::set_enabled(false);
         disabled = disabled.min(replay(&trace, DEFAULT_SAMPLE_INTERVAL_NS).0);
         telemetry::set_enabled(true);
@@ -89,7 +99,7 @@ fn main() {
         "benchmark": "device_sampling",
         "host_cpus": host_cpus,
         "trace_events": trace_events,
-        "reps_best_of": REPS as u64,
+        "reps_best_of": reps as u64,
         "sample_cap": DEFAULT_SAMPLE_CAP as u64,
         "disabled_best_s": disabled,
         "default_interval_ns": DEFAULT_SAMPLE_INTERVAL_NS,
@@ -105,12 +115,20 @@ fn main() {
         "criterion_pct": 3.0,
         "criterion_met": default_pct < 3.0,
     });
-    let path = "BENCH_device_sampling.json";
-    std::fs::write(
-        path,
-        serde_json::to_string_pretty(&doc).expect("serializes"),
-    )
-    .expect("writes benchmark report");
-    println!("wrote {path}");
+    autoblox_bench::write_bench_report(
+        "BENCH_device_sampling.json",
+        "device_sampling",
+        &[
+            "host_cpus",
+            "trace_events",
+            "disabled_best_s",
+            "default_enabled_best_s",
+            "default_overhead_pct",
+            "fine_overhead_pct",
+            "criterion_pct",
+            "criterion_met",
+        ],
+        &doc,
+    );
     println!("default_overhead_pct: {default_pct:.3}");
 }

@@ -31,19 +31,30 @@ const SWEEP_PARAMS: [&str; 8] = [
 ];
 
 fn main() {
-    let scale = autoblox_bench::Scale::from_env();
+    let check = autoblox_bench::check_mode();
+    let scale = autoblox_bench::run_scale();
     let trace_events = match scale {
-        autoblox_bench::Scale::Quick => 800,
+        autoblox_bench::Scale::Quick => {
+            if check {
+                300
+            } else {
+                800
+            }
+        }
         autoblox_bench::Scale::Standard => 2_000,
         autoblox_bench::Scale::Full => 6_000,
     };
+    // `--check` runs one thread count and one rep: just enough to prove
+    // the binary works and its report conforms to the schema.
+    let thread_counts: &[usize] = if check { &[1] } else { &THREAD_COUNTS };
+    let reps = if check { 1 } else { 3 };
     let space = ParamSpace::with_params(&SWEEP_PARAMS);
     let base = SsdConfig::default();
     let workload = WorkloadKind::Database;
 
     let mut results = Vec::new();
     let mut coarse_baseline_s = 0.0;
-    for &threads in &THREAD_COUNTS {
+    for &threads in thread_counts {
         parallel::set_max_threads(threads);
 
         // Cold-cache coarse-pruning sweep: the acceptance workload. Best of
@@ -52,7 +63,7 @@ fn main() {
         let mut coarse_s = f64::INFINITY;
         let mut probes = 0;
         let mut insensitive = 0;
-        for _ in 0..3 {
+        for _ in 0..reps {
             let v = Validator::new(ValidatorOptions {
                 trace_events,
                 ..Default::default()
@@ -124,13 +135,19 @@ fn main() {
         "results": results,
         "coarse_speedup_at_4_threads": speedup_4t,
     });
-    let path = "BENCH_parallel_validation.json";
-    std::fs::write(
-        path,
-        serde_json::to_string_pretty(&doc).expect("serializes"),
-    )
-    .expect("writes benchmark report");
-    println!("wrote {path}");
+    autoblox_bench::write_bench_report(
+        "BENCH_parallel_validation.json",
+        "parallel_validation",
+        &[
+            "host_cpus",
+            "trace_events",
+            "sweep_params",
+            "workload",
+            "results",
+            "coarse_speedup_at_4_threads",
+        ],
+        &doc,
+    );
     println!(
         "coarse-prune speedup at 4 threads: {}",
         serde_json::to_string(&speedup_4t).expect("serializes")

@@ -42,10 +42,10 @@ fn tuning_run(trace_events: usize, sink: &TelemetrySink) -> f64 {
     t0.elapsed().as_secs_f64()
 }
 
-fn best_of(trace_events: usize, enabled: bool) -> f64 {
+fn best_of(trace_events: usize, enabled: bool, reps: usize) -> f64 {
     telemetry::set_enabled(enabled);
     let mut best = f64::INFINITY;
-    for _ in 0..REPS {
+    for _ in 0..reps {
         let sink = TelemetrySink::new();
         best = best.min(tuning_run(trace_events, &sink));
     }
@@ -70,18 +70,24 @@ fn disabled_probe_ns() -> f64 {
 }
 
 fn main() {
-    let scale = autoblox_bench::Scale::from_env();
+    let check = autoblox_bench::check_mode();
+    let scale = autoblox_bench::run_scale();
     let trace_events = match scale {
         autoblox_bench::Scale::Quick => 400,
         autoblox_bench::Scale::Standard => 2_000,
         autoblox_bench::Scale::Full => 6_000,
     };
+    // `--check` runs a single repetition with no warm-up: the overhead
+    // percentage is noise there, only the harness and report shape matter.
+    let reps = if check { 1 } else { REPS };
 
-    // Warm-up run so neither mode pays first-touch costs.
-    let _ = best_of(trace_events, false);
+    if !check {
+        // Warm-up run so neither mode pays first-touch costs.
+        let _ = best_of(trace_events, false, 1);
+    }
 
-    let disabled_s = best_of(trace_events, false);
-    let enabled_s = best_of(trace_events, true);
+    let disabled_s = best_of(trace_events, false, reps);
+    let enabled_s = best_of(trace_events, true, reps);
     let overhead_pct = (enabled_s - disabled_s) / disabled_s * 100.0;
     let probe_ns = disabled_probe_ns();
 
@@ -97,7 +103,7 @@ fn main() {
         "benchmark": "telemetry_overhead",
         "host_cpus": host_cpus,
         "trace_events": trace_events,
-        "reps_best_of": REPS as u64,
+        "reps_best_of": reps as u64,
         "disabled_best_s": disabled_s,
         "enabled_best_s": enabled_s,
         "overhead_pct": overhead_pct,
@@ -105,12 +111,21 @@ fn main() {
         "criterion_met": overhead_pct < 3.0,
         "disabled_probe_ns": probe_ns,
     });
-    let path = "BENCH_telemetry_overhead.json";
-    std::fs::write(
-        path,
-        serde_json::to_string_pretty(&doc).expect("serializes"),
-    )
-    .expect("writes benchmark report");
-    println!("wrote {path}");
+    autoblox_bench::write_bench_report(
+        "BENCH_telemetry_overhead.json",
+        "telemetry_overhead",
+        &[
+            "host_cpus",
+            "trace_events",
+            "reps_best_of",
+            "disabled_best_s",
+            "enabled_best_s",
+            "overhead_pct",
+            "criterion_pct",
+            "criterion_met",
+            "disabled_probe_ns",
+        ],
+        &doc,
+    );
     println!("overhead_pct: {overhead_pct:.3}");
 }

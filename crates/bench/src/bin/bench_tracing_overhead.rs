@@ -73,11 +73,11 @@ fn run_traced(trace_events: usize, journal_path: &str) -> (f64, f64) {
 /// repetition (instead of all-disabled-then-all-traced) keeps slow drift —
 /// frequency scaling, background load arriving mid-benchmark — from
 /// systematically biasing one side.
-fn measure(trace_events: usize, journal_path: &str) -> (f64, f64, f64) {
+fn measure(trace_events: usize, journal_path: &str, reps: usize) -> (f64, f64, f64) {
     let mut disabled = f64::INFINITY;
     let mut traced = f64::INFINITY;
     let mut teardown = f64::INFINITY;
-    for _ in 0..REPS {
+    for _ in 0..reps {
         disabled = disabled.min(run_disabled(trace_events));
         let (t, td) = run_traced(trace_events, journal_path);
         traced = traced.min(t);
@@ -103,19 +103,25 @@ fn disabled_span_probe_ns() -> f64 {
 }
 
 fn main() {
-    let scale = autoblox_bench::Scale::from_env();
+    let check = autoblox_bench::check_mode();
+    let scale = autoblox_bench::run_scale();
     let trace_events = match scale {
         autoblox_bench::Scale::Quick => 400,
         autoblox_bench::Scale::Standard => 2_000,
         autoblox_bench::Scale::Full => 6_000,
     };
+    // `--check` runs a single repetition with no warm-up: the overhead
+    // percentage is noise there, only the harness and report shape matter.
+    let reps = if check { 1 } else { REPS };
     let journal_path = std::env::temp_dir().join("bench_tracing_overhead.jsonl");
     let journal_path = journal_path.to_string_lossy().into_owned();
 
-    // Warm-up run so neither mode pays first-touch costs.
-    let _ = run_disabled(trace_events);
+    if !check {
+        // Warm-up run so neither mode pays first-touch costs.
+        let _ = run_disabled(trace_events);
+    }
 
-    let (disabled_s, traced_s, teardown_s) = measure(trace_events, &journal_path);
+    let (disabled_s, traced_s, teardown_s) = measure(trace_events, &journal_path, reps);
     let overhead_pct = (traced_s - disabled_s) / disabled_s * 100.0;
     let probe_ns = disabled_span_probe_ns();
     let _ = std::fs::remove_file(&journal_path);
@@ -133,7 +139,7 @@ fn main() {
         "benchmark": "tracing_overhead",
         "host_cpus": host_cpus,
         "trace_events": trace_events,
-        "reps_best_of": REPS as u64,
+        "reps_best_of": reps as u64,
         "disabled_best_s": disabled_s,
         "traced_journal_best_s": traced_s,
         "journal_open_close_fixed_s": teardown_s,
@@ -142,12 +148,22 @@ fn main() {
         "criterion_met": overhead_pct < 3.0,
         "disabled_span_probe_ns": probe_ns,
     });
-    let path = "BENCH_tracing_overhead.json";
-    std::fs::write(
-        path,
-        serde_json::to_string_pretty(&doc).expect("serializes"),
-    )
-    .expect("writes benchmark report");
-    println!("wrote {path}");
+    autoblox_bench::write_bench_report(
+        "BENCH_tracing_overhead.json",
+        "tracing_overhead",
+        &[
+            "host_cpus",
+            "trace_events",
+            "reps_best_of",
+            "disabled_best_s",
+            "traced_journal_best_s",
+            "journal_open_close_fixed_s",
+            "overhead_pct",
+            "criterion_pct",
+            "criterion_met",
+            "disabled_span_probe_ns",
+        ],
+        &doc,
+    );
     println!("overhead_pct: {overhead_pct:.3}");
 }

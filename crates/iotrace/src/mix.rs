@@ -1,0 +1,185 @@
+//! Tenant mixes: multi-tenant trace merging with LBA-space partitioning.
+//!
+//! The fleet-placement mode consolidates several tenant workloads onto one
+//! virtual device. To co-simulate them the tenant traces are interleaved in
+//! time order onto a single timeline, with each tenant's address space
+//! relocated to a disjoint LBA window (a *lane*) separated by a 1 MiB guard
+//! band. Because the windows are disjoint, the pre-modulo LBA of every
+//! merged request identifies its tenant — which is what lets the simulator
+//! attribute per-tenant latency after the fact.
+//!
+//! [`TenantSpec`] is the CLI-facing description of one generated tenant
+//! (`<workload>:<events>:<seed>`), and [`merge_partitioned`] is the merge
+//! that also reports where each tenant's lane begins.
+
+use crate::gen::WorkloadKind;
+use crate::trace::{Trace, TraceEvent};
+use std::str::FromStr;
+
+/// Guard band between tenant lanes, in 512-byte sectors (1 MiB).
+pub const LANE_GUARD_SECTORS: u64 = 2048;
+
+/// One generated tenant in a placement mix: a workload category, an event
+/// count, and a generator seed.
+///
+/// Parses from `<workload>:<events>:<seed>` (workload names are matched
+/// case-insensitively), e.g. `Database:3000:7`.
+///
+/// # Examples
+///
+/// ```
+/// use iotrace::mix::TenantSpec;
+/// let spec: TenantSpec = "Database:1000:7".parse().unwrap();
+/// assert_eq!(spec.events, 1000);
+/// let t = spec.generate("t0:Database");
+/// assert_eq!(t.len(), 1000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// The workload category to generate.
+    pub kind: WorkloadKind,
+    /// Number of events to generate.
+    pub events: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl TenantSpec {
+    /// Generates the tenant's trace under the given name (tenant names must
+    /// be unique within a mix — downstream caches key traces by name).
+    pub fn generate(&self, name: impl Into<String>) -> Trace {
+        let t = self.kind.spec().generate(self.events, self.seed);
+        Trace::from_events(name, t.events().to_vec())
+    }
+}
+
+impl FromStr for TenantSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() != 3 {
+            return Err(format!(
+                "tenant spec {s:?} is not <workload>:<events>:<seed>"
+            ));
+        }
+        let kind = WorkloadKind::from_str(parts[0]).map_err(|e| e.to_string())?;
+        let events: usize = parts[1]
+            .parse()
+            .map_err(|e| format!("bad event count in {s:?}: {e}"))?;
+        if events == 0 {
+            return Err(format!("tenant spec {s:?} has zero events"));
+        }
+        let seed: u64 = parts[2]
+            .parse()
+            .map_err(|e| format!("bad seed in {s:?}: {e}"))?;
+        Ok(TenantSpec { kind, events, seed })
+    }
+}
+
+/// Merges tenant traces onto one timeline with disjoint per-tenant LBA
+/// lanes, returning the merged trace and the ascending lane start offsets
+/// (one per tenant, in input order).
+///
+/// Tenant `i`'s events keep their timestamps and sizes; their LBAs are
+/// shifted by a cumulative base so tenant address ranges never overlap,
+/// with a [`LANE_GUARD_SECTORS`] guard band between neighbours. Feeding the
+/// returned starts to the simulator's lane accounting attributes each
+/// request back to its tenant.
+///
+/// # Examples
+///
+/// ```
+/// use iotrace::{OpKind, Trace, TraceEvent};
+/// use iotrace::mix::merge_partitioned;
+/// let a = Trace::from_events("a", vec![TraceEvent::new(0, 10, 512, OpKind::Read)]);
+/// let b = Trace::from_events("b", vec![TraceEvent::new(5, 0, 512, OpKind::Write)]);
+/// let (merged, starts) = merge_partitioned("ab", &[&a, &b]);
+/// assert_eq!(merged.len(), 2);
+/// assert_eq!(starts, vec![0, 10 + 1 + 2048]);
+/// ```
+pub fn merge_partitioned(name: impl Into<String>, tenants: &[&Trace]) -> (Trace, Vec<u64>) {
+    let mut events = Vec::with_capacity(tenants.iter().map(|t| t.len()).sum());
+    let mut starts = Vec::with_capacity(tenants.len());
+    let mut base = 0u64;
+    for t in tenants {
+        starts.push(base);
+        let span = t
+            .events()
+            .iter()
+            .map(TraceEvent::end_lba)
+            .max()
+            .unwrap_or(0);
+        for e in t.events() {
+            events.push(TraceEvent::new(
+                e.timestamp_ns,
+                base + e.lba,
+                e.size_bytes,
+                e.op,
+            ));
+        }
+        base += span + LANE_GUARD_SECTORS;
+    }
+    (Trace::from_events(name, events), starts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::OpKind;
+
+    #[test]
+    fn tenant_spec_parses_and_rejects() {
+        let s: TenantSpec = "webSEARCH:500:3".parse().unwrap();
+        assert_eq!(s.kind, WorkloadKind::WebSearch);
+        assert_eq!((s.events, s.seed), (500, 3));
+        assert!("Database:500".parse::<TenantSpec>().is_err());
+        assert!("NotAWorkload:500:3".parse::<TenantSpec>().is_err());
+        assert!("Database:0:3".parse::<TenantSpec>().is_err());
+        assert!("Database:x:3".parse::<TenantSpec>().is_err());
+        assert!("/tmp/trace.csv".parse::<TenantSpec>().is_err());
+    }
+
+    #[test]
+    fn generated_tenant_carries_its_name() {
+        let spec: TenantSpec = "Database:200:9".parse().unwrap();
+        let t = spec.generate("t3:Database");
+        assert_eq!(t.name(), "t3:Database");
+        assert_eq!(t.len(), 200);
+        // Same spec, same events regardless of name.
+        let u = spec.generate("other");
+        assert_eq!(t.events(), u.events());
+    }
+
+    #[test]
+    fn partitioned_merge_lanes_are_disjoint() {
+        let a = Trace::from_events(
+            "a",
+            vec![
+                TraceEvent::new(0, 100, 4096, OpKind::Read),
+                TraceEvent::new(50, 0, 512, OpKind::Write),
+            ],
+        );
+        let b = Trace::from_events("b", vec![TraceEvent::new(25, 7, 1024, OpKind::Read)]);
+        let (merged, starts) = merge_partitioned("mix", &[&a, &b]);
+        assert_eq!(starts.len(), 2);
+        assert_eq!(starts[0], 0);
+        // Lane 1 starts past a's max end LBA plus the guard band.
+        assert_eq!(starts[1], 100 + 8 + LANE_GUARD_SECTORS);
+        // Events interleave in time order.
+        let times: Vec<u64> = merged.events().iter().map(|e| e.timestamp_ns).collect();
+        assert_eq!(times, vec![0, 25, 50]);
+        // Every event's LBA falls inside its tenant's lane.
+        assert!(merged.events()[1].lba >= starts[1]);
+        assert!(merged.events()[0].lba < starts[1]);
+        assert!(merged.events()[2].lba < starts[1]);
+    }
+
+    #[test]
+    fn single_tenant_merge_is_identity_offsets() {
+        let a = Trace::from_events("a", vec![TraceEvent::new(0, 42, 512, OpKind::Read)]);
+        let (merged, starts) = merge_partitioned("solo", &[&a]);
+        assert_eq!(starts, vec![0]);
+        assert_eq!(merged.events()[0].lba, 42);
+    }
+}

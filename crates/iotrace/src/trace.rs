@@ -210,26 +210,8 @@ impl Trace {
 /// assert!(merged.events()[1].lba > merged.events()[0].lba);
 /// ```
 pub fn merge_traces(name: impl Into<String>, tenants: &[Trace]) -> Trace {
-    let mut events = Vec::with_capacity(tenants.iter().map(Trace::len).sum());
-    let mut base = 0u64;
-    for t in tenants {
-        let span = t
-            .events()
-            .iter()
-            .map(TraceEvent::end_lba)
-            .max()
-            .unwrap_or(0);
-        for e in t {
-            events.push(TraceEvent::new(
-                e.timestamp_ns,
-                base + e.lba,
-                e.size_bytes,
-                e.op,
-            ));
-        }
-        base += span + 2048; // separate tenants by a 1 MiB guard band
-    }
-    Trace::from_events(name, events)
+    let refs: Vec<&Trace> = tenants.iter().collect();
+    crate::mix::merge_partitioned(name, &refs).0
 }
 
 impl<'a> IntoIterator for &'a Trace {

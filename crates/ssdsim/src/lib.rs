@@ -46,6 +46,6 @@ pub mod report;
 pub mod sim;
 
 pub use config::{FlashTechnology, Interface, SsdConfig};
-pub use observe::{BottleneckReport, DeviceSample, DeviceSeries};
+pub use observe::{BottleneckReport, DeviceSample, DeviceSeries, LaneReport, TenantLanes};
 pub use report::SimReport;
 pub use sim::{RunScratch, Simulator};

@@ -2,51 +2,109 @@
 # Staged offline CI gate.
 #
 # Runs every stage even after a failure and prints a PASS/FAIL/SKIP summary
-# table at the end; exits non-zero if any stage failed. No network access is
-# assumed anywhere — every dependency is a vendored in-repo shim (see
-# vendor/), so all cargo invocations run with --offline.
+# table — with per-stage wall-clock times — at the end; exits non-zero if any
+# stage failed. No network access is assumed anywhere — every dependency is a
+# vendored in-repo shim (see vendor/), so all cargo invocations run with
+# --offline.
 #
 # Usage:
-#   scripts/ci.sh            full gate (fmt, builds, tests, clippy, doc, smoke)
-#   scripts/ci.sh --quick    debug build + tests only
+#   scripts/ci.sh                    full gate (fmt, builds, tests, clippy,
+#                                    doc, smoke stages)
+#   scripts/ci.sh --quick            debug build + tests only
+#   scripts/ci.sh --stages a,b,c     run only the named stages; everything
+#                                    else is recorded as SKIP. Stage names are
+#                                    the ones printed in the summary table.
 set -uo pipefail
 cd "$(dirname "$0")/.."
+ROOT=$(pwd)
+
+ALL_STAGES="fmt build-debug build-release test clippy doc telemetry-smoke \
+regression-gate explain-smoke resume-smoke bo-throughput-smoke place-smoke \
+bench-smoke"
 
 QUICK=0
-if [[ "${1:-}" == "--quick" ]]; then
-    QUICK=1
+STAGES=""
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --quick) QUICK=1 ;;
+        --stages)
+            STAGES="${2:-}"
+            shift
+            ;;
+        --stages=*) STAGES="${1#--stages=}" ;;
+        *)
+            echo "unknown argument: $1" >&2
+            echo "usage: scripts/ci.sh [--quick] [--stages a,b,c]" >&2
+            exit 2
+            ;;
+    esac
+    shift
+done
+if [[ -n "$STAGES" ]]; then
+    for s in ${STAGES//,/ }; do
+        if [[ " $ALL_STAGES " != *" $s "* ]]; then
+            echo "unknown stage '$s'; known stages: ${ALL_STAGES//  / }" >&2
+            exit 2
+        fi
+    done
 fi
 
 STAGE_NAMES=()
 STAGE_RESULTS=()
+STAGE_TIMES=()
 FAILED=0
 
-record() { # name result
+# Is this stage in the --stages selection (or is there no selection)?
+want() { # name
+    [[ -z "$STAGES" ]] || [[ ",$STAGES," == *",$1,"* ]]
+}
+
+record() { # name result time
     STAGE_NAMES+=("$1")
     STAGE_RESULTS+=("$2")
+    STAGE_TIMES+=("${3:--}")
     if [[ "$2" == FAIL ]]; then
         FAILED=1
     fi
 }
 
+skip() { # name reason
+    echo "==> $1: $2; skipping"
+    record "$1" SKIP -
+}
+
+# Runs one stage under a wall-clock stopwatch. Deselected stages (via
+# --stages) are recorded as SKIP without running anything.
 run_stage() { # name command...
     local name=$1
     shift
+    if ! want "$name"; then
+        skip "$name" "not in --stages selection"
+        return 0
+    fi
     echo "==> ${name}: $*"
-    if "$@"; then
-        record "$name" PASS
+    local t0 t1 rc
+    t0=$(date +%s%N)
+    "$@"
+    rc=$?
+    t1=$(date +%s%N)
+    local secs
+    secs=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.1fs", (b - a) / 1e9 }')
+    if [[ $rc -eq 0 ]]; then
+        record "$name" PASS "$secs"
     else
-        record "$name" FAIL
+        record "$name" FAIL "$secs"
     fi
 }
 
 # --- Stage: rustfmt (skipped when the component is not installed) ---------
 if [[ $QUICK -eq 0 ]]; then
-    if cargo fmt --version >/dev/null 2>&1; then
+    if ! want fmt; then
+        skip "fmt" "not in --stages selection"
+    elif cargo fmt --version >/dev/null 2>&1; then
         run_stage "fmt" cargo fmt --all -- --check
     else
-        echo "==> fmt: rustfmt not installed; skipping"
-        record "fmt" SKIP
+        skip "fmt" "rustfmt not installed"
     fi
 fi
 
@@ -61,11 +119,12 @@ run_stage "test" cargo test -q --offline --workspace
 
 if [[ $QUICK -eq 0 ]]; then
     # --- Stage: clippy ----------------------------------------------------
-    if cargo clippy --version >/dev/null 2>&1; then
+    if ! want clippy; then
+        skip "clippy" "not in --stages selection"
+    elif cargo clippy --version >/dev/null 2>&1; then
         run_stage "clippy" cargo clippy --offline --workspace --all-targets -- -D warnings
     else
-        echo "==> clippy: not installed; skipping"
-        record "clippy" SKIP
+        skip "clippy" "not installed"
     fi
 
     # --- Stage: docs (warnings are errors) --------------------------------
@@ -90,8 +149,7 @@ if [[ $QUICK -eq 0 ]]; then
     if [[ -x ./target/release/autoblox ]]; then
         run_stage "telemetry-smoke" telemetry_smoke
     else
-        echo "==> telemetry-smoke: release binary missing (build failed?); skipping"
-        record "telemetry-smoke" SKIP
+        skip "telemetry-smoke" "release binary missing (build failed?)"
     fi
 
     # --- Stage: regression gate -------------------------------------------
@@ -115,13 +173,12 @@ if [[ $QUICK -eq 0 ]]; then
         return $rc
     }
     if [[ ! -x ./target/release/autoblox ]]; then
-        echo "==> regression-gate: release binary missing (build failed?); skipping"
-        record "regression-gate" SKIP
+        skip "regression-gate" "release binary missing (build failed?)"
     elif [[ ! -f "$GOLDEN" ]]; then
         echo "==> regression-gate: golden report $GOLDEN absent; skipping"
         echo "    (regenerate with: AUTOBLOX_THREADS=1 autoblox tune database" \
              "--iterations 3 --events 300 --telemetry $GOLDEN)"
-        record "regression-gate" SKIP
+        record "regression-gate" SKIP -
     else
         run_stage "regression-gate" regression_gate
     fi
@@ -158,8 +215,7 @@ if [[ $QUICK -eq 0 ]]; then
     if [[ -x ./target/release/autoblox ]]; then
         run_stage "explain-smoke" explain_smoke
     else
-        echo "==> explain-smoke: release binary missing (build failed?); skipping"
-        record "explain-smoke" SKIP
+        skip "explain-smoke" "release binary missing (build failed?)"
     fi
 
     # --- Stage: resume smoke ----------------------------------------------
@@ -215,8 +271,7 @@ if [[ $QUICK -eq 0 ]]; then
     if [[ -x ./target/release/autoblox ]]; then
         run_stage "resume-smoke" resume_smoke
     else
-        echo "==> resume-smoke: release binary missing (build failed?); skipping"
-        record "resume-smoke" SKIP
+        skip "resume-smoke" "release binary missing (build failed?)"
     fi
 
     # --- Stage: BO-throughput smoke ---------------------------------------
@@ -255,19 +310,94 @@ if [[ $QUICK -eq 0 ]]; then
     if [[ -x ./target/release/autoblox ]]; then
         run_stage "bo-throughput-smoke" bo_throughput_smoke
     else
-        echo "==> bo-throughput-smoke: release binary missing (build failed?); skipping"
-        record "bo-throughput-smoke" SKIP
+        skip "bo-throughput-smoke" "release binary missing (build failed?)"
     fi
+
+    # --- Stage: placement smoke -------------------------------------------
+    # Fleet placement must be deterministic at any thread count: `place` on a
+    # pinned 4-tenant mix over 2 devices must emit byte-identical
+    # PlacementReports at 1 and 4 threads (the report deliberately carries no
+    # wall-clock or thread-count fields), and the single-threaded run's
+    # telemetry must diff clean against the placement golden with only
+    # wall-clock metrics ignored — simulator-run counts, cache hit rate,
+    # latency tails, and bottleneck fractions are all pinned by the seeds.
+    PLACE_GOLDEN=scripts/golden/placement-smoke.json
+    PLACE_MIX="Database:1500:11,WebSearch:1500:11,KVStore:1500:11,BatchAnalytics:1500:11"
+    place_smoke() {
+        local dir rc
+        dir=$(mktemp -d /tmp/autoblox-ci-place.XXXXXX) || return 1
+        AUTOBLOX_THREADS=1 ./target/release/autoblox place --devices 2 \
+            --traces "$PLACE_MIX" --json "$dir/p1.json" --telemetry "$dir/tel.json" \
+            >/dev/null || { rm -rf "$dir"; return 1; }
+        AUTOBLOX_THREADS=4 ./target/release/autoblox place --devices 2 \
+            --traces "$PLACE_MIX" --json "$dir/p4.json" \
+            >/dev/null || { rm -rf "$dir"; return 1; }
+        cmp -s "$dir/p1.json" "$dir/p4.json" \
+            || { echo "placement reports differ between 1 and 4 threads"; \
+                 rm -rf "$dir"; return 1; }
+        ./target/release/autoblox report diff "$PLACE_GOLDEN" "$dir/tel.json" \
+            --ignore-time >/dev/null
+        rc=$?
+        [[ $rc -eq 0 ]] || echo "placement telemetry drifted from the golden"
+        rm -rf "$dir"
+        return $rc
+    }
+    if [[ ! -x ./target/release/autoblox ]]; then
+        skip "place-smoke" "release binary missing (build failed?)"
+    elif [[ ! -f "$PLACE_GOLDEN" ]]; then
+        echo "==> place-smoke: golden report $PLACE_GOLDEN absent; skipping"
+        echo "    (regenerate with: AUTOBLOX_THREADS=1 autoblox place --devices 2" \
+             "--traces $PLACE_MIX --telemetry $PLACE_GOLDEN)"
+        record "place-smoke" SKIP -
+    else
+        run_stage "place-smoke" place_smoke
+    fi
+
+    # --- Stage: bench smoke -----------------------------------------------
+    # Every benchmark binary must run end to end in `--check` mode (smallest
+    # sweep, one repetition) and emit a BENCH_*.json that validates against
+    # its own schema — each binary re-reads what it wrote and exits non-zero
+    # on a missing or malformed key. Runs from a temp dir so checked-in
+    # BENCH_*.json files at the repo root are never clobbered.
+    bench_smoke() {
+        local dir bin out rc=0
+        dir=$(mktemp -d /tmp/autoblox-ci-bench.XXXXXX) || return 1
+        for bin in bench_bo_throughput bench_parallel_validation \
+                   bench_device_sampling bench_telemetry_overhead \
+                   bench_tracing_overhead; do
+            if [[ ! -x "$ROOT/target/release/$bin" ]]; then
+                echo "release binary $bin missing"
+                rc=1
+                continue
+            fi
+            if ! (cd "$dir" && "$ROOT/target/release/$bin" --check \
+                    >/dev/null 2>"$dir/$bin.err"); then
+                echo "$bin --check failed:"
+                tail -5 "$dir/$bin.err"
+                rc=1
+                continue
+            fi
+            out="$dir/BENCH_${bin#bench_}.json"
+            if [[ ! -f "$out" ]]; then
+                echo "$bin --check did not write ${out##*/}"
+                rc=1
+            fi
+        done
+        rm -rf "$dir"
+        return $rc
+    }
+    run_stage "bench-smoke" bench_smoke
 fi
 
 # --- Summary --------------------------------------------------------------
 echo
 echo "ci summary:"
-echo "  ----------------------------"
+echo "  -----------------------------------"
 for i in "${!STAGE_NAMES[@]}"; do
-    printf "  %-18s %s\n" "${STAGE_NAMES[$i]}" "${STAGE_RESULTS[$i]}"
+    printf "  %-20s %-4s %8s\n" \
+        "${STAGE_NAMES[$i]}" "${STAGE_RESULTS[$i]}" "${STAGE_TIMES[$i]}"
 done
-echo "  ----------------------------"
+echo "  -----------------------------------"
 
 if [[ $FAILED -ne 0 ]]; then
     echo "ci FAILED"
