@@ -9,13 +9,18 @@
 //!               [--interface nvme|sata] [--flash slc|mlc|tlc] [--power W]
 //!               [--speculate K] [--telemetry out.json] [--journal out.jsonl]
 //!               [--checkpoint dir/] [--checkpoint-every N] [--resume]
-//!               [--stop-after-iter N]
+//!               [--stop-after-iter N] [--db store.db] [--record]
 //! autoblox whatif <workload> --goal latency|throughput --factor F
 //!               [--telemetry out.json] [--journal out.jsonl]
+//!               [--db store.db] [--record]
 //! autoblox place --devices M --traces <spec|file>[,...] [--db store.db]
-//!               [--json out.json] [--alpha F] [--rounds N] [--no-classify]
-//!               [--capacity GIB] [--interface nvme|sata] [--flash slc|mlc|tlc]
-//!               [--power W] [--telemetry out.json] [--journal out.jsonl]
+//!               [--record] [--json out.json] [--alpha F] [--rounds N]
+//!               [--no-classify] [--capacity GIB] [--interface nvme|sata]
+//!               [--flash slc|mlc|tlc] [--power W] [--telemetry out.json]
+//!               [--journal out.jsonl]
+//! autoblox runs list [--db store.db] [--json]
+//! autoblox runs show <run-key> [--db store.db] [--json]
+//! autoblox watch <journal.jsonl> [--replay] [--json] [--interval-ms N]
 //! autoblox telemetry-check <report.json>
 //! autoblox checkpoint inspect <checkpoint.json> [--json]
 //! autoblox explain <telemetry.json> [--json]
@@ -26,7 +31,15 @@
 //!               [--max-hit-rate-drop F] [--max-sim-time-increase F]
 //!               [--max-tail-shift F] [--max-bottleneck-shift F]
 //!               [--ignore <metric>]...
+//! autoblox report trend [--db store.db] [--window N] [--category C]
+//!               [--max-grade-drop F] [--max-run-inflation F]
+//!               [--max-bottleneck-shift F] [--json]
 //! ```
+//!
+//! A `tune`/`whatif`/`place` invocation with `--db` (or the opt-in
+//! `--record`, which uses the default store `autoblox.db`) registers a
+//! compact run summary under `run:<category>:<seq>` — the persistent
+//! history `runs list/show` queries and `report trend` judges.
 //!
 //! Trace files are auto-detected by extension when the format argument is
 //! omitted (`.csv`, `.blk`, `.msr`).
@@ -101,15 +114,22 @@ fn usage() -> ExitCode {
          \x20          [--interface nvme|sata] [--flash slc|mlc|tlc] [--power W]\n\
          \x20          [--speculate K] [--telemetry out.json] [--journal out.jsonl]\n\
          \x20          [--checkpoint dir/] [--checkpoint-every N] [--resume]\n\
-         \x20          [--stop-after-iter N]\n\
+         \x20          [--stop-after-iter N] [--db store.db] [--record]\n\
          \x20 whatif   <workload> --goal latency|throughput --factor F\n\
          \x20          [--telemetry out.json] [--journal out.jsonl]\n\
+         \x20          [--db store.db] [--record]\n\
          \x20 place    --devices M --traces <spec|file>[,...]  consolidate tenant workloads\n\
-         \x20          [--db store.db] [--json out.json]       onto M virtual devices\n\
+         \x20          [--db store.db] [--record]              onto M virtual devices\n\
+         \x20          [--json out.json]\n\
          \x20          [--alpha F] [--rounds N] [--no-classify]\n\
          \x20          [--capacity GIB] [--interface nvme|sata] [--flash slc|mlc|tlc]\n\
          \x20          [--power W] [--telemetry out.json] [--journal out.jsonl]\n\
-         \x20          (a trace spec is <workload>:<events>:<seed>)\n\
+         \x20          (a trace spec is <workload>:<events>:<seed>;\n\
+         \x20           --db/--record also register a run summary in the registry)\n\
+         \x20 runs     list [--db store.db] [--json]           browse the run registry\n\
+         \x20 runs     show <run-key> [--db store.db] [--json] one recorded run in full\n\
+         \x20 watch    <journal.jsonl> [--replay] [--json]     live progress dashboard over\n\
+         \x20          [--interval-ms N]                       a streaming run journal\n\
          \x20 telemetry-check <report.json>                   validate a telemetry report\n\
          \x20 checkpoint inspect <checkpoint.json> [--json]   summarize a tuning checkpoint\n\
          \x20 explain  <telemetry.json> [--json]              bottleneck fingerprint of a run\n\
@@ -123,13 +143,17 @@ fn usage() -> ExitCode {
          \x20          [--max-validation-increase F] [--max-hit-rate-drop F]\n\
          \x20          [--max-sim-time-increase F] [--max-tail-shift F]\n\
          \x20          [--max-bottleneck-shift F] [--ignore <metric>]...\n\
+         \x20 report   trend [--db store.db] [--window N]      judge the newest recorded run\n\
+         \x20          [--category C] [--max-grade-drop F]     against the registry's recent\n\
+         \x20          [--max-run-inflation F]                 history (exit 3 on drift)\n\
+         \x20          [--max-bottleneck-shift F] [--json]\n\
          \n\
          exit codes:\n\
          \x20 0  success\n\
          \x20 1  runtime failure\n\
-         \x20 2  usage error (missing operands, bad flag values, zero device budget)\n\
-         \x20    or a malformed/unreadable input file\n\
-         \x20 3  `report diff` found a regression\n\
+         \x20 2  usage error (missing operands, bad flag values, zero device budget,\n\
+         \x20    malformed run keys) or a malformed/unreadable input file\n\
+         \x20 3  `report diff` found a regression / `report trend` found drift\n\
          \n\
          workloads: {}",
         WorkloadKind::STUDIED
@@ -476,7 +500,9 @@ fn cmd_trace(args: &[String]) -> Result<(), CliError> {
         return Err("trace needs: export --chrome|--csv <journal.jsonl> <out-file>".into());
     };
     if sub != "export" {
-        return Err(format!("unknown trace subcommand {sub:?} (expected `export`)").into());
+        return Err(CliError::Usage(format!(
+            "unknown trace subcommand {sub:?} (expected `export`)"
+        )));
     }
     let [flag, journal_path, out_path] = rest else {
         return Err("trace export needs: --chrome|--csv <journal.jsonl> <out-file>".into());
@@ -503,26 +529,35 @@ fn cmd_trace(args: &[String]) -> Result<(), CliError> {
             );
         }
         other => {
-            return Err(format!(
+            return Err(CliError::Usage(format!(
                 "unknown trace export format {other:?} (expected `--chrome` or `--csv`)"
-            )
-            .into())
+            )))
         }
     }
     Ok(())
 }
 
-/// Exit code returned by `report diff` when a checked metric regressed
-/// (distinct from `1` = usage/parse error so CI can tell them apart).
+/// Exit code returned by `report diff` on regression and `report trend`
+/// on drift (distinct from `1` = usage/parse error so CI can tell them
+/// apart).
 const EXIT_REGRESSION: u8 = 3;
 
 fn cmd_report(args: &[String]) -> Result<ExitCode, CliError> {
     let [sub, rest @ ..] = args else {
-        return Err("report needs: diff <baseline.json> <candidate.json> [flags]".into());
+        return Err(
+            "report needs: diff <baseline.json> <candidate.json> [flags] or trend [flags]".into(),
+        );
     };
-    if sub != "diff" {
-        return Err(format!("unknown report subcommand {sub:?} (expected `diff`)").into());
+    match sub.as_str() {
+        "diff" => cmd_report_diff(rest),
+        "trend" => cmd_report_trend(rest),
+        other => Err(CliError::Usage(format!(
+            "unknown report subcommand {other:?} (expected `diff` or `trend`)"
+        ))),
     }
+}
+
+fn cmd_report_diff(rest: &[String]) -> Result<ExitCode, CliError> {
     let [baseline_path, candidate_path, flags @ ..] = rest else {
         return Err("report diff needs <baseline.json> <candidate.json>".into());
     };
@@ -598,6 +633,383 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, CliError> {
     }
 }
 
+/// Default AutoDB store used by `--record` (and by `runs`/`report trend`
+/// when `--db` is omitted) so the zero-config path "record a few runs,
+/// then ask about them" works without threading a path around.
+const DEFAULT_RUN_STORE: &str = "autoblox.db";
+
+/// Opens an existing run-registry store. `Store::open` would create the
+/// file, which is never what a read-only query wants — a missing registry
+/// is an input error, not an empty history.
+fn open_run_store(db_path: &str) -> Result<autodb::Store, CliError> {
+    if !std::path::Path::new(db_path).exists() {
+        return Err(CliError::Input(format!(
+            "no run registry at {db_path} (record runs with --db/--record first)"
+        )));
+    }
+    autodb::Store::open(db_path)
+        .map_err(|e| CliError::Input(format!("cannot open store {db_path}: {e}")))
+}
+
+fn cmd_report_trend(rest: &[String]) -> Result<ExitCode, CliError> {
+    let json_only = rest.iter().any(|a| a == "--json");
+    let db_path: String =
+        parse_flag(rest, "--db")?.unwrap_or_else(|| DEFAULT_RUN_STORE.to_string());
+    let defaults = autoblox::TrendThresholds::default();
+    let thresholds = autoblox::TrendThresholds {
+        window: parse_flag(rest, "--window")?.unwrap_or(defaults.window),
+        max_grade_drop: parse_flag(rest, "--max-grade-drop")?.unwrap_or(defaults.max_grade_drop),
+        max_run_inflation: parse_flag(rest, "--max-run-inflation")?
+            .unwrap_or(defaults.max_run_inflation),
+        max_bottleneck_shift: parse_flag(rest, "--max-bottleneck-shift")?
+            .unwrap_or(defaults.max_bottleneck_shift),
+    };
+    if thresholds.window < 2 {
+        return Err("--window must be at least 2 (a run needs history to drift from)".into());
+    }
+    let category: Option<String> = parse_flag(rest, "--category")?;
+    let db = open_run_store(&db_path)?;
+    let report = autoblox::trend(&db, &thresholds, category.as_deref()).map_err(CliError::Input)?;
+    // Machine-readable verdict to stdout; the human summary to stderr
+    // (suppressed by --json so scripted callers get a quiet channel).
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&serde_json::to_value(&report).map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?
+    );
+    if !json_only {
+        eprint!("{}", autoblox::obs::render_trend(&report));
+    }
+    if report.pass {
+        if !json_only {
+            eprintln!("verdict: PASS");
+        }
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("verdict: DRIFT ({})", report.drifts.join(", "));
+        Ok(ExitCode::from(EXIT_REGRESSION))
+    }
+}
+
+/// Opt-in run-registry recording for `tune`/`whatif`/`place`: `--db
+/// <store>` picks the store, bare `--record` uses [`DEFAULT_RUN_STORE`].
+/// Construction arms the telemetry switch (bottleneck shares come from
+/// the validator's simulator aggregate, which only accumulates under it);
+/// `record`/`record_with` write one [`autoblox::RunSummary`] when the
+/// command completes.
+struct RunRecorder {
+    db_path: Option<String>,
+    started: std::time::Instant,
+}
+
+impl RunRecorder {
+    fn from_args(args: &[String]) -> Result<RunRecorder, CliError> {
+        let db: Option<String> = parse_flag(args, "--db")?;
+        let db_path = match (db, args.iter().any(|a| a == "--record")) {
+            (Some(path), _) => Some(path),
+            (None, true) => Some(DEFAULT_RUN_STORE.to_string()),
+            (None, false) => None,
+        };
+        if db_path.is_some() {
+            autoblox::telemetry::set_enabled(true);
+        }
+        Ok(RunRecorder {
+            db_path,
+            started: std::time::Instant::now(),
+        })
+    }
+
+    fn active(&self) -> bool {
+        self.db_path.is_some()
+    }
+
+    fn record(
+        &self,
+        command: &str,
+        category: &str,
+        seed: u64,
+        best_grade: f64,
+        iterations: u64,
+        validator: &Validator,
+    ) -> Result<(), CliError> {
+        let Some(path) = &self.db_path else {
+            return Ok(());
+        };
+        let db = autodb::Store::open(path)
+            .map_err(|e| CliError::Input(format!("cannot open store {path}: {e}")))?;
+        self.record_with(
+            &db, command, category, seed, best_grade, iterations, validator,
+        )
+    }
+
+    /// Records into an already-open store handle (`place` shares its
+    /// recall store rather than opening a second appender on one file).
+    #[allow(clippy::too_many_arguments)]
+    fn record_with(
+        &self,
+        db: &autodb::Store,
+        command: &str,
+        category: &str,
+        seed: u64,
+        best_grade: f64,
+        iterations: u64,
+        validator: &Validator,
+    ) -> Result<(), CliError> {
+        let summary = autoblox::RunSummary {
+            schema: autoblox::obs::RUNS_SCHEMA.to_string(),
+            command: command.to_string(),
+            category: category.to_string(),
+            seed,
+            best_grade,
+            iterations,
+            simulator_runs: validator.simulator_runs(),
+            bottleneck: validator.stats().sim.bottleneck(),
+            threads: autoblox::parallel::max_threads() as u64,
+            wall_ns: self.started.elapsed().as_nanos() as u64,
+        };
+        let key = autoblox::record_run(db, &summary).map_err(CliError::Other)?;
+        eprintln!("run recorded as {key}");
+        Ok(())
+    }
+}
+
+fn cmd_runs(args: &[String]) -> Result<(), CliError> {
+    let [sub, rest @ ..] = args else {
+        return Err(
+            "runs needs: list [--db store.db] [--json] or show <run-key> [--db] [--json]".into(),
+        );
+    };
+    let json_out = rest.iter().any(|a| a == "--json");
+    let db_path: String =
+        parse_flag(rest, "--db")?.unwrap_or_else(|| DEFAULT_RUN_STORE.to_string());
+    match sub.as_str() {
+        "list" => {
+            let db = open_run_store(&db_path)?;
+            let runs = autoblox::obs::list_runs(&db).map_err(CliError::Input)?;
+            if json_out {
+                // The JSON listing emits fingerprints (host-varying fields
+                // stripped) so diffing two listings compares substance.
+                let entries: Vec<serde_json::Value> = runs
+                    .iter()
+                    .map(|(key, summary)| {
+                        let mut value = summary.fingerprint();
+                        if let serde_json::Value::Object(map) = &mut value {
+                            map.insert("key".to_string(), serde_json::json!(key));
+                        }
+                        value
+                    })
+                    .collect();
+                let doc = serde_json::json!({
+                    "schema": autoblox::obs::RUNS_SCHEMA,
+                    "runs": entries,
+                });
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?
+                );
+            } else {
+                print!("{}", autoblox::obs::render_runs(&runs));
+            }
+        }
+        "show" => {
+            let mut positional: Vec<&String> = Vec::new();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--json" => i += 1,
+                    "--db" => i += 2,
+                    _ => {
+                        positional.push(&rest[i]);
+                        i += 1;
+                    }
+                }
+            }
+            let [key] = positional.as_slice() else {
+                return Err("runs show needs <run-key> [--db store.db] [--json]".into());
+            };
+            // Malformed keys are usage errors (exit 2) before any I/O.
+            autoblox::obs::parse_run_key(key).map_err(CliError::Usage)?;
+            let db = open_run_store(&db_path)?;
+            let summary: autoblox::RunSummary = db
+                .get_record(key)
+                .map_err(|e| CliError::Input(format!("{key}: {e}")))?
+                .ok_or_else(|| CliError::Input(format!("no run {key} in {db_path}")))?;
+            if json_out {
+                let mut value = serde_json::to_value(&summary).map_err(|e| e.to_string())?;
+                if let serde_json::Value::Object(map) = &mut value {
+                    map.insert("key".to_string(), serde_json::json!(key.as_str()));
+                }
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&value).map_err(|e| e.to_string())?
+                );
+            } else {
+                print!(
+                    "{}",
+                    autoblox::obs::render_runs(&[(key.to_string(), summary)])
+                );
+            }
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown runs subcommand {other:?} (expected `list` or `show`)"
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn cmd_watch(args: &[String]) -> Result<(), CliError> {
+    let json_out = args.iter().any(|a| a == "--json");
+    let replay = args.iter().any(|a| a == "--replay");
+    let interval_ms: u64 = parse_flag(args, "--interval-ms")?.unwrap_or(250);
+    let mut positional: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" | "--replay" => i += 1,
+            "--interval-ms" => i += 2,
+            other if other.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown watch flag {other:?}")));
+            }
+            _ => {
+                positional.push(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    let [path] = positional.as_slice() else {
+        return Err("watch needs <journal.jsonl> [--replay] [--json] [--interval-ms N]".into());
+    };
+    if replay {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Input(format!("cannot read {path}: {e}")))?;
+        let mut state = autoblox::WatchState::new();
+        for line in text.lines() {
+            state.ingest(line);
+        }
+        check_watch_schema(path, &state)?;
+        if state.counts().total() == 0 {
+            return Err(CliError::Input(format!(
+                "{path}: no journal lines recognized"
+            )));
+        }
+        if state.counts().skipped > 0 {
+            eprintln!(
+                "warning: {path}: {} malformed line(s) skipped",
+                state.counts().skipped
+            );
+        }
+        if json_out {
+            // Timing excluded: the replay snapshot is a fingerprint, and
+            // byte-comparing it across hosts/thread counts is the point.
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&state.snapshot(false)).map_err(|e| e.to_string())?
+            );
+        } else {
+            print!("{}", state.render());
+        }
+        return Ok(());
+    }
+    // Live mode: poll the file for appended bytes (no notify dependency),
+    // carrying partial trailing lines until the writer finishes them.
+    use std::io::Read as _;
+    let interval = std::time::Duration::from_millis(interval_ms.max(20));
+    let mut state = autoblox::WatchState::new();
+    let mut carry = String::new();
+    let mut file: Option<File> = None;
+    let mut announced_wait = false;
+    let mut opened_ino: u64 = 0;
+    let mut consumed: u64 = 0;
+    loop {
+        // A producer that truncates or replaces the journal leaves the old
+        // handle stalled at its EOF forever; detect that and start over on
+        // the new file.
+        if file.is_some() {
+            match journal_identity(path) {
+                Some((ino, len)) if ino == opened_ino && len >= consumed => {}
+                _ => {
+                    eprintln!("{path}: journal truncated or replaced; restarting watch");
+                    file = None;
+                    state = autoblox::WatchState::new();
+                    carry.clear();
+                    consumed = 0;
+                }
+            }
+        }
+        if file.is_none() {
+            match File::open(path) {
+                Ok(f) => {
+                    opened_ino = journal_identity(path).map(|(ino, _)| ino).unwrap_or(0);
+                    file = Some(f);
+                }
+                Err(_) if !announced_wait => {
+                    eprintln!("waiting for {path} to appear ...");
+                    announced_wait = true;
+                }
+                Err(_) => {}
+            }
+        }
+        if let Some(f) = &mut file {
+            // The handle keeps its offset, so each pass reads only what the
+            // producer appended since the previous tick.
+            let mut fresh = String::new();
+            f.read_to_string(&mut fresh)
+                .map_err(|e| CliError::Other(format!("read error on {path}: {e}")))?;
+            if !fresh.is_empty() {
+                consumed += fresh.len() as u64;
+                carry.push_str(&fresh);
+                while let Some(end) = carry.find('\n') {
+                    let line: String = carry[..end].to_string();
+                    state.ingest(&line);
+                    carry.drain(..=end);
+                }
+            }
+            check_watch_schema(path, &state)?;
+            if json_out {
+                // One compact snapshot per tick: a machine-readable ticker.
+                println!(
+                    "{}",
+                    serde_json::to_string(&state.snapshot(true)).map_err(|e| e.to_string())?
+                );
+            } else {
+                eprint!("\r\x1b[2K{}", state.status_line());
+            }
+            if state.summary_seen() {
+                if !json_out {
+                    eprintln!();
+                }
+                return Ok(());
+            }
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// Identity (inode, length) of the journal at `path`, for the live
+/// watcher's rotation/truncation detection.
+fn journal_identity(path: &str) -> Option<(u64, u64)> {
+    let md = std::fs::metadata(path).ok()?;
+    #[cfg(unix)]
+    let ino = std::os::unix::fs::MetadataExt::ino(&md);
+    #[cfg(not(unix))]
+    let ino = 0;
+    Some((ino, md.len()))
+}
+
+/// A journal from a different (or missing) schema family is an input
+/// error: silently rendering zeros would look like a stalled run.
+fn check_watch_schema(path: &str, state: &autoblox::WatchState) -> Result<(), CliError> {
+    if state.schema_ok() {
+        return Ok(());
+    }
+    Err(CliError::Input(format!(
+        "{path}: unknown journal schema {:?} (expected autoblox.journal.v*)",
+        state.journal_schema()
+    )))
+}
+
 fn constraints_from(args: &[String]) -> Result<Constraints, CliError> {
     let capacity: u64 = parse_flag(args, "--capacity")?.unwrap_or(512);
     let power: f64 = parse_flag(args, "--power")?.unwrap_or(25.0);
@@ -658,6 +1070,7 @@ fn cmd_tune(args: &[String]) -> Result<(), CliError> {
         return Err("--resume and --stop-after-iter need --checkpoint <dir>".into());
     }
     let sinks = SinkConfig::from_args(rest)?;
+    let recorder = RunRecorder::from_args(rest)?;
     let validator = Validator::new(ValidatorOptions {
         trace_events,
         ..ValidatorOptions::default()
@@ -673,6 +1086,7 @@ fn cmd_tune(args: &[String]) -> Result<(), CliError> {
             .collect(),
         ..TunerOptions::default()
     };
+    let seed = opts.seed;
     let reference = reference_for(&constraints);
     let ckpt_path = match &checkpoint_dir {
         Some(dir) => {
@@ -768,6 +1182,16 @@ fn cmd_tune(args: &[String]) -> Result<(), CliError> {
         "{}",
         serde_json::to_string_pretty(&outcome.best.config).map_err(|e| e.to_string())?
     );
+    if recorder.active() {
+        recorder.record(
+            "tune",
+            kind.name(),
+            seed,
+            outcome.best.grade,
+            outcome.iterations as u64,
+            &validator,
+        )?;
+    }
     sinks.finish(&validator)?;
     Ok(())
 }
@@ -777,7 +1201,9 @@ fn cmd_checkpoint(args: &[String]) -> Result<(), CliError> {
         return Err("checkpoint needs: inspect <checkpoint.json> [--json]".into());
     };
     if sub != "inspect" {
-        return Err(format!("unknown checkpoint subcommand {sub:?} (expected `inspect`)").into());
+        return Err(CliError::Usage(format!(
+            "unknown checkpoint subcommand {sub:?} (expected `inspect`)"
+        )));
     }
     let json_out = rest.iter().any(|a| a == "--json");
     let positional: Vec<&String> = rest.iter().filter(|a| *a != "--json").collect();
@@ -821,6 +1247,7 @@ fn cmd_whatif(args: &[String]) -> Result<(), CliError> {
     let trace_events: usize =
         parse_flag(rest, "--events")?.unwrap_or(ValidatorOptions::default().trace_events);
     let sinks = SinkConfig::from_args(rest)?;
+    let recorder = RunRecorder::from_args(rest)?;
     let validator = Validator::new(ValidatorOptions {
         trace_events,
         ..ValidatorOptions::default()
@@ -849,6 +1276,16 @@ fn cmd_whatif(args: &[String]) -> Result<(), CliError> {
         "{}",
         serde_json::to_string_pretty(&out.tuning.best.config).map_err(|e| e.to_string())?
     );
+    if recorder.active() {
+        recorder.record(
+            "whatif",
+            kind.name(),
+            TunerOptions::default().seed,
+            out.tuning.best.grade,
+            out.tuning.iterations as u64,
+            &validator,
+        )?;
+    }
     sinks.finish(&validator)?;
     Ok(())
 }
@@ -898,6 +1335,7 @@ fn cmd_place(args: &[String]) -> Result<(), CliError> {
     let db_path: Option<String> = parse_flag(args, "--db")?;
     let no_classify = args.iter().any(|a| a == "--no-classify");
     let sinks = SinkConfig::from_args(args)?;
+    let recorder = RunRecorder::from_args(args)?;
 
     let db = match &db_path {
         Some(path) => Some(
@@ -985,6 +1423,31 @@ fn cmd_place(args: &[String]) -> Result<(), CliError> {
         eprintln!("placement report written to {path}");
     }
     println!("{json}");
+    if recorder.active() {
+        // Placement has no tuning grade: the registry gets the negated
+        // final placement cost so "higher is better" still holds for the
+        // trend gate's grade-drop rule.
+        let grade = -report.final_cost;
+        match &db {
+            Some(db) => recorder.record_with(
+                db,
+                "place",
+                "place",
+                opts.train_seed,
+                grade,
+                report.search_rounds,
+                &validator,
+            )?,
+            None => recorder.record(
+                "place",
+                "place",
+                opts.train_seed,
+                grade,
+                report.search_rounds,
+                &validator,
+            )?,
+        }
+    }
     sinks.finish(&validator)?;
     Ok(())
 }
@@ -995,8 +1458,9 @@ fn main() -> ExitCode {
         return usage();
     };
     let rest = &args[1..];
-    // `report diff` distinguishes "regression found" (exit 3) from plain
-    // success/failure, so it returns an ExitCode directly.
+    // `report diff`/`report trend` distinguish "regression/drift found"
+    // (exit 3) from plain success/failure, so they return an ExitCode
+    // directly.
     if command == "report" {
         return match cmd_report(rest) {
             Ok(code) => code,
@@ -1011,6 +1475,8 @@ fn main() -> ExitCode {
         "tune" => cmd_tune(rest),
         "whatif" => cmd_whatif(rest),
         "place" => cmd_place(rest),
+        "runs" => cmd_runs(rest),
+        "watch" => cmd_watch(rest),
         "telemetry-check" => cmd_telemetry_check(rest),
         "checkpoint" => cmd_checkpoint(rest),
         "explain" => cmd_explain(rest),

@@ -19,6 +19,9 @@
 //!   queue pressure cannot drop part of a series nondeterministically).
 //! - `bottleneck` — one simulator run's [`ssdsim::BottleneckReport`].
 //! - `checkpoint` — one tuner snapshot write or resume event.
+//! - `progress` — one driver progress estimate (phase, iteration, percent
+//!   complete, ETA); consumed by `autoblox watch` and, later, by a serving
+//!   daemon streaming the same records over a socket.
 //! - `summary` — last line; totals and drop counters.
 //!
 //! [`export_chrome`] converts a journal into the Chrome `about://tracing` /
@@ -44,6 +47,21 @@ const EVENT_QUEUE_CAP: usize = 1 << 14;
 
 /// How often the writer thread drains the buffers.
 const FLUSH_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Process-wide toggle for `progress` journal lines (default on). Exists so
+/// the journal-tail benchmark can measure the marginal cost of progress
+/// records against an otherwise identical journaled run.
+static PROGRESS_RECORDS: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables `progress` journal lines process-wide.
+pub fn set_progress_records(enabled: bool) {
+    PROGRESS_RECORDS.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether `progress` journal lines are currently enabled.
+pub fn progress_records_enabled() -> bool {
+    PROGRESS_RECORDS.load(Ordering::Relaxed)
+}
 
 /// The producer-facing half of a journal: a bounded in-memory event queue
 /// shared (via `Arc`) between the telemetry sink and the writer thread.
@@ -138,6 +156,35 @@ impl JournalHandle {
             "event": event,
             "iteration": iteration,
             "location": location,
+        }));
+    }
+
+    /// Streams one driver progress estimate. `percent` is a deterministic
+    /// function of the tuner phase and iteration counters (0.0 ..= 1.0);
+    /// `eta_ns` is a wall-clock extrapolation and therefore the one field
+    /// consumers must exclude from determinism fingerprints (it is zero
+    /// when the telemetry switch is off, since iteration timing is then
+    /// not collected).
+    pub fn record_progress(
+        &self,
+        workload: &str,
+        phase: &str,
+        iteration: u64,
+        total: u64,
+        percent: f64,
+        eta_ns: u64,
+    ) {
+        if !progress_records_enabled() {
+            return;
+        }
+        self.push(serde_json::json!({
+            "t": "progress",
+            "workload": workload,
+            "phase": phase,
+            "iteration": iteration,
+            "total": total,
+            "percent": percent,
+            "eta_ns": eta_ns,
         }));
     }
 
@@ -335,8 +382,11 @@ fn get_str<'v>(obj: &'v Value, key: &str) -> &'v str {
 }
 
 /// Converts a JSONL run journal into Chrome `about://tracing` / Perfetto
-/// trace JSON: spans become complete (`"X"`) duration events, iteration
-/// records become instant (`"i"`) events on the tuner track.
+/// trace JSON: spans and pipeline phases become complete (`"X"`) duration
+/// events (phases laid end-to-end on the pipeline track, so placement
+/// journals export their classify/search/attribute stages cleanly),
+/// iteration and progress records become instant (`"i"`) events on the
+/// tuner track.
 ///
 /// # Errors
 ///
@@ -344,6 +394,10 @@ fn get_str<'v>(obj: &'v Value, key: &str) -> &'v str {
 /// are ignored so newer journals still export.
 pub fn export_chrome(journal: &str) -> Result<String, String> {
     let mut events: Vec<Value> = Vec::new();
+    // Pipeline phases carry a duration but no start timestamp; lay them
+    // end-to-end on their own track so `place.classify` / `place.search` /
+    // `place.attribute` (and `tune`) render as a contiguous timeline.
+    let mut phase_clock_us = 0.0f64;
     for (lineno, line) in journal.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
@@ -410,7 +464,43 @@ pub fn export_chrome(journal: &str) -> Result<String, String> {
                     }),
                 }));
             }
-            // phase/summary/unknown tags carry no timeline position.
+            "phase" => {
+                let dur_us = get_u64(&v, "wall_ns") as f64 / 1_000.0;
+                events.push(serde_json::json!({
+                    "name": get_str(&v, "name"),
+                    "cat": "phase",
+                    "ph": "X",
+                    "ts": phase_clock_us,
+                    "dur": dur_us,
+                    "pid": 1,
+                    "tid": 0,
+                    "args": serde_json::json!({"wall_ns": get_u64(&v, "wall_ns")}),
+                }));
+                phase_clock_us += dur_us;
+            }
+            "progress" => {
+                // Same iteration-index anchoring as iteration records, offset
+                // half a tick so a progress marker sorts after the iteration
+                // that produced it.
+                let iter = get_u64(&v, "iteration");
+                events.push(serde_json::json!({
+                    "name": "tuner.progress",
+                    "cat": "progress",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": iter as f64 * 1_000.0 + 500.0,
+                    "pid": 1,
+                    "tid": 0,
+                    "args": serde_json::json!({
+                        "workload": get_str(&v, "workload"),
+                        "phase": get_str(&v, "phase"),
+                        "iteration": iter,
+                        "total": get_u64(&v, "total"),
+                        "percent": get_f64(&v, "percent"),
+                    }),
+                }));
+            }
+            // summary/unknown tags carry no timeline position.
             _ => {}
         }
     }
@@ -532,6 +622,44 @@ mod tests {
         assert_eq!(get_str(span, "ph"), "X");
         assert_eq!(get_str(span, "name"), "sim.run");
         assert_eq!(events[2].get("ph"), Some(&Value::Str("i".to_string())));
+    }
+
+    #[test]
+    fn export_chrome_lays_phases_end_to_end_and_anchors_progress() {
+        let journal = concat!(
+            r#"{"t":"meta","schema":"autoblox.journal.v1","threads":1,"argv":[]}"#,
+            "\n",
+            r#"{"t":"phase","name":"place.classify","wall_ns":2000}"#,
+            "\n",
+            r#"{"t":"phase","name":"place.search","wall_ns":3000}"#,
+            "\n",
+            r#"{"t":"progress","workload":"Database","phase":"iterating","iteration":3,"total":8,"percent":0.4375,"eta_ns":0}"#,
+            "\n",
+        );
+        let chrome = export_chrome(journal).expect("valid journal");
+        let doc: Value = serde_json::from_str(&chrome).expect("chrome JSON parses");
+        let Some(Value::Array(events)) = doc.get("traceEvents") else {
+            panic!("traceEvents array expected");
+        };
+        assert_eq!(events.len(), 4);
+        assert_eq!(get_str(&events[1], "name"), "place.classify");
+        assert_eq!(get_f64(&events[1], "ts"), 0.0);
+        assert_eq!(get_str(&events[2], "name"), "place.search");
+        // Second phase starts where the first ended (2000 ns = 2 us).
+        assert_eq!(get_f64(&events[2], "ts"), 2.0);
+        assert_eq!(get_str(&events[3], "name"), "tuner.progress");
+        assert_eq!(get_str(&events[3], "ph"), "i");
+    }
+
+    #[test]
+    fn progress_toggle_gates_progress_lines_only() {
+        let h = JournalHandle::default();
+        set_progress_records(false);
+        h.record_progress("Database", "iterating", 1, 4, 0.25, 0);
+        set_progress_records(true);
+        h.record_progress("Database", "iterating", 2, 4, 0.5, 0);
+        h.record_phase("tune", 1);
+        assert_eq!(lock(&h.queue).len(), 2, "only the enabled push lands");
     }
 
     #[test]

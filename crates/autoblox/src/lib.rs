@@ -53,6 +53,7 @@ pub mod explain;
 pub mod framework;
 pub mod journal;
 pub mod metrics;
+pub mod obs;
 pub mod params;
 pub mod place;
 pub mod pruning;
@@ -60,6 +61,7 @@ pub mod report_diff;
 pub mod telemetry;
 pub mod tuner;
 pub mod validator;
+pub mod watch;
 pub mod whatif;
 
 pub use checkpoint::{Checkpoint, CheckpointSummary};
@@ -67,7 +69,9 @@ pub use constraints::Constraints;
 pub use framework::{AutoBlox, AutoBloxOptions, Recommendation};
 pub use metrics::{grade, performance, Measurement};
 pub use mlkit::parallel;
+pub use obs::{record_run, trend, RunSummary, TrendReport, TrendThresholds};
 pub use params::ParamSpace;
 pub use place::{place, PlacementOptions, PlacementReport};
 pub use tuner::{SurrogateKind, Tuner, TunerOptions, TuningOutcome, TuningTarget};
 pub use validator::{Validator, ValidatorOptions};
+pub use watch::WatchState;

@@ -1,0 +1,633 @@
+//! Run observatory: persistent multi-run history and the trend gate.
+//!
+//! One tuning (or what-if, or placement) invocation is ephemeral; the
+//! paper's pipeline is a fleet activity that runs per workload category,
+//! per cluster, per placement round, again and again. This module gives
+//! those runs a durable, queryable history:
+//!
+//! - [`RunSummary`] is the compact, schema-versioned record one invocation
+//!   leaves behind: command, seed, category, converged grade, simulator-run
+//!   count, iteration count, and the bottleneck attribution shares. Wall
+//!   time and the thread limit are carried for humans but excluded from
+//!   [`RunSummary::fingerprint`], so two byte-identical runs on different
+//!   hosts summarize identically.
+//! - [`record_run`] appends a summary to an [`autodb::Store`] under
+//!   `run:<category>:<seq>` keys with fixed-width, zero-padded sequence
+//!   numbers — lexicographic key order *is* recording order, so every
+//!   consumer (listing, trending) reads history oldest-first for free.
+//! - [`trend`] is the multi-run generalization of `report diff`: it takes
+//!   the last N summaries per category, computes median and EWMA baselines
+//!   over all but the newest, and flags the newest run for grade drop,
+//!   simulator-run inflation, or bottleneck-share shift against
+//!   [`TrendThresholds`]. CI runs it so a slow three-PR regression cannot
+//!   hide under the pairwise diff threshold.
+//!
+//! Everything here is deterministic: summaries carry no host-varying field
+//! in their fingerprint, aggregation is pure arithmetic over stored values,
+//! and the serialized [`TrendReport`] for a given store content is
+//! byte-stable (the vendored JSON shim sorts object keys).
+
+use crate::report_diff::relative;
+use autodb::Store;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use ssdsim::BottleneckReport;
+
+/// Schema identifier carried by every recorded [`RunSummary`].
+pub const RUNS_SCHEMA: &str = "autoblox.runs.v1";
+
+/// Schema identifier of the serialized [`TrendReport`].
+pub const TREND_SCHEMA: &str = "autoblox.trend.v1";
+
+/// Fixed width of the zero-padded per-category sequence number; wide
+/// enough that lexicographic and numeric key order agree for any
+/// realistic history length.
+const SEQ_WIDTH: usize = 6;
+
+/// The compact history record one `tune`/`whatif`/`place` invocation
+/// registers (schema [`RUNS_SCHEMA`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Always [`RUNS_SCHEMA`].
+    pub schema: String,
+    /// The command that produced the run (`tune`, `whatif`, `place`, or
+    /// `framework.tune`).
+    pub command: String,
+    /// History family: the workload category for tuning runs, `place` for
+    /// placement rounds.
+    pub category: String,
+    /// Tuner seed the run was pinned to.
+    pub seed: u64,
+    /// Converged best grade (for placement: the negated final interference
+    /// cost, so "higher is better" holds for every category).
+    pub best_grade: f64,
+    /// Outer iterations (for placement: search rounds) executed.
+    pub iterations: u64,
+    /// Charged simulator runs the invocation performed.
+    pub simulator_runs: u64,
+    /// Bottleneck attribution aggregated over every simulator run.
+    pub bottleneck: BottleneckReport,
+    /// Worker-pool thread limit in effect. Informational: excluded from
+    /// the fingerprint, since the run's results are thread-invariant.
+    #[serde(default)]
+    pub threads: u64,
+    /// Wall-clock duration of the invocation, ns. Informational: excluded
+    /// from the fingerprint (host-dependent).
+    #[serde(default)]
+    pub wall_ns: u64,
+}
+
+impl RunSummary {
+    /// The deterministic identity of a run: every field except the
+    /// host-varying `threads` and `wall_ns`. Two runs of the same pinned
+    /// command produce equal fingerprints on any machine at any thread
+    /// count, which is what the trend gate and CI byte-compares rely on.
+    pub fn fingerprint(&self) -> Value {
+        let mut v = serde_json::to_value(self).expect("summary serializes");
+        if let Value::Object(map) = &mut v {
+            map.remove("threads");
+            map.remove("wall_ns");
+        }
+        v
+    }
+}
+
+/// Formats the registry key for `category`'s run number `seq`.
+fn run_key(category: &str, seq: u64) -> String {
+    format!("run:{category}:{seq:0SEQ_WIDTH$}")
+}
+
+/// Splits a `run:<category>:<seq>` key into its parts.
+///
+/// # Errors
+///
+/// Returns a description of the malformation (missing prefix, empty
+/// category, or a sequence field that is not exactly `SEQ_WIDTH`
+/// digits); the CLI maps this onto usage errors (exit 2).
+pub fn parse_run_key(key: &str) -> Result<(String, u64), String> {
+    let rest = key
+        .strip_prefix("run:")
+        .ok_or_else(|| format!("malformed run key `{key}`: expected `run:<category>:<seq>`"))?;
+    let (category, seq) = rest
+        .rsplit_once(':')
+        .ok_or_else(|| format!("malformed run key `{key}`: expected `run:<category>:<seq>`"))?;
+    if category.is_empty() {
+        return Err(format!("malformed run key `{key}`: empty category"));
+    }
+    if seq.len() != SEQ_WIDTH || !seq.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(format!(
+            "malformed run key `{key}`: sequence must be {SEQ_WIDTH} digits"
+        ));
+    }
+    let n: u64 = seq
+        .parse()
+        .map_err(|e| format!("malformed run key `{key}`: {e}"))?;
+    Ok((category.to_string(), n))
+}
+
+/// Registers `summary` in `db` under the next free sequence number of its
+/// category and returns the assigned key.
+///
+/// # Errors
+///
+/// Returns a description of a store write failure, or of an existing
+/// malformed key shadowing the sequence counter.
+pub fn record_run(db: &Store, summary: &RunSummary) -> Result<String, String> {
+    let prefix = format!("run:{}:", summary.category);
+    let next = match db.last_key_with_prefix(&prefix) {
+        Some(last) => parse_run_key(&last)?.1 + 1,
+        None => 1,
+    };
+    let key = run_key(&summary.category, next);
+    db.put_record(&key, summary)
+        .map_err(|e| format!("cannot record run under `{key}`: {e}"))?;
+    Ok(key)
+}
+
+/// Every recorded run, oldest first per category, categories in
+/// lexicographic order (the storage order of the keys).
+///
+/// # Errors
+///
+/// Returns a description of the first summary that fails to deserialize.
+pub fn list_runs(db: &Store) -> Result<Vec<(String, RunSummary)>, String> {
+    let mut runs = Vec::new();
+    for key in db.keys_with_prefix("run:") {
+        let summary: RunSummary = db
+            .get_record(&key)
+            .map_err(|e| format!("cannot read run `{key}`: {e}"))?
+            .ok_or_else(|| format!("run `{key}` vanished mid-listing"))?;
+        runs.push((key, summary));
+    }
+    Ok(runs)
+}
+
+/// Drift thresholds for [`trend`]. Relative thresholds are fractions
+/// (0.05 = 5%); the bottleneck threshold is an absolute shift of a 0..=1
+/// share.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrendThresholds {
+    /// How many most-recent runs per category enter the window (the newest
+    /// is judged against the rest).
+    pub window: u64,
+    /// Maximum tolerated relative drop of the best grade below the
+    /// baseline median.
+    pub max_grade_drop: f64,
+    /// Maximum tolerated relative increase of the simulator-run count over
+    /// the baseline median.
+    pub max_run_inflation: f64,
+    /// Maximum tolerated absolute shift (either direction) of any
+    /// bottleneck-attribution share against the baseline median.
+    pub max_bottleneck_shift: f64,
+}
+
+impl Default for TrendThresholds {
+    fn default() -> Self {
+        TrendThresholds {
+            window: 8,
+            max_grade_drop: 0.05,
+            max_run_inflation: 0.25,
+            max_bottleneck_shift: 0.15,
+        }
+    }
+}
+
+/// One judged metric of one category's trend window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrendMetric {
+    /// Metric name (`best_grade`, `simulator_runs`, `iterations`, or
+    /// `bottleneck.<share>`).
+    pub metric: String,
+    /// Median over the baseline (window minus the newest run).
+    pub median: f64,
+    /// EWMA (alpha 0.3, oldest first) over the baseline — an advisory
+    /// smoothed trajectory; the verdict judges against the median.
+    pub ewma: f64,
+    /// The newest run's value.
+    pub latest: f64,
+    /// `latest - median`.
+    pub delta: f64,
+    /// Delta relative to the median's magnitude (0 for a ~0 median).
+    pub relative: f64,
+    /// The threshold the metric was judged against (0 = advisory).
+    pub threshold: f64,
+    /// Whether the metric was judged at all (needs >= 2 runs in window).
+    pub checked: bool,
+    /// Whether the metric drifted past its threshold.
+    pub drifted: bool,
+}
+
+/// One category's aggregated trend verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CategoryTrend {
+    /// The history family (workload name or `place`).
+    pub category: String,
+    /// Total runs recorded for the category.
+    pub runs: u64,
+    /// Runs that entered the window (<= `thresholds.window`).
+    pub window_used: u64,
+    /// Registry key of the newest (judged) run.
+    pub latest_key: String,
+    /// Per-metric rows, fixed order.
+    pub metrics: Vec<TrendMetric>,
+    /// Names of drifted metrics, in row order.
+    pub drifts: Vec<String>,
+    /// `drifts.is_empty()`.
+    pub pass: bool,
+}
+
+/// The machine-readable verdict of [`trend`] (schema [`TREND_SCHEMA`]);
+/// what `autoblox report trend` prints and CI's `trend-smoke` stage acts
+/// on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrendReport {
+    /// Always [`TREND_SCHEMA`].
+    pub schema: String,
+    /// The thresholds the verdict was computed against.
+    pub thresholds: TrendThresholds,
+    /// Per-category trends, category order = key order.
+    pub categories: Vec<CategoryTrend>,
+    /// Every drift as `category/metric`, in category order.
+    pub drifts: Vec<String>,
+    /// Overall verdict: no category drifted.
+    pub pass: bool,
+}
+
+/// Median of a non-empty, unsorted slice (mean of the middle pair for even
+/// lengths).
+fn median(values: &[f64]) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite metric values"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// EWMA with alpha 0.3, oldest value first.
+fn ewma(values: &[f64]) -> f64 {
+    const ALPHA: f64 = 0.3;
+    let mut acc = values.first().copied().unwrap_or(0.0);
+    for &v in &values[1..] {
+        acc = ALPHA * v + (1.0 - ALPHA) * acc;
+    }
+    acc
+}
+
+/// Builds one trend row. `drift` decides from `(delta, relative)` and is
+/// only consulted when the row is checked.
+fn trend_metric(
+    name: &str,
+    baseline: &[f64],
+    latest: f64,
+    threshold: f64,
+    checked: bool,
+    drift: impl Fn(f64, f64) -> bool,
+) -> TrendMetric {
+    let (med, smooth) = if baseline.is_empty() {
+        (latest, latest)
+    } else {
+        (median(baseline), ewma(baseline))
+    };
+    let delta = latest - med;
+    let rel = relative(med, delta);
+    TrendMetric {
+        metric: name.to_string(),
+        median: med,
+        ewma: smooth,
+        latest,
+        delta,
+        relative: rel,
+        threshold,
+        checked,
+        drifted: checked && drift(delta, rel),
+    }
+}
+
+/// Computes the trend verdict over the recorded history in `db`,
+/// optionally restricted to one category.
+///
+/// # Errors
+///
+/// Returns a description of an unreadable summary, or of a requested
+/// category with no recorded runs.
+pub fn trend(
+    db: &Store,
+    thresholds: &TrendThresholds,
+    category: Option<&str>,
+) -> Result<TrendReport, String> {
+    let all = list_runs(db)?;
+    // Group by category, preserving key (= recording) order.
+    let mut groups: Vec<(String, Vec<(String, RunSummary)>)> = Vec::new();
+    for (key, summary) in all {
+        if let Some(want) = category {
+            if summary.category != want {
+                continue;
+            }
+        }
+        match groups.last_mut() {
+            Some((cat, members)) if *cat == summary.category => members.push((key, summary)),
+            _ => groups.push((summary.category.clone(), vec![(key, summary)])),
+        }
+    }
+    if let Some(want) = category {
+        if groups.is_empty() {
+            return Err(format!("no recorded runs for category `{want}`"));
+        }
+    }
+    let window = thresholds.window.max(1) as usize;
+    let mut categories = Vec::new();
+    let mut drifts = Vec::new();
+    for (cat, members) in groups {
+        let total = members.len() as u64;
+        let windowed = &members[members.len().saturating_sub(window)..];
+        let (latest_key, latest) = windowed.last().expect("group is non-empty");
+        let baseline: Vec<&RunSummary> = windowed[..windowed.len() - 1]
+            .iter()
+            .map(|(_, s)| s)
+            .collect();
+        let checked = !baseline.is_empty();
+        let series = |f: &dyn Fn(&RunSummary) -> f64| -> Vec<f64> {
+            baseline.iter().map(|s| f(s)).collect()
+        };
+        let mut metrics = vec![
+            trend_metric(
+                "best_grade",
+                &series(&|s| s.best_grade),
+                latest.best_grade,
+                thresholds.max_grade_drop,
+                checked,
+                |_, rel| rel < -thresholds.max_grade_drop,
+            ),
+            trend_metric(
+                "simulator_runs",
+                &series(&|s| s.simulator_runs as f64),
+                latest.simulator_runs as f64,
+                thresholds.max_run_inflation,
+                checked,
+                |_, rel| rel > thresholds.max_run_inflation,
+            ),
+            // Iteration count is advisory: convergence speed varies
+            // legitimately with the recorded history's iteration caps.
+            trend_metric(
+                "iterations",
+                &series(&|s| s.iterations as f64),
+                latest.iterations as f64,
+                0.0,
+                false,
+                |_, _| false,
+            ),
+        ];
+        for (i, (share, _)) in latest.bottleneck.fractions().iter().enumerate() {
+            metrics.push(trend_metric(
+                &format!("bottleneck.{share}"),
+                &series(&|s| s.bottleneck.fractions()[i].1),
+                latest.bottleneck.fractions()[i].1,
+                thresholds.max_bottleneck_shift,
+                checked,
+                |delta, _| delta.abs() > thresholds.max_bottleneck_shift,
+            ));
+        }
+        let cat_drifts: Vec<String> = metrics
+            .iter()
+            .filter(|m| m.drifted)
+            .map(|m| m.metric.clone())
+            .collect();
+        drifts.extend(cat_drifts.iter().map(|m| format!("{cat}/{m}")));
+        categories.push(CategoryTrend {
+            category: cat,
+            runs: total,
+            window_used: windowed.len() as u64,
+            latest_key: latest_key.clone(),
+            pass: cat_drifts.is_empty(),
+            drifts: cat_drifts,
+            metrics,
+        });
+    }
+    Ok(TrendReport {
+        schema: TREND_SCHEMA.to_string(),
+        thresholds: *thresholds,
+        categories,
+        pass: drifts.is_empty(),
+        drifts,
+    })
+}
+
+/// Renders a run listing as an aligned human-readable table.
+pub fn render_runs(runs: &[(String, RunSummary)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>12} {:>10} {:>6} {:>10}  {}\n",
+        "key", "command", "best_grade", "sim_runs", "iters", "wall_ms", "dominant"
+    ));
+    for (key, s) in runs {
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>12.6} {:>10} {:>6} {:>10.1}  {}\n",
+            key,
+            s.command,
+            s.best_grade,
+            s.simulator_runs,
+            s.iterations,
+            s.wall_ns as f64 / 1e6,
+            s.bottleneck.dominant(),
+        ));
+    }
+    out
+}
+
+/// Renders a trend verdict as an aligned human-readable table (what
+/// `report trend` writes to stderr next to the JSON verdict on stdout).
+pub fn render_trend(report: &TrendReport) -> String {
+    let mut out = String::new();
+    for cat in &report.categories {
+        out.push_str(&format!(
+            "category {} — {} run(s), window {}, latest {}\n",
+            cat.category, cat.runs, cat.window_used, cat.latest_key
+        ));
+        out.push_str(&format!(
+            "  {:<24} {:>12} {:>12} {:>12} {:>9}  verdict\n",
+            "metric", "median", "ewma", "latest", "delta"
+        ));
+        for m in &cat.metrics {
+            let verdict = if !m.checked {
+                "advisory"
+            } else if m.drifted {
+                "DRIFT"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "  {:<24} {:>12.6} {:>12.6} {:>12.6} {:>+9.4}  {}\n",
+                m.metric, m.median, m.ewma, m.latest, m.delta, verdict
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "trend: {} ({} drift(s))\n",
+        if report.pass { "PASS" } else { "DRIFT" },
+        report.drifts.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(category: &str, grade: f64, runs: u64) -> RunSummary {
+        RunSummary {
+            schema: RUNS_SCHEMA.to_string(),
+            command: "tune".to_string(),
+            category: category.to_string(),
+            seed: 0xA070,
+            best_grade: grade,
+            iterations: 4,
+            simulator_runs: runs,
+            bottleneck: BottleneckReport::from_totals(1000, 400, 200, 100, 100, 100),
+            threads: 1,
+            wall_ns: 123_456_789,
+        }
+    }
+
+    #[test]
+    fn run_keys_round_trip_and_reject_malformations() {
+        assert_eq!(run_key("Database", 7), "run:Database:000007");
+        assert_eq!(
+            parse_run_key("run:Database:000007").unwrap(),
+            ("Database".to_string(), 7)
+        );
+        for bad in [
+            "cluster:Database:000007",
+            "run:Database",
+            "run::000007",
+            "run:Database:7",
+            "run:Database:00000x",
+            "run:Database:0000007",
+        ] {
+            assert!(parse_run_key(bad).is_err(), "`{bad}` must be rejected");
+        }
+        // Categories containing `:` still round-trip (rsplit).
+        let (cat, seq) = parse_run_key("run:a:b:000002").unwrap();
+        assert_eq!((cat.as_str(), seq), ("a:b", 2));
+    }
+
+    #[test]
+    fn record_run_assigns_monotonic_sequences_per_category() {
+        let db = Store::in_memory();
+        assert_eq!(
+            record_run(&db, &summary("Database", 0.5, 100)).unwrap(),
+            "run:Database:000001"
+        );
+        assert_eq!(
+            record_run(&db, &summary("KVStore", 0.4, 90)).unwrap(),
+            "run:KVStore:000001"
+        );
+        assert_eq!(
+            record_run(&db, &summary("Database", 0.51, 100)).unwrap(),
+            "run:Database:000002"
+        );
+        let runs = list_runs(&db).unwrap();
+        let keys: Vec<&str> = runs.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "run:Database:000001",
+                "run:Database:000002",
+                "run:KVStore:000001"
+            ],
+            "listing order is key order: per-category oldest-first"
+        );
+    }
+
+    #[test]
+    fn fingerprint_excludes_wall_clock_and_threads() {
+        let mut a = summary("Database", 0.5, 100);
+        let mut b = a.clone();
+        a.wall_ns = 1;
+        a.threads = 1;
+        b.wall_ns = 999_999;
+        b.threads = 16;
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let json = serde_json::to_string(&a.fingerprint()).unwrap();
+        assert!(!json.contains("wall_ns"));
+        assert!(!json.contains("threads"));
+        b.best_grade = 0.6;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn trend_is_deterministic_and_passes_on_stable_history() {
+        let db = Store::in_memory();
+        for _ in 0..5 {
+            record_run(&db, &summary("Database", 0.5, 100)).unwrap();
+        }
+        let t = TrendThresholds::default();
+        let a = trend(&db, &t, None).unwrap();
+        let b = trend(&db, &t, None).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        assert!(a.pass, "{:?}", a.drifts);
+        assert_eq!(a.categories.len(), 1);
+        assert_eq!(a.categories[0].window_used, 5);
+    }
+
+    #[test]
+    fn trend_flags_grade_drop_and_run_inflation() {
+        let db = Store::in_memory();
+        for _ in 0..4 {
+            record_run(&db, &summary("Database", 0.5, 100)).unwrap();
+        }
+        record_run(&db, &summary("Database", 0.2, 300)).unwrap();
+        let report = trend(&db, &TrendThresholds::default(), None).unwrap();
+        assert!(!report.pass);
+        assert!(report.drifts.contains(&"Database/best_grade".to_string()));
+        assert!(report
+            .drifts
+            .contains(&"Database/simulator_runs".to_string()));
+    }
+
+    #[test]
+    fn trend_single_run_is_advisory_and_missing_category_errors() {
+        let db = Store::in_memory();
+        record_run(&db, &summary("Database", 0.5, 100)).unwrap();
+        let report = trend(&db, &TrendThresholds::default(), None).unwrap();
+        assert!(report.pass);
+        assert!(report.categories[0].metrics.iter().all(|m| !m.checked));
+        assert!(trend(&db, &TrendThresholds::default(), Some("KVStore")).is_err());
+        let only = trend(&db, &TrendThresholds::default(), Some("Database")).unwrap();
+        assert_eq!(only.categories.len(), 1);
+    }
+
+    #[test]
+    fn trend_window_drops_ancient_history() {
+        let db = Store::in_memory();
+        // Ancient bad runs that a windowed baseline must ignore.
+        for _ in 0..10 {
+            record_run(&db, &summary("Database", -5.0, 10_000)).unwrap();
+        }
+        for _ in 0..8 {
+            record_run(&db, &summary("Database", 0.5, 100)).unwrap();
+        }
+        let t = TrendThresholds {
+            window: 8,
+            ..TrendThresholds::default()
+        };
+        let report = trend(&db, &t, None).unwrap();
+        assert!(report.pass, "{:?}", report.drifts);
+        assert_eq!(report.categories[0].window_used, 8);
+        assert_eq!(report.categories[0].runs, 18);
+    }
+
+    #[test]
+    fn median_and_ewma_are_exact() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!((ewma(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        // 0.3 * 2 + 0.7 * 1 = 1.3
+        assert!((ewma(&[1.0, 2.0]) - 1.3).abs() < 1e-12);
+    }
+}

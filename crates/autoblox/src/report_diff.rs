@@ -105,7 +105,9 @@ impl ReportDiff {
     pub const SCHEMA: &'static str = "autoblox.diff.v1";
 }
 
-fn relative(baseline: f64, delta: f64) -> f64 {
+/// Relative delta against a baseline, zero-safe. Shared with the multi-run
+/// trend gate (`crate::obs`), which generalizes this pairwise diff.
+pub(crate) fn relative(baseline: f64, delta: f64) -> f64 {
     if baseline.abs() < 1e-12 {
         0.0
     } else {

@@ -396,6 +396,25 @@ impl TelemetrySink {
         }
     }
 
+    /// Streams one driver progress estimate (phase, iteration, percent
+    /// complete, ETA) to the attached journal; a no-op without one.
+    /// Journal-gated like [`TelemetrySink::record_iteration`] — a journal
+    /// is an explicit opt-in of its own.
+    pub fn record_progress(
+        &self,
+        workload: &str,
+        phase: &str,
+        iteration: u64,
+        total: u64,
+        percent: f64,
+        eta_ns: u64,
+    ) {
+        let inner = self.inner.lock();
+        if let Some(j) = &inner.journal {
+            j.record_progress(workload, phase, iteration, total, percent, eta_ns);
+        }
+    }
+
     /// Streams one checkpoint write or resume event to the attached
     /// journal; a no-op without one. Like [`TelemetrySink::record_iteration`]
     /// this is journal-gated rather than switch-gated — a journal is an

@@ -205,6 +205,19 @@ pub enum TunePhase {
     Done,
 }
 
+impl TunePhase {
+    /// Stable lower-case name used in `progress` journal lines and the
+    /// watch display.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TunePhase::Reference => "reference",
+            TunePhase::InitSet => "init_set",
+            TunePhase::Iterating => "iterating",
+            TunePhase::Done => "done",
+        }
+    }
+}
+
 /// One validated point of the search: a grid vector, its normalized
 /// (surrogate-input) form, and the Formula-2 grade.
 ///
@@ -601,9 +614,52 @@ impl<'a> Tuner<'a> {
             telemetry::span::key_str(target.name()),
         );
         while self.step(target, &mut state) {
+            self.record_progress(&state);
             after_step(&state);
         }
         Self::outcome(state)
+    }
+
+    /// Streams one `progress` journal line for the state just produced by a
+    /// step. The percent-complete estimate is a pure function of the phase
+    /// and iteration counters — deterministic at any thread count — while
+    /// the ETA extrapolates from per-iteration wall-clock timing (zero with
+    /// telemetry off) and is therefore excluded from determinism
+    /// fingerprints by consumers.
+    fn record_progress(&self, state: &TuneState) {
+        let total = self.opts.max_iterations.max(1) as u64;
+        let percent = match state.phase {
+            TunePhase::Reference => 0.0,
+            // Both warm-up phases are flat-rate estimates; the BO loop owns
+            // the 0.10..1.00 band proportionally to its iteration counter.
+            TunePhase::InitSet => 0.05,
+            TunePhase::Iterating => 0.10 + 0.90 * (state.iterations as f64 / total as f64).min(1.0),
+            TunePhase::Done => 1.0,
+        };
+        let eta_ns = if state.done() {
+            0
+        } else {
+            let timed: Vec<u64> = state
+                .records
+                .iter()
+                .map(|r| r.wall_ns)
+                .filter(|&ns| ns > 0)
+                .collect();
+            if timed.is_empty() {
+                0
+            } else {
+                let mean = timed.iter().sum::<u64>() / timed.len() as u64;
+                mean * total.saturating_sub(state.iterations)
+            }
+        };
+        crate::telemetry::global().record_progress(
+            &state.workload,
+            state.phase.as_str(),
+            state.iterations,
+            total,
+            percent,
+            eta_ns,
+        );
     }
 
     /// Folds a finished (or abandoned) state into a [`TuningOutcome`].

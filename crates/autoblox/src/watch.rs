@@ -1,0 +1,568 @@
+//! Live journal tailing: the state machine behind `autoblox watch`.
+//!
+//! A [`WatchState`] ingests `autoblox.journal.v1` JSONL lines one at a
+//! time — from a finished file (`--replay`) or from a polling tail of a
+//! file another process is still writing — and maintains the run's
+//! current picture: per-workload phase/iteration/best-grade/ETA (from
+//! `progress` and `iteration` lines), aggregated bottleneck shares (from
+//! `bottleneck` lines), completed pipeline phases, and per-kind line
+//! counts. Malformed or truncated lines are counted and skipped, never
+//! fatal: a tail may legitimately observe a half-written line, and a
+//! crashed producer leaves one behind.
+//!
+//! Determinism contract: [`WatchState::snapshot`] with timing excluded is
+//! a pure function of the journal's thread-invariant content. The fields
+//! that vary by host or thread count — the meta line's `threads` and
+//! `argv`, every `wall_ns`, and the `eta_ns` extrapolations — are either
+//! never ingested into the snapshot or gated behind `include_timing`, so
+//! two journals of the same pinned run taken at different thread counts
+//! snapshot byte-identically (the vendored JSON shim sorts object keys).
+
+use serde_json::Value;
+use ssdsim::BottleneckReport;
+use std::collections::BTreeMap;
+
+/// Schema identifier of the serialized [`WatchState::snapshot`].
+pub const WATCH_SCHEMA: &str = "autoblox.watch.v1";
+
+/// Live picture of one workload's tuning run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkloadWatch {
+    /// Tuner phase from the newest `progress` line.
+    pub phase: String,
+    /// Outer iteration counter (newest line wins).
+    pub iteration: u64,
+    /// Iteration cap from the newest `progress` line.
+    pub total: u64,
+    /// Percent-complete estimate, 0.0 ..= 1.0.
+    pub percent: f64,
+    /// ETA extrapolation, ns (wall-clock; excluded from snapshots unless
+    /// timing is requested).
+    pub eta_ns: u64,
+    /// Best grade from the newest `iteration` line.
+    pub best_grade: f64,
+    /// Maximum best grade over every `iteration` line seen.
+    pub best_grade_max: f64,
+    /// Convergence delta from the newest `iteration` line.
+    pub convergence_delta: f64,
+    /// Simulator validations summed over every `iteration` line.
+    pub validations: u64,
+    /// `iteration` lines seen.
+    pub iteration_lines: u64,
+}
+
+/// Per-kind line counters (every ingested line lands in exactly one).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LineCounts {
+    /// `meta` lines.
+    pub meta: u64,
+    /// `span` lines.
+    pub spans: u64,
+    /// `iteration` lines.
+    pub iterations: u64,
+    /// `progress` lines.
+    pub progress: u64,
+    /// `phase` lines.
+    pub phases: u64,
+    /// `series` lines.
+    pub series: u64,
+    /// `bottleneck` lines.
+    pub bottlenecks: u64,
+    /// `checkpoint` lines.
+    pub checkpoints: u64,
+    /// `placement` lines.
+    pub placements: u64,
+    /// `summary` lines.
+    pub summary: u64,
+    /// Parsed lines with an unrecognized `"t"` tag (newer producers).
+    pub unknown: u64,
+    /// Unparseable (truncated/garbage) lines, skipped with this count as
+    /// the warning.
+    pub skipped: u64,
+}
+
+impl LineCounts {
+    /// Every line ingested, whatever became of it.
+    pub fn total(&self) -> u64 {
+        self.meta
+            + self.spans
+            + self.iterations
+            + self.progress
+            + self.phases
+            + self.series
+            + self.bottlenecks
+            + self.checkpoints
+            + self.placements
+            + self.summary
+            + self.unknown
+            + self.skipped
+    }
+}
+
+fn get_u64(obj: &Value, key: &str) -> u64 {
+    match obj.get(key) {
+        Some(Value::Int(i)) => *i as u64,
+        Some(Value::Float(f)) => *f as u64,
+        _ => 0,
+    }
+}
+
+fn get_f64(obj: &Value, key: &str) -> f64 {
+    match obj.get(key) {
+        Some(Value::Float(f)) => *f,
+        Some(Value::Int(i)) => *i as f64,
+        _ => 0.0,
+    }
+}
+
+fn get_str<'v>(obj: &'v Value, key: &str) -> &'v str {
+    match obj.get(key) {
+        Some(Value::Str(s)) => s,
+        _ => "",
+    }
+}
+
+/// Incremental consumer of journal lines; see the module docs.
+#[derive(Debug, Default)]
+pub struct WatchState {
+    /// Schema string from the `meta` line (empty until seen).
+    journal_schema: String,
+    workloads: BTreeMap<String, WorkloadWatch>,
+    /// Raw bottleneck nanosecond totals summed over every `bottleneck`
+    /// line: `[total, channel, plane, gc, cache_miss, queue]`. Sums are
+    /// order-insensitive, so the aggregate is identical however the
+    /// concurrent producers interleaved their lines.
+    bottleneck_ns: [u64; 6],
+    /// Completed pipeline phases, in completion order.
+    phase_names: Vec<String>,
+    counts: LineCounts,
+    summary_seen: bool,
+    spans_dropped: u64,
+    events_dropped: u64,
+}
+
+impl WatchState {
+    /// An empty state (no lines ingested).
+    pub fn new() -> Self {
+        WatchState::default()
+    }
+
+    /// Ingests one journal line. Returns `true` when the line advanced the
+    /// state (parsed as a known kind), `false` when it was counted as
+    /// unknown or skipped. Never fails: garbage is the tail's normal diet.
+    pub fn ingest(&mut self, line: &str) -> bool {
+        let line = line.trim();
+        if line.is_empty() {
+            return false;
+        }
+        let Ok(v) = serde_json::from_str::<Value>(line) else {
+            self.counts.skipped += 1;
+            return false;
+        };
+        match get_str(&v, "t") {
+            "meta" => {
+                self.counts.meta += 1;
+                self.journal_schema = get_str(&v, "schema").to_string();
+            }
+            "span" => self.counts.spans += 1,
+            "iteration" => {
+                self.counts.iterations += 1;
+                let w = self
+                    .workloads
+                    .entry(get_str(&v, "workload").to_string())
+                    .or_default();
+                w.iteration = get_u64(&v, "iteration");
+                w.best_grade = get_f64(&v, "best_grade");
+                w.best_grade_max = w.best_grade_max.max(w.best_grade);
+                w.convergence_delta = get_f64(&v, "convergence_delta");
+                w.validations += get_u64(&v, "validations");
+                w.iteration_lines += 1;
+            }
+            "progress" => {
+                self.counts.progress += 1;
+                let w = self
+                    .workloads
+                    .entry(get_str(&v, "workload").to_string())
+                    .or_default();
+                w.phase = get_str(&v, "phase").to_string();
+                w.iteration = get_u64(&v, "iteration");
+                w.total = get_u64(&v, "total");
+                w.percent = get_f64(&v, "percent");
+                w.eta_ns = get_u64(&v, "eta_ns");
+            }
+            "phase" => {
+                self.counts.phases += 1;
+                self.phase_names.push(get_str(&v, "name").to_string());
+            }
+            "series" => self.counts.series += 1,
+            "bottleneck" => {
+                self.counts.bottlenecks += 1;
+                if let Some(r) = v.get("report") {
+                    for (slot, key) in [
+                        "total_latency_ns",
+                        "channel_wait_ns",
+                        "plane_wait_ns",
+                        "gc_stall_ns",
+                        "cache_miss_ns",
+                        "queue_wait_ns",
+                    ]
+                    .iter()
+                    .enumerate()
+                    {
+                        self.bottleneck_ns[slot] += get_u64(r, key);
+                    }
+                }
+            }
+            "checkpoint" => self.counts.checkpoints += 1,
+            "placement" => self.counts.placements += 1,
+            "summary" => {
+                self.counts.summary += 1;
+                self.summary_seen = true;
+                self.spans_dropped = get_u64(&v, "spans_dropped");
+                self.events_dropped = get_u64(&v, "events_dropped");
+            }
+            "" => {
+                self.counts.skipped += 1;
+                return false;
+            }
+            _ => {
+                self.counts.unknown += 1;
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The per-kind line counters.
+    pub fn counts(&self) -> LineCounts {
+        self.counts
+    }
+
+    /// Whether the terminal `summary` line has been seen (the producer
+    /// finished the journal).
+    pub fn summary_seen(&self) -> bool {
+        self.summary_seen
+    }
+
+    /// The `meta` line's schema string, empty until a `meta` line was
+    /// ingested.
+    pub fn journal_schema(&self) -> &str {
+        &self.journal_schema
+    }
+
+    /// Whether the journal identified itself with a schema this consumer
+    /// understands (a missing meta line — e.g. a tail that attached late —
+    /// is tolerated).
+    pub fn schema_ok(&self) -> bool {
+        self.journal_schema.is_empty() || self.journal_schema.starts_with("autoblox.journal.v")
+    }
+
+    /// The bottleneck attribution aggregated over every `bottleneck` line.
+    pub fn bottleneck(&self) -> BottleneckReport {
+        let [total, channel, plane, gc, cache, queue] = self.bottleneck_ns;
+        BottleneckReport::from_totals(total, channel, plane, gc, cache, queue)
+    }
+
+    /// The current status as a JSON document (schema [`WATCH_SCHEMA`]).
+    ///
+    /// With `include_timing` false the snapshot contains only
+    /// thread-invariant fields (see the module docs); with it true the
+    /// per-workload `eta_ns` wall-clock extrapolations are added (live
+    /// ticks want them, determinism fingerprints must not).
+    pub fn snapshot(&self, include_timing: bool) -> Value {
+        let workloads: Vec<Value> = self
+            .workloads
+            .iter()
+            .map(|(name, w)| {
+                let mut obj = serde_json::json!({
+                    "workload": name,
+                    "phase": w.phase,
+                    "iteration": w.iteration,
+                    "total": w.total,
+                    "percent": w.percent,
+                    "best_grade": w.best_grade,
+                    "best_grade_max": w.best_grade_max,
+                    "convergence_delta": w.convergence_delta,
+                    "validations": w.validations,
+                    "iteration_lines": w.iteration_lines,
+                });
+                if include_timing {
+                    if let Value::Object(map) = &mut obj {
+                        map.insert("eta_ns".to_string(), serde_json::json!(w.eta_ns));
+                    }
+                }
+                obj
+            })
+            .collect();
+        let b = self.bottleneck();
+        let c = self.counts;
+        serde_json::json!({
+            "schema": WATCH_SCHEMA,
+            "journal_schema": self.journal_schema,
+            "workloads": workloads,
+            "bottleneck": b,
+            "phases": self.phase_names,
+            "lines": serde_json::json!({
+                "meta": c.meta,
+                "spans": c.spans,
+                "iterations": c.iterations,
+                "progress": c.progress,
+                "phases": c.phases,
+                "series": c.series,
+                "bottlenecks": c.bottlenecks,
+                "checkpoints": c.checkpoints,
+                "placements": c.placements,
+                "summary": c.summary,
+                "unknown": c.unknown,
+                "skipped": c.skipped,
+                "total": c.total(),
+            }),
+            "summary_seen": self.summary_seen,
+            "spans_dropped": self.spans_dropped,
+            "events_dropped": self.events_dropped,
+        })
+    }
+
+    /// A compact one-line status for live terminal ticks (carriage-return
+    /// friendly: no newline, fixed field order).
+    pub fn status_line(&self) -> String {
+        let mut out = String::new();
+        match self.workloads.iter().next_back() {
+            Some((name, w)) => {
+                out.push_str(&format!(
+                    "{name} {} {}/{} {:5.1}% best {:+.4}",
+                    if w.phase.is_empty() { "?" } else { &w.phase },
+                    w.iteration,
+                    w.total,
+                    w.percent * 100.0,
+                    w.best_grade,
+                ));
+                if w.eta_ns > 0 {
+                    out.push_str(&format!(" eta {:.0}s", w.eta_ns as f64 / 1e9));
+                }
+            }
+            None => out.push_str("waiting for journal lines"),
+        }
+        let b = self.bottleneck();
+        if b.total_latency_ns > 0 {
+            out.push_str(&format!(" | {}", bars(&b)));
+        }
+        out.push_str(&format!(
+            " | {} lines ({} skipped)",
+            self.counts.total(),
+            self.counts.skipped
+        ));
+        if self.summary_seen {
+            out.push_str(" | done");
+        }
+        out
+    }
+
+    /// A multi-line human dashboard (what `watch --replay` prints without
+    /// `--json`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, w) in &self.workloads {
+            out.push_str(&format!(
+                "{name}: {} {}/{} ({:.1}%), best {:+.6} (max {:+.6}), delta {:.6}, \
+                 {} validation(s) over {} iteration line(s)\n",
+                if w.phase.is_empty() { "?" } else { &w.phase },
+                w.iteration,
+                w.total,
+                w.percent * 100.0,
+                w.best_grade,
+                w.best_grade_max,
+                w.convergence_delta,
+                w.validations,
+                w.iteration_lines,
+            ));
+        }
+        let b = self.bottleneck();
+        if b.total_latency_ns > 0 {
+            out.push_str("bottleneck shares:\n");
+            for (name, frac) in b.fractions() {
+                out.push_str(&format!(
+                    "  {name:<12} {:24} {:5.1}%\n",
+                    bar(frac),
+                    frac * 100.0
+                ));
+            }
+            out.push_str(&format!("  dominant: {}\n", b.dominant()));
+        }
+        if !self.phase_names.is_empty() {
+            out.push_str(&format!("phases: {}\n", self.phase_names.join(" -> ")));
+        }
+        let c = self.counts;
+        out.push_str(&format!(
+            "lines: {} total ({} spans, {} iterations, {} progress, {} series, \
+             {} bottlenecks, {} placements, {} unknown, {} skipped)\n",
+            c.total(),
+            c.spans,
+            c.iterations,
+            c.progress,
+            c.series,
+            c.bottlenecks,
+            c.placements,
+            c.unknown,
+            c.skipped,
+        ));
+        if self.summary_seen {
+            out.push_str(&format!(
+                "journal finished (dropped: {} spans, {} events)\n",
+                self.spans_dropped, self.events_dropped
+            ));
+        } else {
+            out.push_str("journal still open (no summary line)\n");
+        }
+        out
+    }
+}
+
+/// A 20-cell bar for a 0..=1 fraction.
+fn bar(frac: f64) -> String {
+    let cells = (frac.clamp(0.0, 1.0) * 20.0).round() as usize;
+    format!("[{:<20}]", "#".repeat(cells))
+}
+
+/// Compact per-share bars for the status line (`ch`, `pl`, `gc`, `cm`,
+/// `hq`, 0-4 marks each).
+fn bars(b: &BottleneckReport) -> String {
+    let shares = [
+        ("ch", b.channel_wait_frac),
+        ("pl", b.plane_wait_frac),
+        ("gc", b.gc_stall_frac),
+        ("cm", b.cache_miss_frac),
+        ("hq", b.host_queue_frac),
+    ];
+    shares
+        .iter()
+        .map(|(tag, frac)| {
+            let marks = (frac.clamp(0.0, 1.0) * 4.0).round() as usize;
+            format!("{tag}{}", "▮".repeat(marks))
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const META: &str = r#"{"t":"meta","schema":"autoblox.journal.v1","threads":4,"argv":["x"]}"#;
+
+    #[test]
+    fn ingest_builds_the_picture_and_skips_garbage() {
+        let mut w = WatchState::new();
+        assert!(w.ingest(META));
+        assert!(w.ingest(
+            r#"{"t":"iteration","workload":"Database","iteration":1,"best_grade":0.4,"convergence_delta":0.4,"validations":7,"wall_ns":0}"#
+        ));
+        assert!(w.ingest(
+            r#"{"t":"iteration","workload":"Database","iteration":2,"best_grade":0.3,"convergence_delta":0.1,"validations":5,"wall_ns":0}"#
+        ));
+        assert!(w.ingest(
+            r#"{"t":"progress","workload":"Database","phase":"iterating","iteration":2,"total":8,"percent":0.325,"eta_ns":5000}"#
+        ));
+        assert!(w.ingest(
+            r#"{"t":"bottleneck","trace":"Database","replay":"timed","report":{"total_latency_ns":1000,"channel_wait_ns":400,"plane_wait_ns":200,"gc_stall_ns":100,"cache_miss_ns":100,"queue_wait_ns":100}}"#
+        ));
+        assert!(!w.ingest("this is not json"));
+        assert!(!w.ingest(r#"{"t":"span","id":"trunca"#)); // torn tail write
+        assert!(!w.ingest(r#"{"t":"hologram","x":1}"#)); // newer producer
+        assert!(!w.ingest(r#"{"no_tag":true}"#));
+        assert!(w.ingest(
+            r#"{"t":"summary","spans_written":1,"events_written":4,"spans_dropped":0,"events_dropped":2}"#
+        ));
+
+        let ww = &w.workloads["Database"];
+        assert_eq!(ww.iteration, 2);
+        assert_eq!(ww.best_grade, 0.3);
+        assert_eq!(ww.best_grade_max, 0.4, "max survives a later dip");
+        assert_eq!(ww.validations, 12, "validations sum across lines");
+        assert_eq!(ww.phase, "iterating");
+        assert_eq!(ww.total, 8);
+        let c = w.counts();
+        assert_eq!((c.skipped, c.unknown), (3, 1));
+        assert_eq!(c.total(), 10);
+        assert!(w.summary_seen());
+        assert_eq!(w.events_dropped, 2);
+        assert!(w.schema_ok());
+        let b = w.bottleneck();
+        assert_eq!(b.total_latency_ns, 1000);
+        assert!((b.channel_wait_frac - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_excludes_timing_unless_asked() {
+        let mut w = WatchState::new();
+        w.ingest(META);
+        w.ingest(
+            r#"{"t":"progress","workload":"Database","phase":"iterating","iteration":1,"total":4,"percent":0.325,"eta_ns":123456}"#,
+        );
+        let bare = serde_json::to_string(&w.snapshot(false)).unwrap();
+        assert!(!bare.contains("eta_ns"), "{bare}");
+        assert!(!bare.contains("123456"), "{bare}");
+        assert!(
+            !bare.contains("\"threads\""),
+            "meta threads must not leak: {bare}"
+        );
+        let timed = serde_json::to_string(&w.snapshot(true)).unwrap();
+        assert!(timed.contains("\"eta_ns\":123456"), "{timed}");
+    }
+
+    #[test]
+    fn snapshot_is_identical_however_concurrent_lines_interleave() {
+        let lines = [
+            META,
+            r#"{"t":"span","id":"aa","parent":"00","name":"sim.run","disc":"00","start_ns":5,"dur_ns":9,"thread":2}"#,
+            r#"{"t":"bottleneck","trace":"Database","replay":"timed","report":{"total_latency_ns":600,"channel_wait_ns":100,"plane_wait_ns":50,"gc_stall_ns":25,"cache_miss_ns":25,"queue_wait_ns":0}}"#,
+            r#"{"t":"bottleneck","trace":"Database","replay":"saturated","report":{"total_latency_ns":400,"channel_wait_ns":300,"plane_wait_ns":50,"gc_stall_ns":25,"cache_miss_ns":25,"queue_wait_ns":0}}"#,
+            r#"{"t":"series","trace":"Database","replay":"timed","interval_ns":100,"dropped":0,"samples":[]}"#,
+        ];
+        // The concurrent producers (spans, series, bottlenecks) may land in
+        // any order; the driver lines (meta first) are fixed. Compare the
+        // original order against a reversed concurrent suffix.
+        let mut a = WatchState::new();
+        for l in lines {
+            a.ingest(l);
+        }
+        let mut b = WatchState::new();
+        b.ingest(lines[0]);
+        for l in lines[1..].iter().rev() {
+            b.ingest(l);
+        }
+        assert_eq!(
+            serde_json::to_string(&a.snapshot(false)).unwrap(),
+            serde_json::to_string(&b.snapshot(false)).unwrap()
+        );
+    }
+
+    #[test]
+    fn renderers_cover_the_populated_state() {
+        let mut w = WatchState::new();
+        w.ingest(META);
+        w.ingest(r#"{"t":"phase","name":"tune","wall_ns":500}"#);
+        w.ingest(
+            r#"{"t":"progress","workload":"Database","phase":"done","iteration":4,"total":4,"percent":1.0,"eta_ns":0}"#,
+        );
+        w.ingest(
+            r#"{"t":"bottleneck","trace":"Database","replay":"timed","report":{"total_latency_ns":100,"channel_wait_ns":80,"plane_wait_ns":0,"gc_stall_ns":0,"cache_miss_ns":0,"queue_wait_ns":0}}"#,
+        );
+        let line = w.status_line();
+        assert!(line.contains("Database done 4/4"), "{line}");
+        let dash = w.render();
+        assert!(dash.contains("channel-wait"), "{dash}");
+        assert!(dash.contains("phases: tune"), "{dash}");
+        assert!(dash.contains("journal still open"), "{dash}");
+        let empty = WatchState::new().status_line();
+        assert!(empty.contains("waiting"), "{empty}");
+    }
+
+    #[test]
+    fn unknown_schema_is_reported_not_fatal() {
+        let mut w = WatchState::new();
+        assert!(w.ingest(r#"{"t":"meta","schema":"somethingelse.v9","threads":1,"argv":[]}"#));
+        assert!(!w.schema_ok());
+        assert_eq!(w.journal_schema(), "somethingelse.v9");
+    }
+}

@@ -297,12 +297,27 @@ fn journal_streams_run_and_exports_chrome_trace() {
         "per-iteration records streamed"
     );
 
+    // The drive loop emits one progress line per step: the two warm-up
+    // transitions (reference -> init-set -> iterating) plus one per
+    // iteration.
+    let progress_lines = text.matches("\"t\":\"progress\"").count();
+    assert_eq!(
+        progress_lines,
+        outcome.iterations + 2,
+        "one progress line per drive step"
+    );
+
     let chrome = autoblox::journal::export_chrome(&text).expect("chrome export succeeds");
     assert!(chrome.contains("traceEvents"));
     assert!(chrome.contains("tuner.iteration"));
-    // Every tuner iteration produced one instant event.
+    // Every tuner iteration and every progress line produced one instant
+    // event.
     let instants = chrome.matches("\"ph\":\"i\"").count();
-    assert_eq!(instants, outcome.iterations, "one instant per iteration");
+    assert_eq!(
+        instants,
+        outcome.iterations + progress_lines,
+        "one instant per iteration and per progress line"
+    );
 
     std::fs::remove_file(&path).ok();
 }

@@ -1,0 +1,178 @@
+//! Throughput of the `autoblox watch` ingest path and the cost of the
+//! `progress` journal records feeding it.
+//!
+//! Three measurements, written to `BENCH_journal_tail.json`:
+//!
+//! 1. **Ingest throughput** — lines/second through `WatchState::ingest`
+//!    over an authentic journal (produced by a real journaled tuning run,
+//!    replicated to a fixed line budget). The watcher must outrun any
+//!    plausible producer by orders of magnitude.
+//! 2. **Watch-tick cost** — nanoseconds to produce one live-mode tick
+//!    (timed snapshot + status line) from a populated state.
+//! 3. **Progress-record overhead** — identical journaled tuning runs with
+//!    `progress` records enabled vs suppressed, interleaved best-of-N.
+//!    The acceptance criterion is < 3% overhead: the per-iteration ETA
+//!    bookkeeping must be invisible next to the simulator work.
+//!
+//! `AUTOBLOX_SCALE=quick|standard|full` scales the trace length.
+
+use autoblox::constraints::Constraints;
+use autoblox::journal::{self, Journal};
+use autoblox::tuner::{Tuner, TunerOptions};
+use autoblox::validator::{Validator, ValidatorOptions};
+use autoblox::WatchState;
+use iotrace::gen::WorkloadKind;
+use serde_json::json;
+use ssdsim::config::presets;
+use std::time::Instant;
+
+const REPS: usize = 5;
+
+/// One journaled smoke tune; returns wall seconds for the tuning region
+/// and leaves the journal text at `path`.
+fn journaled_run(trace_events: usize, path: &str) -> f64 {
+    autoblox::telemetry::global().clear();
+    let journal = Journal::create(path).expect("journal opens");
+    autoblox::telemetry::global().attach_journal(journal.handle());
+
+    let validator = Validator::new(ValidatorOptions {
+        trace_events,
+        ..Default::default()
+    });
+    let opts = TunerOptions {
+        max_iterations: 8,
+        sgd_iterations: 4,
+        non_target: vec![WorkloadKind::WebSearch],
+        ..Default::default()
+    };
+    let tuner = Tuner::new(Constraints::paper_default(), &validator, opts);
+    let t0 = Instant::now();
+    let _ = tuner.tune(WorkloadKind::Database, &presets::intel_750(), &[], None);
+    let secs = t0.elapsed().as_secs_f64();
+
+    autoblox::telemetry::global().detach_journal();
+    journal.finish(path).expect("journal closes");
+    secs
+}
+
+/// Interleaved best-of-N with progress records on and off. Alternating
+/// per repetition keeps slow host drift from biasing one side.
+fn measure_progress_overhead(trace_events: usize, path: &str, reps: usize) -> (f64, f64) {
+    let mut with_progress = f64::INFINITY;
+    let mut without = f64::INFINITY;
+    for _ in 0..reps {
+        journal::set_progress_records(false);
+        without = without.min(journaled_run(trace_events, path));
+        journal::set_progress_records(true);
+        with_progress = with_progress.min(journaled_run(trace_events, path));
+    }
+    (without, with_progress)
+}
+
+fn main() {
+    let check = autoblox_bench::check_mode();
+    let scale = autoblox_bench::run_scale();
+    let (trace_events, ingest_lines) = match scale {
+        autoblox_bench::Scale::Quick => (400, 50_000),
+        autoblox_bench::Scale::Standard => (2_000, 400_000),
+        autoblox_bench::Scale::Full => (6_000, 1_000_000),
+    };
+    let reps = if check { 1 } else { REPS };
+    let journal_path = std::env::temp_dir().join("bench_journal_tail.jsonl");
+    let journal_path = journal_path.to_string_lossy().into_owned();
+
+    autoblox::telemetry::set_enabled(true);
+    if !check {
+        // Warm-up so neither mode pays first-touch costs.
+        let _ = journaled_run(trace_events, &journal_path);
+    }
+
+    // (3) progress-record overhead on the producer side.
+    let (without_s, with_s) = measure_progress_overhead(trace_events, &journal_path, reps);
+    let overhead_pct = (with_s - without_s) / without_s * 100.0;
+
+    // The final (progress-enabled) journal seeds the ingest corpus.
+    let sample = std::fs::read_to_string(&journal_path).expect("journal readable");
+    autoblox::telemetry::set_enabled(false);
+    let _ = std::fs::remove_file(&journal_path);
+    let sample_lines: Vec<&str> = sample.lines().collect();
+    assert!(
+        sample_lines
+            .iter()
+            .any(|l| l.contains("\"t\":\"progress\"")),
+        "corpus carries progress records"
+    );
+
+    // (1) ingest throughput over a fixed line budget.
+    let budget = if check { 2_000 } else { ingest_lines };
+    let mut state = WatchState::new();
+    let t0 = Instant::now();
+    let mut ingested = 0u64;
+    'outer: loop {
+        for line in &sample_lines {
+            state.ingest(line);
+            ingested += 1;
+            if ingested as usize >= budget {
+                break 'outer;
+            }
+        }
+    }
+    let ingest_secs = t0.elapsed().as_secs_f64();
+    let lines_per_sec = ingested as f64 / ingest_secs;
+    assert_eq!(state.counts().total(), ingested, "every line accounted for");
+
+    // (2) live-tick cost on the populated state: one timed snapshot plus
+    // one status line, exactly what `watch --interval-ms` does per tick.
+    let tick_iters = if check { 100 } else { 10_000 };
+    let t0 = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..tick_iters {
+        let snap = serde_json::to_string(&state.snapshot(true)).expect("snapshot serializes");
+        sink += snap.len() + state.status_line().len();
+    }
+    let watch_tick_ns = t0.elapsed().as_nanos() as f64 / tick_iters as f64;
+    assert!(sink > 0);
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "ingest {lines_per_sec:.0} lines/s, watch tick {watch_tick_ns:.0} ns, \
+         progress overhead {overhead_pct:+.2}% (criterion < 3%; \
+         off {without_s:.3}s vs on {with_s:.3}s)"
+    );
+
+    let doc = json!({
+        "benchmark": "journal_tail",
+        "host_cpus": host_cpus,
+        "trace_events": trace_events,
+        "reps_best_of": reps as u64,
+        "ingest_lines": ingested,
+        "ingest_lines_per_sec": lines_per_sec,
+        "watch_tick_ns": watch_tick_ns,
+        "progress_off_best_s": without_s,
+        "progress_on_best_s": with_s,
+        "overhead_pct": overhead_pct,
+        "criterion_pct": 3.0,
+        "criterion_met": overhead_pct < 3.0,
+    });
+    autoblox_bench::write_bench_report(
+        "BENCH_journal_tail.json",
+        "journal_tail",
+        &[
+            "host_cpus",
+            "trace_events",
+            "reps_best_of",
+            "ingest_lines",
+            "ingest_lines_per_sec",
+            "watch_tick_ns",
+            "progress_off_best_s",
+            "progress_on_best_s",
+            "overhead_pct",
+            "criterion_pct",
+            "criterion_met",
+        ],
+        &doc,
+    );
+    println!("lines_per_sec: {lines_per_sec:.0}");
+}

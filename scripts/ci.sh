@@ -20,7 +20,7 @@ ROOT=$(pwd)
 
 ALL_STAGES="fmt build-debug build-release test clippy doc telemetry-smoke \
 regression-gate explain-smoke resume-smoke bo-throughput-smoke place-smoke \
-bench-smoke"
+trend-smoke bench-smoke"
 
 QUICK=0
 STAGES=""
@@ -353,6 +353,60 @@ if [[ $QUICK -eq 0 ]]; then
         run_stage "place-smoke" place_smoke
     fi
 
+    # --- Stage: trend smoke -----------------------------------------------
+    # The run observatory end to end: two pinned smoke tunes recorded with
+    # --db must land in the registry as run:Database:000001/000002, `report
+    # trend` over that stable two-run history must pass (exit 0), and the
+    # `watch --replay --json` snapshot of a journaled run must be
+    # byte-identical between a 1-thread and a 4-thread run. Speculation is
+    # pinned at depth 1 throughout: a thread-derived depth would emit
+    # wasted-lookahead spans into the journal and make the line multiset
+    # thread-dependent; the snapshot itself already excludes every
+    # wall-clock and host field.
+    trend_smoke() {
+        local dir
+        dir=$(mktemp -d /tmp/autoblox-ci-trend.XXXXXX) || return 1
+        AUTOBLOX_THREADS=1 ./target/release/autoblox tune database \
+            --iterations 2 --events 300 --speculate 1 --db "$dir/runs.db" \
+            >/dev/null || { echo "recorded tune 1 failed"; rm -rf "$dir"; return 1; }
+        AUTOBLOX_THREADS=1 ./target/release/autoblox tune database \
+            --iterations 2 --events 300 --speculate 1 --db "$dir/runs.db" \
+            >/dev/null || { echo "recorded tune 2 failed"; rm -rf "$dir"; return 1; }
+        ./target/release/autoblox runs list --db "$dir/runs.db" >"$dir/list.txt" \
+            || { echo "runs list failed"; rm -rf "$dir"; return 1; }
+        { grep -q "run:Database:000001" "$dir/list.txt" && \
+          grep -q "run:Database:000002" "$dir/list.txt"; } \
+            || { echo "registry keys missing from runs list:"; \
+                 cat "$dir/list.txt"; rm -rf "$dir"; return 1; }
+        ./target/release/autoblox report trend --db "$dir/runs.db" --json \
+            >"$dir/trend.json" \
+            || { echo "report trend flagged drift on a stable history:"; \
+                 cat "$dir/trend.json"; rm -rf "$dir"; return 1; }
+        AUTOBLOX_THREADS=1 ./target/release/autoblox tune database \
+            --iterations 2 --events 300 --speculate 1 \
+            --journal "$dir/j1.jsonl" >/dev/null \
+            || { rm -rf "$dir"; return 1; }
+        AUTOBLOX_THREADS=4 ./target/release/autoblox tune database \
+            --iterations 2 --events 300 --speculate 1 \
+            --journal "$dir/j4.jsonl" >/dev/null \
+            || { rm -rf "$dir"; return 1; }
+        ./target/release/autoblox watch "$dir/j1.jsonl" --replay --json \
+            >"$dir/w1.json" || { rm -rf "$dir"; return 1; }
+        ./target/release/autoblox watch "$dir/j4.jsonl" --replay --json \
+            >"$dir/w4.json" || { rm -rf "$dir"; return 1; }
+        cmp -s "$dir/w1.json" "$dir/w4.json" \
+            || { echo "watch snapshots differ between 1 and 4 threads:"; \
+                 diff "$dir/w1.json" "$dir/w4.json" | head -10; \
+                 rm -rf "$dir"; return 1; }
+        rm -rf "$dir"
+        return 0
+    }
+    if [[ -x ./target/release/autoblox ]]; then
+        run_stage "trend-smoke" trend_smoke
+    else
+        skip "trend-smoke" "release binary missing (build failed?)"
+    fi
+
     # --- Stage: bench smoke -----------------------------------------------
     # Every benchmark binary must run end to end in `--check` mode (smallest
     # sweep, one repetition) and emit a BENCH_*.json that validates against
@@ -364,7 +418,7 @@ if [[ $QUICK -eq 0 ]]; then
         dir=$(mktemp -d /tmp/autoblox-ci-bench.XXXXXX) || return 1
         for bin in bench_bo_throughput bench_parallel_validation \
                    bench_device_sampling bench_telemetry_overhead \
-                   bench_tracing_overhead; do
+                   bench_tracing_overhead bench_journal_tail; do
             if [[ ! -x "$ROOT/target/release/$bin" ]]; then
                 echo "release binary $bin missing"
                 rc=1

@@ -389,11 +389,29 @@ impl<'a> Parser<'a> {
                         _ => return Err(self.err("unknown escape")),
                     }
                 }
-                Some(_) => {
-                    // Consume one UTF-8 code point.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid UTF-8"))?;
-                    let ch = rest.chars().next().unwrap();
+                // ASCII fast path: the overwhelmingly common case, and
+                // decoding it directly keeps string parsing linear (a
+                // whole-tail `from_utf8` here made large documents
+                // quadratic).
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one multi-byte UTF-8 code point. The input
+                    // arrived as `&str`, so a well-formed sequence of the
+                    // length announced by the leading byte is guaranteed.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let ch = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .and_then(|s| std::str::from_utf8(s).ok())
+                        .and_then(|s| s.chars().next())
+                        .ok_or_else(|| self.err("invalid UTF-8"))?;
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }
