@@ -18,13 +18,15 @@
 //!               [--no-classify] [--capacity GIB] [--interface nvme|sata]
 //!               [--flash slc|mlc|tlc] [--power W] [--telemetry out.json]
 //!               [--journal out.jsonl]
-//! autoblox runs list [--db store.db] [--json]
+//! autoblox runs list [--db store.db] [--json] [--category <name>] [--limit N]
 //! autoblox runs show <run-key> [--db store.db] [--json]
 //! autoblox watch <journal.jsonl> [--replay] [--json] [--interval-ms N]
 //! autoblox telemetry-check <report.json>
 //! autoblox checkpoint inspect <checkpoint.json> [--json]
 //! autoblox explain <telemetry.json> [--json]
 //! autoblox explain diff <baseline.json> <candidate.json> [--json]
+//! autoblox inspect <telemetry.json> [--json]
+//! autoblox inspect diff <baseline.json> <candidate.json> [--json]
 //! autoblox trace export --chrome|--csv <journal.jsonl> <out-file>
 //! autoblox report diff <baseline.json> <candidate.json> [--ignore-time]
 //!               [--max-grade-drop F] [--max-validation-increase F]
@@ -33,8 +35,15 @@
 //!               [--ignore <metric>]...
 //! autoblox report trend [--db store.db] [--window N] [--category C]
 //!               [--max-grade-drop F] [--max-run-inflation F]
-//!               [--max-bottleneck-shift F] [--json]
+//!               [--max-bottleneck-shift F] [--min-calibration-coverage F]
+//!               [--json]
 //! ```
+//!
+//! `inspect` is the model observatory: from one `--telemetry` report it
+//! derives the surrogate's calibration record (±1σ/±2σ coverage, RMSE,
+//! NLPD), the per-parameter importance ranking, and the per-iteration
+//! explore-vs-exploit decision provenance; `inspect diff` compares two
+//! reports.
 //!
 //! A `tune`/`whatif`/`place` invocation with `--db` (or the opt-in
 //! `--record`, which uses the default store `autoblox.db`) registers a
@@ -127,6 +136,8 @@ fn usage() -> ExitCode {
          \x20          (a trace spec is <workload>:<events>:<seed>;\n\
          \x20           --db/--record also register a run summary in the registry)\n\
          \x20 runs     list [--db store.db] [--json]           browse the run registry\n\
+         \x20          [--category <name>] [--limit N]         (filter by category; keep the\n\
+         \x20                                                  N most recent, N >= 1)\n\
          \x20 runs     show <run-key> [--db store.db] [--json] one recorded run in full\n\
          \x20 watch    <journal.jsonl> [--replay] [--json]     live progress dashboard over\n\
          \x20          [--interval-ms N]                       a streaming run journal\n\
@@ -135,9 +146,15 @@ fn usage() -> ExitCode {
          \x20 explain  <telemetry.json> [--json]              bottleneck fingerprint of a run\n\
          \x20 explain  diff <baseline.json> <candidate.json> [--json]\n\
          \x20                                                 did the bottleneck move?\n\
+         \x20 inspect  <telemetry.json> [--json]              model observatory: surrogate\n\
+         \x20                                                 calibration, parameter importance,\n\
+         \x20                                                 decision provenance\n\
+         \x20 inspect  diff <baseline.json> <candidate.json> [--json]\n\
+         \x20                                                 did the model's behavior move?\n\
          \x20 trace    export --chrome|--csv <journal.jsonl> <out-file>\n\
          \x20                                                 convert a run journal to Perfetto\n\
-         \x20                                                 or a device-sample CSV\n\
+         \x20                                                 or a device-sample CSV (model\n\
+         \x20                                                 calibration rows when no series)\n\
          \x20 report   diff <baseline.json> <candidate.json>  regression-diff two telemetry\n\
          \x20          [--ignore-time] [--max-grade-drop F]   reports (exit 3 on regression)\n\
          \x20          [--max-validation-increase F] [--max-hit-rate-drop F]\n\
@@ -146,7 +163,8 @@ fn usage() -> ExitCode {
          \x20 report   trend [--db store.db] [--window N]      judge the newest recorded run\n\
          \x20          [--category C] [--max-grade-drop F]     against the registry's recent\n\
          \x20          [--max-run-inflation F]                 history (exit 3 on drift)\n\
-         \x20          [--max-bottleneck-shift F] [--json]\n\
+         \x20          [--max-bottleneck-shift F]\n\
+         \x20          [--min-calibration-coverage F] [--json]\n\
          \n\
          exit codes:\n\
          \x20 0  success\n\
@@ -495,6 +513,49 @@ fn cmd_explain(args: &[String]) -> Result<(), CliError> {
     }
 }
 
+fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
+    let json_out = args.iter().any(|a| a == "--json");
+    let positional: Vec<&String> = args.iter().filter(|a| *a != "--json").collect();
+    let load = |path: &str| -> Result<autoblox::telemetry::RunReport, String> {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        autoblox::telemetry::RunReport::parse_checked(&json).map_err(|e| format!("{path}: {e}"))
+    };
+    match positional.as_slice() {
+        [path] if *path != "diff" => {
+            let model = autoblox::model_obs::inspect(&load(path).map_err(CliError::Input)?);
+            if json_out {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&model).map_err(|e| e.to_string())?
+                );
+            } else {
+                print!("{}", autoblox::model_obs::render_model(&model));
+            }
+            Ok(())
+        }
+        [sub, baseline, candidate] if *sub == "diff" => {
+            let diff = autoblox::model_obs::inspect_diff(
+                &load(baseline).map_err(CliError::Input)?,
+                &load(candidate).map_err(CliError::Input)?,
+            );
+            if json_out {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&diff).map_err(|e| e.to_string())?
+                );
+            } else {
+                print!("{}", autoblox::model_obs::render_model_diff(&diff));
+            }
+            Ok(())
+        }
+        _ => Err(
+            "inspect needs <telemetry.json> [--json] or diff <baseline.json> <candidate.json> \
+             [--json]"
+                .into(),
+        ),
+    }
+}
+
 fn cmd_trace(args: &[String]) -> Result<(), CliError> {
     let [sub, rest @ ..] = args else {
         return Err("trace needs: export --chrome|--csv <journal.jsonl> <out-file>".into());
@@ -521,10 +582,19 @@ fn cmd_trace(args: &[String]) -> Result<(), CliError> {
             );
         }
         "--csv" => {
-            let csv = autoblox::journal::export_csv(&journal).map_err(CliError::Input)?;
+            // Device series are the primary export; a journal recorded
+            // without the sampler can still export its model-observatory
+            // calibration records.
+            let (csv, kind) = match autoblox::journal::export_csv(&journal) {
+                Ok(csv) => (csv, "device-sample"),
+                Err(series_err) => match autoblox::journal::export_calibration_csv(&journal) {
+                    Ok(csv) => (csv, "calibration"),
+                    Err(_) => return Err(CliError::Input(series_err)),
+                },
+            };
             std::fs::write(out_path, &csv).map_err(|e| format!("cannot write {out_path}: {e}"))?;
             eprintln!(
-                "wrote {out_path} ({} device-sample row(s))",
+                "wrote {out_path} ({} {kind} row(s))",
                 csv.lines().count().saturating_sub(1)
             );
         }
@@ -663,9 +733,14 @@ fn cmd_report_trend(rest: &[String]) -> Result<ExitCode, CliError> {
             .unwrap_or(defaults.max_run_inflation),
         max_bottleneck_shift: parse_flag(rest, "--max-bottleneck-shift")?
             .unwrap_or(defaults.max_bottleneck_shift),
+        min_calibration_coverage: parse_flag(rest, "--min-calibration-coverage")?
+            .unwrap_or(defaults.min_calibration_coverage),
     };
     if thresholds.window < 2 {
         return Err("--window must be at least 2 (a run needs history to drift from)".into());
+    }
+    if !(0.0..=1.0).contains(&thresholds.min_calibration_coverage) {
+        return Err("--min-calibration-coverage must be in [0, 1]".into());
     }
     let category: Option<String> = parse_flag(rest, "--category")?;
     let db = open_run_store(&db_path)?;
@@ -723,6 +798,7 @@ impl RunRecorder {
         self.db_path.is_some()
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn record(
         &self,
         command: &str,
@@ -731,6 +807,7 @@ impl RunRecorder {
         best_grade: f64,
         iterations: u64,
         validator: &Validator,
+        records: &[autoblox::tuner::IterationRecord],
     ) -> Result<(), CliError> {
         let Some(path) = &self.db_path else {
             return Ok(());
@@ -738,12 +815,14 @@ impl RunRecorder {
         let db = autodb::Store::open(path)
             .map_err(|e| CliError::Input(format!("cannot open store {path}: {e}")))?;
         self.record_with(
-            &db, command, category, seed, best_grade, iterations, validator,
+            &db, command, category, seed, best_grade, iterations, validator, records,
         )
     }
 
     /// Records into an already-open store handle (`place` shares its
     /// recall store rather than opening a second appender on one file).
+    /// `records` feeds the surrogate-calibration coverage the trend gate
+    /// judges (empty for commands without a tuner, e.g. `place`).
     #[allow(clippy::too_many_arguments)]
     fn record_with(
         &self,
@@ -754,7 +833,10 @@ impl RunRecorder {
         best_grade: f64,
         iterations: u64,
         validator: &Validator,
+        records: &[autoblox::tuner::IterationRecord],
     ) -> Result<(), CliError> {
+        let (calibration_coverage_1s, calibration_points) =
+            autoblox::model_obs::coverage_1s(records);
         let summary = autoblox::RunSummary {
             schema: autoblox::obs::RUNS_SCHEMA.to_string(),
             command: command.to_string(),
@@ -764,6 +846,8 @@ impl RunRecorder {
             iterations,
             simulator_runs: validator.simulator_runs(),
             bottleneck: validator.stats().sim.bottleneck(),
+            calibration_coverage_1s,
+            calibration_points,
             threads: autoblox::parallel::max_threads() as u64,
             wall_ns: self.started.elapsed().as_nanos() as u64,
         };
@@ -776,7 +860,9 @@ impl RunRecorder {
 fn cmd_runs(args: &[String]) -> Result<(), CliError> {
     let [sub, rest @ ..] = args else {
         return Err(
-            "runs needs: list [--db store.db] [--json] or show <run-key> [--db] [--json]".into(),
+            "runs needs: list [--db store.db] [--json] [--category <name>] [--limit N] \
+             or show <run-key> [--db] [--json]"
+                .into(),
         );
     };
     let json_out = rest.iter().any(|a| a == "--json");
@@ -784,8 +870,31 @@ fn cmd_runs(args: &[String]) -> Result<(), CliError> {
         parse_flag(rest, "--db")?.unwrap_or_else(|| DEFAULT_RUN_STORE.to_string());
     match sub.as_str() {
         "list" => {
+            let category: Option<String> = parse_flag(rest, "--category")?;
+            if let Some(cat) = &category {
+                if cat.is_empty() {
+                    return Err("--category needs a non-empty name".into());
+                }
+            }
+            let limit: Option<u64> = parse_flag(rest, "--limit")?;
+            if limit == Some(0) {
+                return Err("--limit must be at least 1".into());
+            }
             let db = open_run_store(&db_path)?;
-            let runs = autoblox::obs::list_runs(&db).map_err(CliError::Input)?;
+            let mut runs = autoblox::obs::list_runs(&db).map_err(CliError::Input)?;
+            if let Some(cat) = &category {
+                runs.retain(|(_, s)| s.category == *cat);
+                if runs.is_empty() {
+                    return Err(CliError::Input(format!(
+                        "no recorded runs for category `{cat}` in {db_path}"
+                    )));
+                }
+            }
+            if let Some(n) = limit {
+                // Keep the newest N entries of the (oldest-first) listing.
+                let drop = runs.len().saturating_sub(n as usize);
+                runs.drain(..drop);
+            }
             if json_out {
                 // The JSON listing emits fingerprints (host-varying fields
                 // stripped) so diffing two listings compares substance.
@@ -1190,6 +1299,7 @@ fn cmd_tune(args: &[String]) -> Result<(), CliError> {
             outcome.best.grade,
             outcome.iterations as u64,
             &validator,
+            &outcome.iteration_records,
         )?;
     }
     sinks.finish(&validator)?;
@@ -1284,6 +1394,7 @@ fn cmd_whatif(args: &[String]) -> Result<(), CliError> {
             out.tuning.best.grade,
             out.tuning.iterations as u64,
             &validator,
+            &out.tuning.iteration_records,
         )?;
     }
     sinks.finish(&validator)?;
@@ -1437,6 +1548,7 @@ fn cmd_place(args: &[String]) -> Result<(), CliError> {
                 grade,
                 report.search_rounds,
                 &validator,
+                &[],
             )?,
             None => recorder.record(
                 "place",
@@ -1445,6 +1557,7 @@ fn cmd_place(args: &[String]) -> Result<(), CliError> {
                 grade,
                 report.search_rounds,
                 &validator,
+                &[],
             )?,
         }
     }
@@ -1480,6 +1593,7 @@ fn main() -> ExitCode {
         "telemetry-check" => cmd_telemetry_check(rest),
         "checkpoint" => cmd_checkpoint(rest),
         "explain" => cmd_explain(rest),
+        "inspect" => cmd_inspect(rest),
         "trace" => cmd_trace(rest),
         _ => return usage(),
     };

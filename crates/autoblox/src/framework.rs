@@ -256,6 +256,8 @@ impl<'v> AutoBlox<'v> {
         }
         if self.opts.record_runs {
             let stats = self.validator.stats();
+            let (calibration_coverage_1s, calibration_points) =
+                crate::model_obs::coverage_1s(&outcome.iteration_records);
             let summary = crate::obs::RunSummary {
                 schema: crate::obs::RUNS_SCHEMA.to_string(),
                 command: "framework.tune".to_string(),
@@ -265,6 +267,8 @@ impl<'v> AutoBlox<'v> {
                 iterations: outcome.iterations as u64,
                 simulator_runs: self.validator.simulator_runs(),
                 bottleneck: stats.sim.bottleneck(),
+                calibration_coverage_1s,
+                calibration_points,
                 threads: mlkit::parallel::max_threads() as u64,
                 // Wall time of the executed iterations (zero with the
                 // telemetry switch off); excluded from the fingerprint

@@ -13,6 +13,9 @@
 //! - `span` — one completed span (ids as 16-hex-digit strings, since the
 //!   vendored JSON shim carries integers as `i64`).
 //! - `iteration` — one tuner [`IterationRecord`], streamed as it happens.
+//! - `model` — one iteration's model-observatory view: the surrogate's
+//!   prediction for the chosen candidate, explore/exploit shares, decision
+//!   margin, and the calibration pair once validation realized a grade.
 //! - `phase` — one completed pipeline stage.
 //! - `series` — one simulator run's sampled [`ssdsim::DeviceSeries`]
 //!   (samples embedded, one line per run — never one line per sample, so
@@ -27,7 +30,9 @@
 //! [`export_chrome`] converts a journal into the Chrome `about://tracing` /
 //! Perfetto JSON format (`trace export --chrome`); [`export_csv`] flattens
 //! the `series` lines into a spreadsheet-friendly table
-//! (`trace export --csv`).
+//! (`trace export --csv`), and [`export_calibration_csv`] does the same for
+//! `model` lines when a journal carries calibration records but no device
+//! series.
 
 use crate::tuner::IterationRecord;
 use serde_json::Value;
@@ -99,6 +104,27 @@ impl JournalHandle {
             "validations": r.validations,
             "wall_ns": r.wall_ns,
             "bottleneck": r.bottleneck,
+        }));
+    }
+
+    /// Streams one iteration's model-observatory record: the surrogate's
+    /// prediction for the chosen candidate, the UCB decomposition, and the
+    /// calibration pair (`calibrated` / `realized_grade`) once validation
+    /// landed an observation. Per-parameter importance vectors stay in the
+    /// telemetry report — they are too bulky for a per-iteration line.
+    pub fn record_model(&self, workload: &str, r: &IterationRecord) {
+        self.push(serde_json::json!({
+            "t": "model",
+            "workload": workload,
+            "iteration": r.iteration,
+            "predicted_mean": r.predicted_mean,
+            "predicted_std": r.predicted_std,
+            "calibrated": r.calibrated,
+            "realized_grade": r.realized_grade,
+            "explore_share": r.explore_share,
+            "exploit_share": r.exploit_share,
+            "decision_margin": r.decision_margin,
+            "kernel_length_scale": r.kernel_length_scale,
         }));
     }
 
@@ -464,6 +490,45 @@ pub fn export_chrome(journal: &str) -> Result<String, String> {
                     }),
                 }));
             }
+            "model" => {
+                // Two events per model line, anchored a quarter-tick after
+                // the iteration record that produced them: a counter lane
+                // charting explore-vs-exploit share over time, and an
+                // instant carrying the prediction and calibration detail.
+                let iter = get_u64(&v, "iteration");
+                let ts = iter as f64 * 1_000.0 + 250.0;
+                events.push(serde_json::json!({
+                    "name": "tuner.model.shares",
+                    "cat": "model",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": 1,
+                    "tid": 0,
+                    "args": serde_json::json!({
+                        "explore": get_f64(&v, "explore_share"),
+                        "exploit": get_f64(&v, "exploit_share"),
+                    }),
+                }));
+                events.push(serde_json::json!({
+                    "name": "tuner.model",
+                    "cat": "model",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": ts,
+                    "pid": 1,
+                    "tid": 0,
+                    "args": serde_json::json!({
+                        "workload": get_str(&v, "workload"),
+                        "iteration": iter,
+                        "predicted_mean": get_f64(&v, "predicted_mean"),
+                        "predicted_std": get_f64(&v, "predicted_std"),
+                        "calibrated": matches!(v.get("calibrated"), Some(Value::Bool(true))),
+                        "realized_grade": get_f64(&v, "realized_grade"),
+                        "decision_margin": get_f64(&v, "decision_margin"),
+                        "kernel_length_scale": get_f64(&v, "kernel_length_scale"),
+                    }),
+                }));
+            }
             "phase" => {
                 let dur_us = get_u64(&v, "wall_ns") as f64 / 1_000.0;
                 events.push(serde_json::json!({
@@ -583,6 +648,57 @@ pub fn export_csv(journal: &str) -> Result<String, String> {
     Ok(out)
 }
 
+/// Flattens the `model` lines of a JSONL run journal into CSV: one row per
+/// iteration's surrogate prediction/calibration record. Used by
+/// `trace export --csv` as a fallback when a journal carries model
+/// observatory records but no device series.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line, or an error when the
+/// journal contains no `model` lines at all.
+pub fn export_calibration_csv(journal: &str) -> Result<String, String> {
+    let mut out = String::from(
+        "workload,iteration,predicted_mean,predicted_std,calibrated,realized_grade,\
+         explore_share,exploit_share,decision_margin,kernel_length_scale\n",
+    );
+    let mut rows = 0u64;
+    for (lineno, line) in journal.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v: Value = serde_json::from_str(line)
+            .map_err(|e| format!("journal line {}: invalid JSON: {e}", lineno + 1))?;
+        if get_str(&v, "t") != "model" {
+            continue;
+        }
+        let calibrated = matches!(v.get("calibrated"), Some(Value::Bool(true)));
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{}\n",
+            get_str(&v, "workload"),
+            get_u64(&v, "iteration"),
+            get_f64(&v, "predicted_mean"),
+            get_f64(&v, "predicted_std"),
+            calibrated,
+            get_f64(&v, "realized_grade"),
+            get_f64(&v, "explore_share"),
+            get_f64(&v, "exploit_share"),
+            get_f64(&v, "decision_margin"),
+            get_f64(&v, "kernel_length_scale"),
+        ));
+        rows += 1;
+    }
+    if rows == 0 {
+        return Err(
+            "journal contains no model lines (was the run recorded by a build with \
+             the model observatory?)"
+                .to_string(),
+        );
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -660,6 +776,55 @@ mod tests {
         h.record_progress("Database", "iterating", 2, 4, 0.5, 0);
         h.record_phase("tune", 1);
         assert_eq!(lock(&h.queue).len(), 2, "only the enabled push lands");
+    }
+
+    #[test]
+    fn model_lines_export_as_counter_and_instant() {
+        let journal = concat!(
+            r#"{"t":"meta","schema":"autoblox.journal.v1","threads":1,"argv":[]}"#,
+            "\n",
+            r#"{"t":"model","workload":"Database","iteration":2,"predicted_mean":0.8,"predicted_std":0.1,"calibrated":true,"realized_grade":0.75,"explore_share":0.2,"exploit_share":0.8,"decision_margin":0.05,"kernel_length_scale":1.5}"#,
+            "\n",
+        );
+        let chrome = export_chrome(journal).expect("valid journal");
+        let doc: Value = serde_json::from_str(&chrome).expect("chrome JSON parses");
+        let Some(Value::Array(events)) = doc.get("traceEvents") else {
+            panic!("traceEvents array expected");
+        };
+        // meta + counter + instant.
+        assert_eq!(events.len(), 3);
+        assert_eq!(get_str(&events[1], "name"), "tuner.model.shares");
+        assert_eq!(get_str(&events[1], "ph"), "C");
+        assert_eq!(get_f64(&events[1], "ts"), 2_250.0);
+        assert_eq!(get_str(&events[2], "name"), "tuner.model");
+        assert_eq!(get_str(&events[2], "ph"), "i");
+        let args = events[2].get("args").expect("instant args");
+        assert_eq!(get_f64(args, "realized_grade"), 0.75);
+        assert_eq!(args.get("calibrated"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn calibration_csv_flattens_model_lines_only() {
+        let journal = concat!(
+            r#"{"t":"meta","schema":"autoblox.journal.v1","threads":1,"argv":[]}"#,
+            "\n",
+            r#"{"t":"model","workload":"Database","iteration":2,"predicted_mean":0.8,"predicted_std":0.1,"calibrated":true,"realized_grade":0.75,"explore_share":0.2,"exploit_share":0.8,"decision_margin":0.05,"kernel_length_scale":1.5}"#,
+            "\n",
+            r#"{"t":"iteration","workload":"Database","iteration":2,"best_grade":0.75,"validations":1}"#,
+            "\n",
+        );
+        let csv = export_calibration_csv(journal).expect("model lines present");
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2, "header + one model row");
+        assert!(lines[0].starts_with("workload,iteration,predicted_mean"));
+        assert!(
+            lines[1].starts_with("Database,2,0.8,0.1,true,0.75"),
+            "{}",
+            lines[1]
+        );
+        // A journal without model lines is an explicit error, not empty CSV.
+        let err = export_calibration_csv(r#"{"t":"phase","name":"tune","wall_ns":1}"#).unwrap_err();
+        assert!(err.contains("no model lines"), "{err}");
     }
 
     #[test]

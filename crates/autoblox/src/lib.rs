@@ -53,6 +53,7 @@ pub mod explain;
 pub mod framework;
 pub mod journal;
 pub mod metrics;
+pub mod model_obs;
 pub mod obs;
 pub mod params;
 pub mod place;

@@ -67,6 +67,14 @@ pub struct RunSummary {
     pub simulator_runs: u64,
     /// Bottleneck attribution aggregated over every simulator run.
     pub bottleneck: BottleneckReport,
+    /// Fraction of the run's surrogate calibration pairs whose realized
+    /// grade fell within ±1σ of the prediction (0.0 when the run produced
+    /// no pairs). Deterministic, so it stays in the fingerprint.
+    #[serde(default)]
+    pub calibration_coverage_1s: f64,
+    /// Calibration pairs the coverage fraction was computed over.
+    #[serde(default)]
+    pub calibration_points: u64,
     /// Worker-pool thread limit in effect. Informational: excluded from
     /// the fingerprint, since the run's results are thread-invariant.
     #[serde(default)]
@@ -179,6 +187,13 @@ pub struct TrendThresholds {
     /// Maximum tolerated absolute shift (either direction) of any
     /// bottleneck-attribution share against the baseline median.
     pub max_bottleneck_shift: f64,
+    /// Minimum tolerated ±1σ calibration coverage of the newest run — an
+    /// absolute floor, not a relative drift (a well-calibrated Gaussian
+    /// surrogate covers ~68%). Judged only when the run recorded
+    /// calibration pairs; `#[serde(default)]` keeps older serialized
+    /// thresholds parsing (their floor deserializes as 0.0 = disabled).
+    #[serde(default)]
+    pub min_calibration_coverage: f64,
 }
 
 impl Default for TrendThresholds {
@@ -188,6 +203,7 @@ impl Default for TrendThresholds {
             max_grade_drop: 0.05,
             max_run_inflation: 0.25,
             max_bottleneck_shift: 0.15,
+            min_calibration_coverage: 0.45,
         }
     }
 }
@@ -379,6 +395,18 @@ pub fn trend(
                 false,
                 |_, _| false,
             ),
+            // Calibration coverage is judged against an absolute floor (a
+            // drifting surrogate under-covers regardless of history), and
+            // only when the newest run actually recorded calibration pairs
+            // (placement rounds and surrogate-off runs record none).
+            trend_metric(
+                "calibration.coverage_1s",
+                &series(&|s| s.calibration_coverage_1s),
+                latest.calibration_coverage_1s,
+                thresholds.min_calibration_coverage,
+                checked && latest.calibration_points > 0,
+                |_, _| latest.calibration_coverage_1s < thresholds.min_calibration_coverage,
+            ),
         ];
         for (i, (share, _)) in latest.bottleneck.fractions().iter().enumerate() {
             metrics.push(trend_metric(
@@ -486,6 +514,8 @@ mod tests {
             iterations: 4,
             simulator_runs: runs,
             bottleneck: BottleneckReport::from_totals(1000, 400, 200, 100, 100, 100),
+            calibration_coverage_1s: 0.7,
+            calibration_points: 3,
             threads: 1,
             wall_ns: 123_456_789,
         }
@@ -588,6 +618,33 @@ mod tests {
         assert!(report
             .drifts
             .contains(&"Database/simulator_runs".to_string()));
+    }
+
+    #[test]
+    fn trend_flags_calibration_coverage_below_floor() {
+        let db = Store::in_memory();
+        for _ in 0..4 {
+            record_run(&db, &summary("Database", 0.5, 100)).unwrap();
+        }
+        let mut drifted = summary("Database", 0.5, 100);
+        drifted.calibration_coverage_1s = 0.2;
+        record_run(&db, &drifted).unwrap();
+        let report = trend(&db, &TrendThresholds::default(), None).unwrap();
+        assert!(!report.pass);
+        assert_eq!(
+            report.drifts,
+            vec!["Database/calibration.coverage_1s".to_string()]
+        );
+        // Runs without calibration pairs are never judged by the floor.
+        let db2 = Store::in_memory();
+        for _ in 0..2 {
+            let mut s = summary("place", -0.1, 50);
+            s.calibration_coverage_1s = 0.0;
+            s.calibration_points = 0;
+            record_run(&db2, &s).unwrap();
+        }
+        let report2 = trend(&db2, &TrendThresholds::default(), None).unwrap();
+        assert!(report2.pass, "{:?}", report2.drifts);
     }
 
     #[test]

@@ -146,7 +146,7 @@ pub struct RunReport {
 
 impl RunReport {
     /// The schema identifier written into every report.
-    pub const SCHEMA: &'static str = "autoblox.telemetry.v2";
+    pub const SCHEMA: &'static str = "autoblox.telemetry.v3";
 
     /// Top-level keys every serialized report must carry.
     pub const REQUIRED_KEYS: [&'static str; 8] = [
@@ -164,11 +164,13 @@ impl RunReport {
     /// every required top-level key, match the schema identifier, and
     /// deserialize back into a [`RunReport`].
     ///
-    /// Both current minor schema versions (`autoblox.telemetry.v1` and
-    /// `.v2`) parse silently — v1 reports simply default the fields v2
-    /// added. Newer minor versions (`.v3` and up) parse with a warning
-    /// (see [`RunReport::parse_checked_verbose`] to observe it) rather
-    /// than failing, so a new producer and an old checker can coexist.
+    /// All current minor schema versions (`autoblox.telemetry.v1`, `.v2`,
+    /// and `.v3`) parse silently — older reports simply default the fields
+    /// later versions added (v2: bottleneck attribution; v3: the model
+    /// observatory's per-iteration fields). Newer minor versions (`.v4`
+    /// and up) parse with a warning (see
+    /// [`RunReport::parse_checked_verbose`] to observe it) rather than
+    /// failing, so a new producer and an old checker can coexist.
     ///
     /// # Errors
     ///
@@ -200,8 +202,8 @@ impl RunReport {
         let schema = value["schema"].as_str().unwrap_or("").to_string();
         let mut warnings = Vec::new();
         match schema_minor_version(&schema) {
-            Some(1) | Some(2) => {}
-            Some(v) if v > 2 => warnings.push(format!(
+            Some(1) | Some(2) | Some(3) => {}
+            Some(v) if v > 3 => warnings.push(format!(
                 "report uses newer schema `{schema}`; parsing best-effort as `{}` \
                  (unknown fields ignored)",
                 Self::SCHEMA
@@ -396,6 +398,24 @@ impl TelemetrySink {
         }
     }
 
+    /// Streams one model-observatory line (the surrogate's prediction,
+    /// explore/exploit shares, and calibration pair for an iteration) to
+    /// the attached journal; a no-op without one. Journal-gated like
+    /// [`TelemetrySink::record_iteration`].
+    pub fn record_model(&self, workload: &str, record: &IterationRecord) {
+        let inner = self.inner.lock();
+        if let Some(j) = &inner.journal {
+            j.record_model(workload, record);
+        }
+    }
+
+    /// Whether a run journal is currently attached — the tuner uses this
+    /// (besides the telemetry switch) to decide whether the model
+    /// observatory's importance sweep is worth paying for.
+    pub fn has_journal(&self) -> bool {
+        self.inner.lock().journal.is_some()
+    }
+
     /// Streams one driver progress estimate (phase, iteration, percent
     /// complete, ETA) to the attached journal; a no-op without one.
     /// Journal-gated like [`TelemetrySink::record_iteration`] — a journal
@@ -586,13 +606,13 @@ mod tests {
     #[test]
     fn newer_minor_schema_parses_with_warning() {
         let report = RunReport {
-            schema: "autoblox.telemetry.v3".to_string(),
+            schema: "autoblox.telemetry.v4".to_string(),
             ..Default::default()
         };
         let json = serde_json::to_string(&report).expect("serializes");
         let checked = RunReport::parse_checked_verbose(&json)
             .expect("a newer minor version must still parse");
-        assert_eq!(checked.report.schema, "autoblox.telemetry.v3");
+        assert_eq!(checked.report.schema, "autoblox.telemetry.v4");
         assert_eq!(checked.warnings.len(), 1, "exactly one version warning");
         assert!(
             checked.warnings[0].contains("newer schema"),
@@ -626,6 +646,51 @@ mod tests {
         let checked = RunReport::parse_checked_verbose(&json).expect("v1 parses");
         assert!(checked.warnings.is_empty(), "{:?}", checked.warnings);
         assert_eq!(checked.report.bottleneck, BottleneckReport::default());
+    }
+
+    #[test]
+    fn v2_reports_still_parse_silently() {
+        // A v2 producer's iteration records carry none of the model
+        // observatory's fields; the serde defaults fill them.
+        let report = RunReport {
+            schema: "autoblox.telemetry.v2".to_string(),
+            tuner: vec![TunerRunTelemetry {
+                workload: "database".to_string(),
+                records: vec![IterationRecord::default()],
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        let mut value = serde_json::to_value(&report).expect("to value");
+        if let serde_json::Value::Object(map) = &mut value {
+            if let Some(serde_json::Value::Array(tuner)) = map.get_mut("tuner") {
+                if let Some(serde_json::Value::Object(run)) = tuner.first_mut() {
+                    if let Some(serde_json::Value::Array(records)) = run.get_mut("records") {
+                        if let Some(serde_json::Value::Object(rec)) = records.first_mut() {
+                            for key in [
+                                "predicted_mean",
+                                "predicted_std",
+                                "calibrated",
+                                "realized_grade",
+                                "explore_share",
+                                "exploit_share",
+                                "decision_margin",
+                                "kernel_length_scale",
+                                "importance",
+                            ] {
+                                rec.remove(key);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let json = serde_json::to_string(&value).expect("serializes");
+        let checked = RunReport::parse_checked_verbose(&json).expect("v2 parses");
+        assert!(checked.warnings.is_empty(), "{:?}", checked.warnings);
+        let rec = &checked.report.tuner[0].records[0];
+        assert!(!rec.calibrated);
+        assert!(rec.importance.is_empty());
     }
 
     #[test]

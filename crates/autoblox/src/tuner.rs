@@ -19,7 +19,7 @@ use crate::validator::Validator;
 use iotrace::gen::WorkloadKind;
 use iotrace::Trace;
 use mlkit::gpr::{Gpr, GprBuilder};
-use mlkit::kernel::{Rbf, SumKernel, White};
+use mlkit::kernel::{Kernel as _, Rbf, SumKernel, White};
 use mlkit::linalg::Matrix;
 use mlkit::nn::{Mlp, TrainOptions};
 use parking_lot::Mutex;
@@ -141,11 +141,15 @@ pub struct GradedConfig {
 
 /// Per-iteration diagnostics from the outer BO loop.
 ///
-/// Every field except the two timings is deterministic for a given tuning
-/// problem (identical at any thread count); `surrogate_fit_ns` and `wall_ns`
-/// are collected only while telemetry is enabled and are `0` otherwise, so
-/// serialized outcomes stay byte-identical across thread counts by default.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+/// Every field except the two timings and the importance sweep is
+/// deterministic for a given tuning problem (identical at any thread count
+/// and speculation depth); `surrogate_fit_ns` and `wall_ns` are collected
+/// only while telemetry is enabled and are `0` otherwise, and `importance`
+/// (plus `kernel_length_scale`) is swept only while model observability is
+/// wanted (telemetry enabled or a journal attached) and is empty otherwise
+/// — so serialized outcomes stay byte-identical across thread counts at
+/// either setting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct IterationRecord {
     /// 1-based outer-iteration index.
     pub iteration: u64,
@@ -171,6 +175,43 @@ pub struct IterationRecord {
     /// hit). Deterministic for a given tuning problem at any thread count.
     #[serde(default)]
     pub bottleneck: ssdsim::BottleneckReport,
+    /// Surrogate's predicted grade mean for the chosen candidate, read
+    /// before validation (0 when no surrogate scored it). New in schema v3;
+    /// the defaults keep v2 reports parseable.
+    #[serde(default)]
+    pub predicted_mean: f64,
+    /// Surrogate's predicted grade standard deviation for the chosen
+    /// candidate (0 for the variance-free surrogates).
+    #[serde(default)]
+    pub predicted_std: f64,
+    /// Whether this iteration produced a calibration pair: a surrogate
+    /// prediction for the chosen candidate *and* a realized grade from its
+    /// validation (power-rejected or already-seen candidates realize none).
+    #[serde(default)]
+    pub calibrated: bool,
+    /// Grade validation realized for the chosen candidate (meaningful only
+    /// when `calibrated`).
+    #[serde(default)]
+    pub realized_grade: f64,
+    /// Exploration share of the chosen UCB: `σ / (|μ| + σ)` at β = 1
+    /// (0 when nothing was predicted).
+    #[serde(default)]
+    pub explore_share: f64,
+    /// Exploitation share of the chosen UCB: `|μ| / (|μ| + σ)`.
+    #[serde(default)]
+    pub exploit_share: f64,
+    /// Chosen candidate's UCB minus the runner-up's (0 without one).
+    #[serde(default)]
+    pub decision_margin: f64,
+    /// Lengthscale of the fitted GPR kernel (`exp` of its first
+    /// log-parameter; 0 when no GPR was fitted or the sweep was skipped).
+    #[serde(default)]
+    pub kernel_length_scale: f64,
+    /// Normalized per-parameter sensitivity of the surrogate around the
+    /// incumbent (sums to 1; empty when model observability was off or no
+    /// surrogate was fitted).
+    #[serde(default)]
+    pub importance: Vec<f64>,
 }
 
 /// Result of one tuning run.
@@ -440,18 +481,27 @@ enum FittedSurrogate {
 }
 
 impl FittedSurrogate {
-    /// Returns `(acquisition_value, predicted_mean)`.
-    fn predict(&self, point: &[f64]) -> (f64, f64) {
+    /// Returns `(acquisition_value, predicted_mean, predicted_std)`.
+    fn predict(&self, point: &[f64]) -> (f64, f64, f64) {
         match self {
             FittedSurrogate::Gpr(g) => g
                 .predict(point)
-                .map(|p| (p.ucb(1.0), p.mean))
-                .unwrap_or((f64::NEG_INFINITY, f64::NEG_INFINITY)),
+                .map(|p| (p.ucb(1.0), p.mean, p.std_dev()))
+                .unwrap_or((f64::NEG_INFINITY, f64::NEG_INFINITY, 0.0)),
             // The MLP has no predictive variance: acquisition = mean.
             FittedSurrogate::Neural(net) => {
                 let mean = net.predict(point).unwrap_or(f64::NEG_INFINITY);
-                (mean, mean)
+                (mean, mean, 0.0)
             }
+        }
+    }
+
+    /// Lengthscale of the fitted GPR kernel (`exp` of its first
+    /// log-parameter); 0 for the variance-free surrogates.
+    fn length_scale(&self) -> f64 {
+        match self {
+            FittedSurrogate::Gpr(g) => g.kernel().params().first().map(|&p| p.exp()).unwrap_or(0.0),
+            FittedSurrogate::Neural(_) => 0.0,
         }
     }
 }
@@ -803,7 +853,7 @@ impl<'a> Tuner<'a> {
         // consecutive positions overlap heavily, and a revisited candidate
         // costs one map probe instead of a second GPR prediction.
         // `candidates_considered` counts unique configurations accordingly.
-        let mut scored: BTreeMap<Vec<usize>, (f64, f64)> = BTreeMap::new();
+        let mut scored: BTreeMap<Vec<usize>, (f64, f64, f64)> = BTreeMap::new();
         let sgd_span = telemetry::span::Span::enter("tuner.sgd_walk");
         for _ in 0..self.opts.sgd_iterations {
             sgd_steps += 1;
@@ -815,7 +865,7 @@ impl<'a> Tuner<'a> {
             match &surrogate {
                 Some(model) => {
                     for cand in candidates {
-                        let (ucb, mean) = match scored.get(&cand) {
+                        let (ucb, mean, _std) = match scored.get(&cand) {
                             Some(&s) => s,
                             None => {
                                 candidates_considered += 1;
@@ -837,7 +887,7 @@ impl<'a> Tuner<'a> {
                     for cand in &candidates {
                         if !scored.contains_key(cand) {
                             candidates_considered += 1;
-                            scored.insert(cand.clone(), (0.0, f64::NEG_INFINITY));
+                            scored.insert(cand.clone(), (0.0, f64::NEG_INFINITY, 0.0));
                         }
                     }
                     let pick = rng.gen_range(0..candidates.len());
@@ -859,6 +909,53 @@ impl<'a> Tuner<'a> {
             }
         }
         drop(sgd_span);
+
+        // Model observatory: read the surrogate's beliefs about the chosen
+        // candidate *before* `store_rng` seals the trajectory. Every value
+        // here is a pure function of the deterministic observation stream
+        // (no RNG, no clocks), so fingerprints stay bit-identical at any
+        // thread count and speculation depth.
+        let mut predicted_mean = 0.0;
+        let mut predicted_std = 0.0;
+        let mut explore_share = 0.0;
+        let mut exploit_share = 0.0;
+        let mut decision_margin = 0.0;
+        let mut has_prediction = false;
+        if surrogate.is_some() {
+            if let Some(c) = chosen.as_ref() {
+                if let Some(&(ucb, mean, std)) = scored.get(c) {
+                    if mean.is_finite() {
+                        has_prediction = true;
+                        predicted_mean = mean;
+                        predicted_std = std;
+                        // Decompose UCB = μ + β·σ (β = 1) into shares.
+                        let denom = mean.abs() + std;
+                        if denom > 1e-12 {
+                            exploit_share = mean.abs() / denom;
+                            explore_share = std / denom;
+                        }
+                        let runner_up = scored
+                            .iter()
+                            .filter(|(v, _)| *v != c)
+                            .map(|(_, &(u, _, _))| u)
+                            .fold(f64::NEG_INFINITY, f64::max);
+                        if runner_up.is_finite() {
+                            decision_margin = ucb - runner_up;
+                        }
+                    }
+                }
+            }
+        }
+        // The per-parameter sensitivity sweep costs ~one surrogate
+        // prediction per neighbor; it runs only while someone is watching
+        // (telemetry on or a journal attached), like the gated timings.
+        let (importance, kernel_length_scale) =
+            if telemetry::enabled() || crate::telemetry::global().has_journal() {
+                self.model_importance(state, surrogate.as_ref())
+            } else {
+                (Vec::new(), 0.0)
+            };
+
         // All random draws for this iteration happened; persist the stream
         // position so a resume continues it exactly.
         state.store_rng(&rng);
@@ -878,7 +975,7 @@ impl<'a> Tuner<'a> {
                 let mut extras: Vec<(f64, &Vec<usize>)> = scored
                     .iter()
                     .filter(|(v, _)| *v != best_vec && !state.seen_contains(v))
-                    .map(|(v, &(ucb, _))| (ucb, v))
+                    .map(|(v, &(ucb, _, _))| (ucb, v))
                     .collect();
                 // Highest acquisition value first; the BTreeMap iteration
                 // order makes ascending vector order the deterministic
@@ -899,6 +996,7 @@ impl<'a> Tuner<'a> {
             .as_ref()
             .map(|c| self.space.manhattan(&root_vec, c))
             .unwrap_or(0);
+        let obs_before = state.observations.len();
         if let Some(vec) = chosen {
             if !state.seen_contains(&vec) {
                 if let Some(cfg) = self.materialize(&state.reference, &vec) {
@@ -907,6 +1005,18 @@ impl<'a> Tuner<'a> {
                 }
             }
         }
+        // A calibration pair needs both a prediction and a realization;
+        // power-rejected or already-seen candidates push no observation.
+        let calibrated = has_prediction && state.observations.len() > obs_before;
+        let realized_grade = if calibrated {
+            state
+                .observations
+                .last()
+                .expect("an observation was just pushed")
+                .grade
+        } else {
+            0.0
+        };
 
         let g = state.best_grade();
         state.grade_history.push(g);
@@ -936,10 +1046,22 @@ impl<'a> Tuner<'a> {
             bottleneck: agg_at_iter_start
                 .map(|earlier| self.validator.sim_aggregate().bottleneck_delta(&earlier))
                 .unwrap_or_default(),
+            predicted_mean,
+            predicted_std,
+            calibrated,
+            realized_grade,
+            explore_share,
+            exploit_share,
+            decision_margin,
+            kernel_length_scale,
+            importance,
         };
         // Stream the record to an attached run journal (no-op without
         // one) so a live tuning run is observable before it finishes.
         crate::telemetry::global().record_iteration(target.name(), &record);
+        if has_prediction {
+            crate::telemetry::global().record_model(target.name(), &record);
+        }
         state.records.push(record);
         state.validations += validations;
         if converged || state.iterations as usize >= self.opts.max_iterations {
@@ -1060,6 +1182,55 @@ impl<'a> Tuner<'a> {
                 }
             })
             .collect()
+    }
+
+    /// Deterministic per-parameter sensitivity sweep around the incumbent
+    /// (the best validated observation), using surrogate predictions only —
+    /// no extra simulator runs. Each parameter's raw importance is the mean
+    /// absolute change in predicted grade across its single-step neighbor
+    /// moves; the vector is normalized to sum 1. Returns the normalized
+    /// importances plus the fitted GPR kernel's lengthscale (0 without
+    /// one). Empty when no surrogate is fitted or the sweep degenerates.
+    fn model_importance(
+        &self,
+        state: &TuneState,
+        surrogate: Option<&FittedSurrogate>,
+    ) -> (Vec<f64>, f64) {
+        let Some(model) = surrogate else {
+            return (Vec::new(), 0.0);
+        };
+        let length_scale = model.length_scale();
+        let elite = state.elite(1);
+        let Some(&best_i) = elite.first() else {
+            return (Vec::new(), length_scale);
+        };
+        let incumbent = state.observations[best_i].vector.clone();
+        let (_, center, _) = model.predict(&self.normalize(&incumbent));
+        if !center.is_finite() {
+            return (Vec::new(), length_scale);
+        }
+        let mut raw = Vec::with_capacity(self.space.len());
+        for pi in 0..self.space.len() {
+            let neighbors = self.space.neighbors_of_param(&incumbent, pi);
+            let mut acc = 0.0;
+            let mut n = 0usize;
+            for nb in &neighbors {
+                let (_, mean, _) = model.predict(&self.normalize(nb));
+                if mean.is_finite() {
+                    acc += (mean - center).abs();
+                    n += 1;
+                }
+            }
+            raw.push(if n > 0 { acc / n as f64 } else { 0.0 });
+        }
+        let total: f64 = raw.iter().sum();
+        if total <= 1e-12 {
+            return (Vec::new(), length_scale);
+        }
+        for r in &mut raw {
+            *r /= total;
+        }
+        (raw, length_scale)
     }
 
     fn fit_surrogate(&self, state: &TuneState) -> Option<FittedSurrogate> {

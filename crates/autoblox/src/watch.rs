@@ -49,6 +49,36 @@ pub struct WorkloadWatch {
     pub validations: u64,
     /// `iteration` lines seen.
     pub iteration_lines: u64,
+    /// `model` lines seen.
+    pub model_lines: u64,
+    /// `model` lines carrying a realized calibration pair.
+    pub calibration_points: u64,
+    /// Calibration pairs whose realized grade fell within ±1σ of the
+    /// surrogate's prediction.
+    pub calibration_covered_1s: u64,
+    /// Sum of explore shares over every `model` line (sums, not latest, so
+    /// the aggregate is order-insensitive).
+    pub explore_share_sum: f64,
+}
+
+impl WorkloadWatch {
+    /// Fraction of calibration pairs within ±1σ (0.0 with no pairs yet).
+    pub fn calibration_coverage_1s(&self) -> f64 {
+        if self.calibration_points == 0 {
+            0.0
+        } else {
+            self.calibration_covered_1s as f64 / self.calibration_points as f64
+        }
+    }
+
+    /// Mean explore share over every `model` line (0.0 with none yet).
+    pub fn mean_explore_share(&self) -> f64 {
+        if self.model_lines == 0 {
+            0.0
+        } else {
+            self.explore_share_sum / self.model_lines as f64
+        }
+    }
 }
 
 /// Per-kind line counters (every ingested line lands in exactly one).
@@ -60,6 +90,8 @@ pub struct LineCounts {
     pub spans: u64,
     /// `iteration` lines.
     pub iterations: u64,
+    /// `model` lines.
+    pub models: u64,
     /// `progress` lines.
     pub progress: u64,
     /// `phase` lines.
@@ -87,6 +119,7 @@ impl LineCounts {
         self.meta
             + self.spans
             + self.iterations
+            + self.models
             + self.progress
             + self.phases
             + self.series
@@ -177,6 +210,25 @@ impl WatchState {
                 w.convergence_delta = get_f64(&v, "convergence_delta");
                 w.validations += get_u64(&v, "validations");
                 w.iteration_lines += 1;
+            }
+            "model" => {
+                self.counts.models += 1;
+                let w = self
+                    .workloads
+                    .entry(get_str(&v, "workload").to_string())
+                    .or_default();
+                w.model_lines += 1;
+                w.explore_share_sum += get_f64(&v, "explore_share");
+                if matches!(v.get("calibrated"), Some(Value::Bool(true))) {
+                    w.calibration_points += 1;
+                    // Mirror of model_obs: z with a 1e-6 standard-deviation
+                    // floor so degenerate predictions stay finite.
+                    let sd = get_f64(&v, "predicted_std").max(1e-6);
+                    let z = (get_f64(&v, "realized_grade") - get_f64(&v, "predicted_mean")) / sd;
+                    if z.abs() <= 1.0 {
+                        w.calibration_covered_1s += 1;
+                    }
+                }
             }
             "progress" => {
                 self.counts.progress += 1;
@@ -285,6 +337,10 @@ impl WatchState {
                     "convergence_delta": w.convergence_delta,
                     "validations": w.validations,
                     "iteration_lines": w.iteration_lines,
+                    "model_lines": w.model_lines,
+                    "calibration_points": w.calibration_points,
+                    "calibration_coverage_1s": w.calibration_coverage_1s(),
+                    "mean_explore_share": w.mean_explore_share(),
                 });
                 if include_timing {
                     if let Value::Object(map) = &mut obj {
@@ -306,6 +362,7 @@ impl WatchState {
                 "meta": c.meta,
                 "spans": c.spans,
                 "iterations": c.iterations,
+                "models": c.models,
                 "progress": c.progress,
                 "phases": c.phases,
                 "series": c.series,
@@ -339,6 +396,12 @@ impl WatchState {
                 ));
                 if w.eta_ns > 0 {
                     out.push_str(&format!(" eta {:.0}s", w.eta_ns as f64 / 1e9));
+                }
+                if w.calibration_points > 0 {
+                    out.push_str(&format!(" cal {:.0}%", w.calibration_coverage_1s() * 100.0));
+                }
+                if w.model_lines > 0 {
+                    out.push_str(&format!(" xpl {:.0}%", w.mean_explore_share() * 100.0));
                 }
             }
             None => out.push_str("waiting for journal lines"),
@@ -376,6 +439,17 @@ impl WatchState {
                 w.validations,
                 w.iteration_lines,
             ));
+            if w.model_lines > 0 {
+                out.push_str(&format!(
+                    "  model: coverage(1s) {:20} {:5.1}% over {} pair(s), \
+                     explore share {:20} {:5.1}%\n",
+                    bar(w.calibration_coverage_1s()),
+                    w.calibration_coverage_1s() * 100.0,
+                    w.calibration_points,
+                    bar(w.mean_explore_share()),
+                    w.mean_explore_share() * 100.0,
+                ));
+            }
         }
         let b = self.bottleneck();
         if b.total_latency_ns > 0 {
@@ -394,11 +468,12 @@ impl WatchState {
         }
         let c = self.counts;
         out.push_str(&format!(
-            "lines: {} total ({} spans, {} iterations, {} progress, {} series, \
+            "lines: {} total ({} spans, {} iterations, {} models, {} progress, {} series, \
              {} bottlenecks, {} placements, {} unknown, {} skipped)\n",
             c.total(),
             c.spans,
             c.iterations,
+            c.models,
             c.progress,
             c.series,
             c.bottlenecks,
@@ -490,6 +565,39 @@ mod tests {
         let b = w.bottleneck();
         assert_eq!(b.total_latency_ns, 1000);
         assert!((b.channel_wait_frac - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_lines_feed_coverage_and_explore_share() {
+        let mut w = WatchState::new();
+        w.ingest(META);
+        // Covered pair: realized within 1σ of the prediction.
+        assert!(w.ingest(
+            r#"{"t":"model","workload":"Database","iteration":1,"predicted_mean":0.5,"predicted_std":0.1,"calibrated":true,"realized_grade":0.55,"explore_share":0.4,"exploit_share":0.6,"decision_margin":0.01,"kernel_length_scale":1.0}"#
+        ));
+        // Missed pair: realized 3σ away.
+        assert!(w.ingest(
+            r#"{"t":"model","workload":"Database","iteration":2,"predicted_mean":0.5,"predicted_std":0.1,"calibrated":true,"realized_grade":0.8,"explore_share":0.2,"exploit_share":0.8,"decision_margin":0.02,"kernel_length_scale":1.0}"#
+        ));
+        // Uncalibrated line (validation rejected): counts toward explore
+        // share only.
+        assert!(w.ingest(
+            r#"{"t":"model","workload":"Database","iteration":3,"predicted_mean":0.5,"predicted_std":0.1,"calibrated":false,"realized_grade":0.0,"explore_share":0.6,"exploit_share":0.4,"decision_margin":0.03,"kernel_length_scale":1.0}"#
+        ));
+        let ww = &w.workloads["Database"];
+        assert_eq!(ww.model_lines, 3);
+        assert_eq!(ww.calibration_points, 2);
+        assert_eq!(ww.calibration_covered_1s, 1);
+        assert!((ww.calibration_coverage_1s() - 0.5).abs() < 1e-12);
+        assert!((ww.mean_explore_share() - 0.4).abs() < 1e-12);
+        assert_eq!(w.counts().models, 3);
+        let line = w.status_line();
+        assert!(line.contains("cal 50%"), "{line}");
+        assert!(line.contains("xpl 40%"), "{line}");
+        let dash = w.render();
+        assert!(dash.contains("coverage(1s)"), "{dash}");
+        let snap = serde_json::to_string(&w.snapshot(false)).unwrap();
+        assert!(snap.contains("\"calibration_coverage_1s\":0.5"), "{snap}");
     }
 
     #[test]

@@ -125,6 +125,8 @@ fn summary(category: &str, grade: f64, sim_runs: u64, wall_ns: u64, threads: u64
         iterations: 4,
         simulator_runs: sim_runs,
         bottleneck: Default::default(),
+        calibration_coverage_1s: 0.7,
+        calibration_points: 3,
         threads,
         wall_ns,
     }

@@ -310,13 +310,14 @@ fn journal_streams_run_and_exports_chrome_trace() {
     let chrome = autoblox::journal::export_chrome(&text).expect("chrome export succeeds");
     assert!(chrome.contains("traceEvents"));
     assert!(chrome.contains("tuner.iteration"));
-    // Every tuner iteration and every progress line produced one instant
-    // event.
+    // Every tuner iteration, progress line, and model line produced one
+    // instant event (model lines also emit a counter, not an instant).
+    let model_lines = text.matches("\"t\":\"model\"").count();
     let instants = chrome.matches("\"ph\":\"i\"").count();
     assert_eq!(
         instants,
-        outcome.iterations + progress_lines,
-        "one instant per iteration and per progress line"
+        outcome.iterations + progress_lines + model_lines,
+        "one instant per iteration, progress, and model line"
     );
 
     std::fs::remove_file(&path).ok();

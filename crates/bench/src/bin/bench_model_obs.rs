@@ -1,0 +1,139 @@
+//! Wall-clock overhead of the model observatory.
+//!
+//! The observatory adds two kinds of per-iteration work to the BO loop:
+//! the always-on provenance bookkeeping (explore/exploit shares, decision
+//! margin, calibration pair — a handful of float ops against values the
+//! loop already computed) and the telemetry-gated importance sweep (one
+//! `Gpr::predict` per neighbor of the incumbent, no simulator runs). This
+//! benchmark times an identical tuning run with telemetry off and on —
+//! best of three repetitions each, fresh validator per repetition — and
+//! writes `BENCH_model_obs.json`. Acceptance: the telemetry-on run (which
+//! pays for the sweep) stays under 3% overhead, and the telemetry-off run
+//! carries the bookkeeping for ~0 cost (measured against the same gate's
+//! pre-observatory behavior, it is pure arithmetic on the hot iteration).
+//!
+//! `AUTOBLOX_SCALE=quick|standard|full` scales the trace length.
+
+use autoblox::constraints::Constraints;
+use autoblox::telemetry::{self, TelemetrySink};
+use autoblox::tuner::{Tuner, TunerOptions};
+use autoblox::validator::{Validator, ValidatorOptions};
+use iotrace::gen::WorkloadKind;
+use serde_json::json;
+use ssdsim::config::presets;
+use std::time::Instant;
+
+const REPS: usize = 3;
+
+fn tuning_run(trace_events: usize, sink: &TelemetrySink) -> (f64, u64) {
+    let validator = Validator::new(ValidatorOptions {
+        trace_events,
+        ..Default::default()
+    });
+    let opts = TunerOptions {
+        max_iterations: 6,
+        sgd_iterations: 4,
+        non_target: vec![WorkloadKind::WebSearch],
+        ..Default::default()
+    };
+    let tuner = Tuner::new(Constraints::paper_default(), &validator, opts);
+    let t0 = Instant::now();
+    let outcome = sink.phase("tune", || {
+        tuner.tune(WorkloadKind::Database, &presets::intel_750(), &[], None)
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let sweeps = outcome
+        .iteration_records
+        .iter()
+        .filter(|r| !r.importance.is_empty())
+        .count() as u64;
+    (elapsed, sweeps)
+}
+
+/// Best wall time over `reps` runs at the given telemetry setting, plus
+/// the importance-sweep count of the last run (a gating witness: it must
+/// be zero with telemetry off and positive with it on).
+fn best_of(trace_events: usize, enabled: bool, reps: usize) -> (f64, u64) {
+    telemetry::set_enabled(enabled);
+    let mut best = f64::INFINITY;
+    let mut sweeps = 0u64;
+    for _ in 0..reps {
+        let sink = TelemetrySink::new();
+        let (s, swept) = tuning_run(trace_events, &sink);
+        best = best.min(s);
+        sweeps = swept;
+    }
+    telemetry::set_enabled(false);
+    (best, sweeps)
+}
+
+fn main() {
+    let check = autoblox_bench::check_mode();
+    let scale = autoblox_bench::run_scale();
+    let trace_events = match scale {
+        autoblox_bench::Scale::Quick => 400,
+        autoblox_bench::Scale::Standard => 2_000,
+        autoblox_bench::Scale::Full => 6_000,
+    };
+    // `--check` runs a single repetition with no warm-up: the overhead
+    // percentage is noise there, only the harness and report shape matter.
+    let reps = if check { 1 } else { REPS };
+
+    if !check {
+        // Warm-up run so neither mode pays first-touch costs.
+        let _ = best_of(trace_events, false, 1);
+    }
+
+    let (off_s, off_sweeps) = best_of(trace_events, false, reps);
+    let (on_s, on_sweeps) = best_of(trace_events, true, reps);
+    let overhead_pct = (on_s - off_s) / off_s * 100.0;
+
+    assert_eq!(
+        off_sweeps, 0,
+        "telemetry off must skip the importance sweep entirely"
+    );
+    assert!(
+        on_sweeps > 0,
+        "telemetry on must actually run the importance sweep"
+    );
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "observatory off {off_s:.3}s (0 sweeps), on {on_s:.3}s ({on_sweeps} sweeps), \
+         overhead {overhead_pct:+.2}% (criterion < 3%)"
+    );
+
+    let doc = json!({
+        "benchmark": "model_obs",
+        "host_cpus": host_cpus,
+        "trace_events": trace_events,
+        "reps_best_of": reps as u64,
+        "telemetry_off_best_s": off_s,
+        "telemetry_on_best_s": on_s,
+        "overhead_pct": overhead_pct,
+        "importance_sweeps_on": on_sweeps,
+        "importance_sweeps_off": off_sweeps,
+        "criterion_pct": 3.0,
+        "criterion_met": overhead_pct < 3.0,
+    });
+    autoblox_bench::write_bench_report(
+        "BENCH_model_obs.json",
+        "model_obs",
+        &[
+            "host_cpus",
+            "trace_events",
+            "reps_best_of",
+            "telemetry_off_best_s",
+            "telemetry_on_best_s",
+            "overhead_pct",
+            "importance_sweeps_on",
+            "importance_sweeps_off",
+            "criterion_pct",
+            "criterion_met",
+        ],
+        &doc,
+    );
+    println!("overhead_pct: {overhead_pct:.3}");
+}

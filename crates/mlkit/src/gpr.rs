@@ -20,6 +20,11 @@ pub struct Prediction {
 }
 
 impl Prediction {
+    /// Floor applied to the variance in [`Prediction::z_score`] and
+    /// [`Prediction::nlpd`] so degenerate (zero-variance) predictions keep
+    /// both finite.
+    pub const VARIANCE_FLOOR: f64 = 1e-12;
+
     /// Posterior standard deviation.
     pub fn std_dev(&self) -> f64 {
         self.variance.max(0.0).sqrt()
@@ -29,6 +34,26 @@ impl Prediction {
     /// used when ranking candidate configurations.
     pub fn ucb(&self, beta: f64) -> f64 {
         self.mean + beta * self.std_dev()
+    }
+
+    /// Standardized residual `(observed - mean) / std_dev` of a realized
+    /// outcome under this predictive distribution. The variance is floored
+    /// at [`Prediction::VARIANCE_FLOOR`] so a (numerically) certain
+    /// prediction still yields a finite z-score.
+    pub fn z_score(&self, observed: f64) -> f64 {
+        let sd = self.variance.max(Self::VARIANCE_FLOOR).sqrt();
+        (observed - self.mean) / sd
+    }
+
+    /// Negative log predictive density of a realized outcome under this
+    /// Gaussian predictive distribution:
+    /// `0.5 ln(2 pi sigma^2) + (y - mu)^2 / (2 sigma^2)`, with the variance
+    /// floored at [`Prediction::VARIANCE_FLOOR`]. Lower is better; the
+    /// standard calibration score for probabilistic regressors.
+    pub fn nlpd(&self, observed: f64) -> f64 {
+        let var = self.variance.max(Self::VARIANCE_FLOOR);
+        let resid = observed - self.mean;
+        0.5 * (2.0 * std::f64::consts::PI * var).ln() + resid * resid / (2.0 * var)
     }
 }
 
@@ -401,6 +426,27 @@ mod tests {
         assert_eq!(p.std_dev(), 2.0);
         assert_eq!(p.ucb(0.0), 1.0);
         assert_eq!(p.ucb(1.0), 3.0);
+    }
+
+    #[test]
+    fn calibration_scores_are_finite_and_consistent() {
+        let p = Prediction {
+            mean: 1.0,
+            variance: 4.0,
+        };
+        // One observed standard deviation above the mean.
+        assert!((p.z_score(3.0) - 1.0).abs() < 1e-12);
+        assert!((p.z_score(-1.0) + 1.0).abs() < 1e-12);
+        // NLPD is minimized at the mean and grows with the residual.
+        assert!(p.nlpd(1.0) < p.nlpd(3.0));
+        assert!(p.nlpd(3.0) < p.nlpd(9.0));
+        // Degenerate variance stays finite thanks to the floor.
+        let degenerate = Prediction {
+            mean: 0.0,
+            variance: 0.0,
+        };
+        assert!(degenerate.z_score(0.5).is_finite());
+        assert!(degenerate.nlpd(0.5).is_finite());
     }
 
     #[test]

@@ -20,7 +20,7 @@ ROOT=$(pwd)
 
 ALL_STAGES="fmt build-debug build-release test clippy doc telemetry-smoke \
 regression-gate explain-smoke resume-smoke bo-throughput-smoke place-smoke \
-trend-smoke bench-smoke"
+trend-smoke inspect-smoke bench-smoke"
 
 QUICK=0
 STAGES=""
@@ -185,7 +185,7 @@ if [[ $QUICK -eq 0 ]]; then
 
     # --- Stage: explain smoke ---------------------------------------------
     # End-to-end check of the device observatory: a telemetry-enabled tune
-    # must emit a v2 report (version echoed by telemetry-check's stdout
+    # must emit a v3 report (version echoed by telemetry-check's stdout
     # verdict), `explain` must render a bottleneck fingerprint in both human
     # and JSON form, and `explain diff` against the golden must work.
     # Capture CLI stdout before grepping it: `cli | grep -q` races — grep
@@ -198,8 +198,8 @@ if [[ $QUICK -eq 0 ]]; then
             --iterations 2 --events 300 --telemetry "$out" \
             >/dev/null || { rm -f "$out"; return 1; }
         captured=$(./target/release/autoblox telemetry-check "$out") \
-            && grep -q '"autoblox.telemetry.v2"' <<<"$captured" \
-            || { echo "telemetry-check did not echo the v2 schema"; rm -f "$out"; return 1; }
+            && grep -q '"autoblox.telemetry.v3"' <<<"$captured" \
+            || { echo "telemetry-check did not echo the v3 schema"; rm -f "$out"; return 1; }
         captured=$(./target/release/autoblox explain "$out") \
             && grep -q 'dominant' <<<"$captured" \
             || { echo "explain did not render a fingerprint"; rm -f "$out"; return 1; }
@@ -407,6 +407,65 @@ if [[ $QUICK -eq 0 ]]; then
         skip "trend-smoke" "release binary missing (build failed?)"
     fi
 
+    # --- Stage: inspect smoke ---------------------------------------------
+    # The model observatory end to end from one telemetry report: `inspect`
+    # must render all three views (calibration, parameter importance,
+    # decision provenance), `inspect --json` must carry the model schema,
+    # and `inspect diff` must compare two reports. The pinned 6-iteration
+    # smoke run lands at ±1σ coverage 0.80 (deterministic under
+    # AUTOBLOX_THREADS=1), so `report trend` must pass at the default
+    # calibration floor and exit 3 — the regression exit code — when the
+    # floor is raised to 0.9 above the realized coverage. Two runs are
+    # recorded so the trend window actually checks the metric (a single
+    # run is advisory-only).
+    inspect_smoke() {
+        local dir captured rc
+        dir=$(mktemp -d /tmp/autoblox-ci-inspect.XXXXXX) || return 1
+        AUTOBLOX_THREADS=1 ./target/release/autoblox tune database \
+            --iterations 3 --events 300 --speculate 1 \
+            --telemetry "$dir/base.json" \
+            >/dev/null || { rm -rf "$dir"; return 1; }
+        AUTOBLOX_THREADS=1 ./target/release/autoblox tune database \
+            --iterations 6 --events 300 --speculate 1 \
+            --db "$dir/runs.db" --telemetry "$dir/cand.json" \
+            >/dev/null || { rm -rf "$dir"; return 1; }
+        AUTOBLOX_THREADS=1 ./target/release/autoblox tune database \
+            --iterations 6 --events 300 --speculate 1 \
+            --db "$dir/runs.db" \
+            >/dev/null || { rm -rf "$dir"; return 1; }
+        captured=$(./target/release/autoblox inspect "$dir/cand.json") \
+            && grep -q 'calibration over' <<<"$captured" \
+            && grep -q 'parameter importance' <<<"$captured" \
+            && grep -q 'decision timeline' <<<"$captured" \
+            || { echo "inspect did not render all three model views"; \
+                 rm -rf "$dir"; return 1; }
+        captured=$(./target/release/autoblox inspect "$dir/cand.json" --json) \
+            && grep -q '"autoblox.model.v1"' <<<"$captured" \
+            || { echo "inspect --json did not emit the model schema"; \
+                 rm -rf "$dir"; return 1; }
+        ./target/release/autoblox inspect diff "$dir/base.json" "$dir/cand.json" \
+            >/dev/null \
+            || { echo "inspect diff between two reports failed"; \
+                 rm -rf "$dir"; return 1; }
+        ./target/release/autoblox report trend --db "$dir/runs.db" \
+            >/dev/null 2>&1 \
+            || { echo "trend flagged drift at the default calibration floor"; \
+                 rm -rf "$dir"; return 1; }
+        ./target/release/autoblox report trend --db "$dir/runs.db" \
+            --min-calibration-coverage 0.9 >/dev/null 2>&1
+        rc=$?
+        [[ $rc -eq 3 ]] \
+            || { echo "raised calibration floor must exit 3, got $rc"; \
+                 rm -rf "$dir"; return 1; }
+        rm -rf "$dir"
+        return 0
+    }
+    if [[ -x ./target/release/autoblox ]]; then
+        run_stage "inspect-smoke" inspect_smoke
+    else
+        skip "inspect-smoke" "release binary missing (build failed?)"
+    fi
+
     # --- Stage: bench smoke -----------------------------------------------
     # Every benchmark binary must run end to end in `--check` mode (smallest
     # sweep, one repetition) and emit a BENCH_*.json that validates against
@@ -418,7 +477,8 @@ if [[ $QUICK -eq 0 ]]; then
         dir=$(mktemp -d /tmp/autoblox-ci-bench.XXXXXX) || return 1
         for bin in bench_bo_throughput bench_parallel_validation \
                    bench_device_sampling bench_telemetry_overhead \
-                   bench_tracing_overhead bench_journal_tail; do
+                   bench_tracing_overhead bench_journal_tail \
+                   bench_model_obs; do
             if [[ ! -x "$ROOT/target/release/$bin" ]]; then
                 echo "release binary $bin missing"
                 rc=1
