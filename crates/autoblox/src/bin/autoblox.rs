@@ -6,8 +6,9 @@
 //! autoblox classify <trace-file> [csv|blkparse|msr]
 //! autoblox simulate <workload|trace-file> [config.json]
 //! autoblox tune <workload> [--iterations N] [--events N] [--capacity GIB]
-//!               [--interface nvme|sata] [--flash slc|mlc|tlc] [--power W]
-//!               [--speculate K] [--telemetry out.json] [--journal out.jsonl]
+//!               [--interface nvme|sata] [--flash slc|mlc|tlc|qlc] [--power W]
+//!               [--family homogeneous|hybrid] [--speculate K]
+//!               [--telemetry out.json] [--journal out.jsonl]
 //!               [--checkpoint dir/] [--checkpoint-every N] [--resume]
 //!               [--stop-after-iter N] [--db store.db] [--record]
 //! autoblox whatif <workload> --goal latency|throughput --factor F
@@ -16,7 +17,8 @@
 //! autoblox place --devices M --traces <spec|file>[,...] [--db store.db]
 //!               [--record] [--json out.json] [--alpha F] [--rounds N]
 //!               [--no-classify] [--capacity GIB] [--interface nvme|sata]
-//!               [--flash slc|mlc|tlc] [--power W] [--telemetry out.json]
+//!               [--flash slc|mlc|tlc|qlc] [--family homogeneous|hybrid]
+//!               [--power W] [--telemetry out.json]
 //!               [--journal out.jsonl]
 //! autoblox runs list [--db store.db] [--json] [--category <name>] [--limit N]
 //! autoblox runs show <run-key> [--db store.db] [--json]
@@ -76,7 +78,7 @@ use iotrace::parse::{parse_blkparse, parse_csv, parse_msr, write_csv};
 use iotrace::stats::TraceProfile;
 use iotrace::window::WindowOptions;
 use iotrace::Trace;
-use ssdsim::config::{presets, FlashTechnology, Interface, SsdConfig};
+use ssdsim::config::{presets, DeviceFamily, FlashTechnology, Interface, SsdConfig};
 use ssdsim::Simulator;
 use std::fs::File;
 use std::io::BufReader;
@@ -120,8 +122,9 @@ fn usage() -> ExitCode {
          \x20 classify <trace-file> [csv|blkparse|msr]        match against the studied clusters\n\
          \x20 simulate <workload|trace-file> [config.json]    run the SSD simulator\n\
          \x20 tune     <workload> [--iterations N] [--events N] [--capacity GIB]\n\
-         \x20          [--interface nvme|sata] [--flash slc|mlc|tlc] [--power W]\n\
-         \x20          [--speculate K] [--telemetry out.json] [--journal out.jsonl]\n\
+         \x20          [--interface nvme|sata] [--flash slc|mlc|tlc|qlc] [--power W]\n\
+         \x20          [--family homogeneous|hybrid] [--speculate K]\n\
+         \x20          [--telemetry out.json] [--journal out.jsonl]\n\
          \x20          [--checkpoint dir/] [--checkpoint-every N] [--resume]\n\
          \x20          [--stop-after-iter N] [--db store.db] [--record]\n\
          \x20 whatif   <workload> --goal latency|throughput --factor F\n\
@@ -131,8 +134,9 @@ fn usage() -> ExitCode {
          \x20          [--db store.db] [--record]              onto M virtual devices\n\
          \x20          [--json out.json]\n\
          \x20          [--alpha F] [--rounds N] [--no-classify]\n\
-         \x20          [--capacity GIB] [--interface nvme|sata] [--flash slc|mlc|tlc]\n\
-         \x20          [--power W] [--telemetry out.json] [--journal out.jsonl]\n\
+         \x20          [--capacity GIB] [--interface nvme|sata] [--flash slc|mlc|tlc|qlc]\n\
+         \x20          [--family homogeneous|hybrid] [--power W]\n\
+         \x20          [--telemetry out.json] [--journal out.jsonl]\n\
          \x20          (a trace spec is <workload>:<events>:<seed>;\n\
          \x20           --db/--record also register a run summary in the registry)\n\
          \x20 runs     list [--db store.db] [--json]           browse the run registry\n\
@@ -803,6 +807,7 @@ impl RunRecorder {
         &self,
         command: &str,
         category: &str,
+        device_family: &str,
         seed: u64,
         best_grade: f64,
         iterations: u64,
@@ -815,7 +820,15 @@ impl RunRecorder {
         let db = autodb::Store::open(path)
             .map_err(|e| CliError::Input(format!("cannot open store {path}: {e}")))?;
         self.record_with(
-            &db, command, category, seed, best_grade, iterations, validator, records,
+            &db,
+            command,
+            category,
+            device_family,
+            seed,
+            best_grade,
+            iterations,
+            validator,
+            records,
         )
     }
 
@@ -829,6 +842,7 @@ impl RunRecorder {
         db: &autodb::Store,
         command: &str,
         category: &str,
+        device_family: &str,
         seed: u64,
         best_grade: f64,
         iterations: u64,
@@ -841,6 +855,7 @@ impl RunRecorder {
             schema: autoblox::obs::RUNS_SCHEMA.to_string(),
             command: command.to_string(),
             category: category.to_string(),
+            device_family: device_family.to_string(),
             seed,
             best_grade,
             iterations,
@@ -1131,16 +1146,39 @@ fn constraints_from(args: &[String]) -> Result<Constraints, CliError> {
         Some("slc") => FlashTechnology::Slc,
         None | Some("mlc") => FlashTechnology::Mlc,
         Some("tlc") => FlashTechnology::Tlc,
+        Some("qlc") => FlashTechnology::Qlc,
         Some(other) => return Err(CliError::Usage(format!("unknown flash type {other:?}"))),
     };
-    Ok(Constraints::new(capacity, interface, flash, power))
+    let family = match parse_flag::<String>(args, "--family")?.as_deref() {
+        None | Some("homogeneous") => DeviceFamily::Homogeneous,
+        // The hybrid preset's knob values seed the search; all three stay
+        // tunable within the family.
+        Some("hybrid") | Some("hybrid-slc-cache") => presets::hybrid_slc_qlc().device_family,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "unknown device family {other:?} (expected homogeneous|hybrid)"
+            )))
+        }
+    };
+    if family.is_hybrid() && flash.bits_per_cell() < 2 {
+        return Err(CliError::Usage(
+            "--family hybrid needs a multi-bit capacity tier (mlc|tlc|qlc), not slc".to_string(),
+        ));
+    }
+    Ok(Constraints::new(capacity, interface, flash, power).with_family(family))
 }
 
 fn reference_for(constraints: &Constraints) -> SsdConfig {
-    let mut reference = match (constraints.interface, constraints.flash_type) {
-        (Interface::Sata, _) => presets::samsung_850_pro(),
-        (Interface::Nvme, FlashTechnology::Slc) => presets::samsung_z_ssd(),
-        _ => presets::intel_750(),
+    let mut reference = if constraints.family.is_hybrid() {
+        // `pin` below re-targets the capacity tier's technology and
+        // latencies when the constraints ask for something other than QLC.
+        presets::hybrid_slc_qlc()
+    } else {
+        match (constraints.interface, constraints.flash_type) {
+            (Interface::Sata, _) => presets::samsung_850_pro(),
+            (Interface::Nvme, FlashTechnology::Slc) => presets::samsung_z_ssd(),
+            _ => presets::intel_750(),
+        }
     };
     constraints.pin(&mut reference);
     reference
@@ -1295,6 +1333,7 @@ fn cmd_tune(args: &[String]) -> Result<(), CliError> {
         recorder.record(
             "tune",
             kind.name(),
+            constraints.family.label(),
             seed,
             outcome.best.grade,
             outcome.iterations as u64,
@@ -1390,6 +1429,7 @@ fn cmd_whatif(args: &[String]) -> Result<(), CliError> {
         recorder.record(
             "whatif",
             kind.name(),
+            constraints.family.label(),
             TunerOptions::default().seed,
             out.tuning.best.grade,
             out.tuning.iterations as u64,
@@ -1544,6 +1584,7 @@ fn cmd_place(args: &[String]) -> Result<(), CliError> {
                 db,
                 "place",
                 "place",
+                constraints.family.label(),
                 opts.train_seed,
                 grade,
                 report.search_rounds,
@@ -1553,6 +1594,7 @@ fn cmd_place(args: &[String]) -> Result<(), CliError> {
             None => recorder.record(
                 "place",
                 "place",
+                constraints.family.label(),
                 opts.train_seed,
                 grade,
                 report.search_rounds,

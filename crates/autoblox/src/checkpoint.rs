@@ -197,8 +197,8 @@ impl Checkpoint {
 
     /// Checks that this checkpoint was produced by the same tuning
     /// problem the caller is about to resume: same target, parameter
-    /// space, reference configuration, validator settings, and tuner
-    /// options.
+    /// space, reference configuration (including its device family),
+    /// validator settings, and tuner options.
     ///
     /// # Errors
     ///
@@ -231,6 +231,20 @@ impl Checkpoint {
                 "tuning target or validator settings changed since the \
                  checkpoint was written (fingerprint {} != {target_fp})",
                 self.target_fingerprint
+            ));
+        }
+        // The device family is part of the reference's canonical words, so
+        // the fingerprint below already binds it; this explicit check turns
+        // an honest flag mismatch (checkpoint written under a different
+        // `--family`) into an actionable message instead of a hash diff.
+        let want = tuner.constraints().family;
+        let have = self.state.reference.device_family;
+        if want.is_hybrid() != have.is_hybrid() {
+            return Err(format!(
+                "checkpoint tuned a {} device but these constraints require \
+                 {}; re-run with the original --family to resume",
+                have.label(),
+                want.label()
             ));
         }
         let reference = fingerprint_config(&self.state.reference);

@@ -4,7 +4,7 @@
 
 use crate::params::ParamSpace;
 use serde::{Deserialize, Serialize};
-use ssdsim::config::{FlashTechnology, Interface, SsdConfig};
+use ssdsim::config::{DeviceFamily, FlashTechnology, Interface, SsdConfig};
 
 /// Minimum capacity of a single flash die in bytes (1 GiB): NAND dies are
 /// physical parts with multi-gigabit densities, so a configuration cannot
@@ -23,7 +23,7 @@ pub const CAPACITY_TOLERANCE: f64 = 0.25;
 ///
 /// ```
 /// use autoblox::constraints::Constraints;
-/// use ssdsim::config::{FlashTechnology, Interface, SsdConfig};
+/// use ssdsim::config::{DeviceFamily, FlashTechnology, Interface, SsdConfig};
 ///
 /// let cons = Constraints::new(512, Interface::Nvme, FlashTechnology::Mlc, 25.0);
 /// assert!(cons.check_structural(&SsdConfig::default()).is_ok());
@@ -42,6 +42,13 @@ pub struct Constraints {
     /// [`MIN_DIE_CAPACITY_BYTES`]; the what-if analysis (§4.5) relaxes it,
     /// since its expanded bounds "may not be realistic today".
     pub min_die_capacity_bytes: u64,
+    /// Required device family. Candidates of the other family kind are
+    /// rejected structurally; for hybrid families the knob *values*
+    /// (cache share, policy, threshold) stay tunable — only the kind is
+    /// pinned. `#[serde(default)]` (homogeneous) keeps constraint
+    /// documents from before the field parseable.
+    #[serde(default)]
+    pub family: DeviceFamily,
 }
 
 /// A constraint violation, reported by [`Constraints::check_structural`].
@@ -64,6 +71,9 @@ pub enum Violation {
     Interface,
     /// Wrong flash technology.
     FlashType,
+    /// Wrong device family (homogeneous where hybrid is required, or the
+    /// reverse).
+    Family,
     /// The configuration is structurally invalid (failed validation).
     Invalid(String),
 }
@@ -83,7 +93,15 @@ impl Constraints {
             flash_type,
             power_budget_w,
             min_die_capacity_bytes: MIN_DIE_CAPACITY_BYTES,
+            family: DeviceFamily::Homogeneous,
         }
+    }
+
+    /// The same constraints restricted to `family` configurations.
+    #[must_use]
+    pub fn with_family(mut self, family: DeviceFamily) -> Self {
+        self.family = family;
+        self
     }
 
     /// The paper's default evaluation constraints: 512 GiB, NVMe, MLC
@@ -109,13 +127,19 @@ impl Constraints {
         if cfg.flash_technology != self.flash_type {
             return Err(Violation::FlashType);
         }
+        if cfg.device_family.is_hybrid() != self.family.is_hybrid() {
+            return Err(Violation::Family);
+        }
         let die_capacity = cfg.physical_capacity_bytes() / cfg.total_dies().max(1);
         if die_capacity < self.min_die_capacity_bytes {
             return Err(Violation::DieTooSmall {
                 actual: die_capacity,
             });
         }
-        let actual = cfg.physical_capacity_bytes();
+        // The user buys usable bytes: hybrid SLC cache blocks store one
+        // bit per cell, so the band is judged on the effective capacity
+        // (identical to physical for homogeneous devices).
+        let actual = cfg.effective_capacity_bytes();
         let lo = (self.capacity_bytes as f64 * (1.0 - CAPACITY_TOLERANCE)) as u64;
         let hi = (self.capacity_bytes as f64 * (1.0 + CAPACITY_TOLERANCE)) as u64;
         if actual < lo || actual > hi {
@@ -136,6 +160,11 @@ impl Constraints {
     /// type, and technology-matched latencies) onto a configuration.
     pub fn pin(&self, cfg: &mut SsdConfig) {
         cfg.interface = self.interface;
+        // Pin the family *kind* only: overwriting an already-hybrid
+        // candidate would clobber its tuned cache/policy/threshold knobs.
+        if cfg.device_family.is_hybrid() != self.family.is_hybrid() {
+            cfg.device_family = self.family;
+        }
         if cfg.flash_technology != self.flash_type {
             cfg.flash_technology = self.flash_type;
             cfg.read_latency_ns = self.flash_type.base_read_ns();
@@ -169,7 +198,7 @@ impl Constraints {
                 } else {
                     0.0
                 };
-                let err = (trial.physical_capacity_bytes() as f64 - self.capacity_bytes as f64)
+                let err = (trial.effective_capacity_bytes() as f64 - self.capacity_bytes as f64)
                     .abs()
                     + die_penalty;
                 if best.is_none_or(|(e, _)| err < e) {
@@ -187,7 +216,7 @@ impl Constraints {
     }
 
     fn capacity_ok(&self, cfg: &SsdConfig) -> bool {
-        let actual = cfg.physical_capacity_bytes() as f64;
+        let actual = cfg.effective_capacity_bytes() as f64;
         let target = self.capacity_bytes as f64;
         actual >= target * (1.0 - CAPACITY_TOLERANCE)
             && actual <= target * (1.0 + CAPACITY_TOLERANCE)
@@ -321,6 +350,81 @@ mod tests {
         let cons = cons_for_default();
         assert!(cons.check_power(10.0));
         assert!(!cons.check_power(30.0));
+    }
+
+    #[test]
+    fn family_kind_enforced_and_pinned() {
+        use ssdsim::config::MigrationPolicy;
+        let hybrid_family = DeviceFamily::HybridSlcCache {
+            cache_blocks_pct: 10.0,
+            migration_policy: MigrationPolicy::Watermark,
+            migration_threshold_pct: 25.0,
+        };
+        let cons = cons_for_default().with_family(hybrid_family);
+        assert_eq!(
+            cons.check_structural(&SsdConfig::default()),
+            Err(Violation::Family),
+            "hybrid constraints must reject homogeneous candidates"
+        );
+        let hybrid_cfg = SsdConfig {
+            device_family: hybrid_family,
+            ..SsdConfig::default()
+        };
+        assert_eq!(
+            cons_for_default().check_structural(&hybrid_cfg),
+            Err(Violation::Family),
+            "homogeneous constraints must reject hybrid candidates"
+        );
+        // Pinning converts the family *kind* but must not clobber the
+        // tuned knob values of an already-hybrid candidate.
+        let tuned = DeviceFamily::HybridSlcCache {
+            cache_blocks_pct: 30.0,
+            migration_policy: MigrationPolicy::Idle,
+            migration_threshold_pct: 60.0,
+        };
+        let mut cfg = SsdConfig {
+            device_family: tuned,
+            ..SsdConfig::default()
+        };
+        cons.pin(&mut cfg);
+        assert_eq!(cfg.device_family, tuned);
+        let mut homo = SsdConfig::default();
+        cons.pin(&mut homo);
+        assert_eq!(homo.device_family, hybrid_family);
+    }
+
+    #[test]
+    fn hybrid_capacity_judged_on_effective_bytes() {
+        use ssdsim::config::MigrationPolicy;
+        // QLC with half the blocks in SLC mode loses 3/8 of the physical
+        // bytes: effective capacity 0.625x falls out of the +/-25% band
+        // even though the physical capacity is exactly on target.
+        let cap_gib = SsdConfig::default().physical_capacity_bytes() >> 30;
+        let family = |pct| DeviceFamily::HybridSlcCache {
+            cache_blocks_pct: pct,
+            migration_policy: MigrationPolicy::Watermark,
+            migration_threshold_pct: 25.0,
+        };
+        let cons = Constraints::new(cap_gib, Interface::Nvme, FlashTechnology::Qlc, 25.0)
+            .with_family(family(50.0));
+        let big_cache = SsdConfig {
+            flash_technology: FlashTechnology::Qlc,
+            device_family: family(50.0),
+            ..SsdConfig::default()
+        };
+        assert!(matches!(
+            cons.check_structural(&big_cache),
+            Err(Violation::Capacity { .. })
+        ));
+        // A modest cache keeps the effective capacity in band.
+        let small_cache = SsdConfig {
+            device_family: family(5.0),
+            ..big_cache
+        };
+        assert_eq!(
+            cons.with_family(family(5.0)).check_structural(&small_cache),
+            Ok(())
+        );
     }
 
     #[test]

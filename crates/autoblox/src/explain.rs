@@ -25,7 +25,7 @@ pub const EXPLAIN_DIFF_SCHEMA: &str = "autoblox.explain-diff.v1";
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ResourceShare {
     /// Resource name (`channel-wait`, `plane-busy`, `gc-stall`,
-    /// `cache-miss`, `host-queue`, or `other`).
+    /// `cache-miss`, `host-queue`, `slc-migration`, or `other`).
     pub resource: String,
     /// Fraction of total request time attributed to it.
     pub frac: f64,
@@ -48,7 +48,7 @@ pub struct Fingerprint {
     pub total_latency_ns: u64,
     /// Resource with the largest share, `"none"` when nothing attributed.
     pub dominant: String,
-    /// All six shares, sorted descending by fraction (ties by name).
+    /// All seven shares, sorted descending by fraction (ties by name).
     pub shares: Vec<ResourceShare>,
     /// Tail-latency percentiles from the aggregated histogram.
     pub latency_percentiles: HistogramPercentiles,
@@ -176,7 +176,8 @@ pub struct ExplainDiff {
     /// Fingerprint of the candidate report.
     pub candidate: Fingerprint,
     /// Per-resource share movement, in the stable resource order
-    /// (channel-wait, plane-busy, gc-stall, cache-miss, host-queue, other).
+    /// (channel-wait, plane-busy, gc-stall, cache-miss, host-queue,
+    /// slc-migration, other).
     pub deltas: Vec<ShareDelta>,
     /// Candidate best grade minus baseline best grade.
     pub grade_delta: f64,
@@ -199,12 +200,13 @@ fn frac_by_name(fp: &Fingerprint, name: &str) -> f64 {
 }
 
 /// The stable resource order diff rows are emitted in.
-const RESOURCES: [&str; 6] = [
+const RESOURCES: [&str; 7] = [
     "channel-wait",
     "plane-busy",
     "gc-stall",
     "cache-miss",
     "host-queue",
+    "slc-migration",
     "other",
 ];
 
@@ -304,12 +306,12 @@ mod tests {
     #[test]
     fn fingerprint_sorts_shares_descending() {
         let r = report_with(
-            BottleneckReport::from_totals(1_000, 50, 300, 100, 20, 30),
+            BottleneckReport::from_totals(1_000, 50, 300, 100, 20, 30, 0),
             0.5,
         );
         let fp = fingerprint(&r);
         assert_eq!(fp.dominant, "plane-busy");
-        assert_eq!(fp.shares.len(), 6);
+        assert_eq!(fp.shares.len(), 7);
         // "other" here is 1 - 0.5 = 0.5, the largest share.
         assert_eq!(fp.shares[0].resource, "other");
         assert_eq!(fp.shares[1].resource, "plane-busy");
@@ -322,15 +324,21 @@ mod tests {
 
     #[test]
     fn diff_reports_a_moved_bottleneck() {
-        let a = report_with(BottleneckReport::from_totals(1_000, 600, 100, 0, 0, 0), 0.4);
-        let b = report_with(BottleneckReport::from_totals(1_000, 100, 0, 700, 0, 0), 0.6);
+        let a = report_with(
+            BottleneckReport::from_totals(1_000, 600, 100, 0, 0, 0, 0),
+            0.4,
+        );
+        let b = report_with(
+            BottleneckReport::from_totals(1_000, 100, 0, 700, 0, 0, 0),
+            0.6,
+        );
         let d = explain_diff(&a, &b);
         assert!(d.bottleneck_moved);
         assert_eq!(d.moved_from, "channel-wait");
         assert_eq!(d.moved_to, "gc-stall");
         assert!((d.grade_delta - 0.2).abs() < 1e-12);
         assert!(d.verdict.contains("moved"), "{}", d.verdict);
-        assert_eq!(d.deltas.len(), 6);
+        assert_eq!(d.deltas.len(), 7);
         let gc = d.deltas.iter().find(|x| x.resource == "gc-stall").unwrap();
         assert!((gc.delta - 0.7).abs() < 1e-12);
     }
@@ -338,7 +346,7 @@ mod tests {
     #[test]
     fn diff_of_identical_reports_is_stable() {
         let a = report_with(
-            BottleneckReport::from_totals(1_000, 200, 100, 50, 25, 125),
+            BottleneckReport::from_totals(1_000, 200, 100, 50, 25, 100, 25),
             0.4,
         );
         let d = explain_diff(&a, &a.clone());
@@ -353,7 +361,7 @@ mod tests {
     #[test]
     fn render_is_deterministic_and_mentions_every_resource() {
         let r = report_with(
-            BottleneckReport::from_totals(1_000, 200, 100, 50, 25, 125),
+            BottleneckReport::from_totals(1_000, 200, 100, 50, 25, 100, 25),
             0.4,
         );
         let fp = fingerprint(&r);
@@ -366,6 +374,7 @@ mod tests {
             "gc-stall",
             "cache-miss",
             "host-queue",
+            "slc-migration",
             "other",
         ] {
             assert!(a.contains(name), "render must mention {name}:\n{a}");
@@ -378,7 +387,7 @@ mod tests {
     #[test]
     fn explain_json_round_trips() {
         let r = report_with(
-            BottleneckReport::from_totals(1_000, 200, 100, 50, 25, 125),
+            BottleneckReport::from_totals(1_000, 200, 100, 50, 25, 100, 25),
             0.4,
         );
         let fp = fingerprint(&r);

@@ -262,6 +262,7 @@ impl<'v> AutoBlox<'v> {
                 schema: crate::obs::RUNS_SCHEMA.to_string(),
                 command: "framework.tune".to_string(),
                 category: outcome.workload.clone(),
+                device_family: reference.device_family.label().to_string(),
                 seed: self.opts.tuner.seed,
                 best_grade: outcome.best.grade,
                 iterations: outcome.iterations as u64,

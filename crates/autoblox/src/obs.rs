@@ -56,6 +56,12 @@ pub struct RunSummary {
     /// History family: the workload category for tuning runs, `place` for
     /// placement rounds.
     pub category: String,
+    /// Device-family label of the configuration space the run explored
+    /// (`homogeneous` or `hybrid-slc-cache`). Records written before the
+    /// field existed deserialize as empty, which trend gating treats as
+    /// `homogeneous`.
+    #[serde(default)]
+    pub device_family: String,
     /// Tuner seed the run was pinned to.
     pub seed: u64,
     /// Converged best grade (for placement: the negated final interference
@@ -269,6 +275,16 @@ pub struct TrendReport {
     pub pass: bool,
 }
 
+/// The device-family label a summary is judged under: records from before
+/// the field existed are homogeneous by construction.
+fn family_of(s: &RunSummary) -> &str {
+    if s.device_family.is_empty() {
+        "homogeneous"
+    } else {
+        &s.device_family
+    }
+}
+
 /// Median of a non-empty, unsorted slice (mean of the middle pair for even
 /// lengths).
 fn median(values: &[f64]) -> f64 {
@@ -360,9 +376,14 @@ pub fn trend(
         let total = members.len() as u64;
         let windowed = &members[members.len().saturating_sub(window)..];
         let (latest_key, latest) = windowed.last().expect("group is non-empty");
+        // Runs of a different device family are never comparable: a hybrid
+        // device legitimately grades and bottlenecks nothing like a
+        // homogeneous one, so they are dropped from the baseline rather
+        // than reported as drift.
         let baseline: Vec<&RunSummary> = windowed[..windowed.len() - 1]
             .iter()
             .map(|(_, s)| s)
+            .filter(|s| family_of(s) == family_of(latest))
             .collect();
         let checked = !baseline.is_empty();
         let series = |f: &dyn Fn(&RunSummary) -> f64| -> Vec<f64> {
@@ -447,14 +468,15 @@ pub fn trend(
 pub fn render_runs(runs: &[(String, RunSummary)]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<28} {:>8} {:>12} {:>10} {:>6} {:>10}  {}\n",
-        "key", "command", "best_grade", "sim_runs", "iters", "wall_ms", "dominant"
+        "{:<28} {:>8} {:<18} {:>12} {:>10} {:>6} {:>10}  {}\n",
+        "key", "command", "family", "best_grade", "sim_runs", "iters", "wall_ms", "dominant"
     ));
     for (key, s) in runs {
         out.push_str(&format!(
-            "{:<28} {:>8} {:>12.6} {:>10} {:>6} {:>10.1}  {}\n",
+            "{:<28} {:>8} {:<18} {:>12.6} {:>10} {:>6} {:>10.1}  {}\n",
             key,
             s.command,
+            family_of(s),
             s.best_grade,
             s.simulator_runs,
             s.iterations,
@@ -509,11 +531,12 @@ mod tests {
             schema: RUNS_SCHEMA.to_string(),
             command: "tune".to_string(),
             category: category.to_string(),
+            device_family: "homogeneous".to_string(),
             seed: 0xA070,
             best_grade: grade,
             iterations: 4,
             simulator_runs: runs,
-            bottleneck: BottleneckReport::from_totals(1000, 400, 200, 100, 100, 100),
+            bottleneck: BottleneckReport::from_totals(1000, 400, 200, 100, 100, 100, 0),
             calibration_coverage_1s: 0.7,
             calibration_points: 3,
             threads: 1,
@@ -645,6 +668,27 @@ mod tests {
         }
         let report2 = trend(&db2, &TrendThresholds::default(), None).unwrap();
         assert!(report2.pass, "{:?}", report2.drifts);
+    }
+
+    #[test]
+    fn trend_never_compares_across_device_families() {
+        let db = Store::in_memory();
+        // A healthy homogeneous history, then a first hybrid run whose grade
+        // would read as a catastrophic drop if families were compared.
+        for _ in 0..4 {
+            record_run(&db, &summary("Database", 0.5, 100)).unwrap();
+        }
+        let mut hybrid = summary("Database", 0.1, 250);
+        hybrid.device_family = "hybrid-slc-cache".to_string();
+        record_run(&db, &hybrid).unwrap();
+        let report = trend(&db, &TrendThresholds::default(), None).unwrap();
+        assert!(report.pass, "{:?}", report.drifts);
+        // With no same-family baseline, every metric stays advisory.
+        assert!(report.categories[0].metrics.iter().all(|m| !m.drifted));
+        // Pre-field records (empty family) still baseline homogeneous runs.
+        let mut legacy = summary("Database", 0.5, 100);
+        legacy.device_family = String::new();
+        assert_eq!(family_of(&legacy), "homogeneous");
     }
 
     #[test]

@@ -4,12 +4,14 @@
 //! — *continuous* (a range divided into N endpoints), *discrete* (an explicit
 //! value list), *boolean*, or *categorical* — and a configuration is
 //! vectorized as one grid index per parameter. The catalog below covers the
-//! 48 device specifications the paper's model tunes, including the
+//! 48 device specifications the paper's model tunes — plus the three
+//! device-family knobs of the hybrid SLC/QLC mode (51 total) — including the
 //! deliberately performance-inert ones its coarse pruning discovers.
 
 use serde::{Deserialize, Serialize};
 use ssdsim::config::{
-    CacheMode, FlashTechnology, GcPolicy, Interface, PlaneAllocationScheme, SsdConfig,
+    CacheMode, DeviceFamily, FlashTechnology, GcPolicy, Interface, MigrationPolicy,
+    PlaneAllocationScheme, SsdConfig,
 };
 use std::fmt;
 
@@ -165,11 +167,13 @@ pub fn param_grid(name: &str) -> Vec<f64> {
         "pfail_flush_budget" => lin_grid(500., 10_000., 16),
         "dram_refresh_interval" => vec![16., 32., 64., 128., 256.],
         "nand_vcc" => lin_grid(2500., 3600., 12),
+        "slc_cache_pct" => lin_grid(5., 50., 10),
+        "slc_migration_threshold_pct" => lin_grid(10., 80., 8),
         other => panic!("unknown parameter {other:?}"),
     }
 }
 
-/// Builds the full 48-parameter catalog.
+/// Builds the full 51-parameter catalog.
 pub fn catalog() -> Vec<ParamDef> {
     use ParamKind::*;
     let mut params = vec![
@@ -564,17 +568,19 @@ pub fn catalog() -> Vec<ParamDef> {
     params.push(ParamDef {
         name: "flash_technology",
         kind: Categorical,
-        grid: vec![0., 1., 2.],
+        grid: vec![0., 1., 2., 3.],
         get: |c| match c.flash_technology {
             FlashTechnology::Slc => 0,
             FlashTechnology::Mlc => 1,
             FlashTechnology::Tlc => 2,
+            FlashTechnology::Qlc => 3,
         },
         set: |c, i| {
             c.flash_technology = match i {
                 0 => FlashTechnology::Slc,
                 1 => FlashTechnology::Mlc,
-                _ => FlashTechnology::Tlc,
+                2 => FlashTechnology::Tlc,
+                _ => FlashTechnology::Qlc,
             };
         },
     });
@@ -592,6 +598,76 @@ pub fn catalog() -> Vec<ParamDef> {
             } else {
                 Interface::Sata
             };
+        },
+    });
+
+    // ---- Device family (hybrid SLC cache) ----
+    // These knobs only act on hybrid configurations: on a homogeneous
+    // device `get` reads index 0 and `set` is a no-op, so the enlarged
+    // space never flips a family mid-search (the family is pinned by the
+    // constraints, not tuned).
+    params.push(ParamDef {
+        name: "slc_cache_pct",
+        kind: Continuous,
+        grid: param_grid("slc_cache_pct"),
+        get: |c| match c.device_family {
+            DeviceFamily::HybridSlcCache {
+                cache_blocks_pct, ..
+            } => nearest(&param_grid("slc_cache_pct"), cache_blocks_pct),
+            DeviceFamily::Homogeneous => 0,
+        },
+        set: |c, i| {
+            if let DeviceFamily::HybridSlcCache {
+                cache_blocks_pct, ..
+            } = &mut c.device_family
+            {
+                let g = param_grid("slc_cache_pct");
+                *cache_blocks_pct = g[i.min(g.len() - 1)];
+            }
+        },
+    });
+    params.push(ParamDef {
+        name: "slc_migration_threshold_pct",
+        kind: Continuous,
+        grid: param_grid("slc_migration_threshold_pct"),
+        get: |c| match c.device_family {
+            DeviceFamily::HybridSlcCache {
+                migration_threshold_pct,
+                ..
+            } => nearest(
+                &param_grid("slc_migration_threshold_pct"),
+                migration_threshold_pct,
+            ),
+            DeviceFamily::Homogeneous => 0,
+        },
+        set: |c, i| {
+            if let DeviceFamily::HybridSlcCache {
+                migration_threshold_pct,
+                ..
+            } = &mut c.device_family
+            {
+                let g = param_grid("slc_migration_threshold_pct");
+                *migration_threshold_pct = g[i.min(g.len() - 1)];
+            }
+        },
+    });
+    params.push(ParamDef {
+        name: "slc_migration_policy",
+        kind: Categorical,
+        grid: vec![0., 1.],
+        get: |c| match c.device_family {
+            DeviceFamily::HybridSlcCache {
+                migration_policy, ..
+            } => migration_policy.index(),
+            DeviceFamily::Homogeneous => 0,
+        },
+        set: |c, i| {
+            if let DeviceFamily::HybridSlcCache {
+                migration_policy, ..
+            } = &mut c.device_family
+            {
+                *migration_policy = MigrationPolicy::ALL[i.min(1)];
+            }
         },
     });
     params
@@ -756,9 +832,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn catalog_has_48_parameters() {
+    fn catalog_has_51_parameters() {
         let space = ParamSpace::new();
-        assert_eq!(space.len(), 48, "paper models 48 device specifications");
+        assert_eq!(
+            space.len(),
+            51,
+            "paper models 48 device specifications; the hybrid SLC/QLC mode adds 3"
+        );
         assert!(!space.is_empty());
     }
 

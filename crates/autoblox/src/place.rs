@@ -9,8 +9,9 @@
 //!
 //! 1. **Classify** — each tenant trace is classified against the studied
 //!    clusters ([`crate::clustering`]) and its learned configuration is
-//!    fetched from AutoDB (`category:<owner>` / `cluster:<id>` records),
-//!    falling back to a constraint-matched preset.
+//!    fetched from AutoDB (`category:<owner>` / `cluster:<id>` records,
+//!    restricted to the fleet's device-family kind), falling back to a
+//!    constraint-matched preset.
 //! 2. **Score** — a candidate device (a subset of tenants plus one
 //!    compromise configuration) is scored by co-simulating the tenants'
 //!    merged, LBA-partitioned trace ([`iotrace::mix::merge_partitioned`])
@@ -47,7 +48,7 @@ use iotrace::Trace;
 use mlkit::parallel::parallel_map;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use ssdsim::config::SsdConfig;
+use ssdsim::config::{DeviceFamily, SsdConfig};
 use ssdsim::{BottleneckReport, Simulator};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -206,30 +207,35 @@ struct Resolution {
     tenants: Vec<TenantConfig>,
 }
 
-fn best_stored(db: &Store, key: &str) -> Option<StoredConfig> {
+fn best_stored(db: &Store, key: &str, family: DeviceFamily) -> Option<StoredConfig> {
     let stored: Vec<StoredConfig> = db.get_record(key).ok().flatten()?;
     stored
         .into_iter()
+        .filter(|s| s.config.device_family.is_hybrid() == family.is_hybrid())
         .max_by(|a, b| a.grade.total_cmp(&b.grade))
 }
 
 /// Looks up a tenant's learned configuration in AutoDB: the category record
-/// of the cluster's owner first, then the raw cluster record.
+/// of the cluster's owner first, then the raw cluster record. Recall is
+/// family-local — only records of the fleet's device-family kind are
+/// considered, so a hybrid-tuned configuration is never recalled onto a
+/// homogeneous fleet (or vice versa).
 fn lookup_config(
     db: Option<&Store>,
     owner: Option<&str>,
     cluster: Option<u64>,
+    family: DeviceFamily,
 ) -> Option<(SsdConfig, String)> {
     let db = db?;
     if let Some(owner) = owner {
         let key = format!("category:{owner}");
-        if let Some(best) = best_stored(db, &key) {
+        if let Some(best) = best_stored(db, &key, family) {
             return Some((best.config, format!("db:{key}")));
         }
     }
     if let Some(cluster) = cluster {
         let key = format!("cluster:{cluster}");
-        if let Some(best) = best_stored(db, &key) {
+        if let Some(best) = best_stored(db, &key, family) {
             return Some((best.config, format!("db:{key}")));
         }
     }
@@ -281,7 +287,7 @@ fn resolve_configs(
             },
             None => (None, None),
         };
-        let (cfg, source) = lookup_config(db, workload.as_deref(), cluster)
+        let (cfg, source) = lookup_config(db, workload.as_deref(), cluster, fallback.device_family)
             .unwrap_or_else(|| (fallback.clone(), String::from("preset")));
         let fingerprint = serde_json::to_string(&cfg).map_err(|e| e.to_string())?;
         let cfg_idx = *dedup.entry(fingerprint).or_insert_with(|| {
@@ -760,5 +766,48 @@ mod tests {
         assert!(place(&[], &cfg, None, &v, &opts).is_err());
         // Duplicate tenant names are rejected.
         assert!(place(&[Arc::clone(&t), t], &cfg, None, &v, &opts).is_err());
+    }
+
+    /// Recall is family-local: a higher-graded hybrid record must never be
+    /// recalled onto a homogeneous fleet, and vice versa; with no record of
+    /// the matching kind the lookup falls through entirely.
+    #[test]
+    fn recall_never_crosses_device_families() {
+        let db = Store::in_memory();
+        let homogeneous = StoredConfig {
+            workload: "Database".to_string(),
+            config: ssdsim::config::presets::intel_750(),
+            grade: 0.1,
+        };
+        let hybrid = StoredConfig {
+            workload: "Database".to_string(),
+            config: ssdsim::config::presets::hybrid_slc_qlc(),
+            grade: 0.9,
+        };
+        db.put_record("category:Database", &vec![homogeneous, hybrid])
+            .expect("records stored");
+
+        let homo_fleet = DeviceFamily::Homogeneous;
+        let hybrid_fleet = ssdsim::config::presets::hybrid_slc_qlc().device_family;
+        let (cfg, source) =
+            lookup_config(Some(&db), Some("Database"), None, homo_fleet).expect("recalls");
+        assert!(!cfg.device_family.is_hybrid(), "0.9-graded hybrid skipped");
+        assert_eq!(source, "db:category:Database");
+        let (cfg, _) =
+            lookup_config(Some(&db), Some("Database"), None, hybrid_fleet).expect("recalls");
+        assert!(cfg.device_family.is_hybrid());
+
+        // A store holding only the other kind yields nothing at all.
+        let db = Store::in_memory();
+        db.put_record(
+            "category:Database",
+            &vec![StoredConfig {
+                workload: "Database".to_string(),
+                config: ssdsim::config::presets::hybrid_slc_qlc(),
+                grade: 0.9,
+            }],
+        )
+        .expect("record stored");
+        assert!(lookup_config(Some(&db), Some("Database"), None, homo_fleet).is_none());
     }
 }

@@ -316,6 +316,11 @@ pub fn diff_reports(
             baseline.bottleneck.host_queue_frac,
             candidate.bottleneck.host_queue_frac,
         ),
+        (
+            "bottleneck_slc_migration_frac",
+            baseline.bottleneck.slc_migration_frac,
+            candidate.bottleneck.slc_migration_frac,
+        ),
     ] {
         metrics.push(metric(
             name,
@@ -475,8 +480,8 @@ mod tests {
         use ssdsim::BottleneckReport;
         let mut a = report_with(0.5, 20, 10, 10, 8_000);
         let mut b = report_with(0.5, 20, 10, 10, 8_000);
-        a.bottleneck = BottleneckReport::from_totals(1_000, 500, 100, 0, 0, 0);
-        b.bottleneck = BottleneckReport::from_totals(1_000, 100, 100, 400, 0, 0);
+        a.bottleneck = BottleneckReport::from_totals(1_000, 500, 100, 0, 0, 0, 0);
+        b.bottleneck = BottleneckReport::from_totals(1_000, 100, 100, 400, 0, 0, 0);
         let d = diff_reports(&a, &b, &DiffThresholds::default(), &[]);
         assert!(!d.pass);
         assert!(d

@@ -547,6 +547,11 @@ impl<'a> Tuner<'a> {
         &self.opts
     }
 
+    /// The constraints the tuner searches under.
+    pub fn constraints(&self) -> &Constraints {
+        &self.constraints
+    }
+
     /// Runs the full tuning workflow for `target`, starting from the
     /// `reference` commodity configuration plus any `initial` configurations
     /// recalled from AutoDB, optionally following a pruning-derived

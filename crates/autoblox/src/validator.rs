@@ -146,6 +146,9 @@ pub struct SimAggregate {
     /// Simulated ns of flash service caused by cache/CMT misses.
     #[serde(default)]
     pub cache_miss_ns: u64,
+    /// Simulated ns of die time consumed by SLC-cache fold migrations.
+    #[serde(default)]
+    pub slc_migration_ns: u64,
     /// Total arrival-to-completion simulated ns over all requests.
     #[serde(default)]
     pub total_latency_ns: u64,
@@ -180,6 +183,7 @@ impl SimAggregate {
         self.gc_stall_ns += r.bottleneck.gc_stall_ns;
         self.queue_wait_ns += r.bottleneck.queue_wait_ns;
         self.cache_miss_ns += r.bottleneck.cache_miss_ns;
+        self.slc_migration_ns += r.bottleneck.slc_migration_ns;
         self.total_latency_ns += r.bottleneck.total_latency_ns;
         self.device_samples += r.device.len() as u64;
         self.device_samples_dropped += r.device.dropped;
@@ -194,6 +198,7 @@ impl SimAggregate {
             self.gc_stall_ns,
             self.cache_miss_ns,
             self.queue_wait_ns,
+            self.slc_migration_ns,
         )
     }
 
@@ -208,6 +213,8 @@ impl SimAggregate {
             self.gc_stall_ns.saturating_sub(earlier.gc_stall_ns),
             self.cache_miss_ns.saturating_sub(earlier.cache_miss_ns),
             self.queue_wait_ns.saturating_sub(earlier.queue_wait_ns),
+            self.slc_migration_ns
+                .saturating_sub(earlier.slc_migration_ns),
         )
     }
 }

@@ -162,10 +162,10 @@ pub struct WatchState {
     journal_schema: String,
     workloads: BTreeMap<String, WorkloadWatch>,
     /// Raw bottleneck nanosecond totals summed over every `bottleneck`
-    /// line: `[total, channel, plane, gc, cache_miss, queue]`. Sums are
+    /// line: `[total, channel, plane, gc, cache_miss, queue, slc]`. Sums are
     /// order-insensitive, so the aggregate is identical however the
     /// concurrent producers interleaved their lines.
-    bottleneck_ns: [u64; 6],
+    bottleneck_ns: [u64; 7],
     /// Completed pipeline phases, in completion order.
     phase_names: Vec<String>,
     counts: LineCounts,
@@ -257,6 +257,7 @@ impl WatchState {
                         "gc_stall_ns",
                         "cache_miss_ns",
                         "queue_wait_ns",
+                        "slc_migration_ns",
                     ]
                     .iter()
                     .enumerate()
@@ -311,8 +312,8 @@ impl WatchState {
 
     /// The bottleneck attribution aggregated over every `bottleneck` line.
     pub fn bottleneck(&self) -> BottleneckReport {
-        let [total, channel, plane, gc, cache, queue] = self.bottleneck_ns;
-        BottleneckReport::from_totals(total, channel, plane, gc, cache, queue)
+        let [total, channel, plane, gc, cache, queue, slc] = self.bottleneck_ns;
+        BottleneckReport::from_totals(total, channel, plane, gc, cache, queue, slc)
     }
 
     /// The current status as a JSON document (schema [`WATCH_SCHEMA`]).

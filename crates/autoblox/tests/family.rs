@@ -1,0 +1,259 @@
+//! Device-family invariants, end to end: a hybrid SLC/QLC tune must be
+//! bit-identical across thread counts and speculation widths, the
+//! bottleneck attribution must surface SLC-migration stalls on a
+//! write-heavy trace, and a checkpoint written under one device family
+//! must refuse to resume under another.
+//!
+//! One test toggles the process-wide telemetry switch, so every test
+//! that touches it serializes on one lock (test binaries run their
+//! tests on concurrent threads within one process). The determinism
+//! test also owns the process-wide thread override while it runs.
+
+use autoblox::checkpoint::Checkpoint;
+use autoblox::constraints::Constraints;
+use autoblox::explain;
+use autoblox::parallel;
+use autoblox::telemetry;
+use autoblox::tuner::{Tuner, TunerOptions, TuningTarget};
+use autoblox::validator::{Validator, ValidatorOptions};
+use autoblox::ParamSpace;
+use iotrace::gen::WorkloadKind;
+use ssdsim::config::{presets, FlashTechnology, Interface, SsdConfig};
+use std::sync::Mutex;
+
+// Guards both process-wide switches these tests flip: the telemetry
+// switch and the thread-count override. Serializing on one lock keeps a
+// concurrently running test from silently changing another's thread
+// count mid-fingerprint.
+static SWITCH_LOCK: Mutex<()> = Mutex::new(());
+
+fn quick_validator(events: usize) -> Validator {
+    Validator::new(ValidatorOptions {
+        trace_events: events,
+        ..Default::default()
+    })
+}
+
+/// Constraints that pin the hybrid SLC/QLC family, with the capacity
+/// band centered on the preset's *effective* (post-cache-shrink) bytes.
+fn hybrid_constraints() -> Constraints {
+    let reference = presets::hybrid_slc_qlc();
+    Constraints::new(
+        reference.effective_capacity_bytes() >> 30,
+        Interface::Nvme,
+        FlashTechnology::Qlc,
+        25.0,
+    )
+    .with_family(reference.device_family)
+}
+
+/// One short hybrid tune over a space that includes every hybrid knob,
+/// reduced to comparable JSON (f64s must be bit-identical for the
+/// serializations to match) plus the simulator-run count.
+fn hybrid_tune_fingerprint(speculate: usize) -> (String, u64) {
+    let v = quick_validator(200);
+    let opts = TunerOptions {
+        max_iterations: 3,
+        sgd_iterations: 2,
+        convergence_window: 3,
+        speculative_batch: speculate,
+        non_target: vec![WorkloadKind::WebSearch],
+        ..Default::default()
+    };
+    let space = ParamSpace::with_params(&[
+        "channel_count",
+        "data_cache_size",
+        "slc_cache_pct",
+        "slc_migration_threshold_pct",
+        "slc_migration_policy",
+    ]);
+    let tuner = Tuner::new(hybrid_constraints(), &v, opts).with_space(space);
+    let out = tuner.tune(WorkloadKind::Fiu, &presets::hybrid_slc_qlc(), &[], None);
+    assert!(
+        out.best.config.device_family.is_hybrid(),
+        "a family-pinned tune must stay in-family"
+    );
+    (
+        serde_json::to_string(&out).expect("outcome serializes"),
+        v.simulator_runs(),
+    )
+}
+
+/// The tentpole acceptance criterion: tuning the hybrid preset produces
+/// byte-identical outcomes at threads {1, 4} x speculative batch {1, 4}.
+/// Speculation may change how far validation runs ahead of demand, so
+/// only the thread axis must preserve the simulator-run count; the
+/// outcome bytes must match across all four combinations.
+#[test]
+fn hybrid_tune_bit_identical_across_threads_and_speculation() {
+    let _guard = SWITCH_LOCK.lock().unwrap();
+    let mut outcomes: Vec<(usize, usize, String)> = Vec::new();
+    let mut runs_by_speculate: Vec<(usize, usize, u64)> = Vec::new();
+    for threads in [1, 4] {
+        parallel::set_max_threads(threads);
+        for speculate in [1, 4] {
+            let (fp, runs) = hybrid_tune_fingerprint(speculate);
+            outcomes.push((threads, speculate, fp));
+            runs_by_speculate.push((threads, speculate, runs));
+        }
+    }
+    parallel::set_max_threads(0); // restore the default
+
+    let (_, _, first) = &outcomes[0];
+    for (threads, speculate, fp) in &outcomes[1..] {
+        assert_eq!(
+            fp, first,
+            "hybrid tune diverged at threads={threads} speculate={speculate}"
+        );
+    }
+    for (threads, speculate, runs) in &runs_by_speculate {
+        let (_, _, serial_runs) = runs_by_speculate
+            .iter()
+            .find(|(t, s, _)| *t == 1 && s == speculate)
+            .expect("serial run recorded");
+        assert_eq!(
+            runs, serial_runs,
+            "simulator-run count changed with thread count at \
+             threads={threads} speculate={speculate}"
+        );
+    }
+}
+
+/// The what-if analysis must hold the same invariant on hybrid devices:
+/// goal-driven searches over the hybrid preset are byte-identical at
+/// threads {1, 4} x speculative batch {1, 4}.
+#[test]
+fn hybrid_whatif_bit_identical_across_threads_and_speculation() {
+    let _guard = SWITCH_LOCK.lock().unwrap();
+    let whatif_fingerprint = |speculate: usize| {
+        let v = quick_validator(200);
+        let opts = autoblox::whatif::WhatIfOptions {
+            tuner: TunerOptions {
+                max_iterations: 2,
+                sgd_iterations: 2,
+                speculative_batch: speculate,
+                ..Default::default()
+            },
+        };
+        let out = autoblox::whatif::what_if(
+            WorkloadKind::Fiu,
+            autoblox::whatif::WhatIfGoal::LatencyReduction(1.5),
+            hybrid_constraints(),
+            &presets::hybrid_slc_qlc(),
+            &v,
+            opts,
+        );
+        assert!(out.tuning.best.config.device_family.is_hybrid());
+        serde_json::to_string(&out).expect("outcome serializes")
+    };
+    let mut fingerprints = Vec::new();
+    for threads in [1, 4] {
+        parallel::set_max_threads(threads);
+        for speculate in [1, 4] {
+            fingerprints.push((threads, speculate, whatif_fingerprint(speculate)));
+        }
+    }
+    parallel::set_max_threads(0);
+    let (_, _, first) = &fingerprints[0];
+    for (threads, speculate, fp) in &fingerprints[1..] {
+        assert_eq!(
+            fp, first,
+            "hybrid whatif diverged at threads={threads} speculate={speculate}"
+        );
+    }
+}
+
+/// `explain` end-to-end on a write-heavy hybrid device: the run report's
+/// bottleneck attribution and the rendered fingerprint must both show a
+/// non-zero `slc-migration` share. The default hybrid geometry is too
+/// large for a short trace to seal cache blocks, so the test shrinks the
+/// device the same way the simulator's own hybrid tests do.
+#[test]
+fn explain_attributes_slc_migration_on_write_heavy_trace() {
+    let _guard = SWITCH_LOCK.lock().unwrap();
+    // The validator only retains per-run reports (and feeds its simulator
+    // aggregate) while the telemetry switch is on.
+    telemetry::set_enabled(true);
+    autoblox::telemetry::global().clear();
+
+    let cfg = SsdConfig {
+        channel_count: 2,
+        chips_per_channel: 1,
+        dies_per_chip: 1,
+        planes_per_die: 1,
+        blocks_per_plane: 32,
+        pages_per_block: 32,
+        ..presets::hybrid_slc_qlc()
+    };
+    let v = quick_validator(3_000);
+    let m = v.evaluate(&cfg, WorkloadKind::Fiu);
+    assert!(m.throughput_bps > 0.0, "the hybrid device serves the trace");
+    telemetry::set_enabled(false);
+
+    let bottleneck = v.stats().sim.bottleneck();
+    assert!(
+        bottleneck.slc_migration_ns > 0,
+        "folding cache blocks must be attributed to slc_migration"
+    );
+    assert!((0.0..=1.0).contains(&bottleneck.slc_migration_frac));
+
+    // The same attribution flows through the run report into `explain`.
+    let sink = telemetry::TelemetrySink::new();
+    let report = sink.report(Some(&v));
+    let fp = explain::fingerprint(&report);
+    let share = fp
+        .shares
+        .iter()
+        .find(|s| s.resource == "slc-migration")
+        .expect("fingerprint carries the slc-migration resource");
+    assert!(
+        share.frac > 0.0,
+        "explain must show a non-zero slc-migration share"
+    );
+    let rendered = explain::render_fingerprint(&fp);
+    assert!(rendered.contains("slc-migration"));
+}
+
+/// Satellite bugfix regression: a checkpoint captured under hybrid
+/// constraints must refuse to verify against a homogeneous tuner (and
+/// vice versa) with a message naming the `--family` flag, before any
+/// hash-diff noise.
+#[test]
+fn family_mismatched_checkpoint_refuses_to_resume() {
+    let v = quick_validator(60);
+    let opts = TunerOptions {
+        max_iterations: 2,
+        sgd_iterations: 2,
+        convergence_window: 2,
+        non_target: vec![WorkloadKind::WebSearch],
+        ..Default::default()
+    };
+    let target = TuningTarget::from(WorkloadKind::Fiu);
+
+    let hybrid_tuner = Tuner::new(hybrid_constraints(), &v, opts.clone());
+    let state = hybrid_tuner.init_state(target, &presets::hybrid_slc_qlc(), &[], None);
+    let checkpoint = Checkpoint::capture(&hybrid_tuner, target, &v, &state);
+
+    // Same-family verification is clean...
+    checkpoint
+        .verify(&hybrid_tuner, target, &v)
+        .expect("same-family checkpoint verifies");
+
+    // ...but dropping the family flag must be caught with an actionable
+    // message, not a bare fingerprint mismatch.
+    let reference = presets::hybrid_slc_qlc();
+    let homogeneous = Constraints::new(
+        reference.effective_capacity_bytes() >> 30,
+        Interface::Nvme,
+        FlashTechnology::Qlc,
+        25.0,
+    );
+    let homogeneous_tuner = Tuner::new(homogeneous, &v, opts);
+    let err = checkpoint
+        .verify(&homogeneous_tuner, target, &v)
+        .expect_err("family mismatch must be rejected");
+    assert!(
+        err.contains("--family") && err.contains("hybrid-slc-cache"),
+        "error names the flag and the family: {err}"
+    );
+}

@@ -208,7 +208,7 @@ fn explain_fingerprint_reproduces_across_thread_counts() {
 
     assert!(fp.total_latency_ns > 0);
     assert!(!fp.dominant.is_empty());
-    assert_eq!(fp.shares.len(), 6, "five resources + other");
+    assert_eq!(fp.shares.len(), 7, "six resources + other");
     let share_sum: f64 = fp.shares.iter().map(|s| s.frac).sum();
     assert!(share_sum <= 1.0 + 1e-9, "shares sum to at most 1");
 

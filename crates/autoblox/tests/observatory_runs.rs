@@ -120,6 +120,7 @@ fn summary(category: &str, grade: f64, sim_runs: u64, wall_ns: u64, threads: u64
         schema: obs::RUNS_SCHEMA.to_string(),
         command: "tune".to_string(),
         category: category.to_string(),
+        device_family: "homogeneous".to_string(),
         seed: 7,
         best_grade: grade,
         iterations: 4,

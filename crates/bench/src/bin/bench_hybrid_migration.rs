@@ -1,0 +1,178 @@
+//! Hybrid SLC/QLC cache-tier behavior and cost on a write-heavy trace.
+//!
+//! Replays the same generated FIU trace through three devices that share
+//! one (deliberately small) geometry, so cache blocks actually seal and
+//! fold within the trace: a homogeneous QLC baseline, a hybrid device
+//! folding on idle, and a hybrid device folding on the free-page
+//! watermark. Write-through caching exposes raw program latency, so the
+//! write-latency delta measures the SLC absorption benefit directly.
+//! Interleaved best-of-5 wall-clock per mode bounds the simulator-side
+//! cost of the migration machinery; the simulated results themselves are
+//! deterministic per (config, trace). Writes `BENCH_hybrid_migration.json`.
+//!
+//! Acceptance criteria: the hybrid device beats homogeneous QLC on mean
+//! write latency, and both migration policies fold a non-zero number of
+//! pages with a non-zero `slc_migration` attribution.
+//!
+//! `AUTOBLOX_SCALE=quick|standard|full` scales the trace length.
+
+use iotrace::gen::WorkloadKind;
+use serde_json::json;
+use ssdsim::config::{
+    presets, CacheMode, DeviceFamily, FlashTechnology, MigrationPolicy, SsdConfig,
+};
+use ssdsim::{SimReport, Simulator};
+use std::time::Instant;
+
+// Best-of-5 over interleaved repetitions: the min filters scheduler
+// noise, interleaving keeps slow drift from biasing one mode.
+const REPS: usize = 5;
+
+/// Shrinks a device to a geometry where a short trace cycles the cache
+/// tier (the preset geometry needs millions of events to seal a block).
+fn small(cfg: SsdConfig) -> SsdConfig {
+    SsdConfig {
+        channel_count: 2,
+        chips_per_channel: 1,
+        dies_per_chip: 1,
+        planes_per_die: 1,
+        blocks_per_plane: 32,
+        pages_per_block: 32,
+        cache_mode: CacheMode::WriteThrough,
+        ..cfg
+    }
+}
+
+fn homogeneous_qlc() -> SsdConfig {
+    small(SsdConfig {
+        flash_technology: FlashTechnology::Qlc,
+        read_latency_ns: FlashTechnology::Qlc.base_read_ns(),
+        program_latency_ns: FlashTechnology::Qlc.base_program_ns(),
+        erase_latency_ns: FlashTechnology::Qlc.base_erase_ns(),
+        ..SsdConfig::default()
+    })
+}
+
+fn hybrid(policy: MigrationPolicy) -> SsdConfig {
+    let mut cfg = small(presets::hybrid_slc_qlc());
+    cfg.device_family = DeviceFamily::HybridSlcCache {
+        cache_blocks_pct: 10.0,
+        migration_policy: policy,
+        migration_threshold_pct: 25.0,
+    };
+    cfg
+}
+
+/// One timed replay on a fresh warmed simulator.
+fn replay(cfg: &SsdConfig, trace: &iotrace::Trace) -> (f64, SimReport) {
+    let mut sim = Simulator::new(cfg.clone());
+    sim.warm_up(0.5);
+    let t0 = Instant::now();
+    let report = sim.run(trace);
+    (t0.elapsed().as_secs_f64(), report)
+}
+
+fn main() {
+    let check = autoblox_bench::check_mode();
+    let scale = autoblox_bench::run_scale();
+    // Floor of 3k events: below that the cache tier never seals a block
+    // on this geometry and the migration counters are vacuously zero.
+    let trace_events = match scale {
+        autoblox_bench::Scale::Quick => 3_000,
+        autoblox_bench::Scale::Standard => 12_000,
+        autoblox_bench::Scale::Full => 40_000,
+    };
+    let reps = if check { 1 } else { REPS };
+    let trace = WorkloadKind::Fiu.spec().generate(trace_events, 42);
+
+    let qlc_cfg = homogeneous_qlc();
+    let idle_cfg = hybrid(MigrationPolicy::Idle);
+    let watermark_cfg = hybrid(MigrationPolicy::Watermark);
+
+    // Warm-up so no mode pays first-touch costs.
+    let _ = replay(&qlc_cfg, &trace);
+
+    let mut qlc_s = f64::INFINITY;
+    let mut idle_s = f64::INFINITY;
+    let mut watermark_s = f64::INFINITY;
+    let mut qlc_report = None;
+    let mut idle_report = None;
+    let mut watermark_report = None;
+    for _ in 0..reps {
+        let (t, r) = replay(&qlc_cfg, &trace);
+        qlc_s = qlc_s.min(t);
+        qlc_report = Some(r);
+        let (t, r) = replay(&idle_cfg, &trace);
+        idle_s = idle_s.min(t);
+        idle_report = Some(r);
+        let (t, r) = replay(&watermark_cfg, &trace);
+        watermark_s = watermark_s.min(t);
+        watermark_report = Some(r);
+    }
+    let qlc_report = qlc_report.expect("baseline ran");
+    let idle_report = idle_report.expect("idle-policy run");
+    let watermark_report = watermark_report.expect("watermark-policy run");
+
+    let qlc_write_ns = qlc_report.write_latency.mean_ns;
+    let idle_write_ns = idle_report.write_latency.mean_ns;
+    let watermark_write_ns = watermark_report.write_latency.mean_ns;
+    let best_hybrid_write_ns = idle_write_ns.min(watermark_write_ns);
+    let write_speedup = qlc_write_ns / best_hybrid_write_ns.max(1.0);
+    let overhead_pct = (idle_s.min(watermark_s) - qlc_s) / qlc_s * 100.0;
+    let criterion_met = best_hybrid_write_ns < qlc_write_ns
+        && idle_report.flash.slc_migrated_pages > 0
+        && watermark_report.flash.slc_migrated_pages > 0
+        && idle_report.bottleneck.slc_migration_ns > 0
+        && watermark_report.bottleneck.slc_migration_ns > 0;
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "qlc write {qlc_write_ns:.0}ns; hybrid idle {idle_write_ns:.0}ns \
+         ({} pages folded, {:.3} migration frac); hybrid watermark \
+         {watermark_write_ns:.0}ns ({} pages folded, {:.3} migration frac); \
+         write speedup x{write_speedup:.2}; sim wall overhead {overhead_pct:+.2}%",
+        idle_report.flash.slc_migrated_pages,
+        idle_report.bottleneck.slc_migration_frac,
+        watermark_report.flash.slc_migrated_pages,
+        watermark_report.bottleneck.slc_migration_frac,
+    );
+
+    let doc = json!({
+        "benchmark": "hybrid_migration",
+        "host_cpus": host_cpus,
+        "trace_events": trace_events,
+        "reps_best_of": reps as u64,
+        "qlc_write_mean_ns": qlc_write_ns,
+        "idle_write_mean_ns": idle_write_ns,
+        "watermark_write_mean_ns": watermark_write_ns,
+        "write_speedup": write_speedup,
+        "idle_migrated_pages": idle_report.flash.slc_migrated_pages,
+        "watermark_migrated_pages": watermark_report.flash.slc_migrated_pages,
+        "idle_migration_frac": idle_report.bottleneck.slc_migration_frac,
+        "watermark_migration_frac": watermark_report.bottleneck.slc_migration_frac,
+        "qlc_best_s": qlc_s,
+        "idle_best_s": idle_s,
+        "watermark_best_s": watermark_s,
+        "sim_overhead_pct": overhead_pct,
+        "criterion_met": criterion_met,
+    });
+    autoblox_bench::write_bench_report(
+        "BENCH_hybrid_migration.json",
+        "hybrid_migration",
+        &[
+            "host_cpus",
+            "trace_events",
+            "qlc_write_mean_ns",
+            "idle_write_mean_ns",
+            "watermark_write_mean_ns",
+            "write_speedup",
+            "idle_migrated_pages",
+            "watermark_migrated_pages",
+            "criterion_met",
+        ],
+        &doc,
+    );
+    println!("write_speedup: x{write_speedup:.3}");
+}

@@ -20,6 +20,11 @@ pub enum FlashTechnology {
     Mlc,
     /// Triple-level cell (3 bits/cell).
     Tlc,
+    /// Quad-level cell (4 bits/cell): densest, slowest. Latencies follow the
+    /// device-level optimization survey (arXiv:2507.10573): reads in the
+    /// 100-200 µs band, programs in the low milliseconds, erases the
+    /// slowest of any technology.
+    Qlc,
 }
 
 impl FlashTechnology {
@@ -29,6 +34,7 @@ impl FlashTechnology {
             FlashTechnology::Slc => 3_000,
             FlashTechnology::Mlc => 83_000,
             FlashTechnology::Tlc => 110_000,
+            FlashTechnology::Qlc => 145_000,
         }
     }
 
@@ -38,6 +44,7 @@ impl FlashTechnology {
             FlashTechnology::Slc => 100_000,
             FlashTechnology::Mlc => 1_166_000,
             FlashTechnology::Tlc => 2_300_000,
+            FlashTechnology::Qlc => 3_400_000,
         }
     }
 
@@ -47,6 +54,17 @@ impl FlashTechnology {
             FlashTechnology::Slc => 1_500_000,
             FlashTechnology::Mlc => 3_800_000,
             FlashTechnology::Tlc => 5_000_000,
+            FlashTechnology::Qlc => 6_500_000,
+        }
+    }
+
+    /// Bits stored per cell (1 for SLC through 4 for QLC).
+    pub fn bits_per_cell(self) -> u32 {
+        match self {
+            FlashTechnology::Slc => 1,
+            FlashTechnology::Mlc => 2,
+            FlashTechnology::Tlc => 3,
+            FlashTechnology::Qlc => 4,
         }
     }
 }
@@ -57,6 +75,117 @@ impl fmt::Display for FlashTechnology {
             FlashTechnology::Slc => write!(f, "SLC"),
             FlashTechnology::Mlc => write!(f, "MLC"),
             FlashTechnology::Tlc => write!(f, "TLC"),
+            FlashTechnology::Qlc => write!(f, "QLC"),
+        }
+    }
+}
+
+/// When the hybrid SLC cache folds cold pages into the capacity tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MigrationPolicy {
+    /// Trickle migration: whenever a sealed cache block exists, fold one
+    /// block per host program — a deterministic proxy for migrating during
+    /// idle windows.
+    Idle,
+    /// Burst migration: leave the cache alone until its free space drops
+    /// below the watermark, then fold blocks until it recovers.
+    Watermark,
+}
+
+impl MigrationPolicy {
+    /// Both policies, index-stable for categorical encoding.
+    pub const ALL: [MigrationPolicy; 2] = [MigrationPolicy::Idle, MigrationPolicy::Watermark];
+
+    /// Index of this policy within [`MigrationPolicy::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            MigrationPolicy::Idle => 0,
+            MigrationPolicy::Watermark => 1,
+        }
+    }
+}
+
+impl fmt::Display for MigrationPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MigrationPolicy::Idle => write!(f, "idle"),
+            MigrationPolicy::Watermark => write!(f, "watermark"),
+        }
+    }
+}
+
+/// Device family: how block modes are organised across the device.
+///
+/// `Homogeneous` is the classic single-technology device every preset
+/// before this abstraction modeled; `HybridSlcCache` reserves a fraction of
+/// each plane's blocks as an SLC-mode write cache in front of the dense
+/// capacity technology (`SsdConfig::flash_technology`, typically QLC), as
+/// in arXiv:2503.13105. Cache blocks store one bit per cell, so usable
+/// capacity shrinks as the cache grows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum DeviceFamily {
+    /// Every block runs the device's single `flash_technology`.
+    #[default]
+    Homogeneous,
+    /// An SLC-mode write cache in front of the capacity technology.
+    HybridSlcCache {
+        /// Percent of each plane's blocks reserved as SLC cache, `(0, 50]`.
+        cache_blocks_pct: f64,
+        /// When cold pages are folded into the capacity tier.
+        migration_policy: MigrationPolicy,
+        /// Watermark: migrate when cache free pages fall below this percent
+        /// of cache capacity, `(0, 90]`. Ignored by [`MigrationPolicy::Idle`].
+        migration_threshold_pct: f64,
+    },
+}
+
+impl DeviceFamily {
+    /// Whether this family runs an SLC cache tier.
+    pub fn is_hybrid(self) -> bool {
+        matches!(self, DeviceFamily::HybridSlcCache { .. })
+    }
+
+    /// Stable short label (`homogeneous` / `hybrid-slc-cache`), used by the
+    /// run registry so histories are never compared across families.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceFamily::Homogeneous => "homogeneous",
+            DeviceFamily::HybridSlcCache { .. } => "hybrid-slc-cache",
+        }
+    }
+
+    /// Canonical four-word encoding (discriminant, cache pct bits, policy,
+    /// threshold bits); the tail of [`SsdConfig::canonical_words`].
+    pub fn canonical_words(self) -> [u64; 4] {
+        match self {
+            DeviceFamily::Homogeneous => [0, 0, 0, 0],
+            DeviceFamily::HybridSlcCache {
+                cache_blocks_pct,
+                migration_policy,
+                migration_threshold_pct,
+            } => [
+                1,
+                cache_blocks_pct.to_bits(),
+                migration_policy.index() as u64,
+                migration_threshold_pct.to_bits(),
+            ],
+        }
+    }
+}
+
+impl fmt::Display for DeviceFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceFamily::Homogeneous => write!(f, "homogeneous"),
+            DeviceFamily::HybridSlcCache {
+                cache_blocks_pct,
+                migration_policy,
+                migration_threshold_pct,
+            } => write!(
+                f,
+                "hybrid-slc-cache({cache_blocks_pct:.0}% cache, {migration_policy} @ \
+                 {migration_threshold_pct:.0}%)"
+            ),
         }
     }
 }
@@ -213,6 +342,11 @@ pub struct SsdConfig {
     // ---- Flash timing -------------------------------------------------
     /// NAND cell technology (drives baseline latencies and energy).
     pub flash_technology: FlashTechnology,
+    /// Device family: homogeneous or hybrid SLC-cache block organisation.
+    /// Defaults to [`DeviceFamily::Homogeneous`] so configurations
+    /// serialized before the abstraction existed still parse.
+    #[serde(default)]
+    pub device_family: DeviceFamily,
     /// Page read latency in nanoseconds.
     pub read_latency_ns: u64,
     /// Page program latency in nanoseconds.
@@ -321,6 +455,7 @@ impl Default for SsdConfig {
             pages_per_block: 512,
             page_size_bytes: 4096,
             flash_technology: FlashTechnology::Mlc,
+            device_family: DeviceFamily::Homogeneous,
             read_latency_ns: 83_000,
             program_latency_ns: 1_166_000,
             erase_latency_ns: 3_800_000,
@@ -378,7 +513,7 @@ impl fmt::Display for InvalidConfigError {
 impl Error for InvalidConfigError {}
 
 /// Number of `u64` words in [`SsdConfig::canonical_words`].
-pub const CONFIG_WORDS: usize = 48;
+pub const CONFIG_WORDS: usize = 52;
 
 impl SsdConfig {
     /// Encodes every field as one `u64` word, in declaration order.
@@ -389,6 +524,7 @@ impl SsdConfig {
     /// distinguishes off-grid configurations such as presets. Keep this in
     /// sync when adding fields: the array length is a compile-time check.
     pub fn canonical_words(&self) -> [u64; CONFIG_WORDS] {
+        let family = self.device_family.canonical_words();
         [
             u64::from(self.channel_count),
             u64::from(self.chips_per_channel),
@@ -398,6 +534,10 @@ impl SsdConfig {
             u64::from(self.pages_per_block),
             u64::from(self.page_size_bytes),
             self.flash_technology as u64,
+            family[0],
+            family[1],
+            family[2],
+            family[3],
             self.read_latency_ns,
             self.program_latency_ns,
             self.erase_latency_ns,
@@ -452,9 +592,43 @@ impl SsdConfig {
             * u64::from(self.page_size_bytes)
     }
 
+    /// SLC-cache blocks per plane for hybrid families (0 when homogeneous).
+    ///
+    /// At least one block when any cache is requested, and always at least
+    /// two non-cache blocks per plane so the capacity tier keeps an active
+    /// block plus GC headroom.
+    pub fn slc_cache_blocks_per_plane(&self) -> u32 {
+        let DeviceFamily::HybridSlcCache {
+            cache_blocks_pct, ..
+        } = self.device_family
+        else {
+            return 0;
+        };
+        let want = (f64::from(self.blocks_per_plane) * cache_blocks_pct / 100.0).ceil() as u32;
+        want.clamp(1, self.blocks_per_plane.saturating_sub(2).max(1))
+    }
+
+    /// Usable flash capacity in bytes: physical capacity minus what the
+    /// SLC cache gives up by storing one bit per cell. Equal to
+    /// [`SsdConfig::physical_capacity_bytes`] for homogeneous devices.
+    pub fn effective_capacity_bytes(&self) -> u64 {
+        let physical = self.physical_capacity_bytes();
+        let cache_blocks = u64::from(self.slc_cache_blocks_per_plane());
+        if cache_blocks == 0 {
+            return physical;
+        }
+        let bits = u64::from(self.flash_technology.bits_per_cell());
+        let cache_bytes = self.total_planes()
+            * cache_blocks
+            * u64::from(self.pages_per_block)
+            * u64::from(self.page_size_bytes);
+        // A cache block keeps 1/bits of its dense capacity.
+        physical - cache_bytes * (bits - 1) / bits
+    }
+
     /// Host-visible capacity after over-provisioning, in bytes.
     pub fn logical_capacity_bytes(&self) -> u64 {
-        (self.physical_capacity_bytes() as f64 * (1.0 - self.overprovisioning_ratio)) as u64
+        (self.effective_capacity_bytes() as f64 * (1.0 - self.overprovisioning_ratio)) as u64
     }
 
     /// Host-visible capacity in logical pages.
@@ -587,6 +761,33 @@ impl SsdConfig {
                 "NVMe devices need at least one PCIe lane".into(),
             ));
         }
+        if let DeviceFamily::HybridSlcCache {
+            cache_blocks_pct,
+            migration_threshold_pct,
+            ..
+        } = self.device_family
+        {
+            if !(cache_blocks_pct > 0.0 && cache_blocks_pct <= 50.0) {
+                return Err(InvalidConfigError(
+                    "hybrid cache_blocks_pct must be within (0, 50]".into(),
+                ));
+            }
+            if !(migration_threshold_pct > 0.0 && migration_threshold_pct <= 90.0) {
+                return Err(InvalidConfigError(
+                    "hybrid migration_threshold_pct must be within (0, 90]".into(),
+                ));
+            }
+            if self.flash_technology.bits_per_cell() < 2 {
+                return Err(InvalidConfigError(
+                    "hybrid SLC cache requires a multi-bit capacity technology".into(),
+                ));
+            }
+            if self.blocks_per_plane < 3 {
+                return Err(InvalidConfigError(
+                    "hybrid devices need at least 3 blocks per plane".into(),
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -645,6 +846,23 @@ pub mod presets {
             ..SsdConfig::default()
         }
     }
+
+    /// Hybrid SLC/QLC device: a small SLC write cache in front of dense QLC
+    /// capacity flash, with watermark-triggered background migration.
+    pub fn hybrid_slc_qlc() -> SsdConfig {
+        SsdConfig {
+            flash_technology: FlashTechnology::Qlc,
+            read_latency_ns: FlashTechnology::Qlc.base_read_ns(),
+            program_latency_ns: FlashTechnology::Qlc.base_program_ns(),
+            erase_latency_ns: FlashTechnology::Qlc.base_erase_ns(),
+            device_family: DeviceFamily::HybridSlcCache {
+                cache_blocks_pct: 10.0,
+                migration_policy: MigrationPolicy::Watermark,
+                migration_threshold_pct: 25.0,
+            },
+            ..SsdConfig::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -657,6 +875,7 @@ mod tests {
         presets::intel_750().validate().unwrap();
         presets::samsung_850_pro().validate().unwrap();
         presets::samsung_z_ssd().validate().unwrap();
+        presets::hybrid_slc_qlc().validate().unwrap();
     }
 
     #[test]
@@ -757,6 +976,105 @@ mod tests {
     fn technology_latency_ordering() {
         assert!(FlashTechnology::Slc.base_read_ns() < FlashTechnology::Mlc.base_read_ns());
         assert!(FlashTechnology::Mlc.base_program_ns() < FlashTechnology::Tlc.base_program_ns());
+        assert!(FlashTechnology::Tlc.base_read_ns() < FlashTechnology::Qlc.base_read_ns());
+        assert!(FlashTechnology::Tlc.base_program_ns() < FlashTechnology::Qlc.base_program_ns());
+        assert!(FlashTechnology::Tlc.base_erase_ns() < FlashTechnology::Qlc.base_erase_ns());
         assert_eq!(FlashTechnology::Slc.to_string(), "SLC");
+    }
+
+    #[test]
+    fn qlc_latencies_are_pinned() {
+        // Survey-grade QLC figures (arXiv:2507.10573): keep these stable so
+        // every consumer (presets, energy model, goldens) agrees.
+        assert_eq!(FlashTechnology::Qlc.base_read_ns(), 145_000);
+        assert_eq!(FlashTechnology::Qlc.base_program_ns(), 3_400_000);
+        assert_eq!(FlashTechnology::Qlc.base_erase_ns(), 6_500_000);
+        assert_eq!(FlashTechnology::Qlc.bits_per_cell(), 4);
+        assert_eq!(FlashTechnology::Qlc.to_string(), "QLC");
+    }
+
+    #[test]
+    fn hybrid_cache_shrinks_effective_capacity() {
+        let homogeneous = presets::intel_750();
+        assert_eq!(
+            homogeneous.effective_capacity_bytes(),
+            homogeneous.physical_capacity_bytes()
+        );
+        assert_eq!(homogeneous.slc_cache_blocks_per_plane(), 0);
+
+        let hybrid = presets::hybrid_slc_qlc();
+        let cache_blocks = hybrid.slc_cache_blocks_per_plane();
+        assert!(cache_blocks >= 1);
+        assert!(cache_blocks <= hybrid.blocks_per_plane - 2);
+        assert!(hybrid.effective_capacity_bytes() < hybrid.physical_capacity_bytes());
+        // QLC cells in SLC mode keep 1/4 of their density: the loss is
+        // cache_bytes * 3/4 exactly.
+        let cache_bytes = hybrid.total_planes()
+            * u64::from(cache_blocks)
+            * u64::from(hybrid.pages_per_block)
+            * u64::from(hybrid.page_size_bytes);
+        assert_eq!(
+            hybrid.physical_capacity_bytes() - hybrid.effective_capacity_bytes(),
+            cache_bytes * 3 / 4
+        );
+        assert!(hybrid.logical_capacity_bytes() < hybrid.effective_capacity_bytes());
+    }
+
+    #[test]
+    fn family_canonical_words_distinguish_configs() {
+        let base = presets::hybrid_slc_qlc();
+        let mut other = base.clone();
+        other.device_family = DeviceFamily::HybridSlcCache {
+            cache_blocks_pct: 20.0,
+            migration_policy: MigrationPolicy::Idle,
+            migration_threshold_pct: 25.0,
+        };
+        assert_ne!(base.canonical_words(), other.canonical_words());
+        let mut homogeneous = base.clone();
+        homogeneous.device_family = DeviceFamily::Homogeneous;
+        assert_ne!(base.canonical_words(), homogeneous.canonical_words());
+        assert_eq!(base.canonical_words().len(), CONFIG_WORDS);
+        assert_eq!(DeviceFamily::Homogeneous.label(), "homogeneous");
+        assert_eq!(base.device_family.label(), "hybrid-slc-cache");
+    }
+
+    #[test]
+    fn hybrid_validation_rules() {
+        let mut c = presets::hybrid_slc_qlc();
+        c.device_family = DeviceFamily::HybridSlcCache {
+            cache_blocks_pct: 0.0,
+            migration_policy: MigrationPolicy::Watermark,
+            migration_threshold_pct: 25.0,
+        };
+        assert!(c.validate().is_err());
+        c.device_family = DeviceFamily::HybridSlcCache {
+            cache_blocks_pct: 10.0,
+            migration_policy: MigrationPolicy::Watermark,
+            migration_threshold_pct: 95.0,
+        };
+        assert!(c.validate().is_err());
+        // SLC capacity flash cannot host an SLC cache tier.
+        let mut slc = presets::samsung_z_ssd();
+        slc.device_family = DeviceFamily::HybridSlcCache {
+            cache_blocks_pct: 10.0,
+            migration_policy: MigrationPolicy::Idle,
+            migration_threshold_pct: 25.0,
+        };
+        assert!(slc.validate().is_err());
+    }
+
+    #[test]
+    fn hybrid_serde_roundtrip_and_legacy_default() {
+        let hybrid = presets::hybrid_slc_qlc();
+        let json = serde_json::to_string(&hybrid).unwrap();
+        let back: SsdConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.canonical_words(), hybrid.canonical_words());
+        // Old documents without a device_family field deserialize homogeneous.
+        let mut doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+        if let serde_json::Value::Object(map) = &mut doc {
+            map.remove("device_family");
+        }
+        let legacy: SsdConfig = serde_json::from_value(doc).unwrap();
+        assert_eq!(legacy.device_family, DeviceFamily::Homogeneous);
     }
 }

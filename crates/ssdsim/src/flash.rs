@@ -1,7 +1,7 @@
 //! Physical flash state: planes, blocks, page allocation, garbage
 //! collection bookkeeping, and the write-striping allocator.
 
-use crate::config::{GcPolicy, SsdConfig};
+use crate::config::{GcPolicy, MigrationPolicy, SsdConfig};
 use serde::{Deserialize, Serialize};
 
 /// Location of a physical flash page.
@@ -51,6 +51,11 @@ struct Block {
 }
 
 /// Per-plane flash bookkeeping: block states, valid counts, write pointer.
+///
+/// On hybrid devices the first `slc_cache_blocks` blocks form the SLC-mode
+/// cache tier with its own active block and write pointer; `active`,
+/// `write_ptr`, and `free_pages` always describe the capacity tier (which
+/// is the whole plane on homogeneous devices).
 #[derive(Debug, Clone)]
 struct Plane {
     blocks: Vec<Block>,
@@ -59,6 +64,12 @@ struct Plane {
     free_pages: u64,
     /// Pages migrated into the active block by GC (valid on arrival).
     gc_pressure: bool,
+    /// Active block of the SLC cache tier (hybrid only).
+    cache_active: u32,
+    /// Write pointer within the cache active block (hybrid only).
+    cache_write_ptr: u32,
+    /// Free pages remaining in the SLC cache tier (hybrid only).
+    cache_free_pages: u64,
 }
 
 /// Statistics accumulated by the flash array.
@@ -74,6 +85,10 @@ pub struct FlashStats {
     pub gc_invocations: u64,
     /// Static wear-leveling swaps performed.
     pub wearleveling_swaps: u64,
+    /// Pages folded from the SLC cache tier into capacity flash (hybrid
+    /// devices only; always zero for homogeneous families).
+    #[serde(default)]
+    pub slc_migrated_pages: u64,
 }
 
 /// One unit of work the flash array asks the timing layer to charge.
@@ -91,6 +106,17 @@ pub enum BackgroundOp {
         /// Flat plane index.
         plane: u32,
         /// Pages moved.
+        pages: u32,
+    },
+    /// SLC-cache fold: read `pages` valid pages out of cache block `block`
+    /// at SLC latency, program them into the capacity tier, erase the cache
+    /// block. The block index lets the mapping layer relocate folded pages.
+    SlcMigration {
+        /// Flat plane index.
+        plane: u32,
+        /// Cache block (within the plane) that was folded.
+        block: u32,
+        /// Valid pages migrated into the capacity tier.
         pages: u32,
     },
 }
@@ -114,6 +140,12 @@ pub struct FlashArray {
     stripe: u64,
     dims: [u64; 4],
     order: [usize; 4],
+    /// SLC-cache blocks at the start of every plane (0 = homogeneous).
+    slc_cache_blocks: u32,
+    /// How folded pages leave the cache tier (hybrid only).
+    migration_policy: Option<MigrationPolicy>,
+    /// Watermark: fold whenever cache free pages drop below this.
+    migration_low_pages: u64,
 }
 
 impl FlashArray {
@@ -125,6 +157,9 @@ impl FlashArray {
     pub fn new(cfg: &SsdConfig) -> Self {
         cfg.validate().expect("valid configuration");
         let n_planes = cfg.total_planes() as usize;
+        let slc_cache_blocks = cfg.slc_cache_blocks_per_plane();
+        let cache_pages = u64::from(slc_cache_blocks) * u64::from(cfg.pages_per_block);
+        let capacity_pages = cfg.pages_per_plane() - cache_pages;
         let plane = Plane {
             blocks: vec![
                 Block {
@@ -134,16 +169,35 @@ impl FlashArray {
                 };
                 cfg.blocks_per_plane as usize
             ],
-            active: 0,
+            active: slc_cache_blocks,
             write_ptr: 0,
-            free_pages: cfg.pages_per_plane(),
+            free_pages: capacity_pages,
             gc_pressure: false,
+            cache_active: 0,
+            cache_write_ptr: 0,
+            cache_free_pages: cache_pages,
         };
         let mut planes = vec![plane; n_planes];
         for p in &mut planes {
-            p.blocks[0].state = BlockState::Active;
+            p.blocks[slc_cache_blocks as usize].state = BlockState::Active;
+            if slc_cache_blocks > 0 {
+                p.blocks[0].state = BlockState::Active;
+            }
         }
-        let gc_threshold_pages = (cfg.pages_per_plane() as f64 * cfg.gc_threshold).ceil() as u64;
+        let gc_threshold_pages = (capacity_pages as f64 * cfg.gc_threshold).ceil() as u64;
+        let migration_policy = match cfg.device_family {
+            crate::config::DeviceFamily::Homogeneous => None,
+            crate::config::DeviceFamily::HybridSlcCache {
+                migration_policy, ..
+            } => Some(migration_policy),
+        };
+        let migration_low_pages = match cfg.device_family {
+            crate::config::DeviceFamily::HybridSlcCache {
+                migration_threshold_pct,
+                ..
+            } => (cache_pages as f64 * migration_threshold_pct / 100.0).ceil() as u64,
+            crate::config::DeviceFamily::Homogeneous => 0,
+        };
         FlashArray {
             planes,
             pages_per_block: cfg.pages_per_block,
@@ -161,6 +215,9 @@ impl FlashArray {
                 u64::from(cfg.planes_per_die),
             ],
             order: cfg.plane_allocation_scheme.order(),
+            slc_cache_blocks,
+            migration_policy,
+            migration_low_pages,
         }
     }
 
@@ -174,13 +231,41 @@ impl FlashArray {
         self.planes.len()
     }
 
-    /// Free pages remaining in a plane.
+    /// Free pages remaining in a plane's capacity tier (the whole plane on
+    /// homogeneous devices).
     ///
     /// # Panics
     ///
     /// Panics if `plane` is out of range.
     pub fn free_pages(&self, plane: u32) -> u64 {
         self.planes[plane as usize].free_pages
+    }
+
+    /// Free pages remaining in a plane's SLC cache tier (0 when homogeneous).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plane` is out of range.
+    pub fn cache_free_pages(&self, plane: u32) -> u64 {
+        self.planes[plane as usize].cache_free_pages
+    }
+
+    /// SLC-cache blocks per plane (0 when homogeneous).
+    pub fn slc_cache_blocks(&self) -> u32 {
+        self.slc_cache_blocks
+    }
+
+    /// Valid pages currently stored in a plane, both tiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plane` is out of range.
+    pub fn valid_pages(&self, plane: u32) -> u64 {
+        self.planes[plane as usize]
+            .blocks
+            .iter()
+            .map(|b| u64::from(b.valid))
+            .sum()
     }
 
     /// Pages the array is short of its per-plane GC free-page target,
@@ -201,11 +286,14 @@ impl FlashArray {
     pub fn warm_up(&mut self, fill_fraction: f64) {
         let fill = fill_fraction.clamp(0.0, 0.95);
         let ppb = u64::from(self.pages_per_block);
+        let cache = self.slc_cache_blocks as usize;
+        // Warm-up data is cold by definition: it lives in the capacity tier.
+        let tier_blocks = self.blocks_per_plane - self.slc_cache_blocks;
         for (pi, plane) in self.planes.iter_mut().enumerate() {
-            let target_blocks = (fill * f64::from(self.blocks_per_plane)).floor() as usize;
+            let target_blocks = (fill * f64::from(tier_blocks)).floor() as usize;
             let mut filled = 0u64;
-            for (bi, b) in plane.blocks.iter_mut().enumerate() {
-                if bi >= target_blocks || b.state != BlockState::Free {
+            for (bi, b) in plane.blocks.iter_mut().enumerate().skip(cache) {
+                if bi - cache >= target_blocks || b.state != BlockState::Free {
                     continue;
                 }
                 // Deterministic pseudo-random valid density in [0.70, 1.0].
@@ -237,14 +325,163 @@ impl FlashArray {
         (((c * self.dims[1] + w) * self.dims[2] + d) * self.dims[3] + p) as u32
     }
 
-    /// Programs one page into `plane`'s active block, returning the block
-    /// and page indices plus any background work that became necessary
-    /// (GC and/or wear leveling).
+    /// Programs one page into `plane`, returning the block and page indices
+    /// plus any background work that became necessary (GC, wear leveling,
+    /// SLC-cache folds).
+    ///
+    /// On homogeneous devices the page lands in the plane's active block;
+    /// on hybrid devices every host/foreground program lands in the SLC
+    /// cache tier and the configured migration policy decides when sealed
+    /// cache blocks fold into capacity flash.
     ///
     /// # Panics
     ///
     /// Panics if `plane` is out of range.
     pub fn program_page(&mut self, plane: u32) -> (u32, u32, Vec<BackgroundOp>) {
+        if self.slc_cache_blocks > 0 {
+            self.program_cache_page(plane)
+        } else {
+            self.program_capacity_page(plane)
+        }
+    }
+
+    /// Programs one page into the SLC cache tier and runs migration policy.
+    fn program_cache_page(&mut self, plane: u32) -> (u32, u32, Vec<BackgroundOp>) {
+        let mut ops = Vec::new();
+        let ppb = self.pages_per_block;
+        let pidx = plane as usize;
+
+        if self.planes[pidx].cache_write_ptr >= ppb {
+            self.seal_cache_active(pidx);
+            if !self.open_new_cache_active(pidx) {
+                // Every cache block is sealed: fold one now to make room.
+                self.fold_cache_block(plane, &mut ops);
+                let opened = self.open_new_cache_active(pidx);
+                debug_assert!(opened, "fold must free a cache block");
+            }
+        }
+
+        let plane_ref = &mut self.planes[pidx];
+        let block = plane_ref.cache_active;
+        let page = plane_ref.cache_write_ptr;
+        plane_ref.cache_write_ptr += 1;
+        plane_ref.blocks[block as usize].valid += 1;
+        plane_ref.cache_free_pages = plane_ref.cache_free_pages.saturating_sub(1);
+        self.stats.programs += 1;
+
+        match self.migration_policy {
+            // Trickle: fold one sealed block per host program when one
+            // exists (deterministic stand-in for idle-window migration).
+            Some(MigrationPolicy::Idle) => {
+                self.fold_cache_block(plane, &mut ops);
+            }
+            // Burst: fold only once the cache runs low, until it recovers.
+            Some(MigrationPolicy::Watermark) => {
+                while self.planes[pidx].cache_free_pages < self.migration_low_pages {
+                    if !self.fold_cache_block(plane, &mut ops) {
+                        break;
+                    }
+                }
+            }
+            None => {}
+        }
+        if self.wl_enabled {
+            if let Some(op) = self.maybe_wear_level(plane) {
+                ops.push(op);
+            }
+        }
+        (block, page, ops)
+    }
+
+    /// Folds the fullest-invalid sealed cache block of `plane` into the
+    /// capacity tier: programs its valid pages there (triggering capacity
+    /// GC if needed), erases the cache block, and records the op. Returns
+    /// `false` when no sealed cache block exists.
+    fn fold_cache_block(&mut self, plane: u32, ops: &mut Vec<BackgroundOp>) -> bool {
+        let pidx = plane as usize;
+        let cache = self.slc_cache_blocks as usize;
+        let Some(victim) = self.planes[pidx].blocks[..cache]
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.state == BlockState::Full)
+            .min_by_key(|&(i, b)| (b.valid, i))
+            .map(|(i, _)| i)
+        else {
+            return false;
+        };
+        let valid = self.planes[pidx].blocks[victim].valid;
+        // Program the folded pages into the capacity tier.
+        let mut moved = 0u16;
+        for _ in 0..valid {
+            if self.planes[pidx].write_ptr >= self.pages_per_block {
+                self.seal_active(pidx);
+                if !self.open_new_active(pidx) {
+                    if let Some(op) = self.collect_garbage(plane) {
+                        ops.push(op);
+                    }
+                    if !self.open_new_active(pidx) {
+                        self.emergency_erase(pidx);
+                        if !self.open_new_active(pidx) {
+                            break;
+                        }
+                    }
+                }
+            }
+            let plane_ref = &mut self.planes[pidx];
+            let active = plane_ref.active as usize;
+            plane_ref.blocks[active].valid += 1;
+            plane_ref.write_ptr += 1;
+            plane_ref.free_pages = plane_ref.free_pages.saturating_sub(1);
+            moved += 1;
+        }
+        // Erase the folded cache block.
+        {
+            let b = &mut self.planes[pidx].blocks[victim];
+            b.valid = 0;
+            b.erases = b.erases.saturating_add(1);
+            b.state = BlockState::Free;
+        }
+        self.planes[pidx].cache_free_pages += u64::from(self.pages_per_block);
+        self.stats.erases += 1;
+        self.stats.slc_migrated_pages += u64::from(moved);
+        ops.push(BackgroundOp::SlcMigration {
+            plane,
+            block: victim as u32,
+            pages: u32::from(moved),
+        });
+        // Folding consumed capacity pages; keep the capacity tier's GC honest.
+        if self.planes[pidx].free_pages < self.gc_threshold_pages {
+            if let Some(op) = self.collect_garbage(plane) {
+                ops.push(op);
+            }
+        }
+        true
+    }
+
+    fn seal_cache_active(&mut self, pidx: usize) {
+        let plane = &mut self.planes[pidx];
+        let active = plane.cache_active as usize;
+        plane.blocks[active].state = BlockState::Full;
+    }
+
+    fn open_new_cache_active(&mut self, pidx: usize) -> bool {
+        let cache = self.slc_cache_blocks as usize;
+        let plane = &mut self.planes[pidx];
+        if let Some(idx) = plane.blocks[..cache]
+            .iter()
+            .position(|b| b.state == BlockState::Free)
+        {
+            plane.blocks[idx].state = BlockState::Active;
+            plane.cache_active = idx as u32;
+            plane.cache_write_ptr = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Programs one page into `plane`'s capacity-tier active block.
+    fn program_capacity_page(&mut self, plane: u32) -> (u32, u32, Vec<BackgroundOp>) {
         let mut ops = Vec::new();
         let ppb = self.pages_per_block;
         let pidx = plane as usize;
@@ -309,11 +546,13 @@ impl FlashArray {
     /// copy's exact block is unknown (warm-up resident data). Prefers the
     /// fullest block so overwrite-heavy workloads create cheap GC victims.
     pub fn invalidate_somewhere(&mut self, plane: u32, hint: u64) {
+        let cache = self.slc_cache_blocks as usize;
         let plane_ref = &mut self.planes[plane as usize];
-        let n = plane_ref.blocks.len();
+        // Resident-but-untracked data is cold: it lives in the capacity tier.
+        let n = plane_ref.blocks.len() - cache;
         // Probe a few hashed positions, decrement the first full block.
         for probe in 0..8 {
-            let idx = (splitmix64(hint.wrapping_add(probe)) % n as u64) as usize;
+            let idx = cache + (splitmix64(hint.wrapping_add(probe)) % n as u64) as usize;
             let b = &mut plane_ref.blocks[idx];
             if b.state == BlockState::Full && b.valid > 0 {
                 b.valid -= 1;
@@ -329,11 +568,12 @@ impl FlashArray {
     }
 
     fn open_new_active(&mut self, pidx: usize) -> bool {
+        let cache = self.slc_cache_blocks as usize;
         let plane = &mut self.planes[pidx];
-        if let Some(free_idx) = plane
-            .blocks
+        if let Some(free_idx) = plane.blocks[cache..]
             .iter()
             .position(|b| b.state == BlockState::Free)
+            .map(|i| i + cache)
         {
             plane.blocks[free_idx].state = BlockState::Active;
             plane.active = free_idx as u32;
@@ -345,12 +585,15 @@ impl FlashArray {
     }
 
     fn emergency_erase(&mut self, pidx: usize) {
+        let cache = self.slc_cache_blocks as usize;
         let plane = &mut self.planes[pidx];
-        // Erase the fullest non-active block regardless of valid data.
+        // Erase the fullest non-active capacity block regardless of valid
+        // data (cache blocks are reclaimed by folds, never sacrificed).
         if let Some((idx, _)) = plane
             .blocks
             .iter()
             .enumerate()
+            .skip(cache)
             .filter(|(_, b)| b.state == BlockState::Full)
             .max_by_key(|(_, b)| b.valid)
         {
@@ -368,12 +611,14 @@ impl FlashArray {
     /// migration of its valid pages into the active block, erase it.
     fn collect_garbage(&mut self, plane: u32) -> Option<BackgroundOp> {
         let pidx = plane as usize;
+        let cache = self.slc_cache_blocks as usize;
         let victim = {
             let plane_ref = &self.planes[pidx];
             let full = plane_ref
                 .blocks
                 .iter()
                 .enumerate()
+                .skip(cache)
                 .filter(|(_, b)| b.state == BlockState::Full);
             match self.gc_policy {
                 GcPolicy::Greedy => full.min_by_key(|(_, b)| b.valid).map(|(i, _)| i),
@@ -390,6 +635,7 @@ impl FlashArray {
         }?;
         let valid = self.planes[pidx].blocks[victim].valid;
         // Migrate valid pages: program them into the active block.
+        let mut moved = 0u16;
         for _ in 0..valid {
             // Migration consumes free pages in the same plane; we inline a
             // simplified program that cannot recursively trigger GC.
@@ -405,6 +651,7 @@ impl FlashArray {
             plane_ref.blocks[active].valid += 1;
             plane_ref.write_ptr += 1;
             plane_ref.free_pages = plane_ref.free_pages.saturating_sub(1);
+            moved += 1;
         }
         // Erase the victim.
         let reclaimed = u64::from(self.pages_per_block);
@@ -417,20 +664,23 @@ impl FlashArray {
         self.planes[pidx].free_pages += reclaimed;
         self.stats.erases += 1;
         self.stats.gc_invocations += 1;
-        self.stats.migrated_pages += u64::from(valid);
+        self.stats.migrated_pages += u64::from(moved);
         Some(BackgroundOp::GcCycle {
             plane,
-            pages: u32::from(valid),
+            pages: u32::from(moved),
         })
     }
 
     fn maybe_wear_level(&mut self, plane: u32) -> Option<BackgroundOp> {
         let pidx = plane as usize;
+        let cache = self.slc_cache_blocks as usize;
+        // Wear leveling balances the capacity tier only: cache blocks cycle
+        // orders of magnitude faster by design (and SLC endures it).
         let (min_e, max_e) = {
             let plane_ref = &self.planes[pidx];
             let mut min_e = u16::MAX;
             let mut max_e = 0u16;
-            for b in &plane_ref.blocks {
+            for b in &plane_ref.blocks[cache..] {
                 min_e = min_e.min(b.erases);
                 max_e = max_e.max(b.erases);
             }
@@ -441,10 +691,10 @@ impl FlashArray {
         }
         // Swap: migrate the coldest (min-erase) block's data and erase it so
         // future hot writes land there.
-        let cold = self.planes[pidx]
-            .blocks
+        let cold = self.planes[pidx].blocks[cache..]
             .iter()
-            .position(|b| b.erases == min_e && b.state == BlockState::Full)?;
+            .position(|b| b.erases == min_e && b.state == BlockState::Full)
+            .map(|i| i + cache)?;
         let pages = self.planes[pidx].blocks[cold].valid;
         {
             let b = &mut self.planes[pidx].blocks[cold];
@@ -683,6 +933,69 @@ mod tests {
             fa.stats().wearleveling_swaps > 0 || fa.erase_spread() <= 2,
             "wear leveling should bound the erase spread"
         );
+    }
+
+    #[test]
+    fn hybrid_programs_land_in_cache_and_fold() {
+        use crate::config::{DeviceFamily, MigrationPolicy};
+        let cfg = SsdConfig {
+            device_family: DeviceFamily::HybridSlcCache {
+                cache_blocks_pct: 20.0,
+                migration_policy: MigrationPolicy::Idle,
+                migration_threshold_pct: 25.0,
+            },
+            ..tiny_cfg()
+        };
+        let mut fa = FlashArray::new(&cfg);
+        let cache = fa.slc_cache_blocks();
+        assert!(cache >= 1);
+        assert_eq!(
+            fa.cache_free_pages(0),
+            u64::from(cache * cfg.pages_per_block)
+        );
+        let mut folded = false;
+        for _ in 0..(cfg.pages_per_plane() * 2) {
+            let (block, _page, ops) = fa.program_page(0);
+            // Host writes always land in the SLC cache tier.
+            assert!(block < cache, "host program hit capacity block {block}");
+            if ops
+                .iter()
+                .any(|op| matches!(op, BackgroundOp::SlcMigration { .. }))
+            {
+                folded = true;
+            }
+        }
+        assert!(folded, "idle policy must fold sealed cache blocks");
+        assert!(fa.stats().slc_migrated_pages > 0);
+    }
+
+    #[test]
+    fn hybrid_watermark_defers_folds_until_low() {
+        use crate::config::{DeviceFamily, MigrationPolicy};
+        let cfg = SsdConfig {
+            device_family: DeviceFamily::HybridSlcCache {
+                cache_blocks_pct: 40.0,
+                migration_policy: MigrationPolicy::Watermark,
+                migration_threshold_pct: 30.0,
+            },
+            ..tiny_cfg()
+        };
+        let mut fa = FlashArray::new(&cfg);
+        let cache_pages = u64::from(fa.slc_cache_blocks()) * u64::from(cfg.pages_per_block);
+        // Writing a fraction of the cache stays above the watermark: no fold.
+        for _ in 0..(cache_pages / 2) {
+            let (_, _, ops) = fa.program_page(0);
+            assert!(
+                !ops.iter()
+                    .any(|op| matches!(op, BackgroundOp::SlcMigration { .. })),
+                "watermark policy folded while the cache was still high"
+            );
+        }
+        // Filling past the watermark must eventually fold.
+        for _ in 0..cache_pages {
+            let _ = fa.program_page(0);
+        }
+        assert!(fa.stats().slc_migrated_pages > 0);
     }
 
     #[test]

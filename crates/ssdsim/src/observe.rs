@@ -113,12 +113,12 @@ impl DeviceSeries {
 /// requests). Components overlap — a multi-page request accrues waits on
 /// several planes concurrently, and GC stall time resurfaces as plane wait
 /// for the ops queued behind it — so when the raw fractions sum past 1.0
-/// they are rescaled proportionally; `other_frac` is whatever the five
+/// they are rescaled proportionally; `other_frac` is whatever the six
 /// attributed buckets leave unexplained (flash service time of host
 /// operations, DRAM and link transfers, protocol overhead).
 ///
 /// The invariant the proptest suite holds: every fraction lies in
-/// `[0, 1]` and the six fractions sum to at most 1.0 (up to float
+/// `[0, 1]` and the seven fractions sum to at most 1.0 (up to float
 /// rounding).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct BottleneckReport {
@@ -135,6 +135,10 @@ pub struct BottleneckReport {
     pub cache_miss_ns: u64,
     /// Host-side time requests waited to enter the full device queue, ns.
     pub queue_wait_ns: u64,
+    /// Die time consumed folding SLC-cache blocks into capacity flash, ns
+    /// (hybrid device families only; always zero on homogeneous devices).
+    #[serde(default)]
+    pub slc_migration_ns: u64,
     /// `channel_wait_ns` over the total, rescaled (see type docs).
     pub channel_wait_frac: f64,
     /// `plane_wait_ns` over the total, rescaled.
@@ -145,6 +149,9 @@ pub struct BottleneckReport {
     pub cache_miss_frac: f64,
     /// `queue_wait_ns` over the total, rescaled.
     pub host_queue_frac: f64,
+    /// `slc_migration_ns` over the total, rescaled.
+    #[serde(default)]
+    pub slc_migration_frac: f64,
     /// Unattributed remainder of the total.
     pub other_frac: f64,
 }
@@ -159,6 +166,7 @@ impl BottleneckReport {
         gc_stall_ns: u64,
         cache_miss_ns: u64,
         queue_wait_ns: u64,
+        slc_migration_ns: u64,
     ) -> Self {
         let mut report = BottleneckReport {
             total_latency_ns,
@@ -167,6 +175,7 @@ impl BottleneckReport {
             gc_stall_ns,
             cache_miss_ns,
             queue_wait_ns,
+            slc_migration_ns,
             ..Default::default()
         };
         if total_latency_ns == 0 {
@@ -179,6 +188,7 @@ impl BottleneckReport {
             gc_stall_ns as f64 / total,
             cache_miss_ns as f64 / total,
             queue_wait_ns as f64 / total,
+            slc_migration_ns as f64 / total,
         ];
         let sum: f64 = fracs.iter().sum();
         if sum > 1.0 {
@@ -191,19 +201,21 @@ impl BottleneckReport {
         report.gc_stall_frac = fracs[2];
         report.cache_miss_frac = fracs[3];
         report.host_queue_frac = fracs[4];
+        report.slc_migration_frac = fracs[5];
         report.other_frac = (1.0 - fracs.iter().sum::<f64>()).max(0.0);
         report
     }
 
-    /// The five attributed resources and their fractions, in a stable
+    /// The six attributed resources and their fractions, in a stable
     /// order (`other` excluded).
-    pub fn fractions(&self) -> [(&'static str, f64); 5] {
+    pub fn fractions(&self) -> [(&'static str, f64); 6] {
         [
             ("channel-wait", self.channel_wait_frac),
             ("plane-busy", self.plane_wait_frac),
             ("gc-stall", self.gc_stall_frac),
             ("cache-miss", self.cache_miss_frac),
             ("host-queue", self.host_queue_frac),
+            ("slc-migration", self.slc_migration_frac),
         ]
     }
 
@@ -382,7 +394,7 @@ mod tests {
 
     #[test]
     fn zero_total_is_all_zero() {
-        let b = BottleneckReport::from_totals(0, 10, 10, 10, 10, 10);
+        let b = BottleneckReport::from_totals(0, 10, 10, 10, 10, 10, 10);
         assert_eq!(b.channel_wait_frac, 0.0);
         assert_eq!(b.other_frac, 0.0);
         assert_eq!(b.dominant(), "none");
@@ -390,14 +402,15 @@ mod tests {
 
     #[test]
     fn fractions_attribute_and_normalize() {
-        let b = BottleneckReport::from_totals(1_000, 200, 100, 50, 25, 125);
+        let b = BottleneckReport::from_totals(1_000, 200, 100, 50, 25, 125, 25);
         assert!((b.channel_wait_frac - 0.2).abs() < 1e-12);
         assert!((b.host_queue_frac - 0.125).abs() < 1e-12);
-        assert!((b.other_frac - 0.5).abs() < 1e-12);
+        assert!((b.slc_migration_frac - 0.025).abs() < 1e-12);
+        assert!((b.other_frac - 0.475).abs() < 1e-12);
         assert_eq!(b.dominant(), "channel-wait");
 
         // Overlapping components exceeding the total rescale to sum 1.
-        let b = BottleneckReport::from_totals(100, 100, 100, 0, 0, 0);
+        let b = BottleneckReport::from_totals(100, 100, 100, 0, 0, 0, 0);
         assert!((b.channel_wait_frac - 0.5).abs() < 1e-12);
         assert!((b.plane_wait_frac - 0.5).abs() < 1e-12);
         assert!(b.other_frac.abs() < 1e-12);
@@ -407,7 +420,7 @@ mod tests {
 
     #[test]
     fn dominant_picks_the_largest_bucket() {
-        let b = BottleneckReport::from_totals(1_000, 10, 20, 500, 30, 40);
+        let b = BottleneckReport::from_totals(1_000, 10, 20, 500, 30, 40, 0);
         assert_eq!(b.dominant(), "gc-stall");
     }
 }

@@ -32,6 +32,7 @@ impl FlashEnergy {
             FlashTechnology::Slc => (6_000.0, 18_000.0, 150_000.0),
             FlashTechnology::Mlc => (15_000.0, 40_000.0, 250_000.0),
             FlashTechnology::Tlc => (25_000.0, 70_000.0, 350_000.0),
+            FlashTechnology::Qlc => (35_000.0, 100_000.0, 450_000.0),
         };
         FlashEnergy {
             read_nj: read * scale,

@@ -7,7 +7,7 @@
 //! timelines, which is equivalent to a discrete-event simulation with
 //! implicit FIFO queues per resource — the abstraction level of MQSim.
 
-use crate::config::{CacheMode, SsdConfig};
+use crate::config::{CacheMode, FlashTechnology, SsdConfig};
 use crate::flash::{pseudo_location, splitmix64, BackgroundOp, FlashArray};
 use crate::lru::LruCache;
 use crate::observe::{
@@ -35,6 +35,11 @@ struct Timing {
     protocol_ns: u64,
     link_bytes_per_ns: f64,
     suspend_program_ns: u64,
+    /// SLC-mode cell timings for the hybrid cache tier (base SLC figures,
+    /// independent of the capacity technology's tuned latencies).
+    slc_read_ns: u64,
+    slc_program_ns: u64,
+    slc_erase_ns: u64,
 }
 
 impl Timing {
@@ -50,6 +55,9 @@ impl Timing {
             protocol_ns: cfg.protocol_overhead_ns(),
             link_bytes_per_ns: cfg.link_bandwidth_bps() / 1e9,
             suspend_program_ns: cfg.suspend_program_ns,
+            slc_read_ns: FlashTechnology::Slc.base_read_ns(),
+            slc_program_ns: FlashTechnology::Slc.base_program_ns(),
+            slc_erase_ns: FlashTechnology::Slc.base_erase_ns(),
         }
     }
 }
@@ -60,6 +68,13 @@ struct MappedPage {
     plane: u32,
     block: u32,
 }
+
+/// Block sentinel for "page folded into the capacity tier, exact block
+/// unknown". Reads to such pages pay capacity-technology latency;
+/// overwrites invalidate a hashed capacity block (the same approximation
+/// used for warm-up resident data). Never collides with a real cache block
+/// and, combined with any valid plane index, never encodes to `LPN_EMPTY`.
+const CAPACITY_RESIDENT: u32 = u32::MAX - 1;
 
 /// Entries per lazily allocated mapping chunk (32 KiB of `u64`s).
 const LPN_CHUNK: usize = 4096;
@@ -184,6 +199,9 @@ pub struct Simulator {
     pub diag_gc_stall_ns: u64,
     /// Diagnostic: flash service time paid on cache misses, ns.
     pub diag_cache_miss_ns: u64,
+    /// Diagnostic: die time consumed folding SLC-cache blocks into the
+    /// capacity tier, ns (hybrid families only).
+    pub diag_slc_migration_ns: u64,
     /// Diagnostic: host-side time requests waited for queue admission, ns.
     pub diag_queue_wait_ns: u64,
     /// Diagnostic: total end-to-end request time (arrival → completion), ns.
@@ -204,6 +222,13 @@ pub struct Simulator {
     /// Optional per-tenant lane accounting for merged traces (armed via
     /// [`Simulator::set_lanes`], harvested via [`Simulator::take_lanes`]).
     lanes: Option<TenantLanes>,
+    /// SLC-cache blocks per plane (0 = homogeneous device family).
+    slc_cache_blocks: u32,
+    /// Hybrid only: logical pages currently mapped into each cache block
+    /// (`plane * slc_cache_blocks + block`). Drained when the block folds so
+    /// reads afterwards pay capacity-tier latency; entries whose mapping has
+    /// moved on are skipped at drain time.
+    slc_resident: Vec<Vec<u64>>,
 }
 
 impl Simulator {
@@ -221,6 +246,9 @@ impl Simulator {
         let timing = Timing::from_config(&cfg);
         let flash = FlashArray::new(&cfg);
         let planes_per_channel = cfg.chips_per_channel * cfg.dies_per_chip * cfg.planes_per_die;
+        let slc_cache_blocks = cfg.slc_cache_blocks_per_plane();
+        let slc_resident =
+            vec![Vec::new(); cfg.total_planes() as usize * slc_cache_blocks as usize];
         Simulator {
             timing,
             mapping: LpnMap::default(),
@@ -258,6 +286,7 @@ impl Simulator {
             diag_write_plane_wait_ns: 0,
             diag_write_channel_wait_ns: 0,
             diag_gc_stall_ns: 0,
+            diag_slc_migration_ns: 0,
             diag_cache_miss_ns: 0,
             diag_queue_wait_ns: 0,
             diag_total_latency_ns: 0,
@@ -271,6 +300,8 @@ impl Simulator {
             sampled_die_busy_ns: 0,
             sampled_gc_stall_ns: 0,
             lanes: None,
+            slc_cache_blocks,
+            slc_resident,
             flash,
             cfg,
         }
@@ -505,7 +536,8 @@ impl Simulator {
         // bounded by wall-clock (the processor cannot be more than busy).
         self.counters.controller_busy_ns += ((outstanding_time_ns * 6 / 100) as u64).min(makespan);
         let flash_stats = self.flash.stats();
-        self.counters.flash_programs = flash_stats.programs + flash_stats.migrated_pages;
+        self.counters.flash_programs =
+            flash_stats.programs + flash_stats.migrated_pages + flash_stats.slc_migrated_pages;
         self.counters.flash_erases = flash_stats.erases;
         let energy = compute_energy(&self.cfg, &self.counters);
 
@@ -567,10 +599,12 @@ impl Simulator {
                 self.diag_gc_stall_ns,
                 self.diag_cache_miss_ns,
                 self.diag_queue_wait_ns,
+                self.diag_slc_migration_ns,
             ),
             device: std::mem::take(&mut self.series),
             write_amplification: if self.host_page_writes > 0 {
-                (flash_stats.programs + flash_stats.migrated_pages) as f64
+                (flash_stats.programs + flash_stats.migrated_pages + flash_stats.slc_migrated_pages)
+                    as f64
                     / self.host_page_writes as f64
             } else {
                 0.0
@@ -675,10 +709,18 @@ impl Simulator {
         done + self.timing.dram_entry_ns
     }
 
-    /// Raw flash page read on `plane` starting no earlier than `t`. The die
-    /// is the execution unit: a read waits for whatever its die is doing
-    /// (unless suspension lets it preempt an in-flight program).
+    /// Raw flash page read on `plane` starting no earlier than `t`, at the
+    /// capacity technology's sense latency.
     fn flash_read_at(&mut self, plane: u32, t: u64) -> u64 {
+        self.flash_read_at_ns(plane, t, self.timing.read_ns)
+    }
+
+    /// Raw flash page read on `plane` starting no earlier than `t` with an
+    /// explicit sense latency (`read_ns`), so SLC-cache-resident pages on
+    /// hybrid devices sense at SLC speed. The die is the execution unit: a
+    /// read waits for whatever its die is doing (unless suspension lets it
+    /// preempt an in-flight program).
+    fn flash_read_at_ns(&mut self, plane: u32, t: u64, read_ns: u64) -> u64 {
         let didx = self.die_of_plane(plane);
         let sense_start = if self.cfg.program_suspension_enabled && self.die_free[didx] > t {
             // Suspend the in-flight operation. NAND programs can only pause
@@ -687,13 +729,13 @@ impl Simulator {
             // suspended operation is pushed back by the intrusion.
             let remaining = self.die_free[didx] - t;
             let wait = self.timing.suspend_program_ns + remaining / 2;
-            self.die_free[didx] += self.timing.read_ns + self.timing.suspend_program_ns;
-            self.die_busy_ns += self.timing.read_ns + self.timing.suspend_program_ns;
+            self.die_free[didx] += read_ns + self.timing.suspend_program_ns;
+            self.die_busy_ns += read_ns + self.timing.suspend_program_ns;
             t + wait
         } else {
             let s = t.max(self.die_free[didx]);
-            self.die_free[didx] = s + self.timing.read_ns;
-            self.die_busy_ns += self.timing.read_ns;
+            self.die_free[didx] = s + read_ns;
+            self.die_busy_ns += read_ns;
             s
         };
         self.diag_plane_wait_ns += sense_start.saturating_sub(t);
@@ -701,13 +743,23 @@ impl Simulator {
         // Every flash read exists because some cache (data cache or CMT)
         // missed; its raw service time is the cache-miss component of the
         // bottleneck attribution.
-        self.diag_cache_miss_ns += self.timing.read_ns + self.timing.transfer_ns;
-        let sense_end = sense_start + self.timing.read_ns;
+        self.diag_cache_miss_ns += read_ns + self.timing.transfer_ns;
+        let sense_end = sense_start + read_ns;
         let ch = self.channel_of_plane(plane);
         let done = self.channel_use(ch, sense_end, t);
         self.diag_channel_wait_ns += done.saturating_sub(sense_end + self.timing.transfer_ns);
         self.counters.flash_reads += 1;
         done
+    }
+
+    /// Sense latency for a mapped block: SLC speed while the page sits in
+    /// the cache tier of a hybrid device, capacity speed otherwise.
+    fn read_ns_for_block(&self, block: u32) -> u64 {
+        if block < self.slc_cache_blocks {
+            self.timing.slc_read_ns
+        } else {
+            self.timing.read_ns
+        }
     }
 
     /// Services one logical-page read; returns its completion time.
@@ -719,11 +771,14 @@ impl Simulator {
             return t + self.timing.dram_page_ns;
         }
         self.cache_read_misses += 1;
-        let plane = match self.mapping.get(lpn) {
-            Some(m) => m.plane,
-            None => pseudo_location(&self.cfg, lpn).plane_index(&self.cfg),
+        let (plane, read_ns) = match self.mapping.get(lpn) {
+            Some(m) => (m.plane, self.read_ns_for_block(m.block)),
+            None => (
+                pseudo_location(&self.cfg, lpn).plane_index(&self.cfg),
+                self.timing.read_ns,
+            ),
         };
-        let done = self.flash_read_at(plane, t);
+        let done = self.flash_read_at_ns(plane, t, read_ns);
         // Fill the cache with the clean page.
         if let Some((evicted, dirty)) = self.data_cache.insert(lpn, false) {
             if evicted != lpn {
@@ -795,6 +850,10 @@ impl Simulator {
     fn program_lpn(&mut self, lpn: u64, t: u64) -> u64 {
         // Invalidate the previous physical copy.
         match self.mapping.get(lpn) {
+            Some(old) if old.block == CAPACITY_RESIDENT => {
+                // Folded into the capacity tier; the exact block is unknown.
+                self.flash.invalidate_somewhere(old.plane, splitmix64(lpn));
+            }
             Some(old) => {
                 let (plane, block) = (old.plane, old.block);
                 self.flash.invalidate(plane, block);
@@ -808,6 +867,10 @@ impl Simulator {
         let plane = self.flash.next_write_plane();
         let (block, _page, bg_ops) = self.flash.program_page(plane);
         self.mapping.insert(lpn, MappedPage { plane, block });
+        if block < self.slc_cache_blocks {
+            self.slc_resident[plane as usize * self.slc_cache_blocks as usize + block as usize]
+                .push(lpn);
+        }
 
         // Update the translation entry (dirty in the CMT).
         let tpn = lpn / self.entries_per_tp;
@@ -850,6 +913,14 @@ impl Simulator {
     /// bandwidth, while channel-first schemes trade that for read
     /// parallelism — the core tension behind the paper's Table 5.
     fn internal_program_on(&mut self, plane: u32, t: u64) -> u64 {
+        // On hybrid families every foreground program lands in the SLC
+        // cache tier and completes at SLC program speed — the whole point
+        // of fronting dense flash with a cache.
+        let program_ns = if self.slc_cache_blocks > 0 {
+            self.timing.slc_program_ns
+        } else {
+            self.timing.program_ns
+        };
         let ch = self.channel_of_plane(plane);
         let data_in = self.channel_use(ch, t, t);
         let didx = self.die_of_plane(plane);
@@ -869,21 +940,29 @@ impl Simulator {
         // program waiting on its data transfer does not reserve the gap).
         let die_capacity = self.die_free[didx].max(t);
         let prog_start = data_in.max(die_capacity);
-        let done = prog_start + self.timing.program_ns;
+        let done = prog_start + program_ns;
         self.diag_write_plane_wait_ns += prog_start.saturating_sub(data_in);
-        self.die_free[didx] = die_capacity + self.timing.program_ns;
-        self.die_busy_ns += self.timing.program_ns;
+        self.die_free[didx] = die_capacity + program_ns;
+        self.die_busy_ns += program_ns;
         self.mp_window_end[didx] = done;
         self.mp_used[didx] = 1;
         done
     }
 
-    /// Charges the resource cost of background flash work (GC cycles and
-    /// wear-leveling swaps).
+    /// Charges the resource cost of background flash work (GC cycles,
+    /// wear-leveling swaps, and SLC-cache folds).
     fn charge_background(&mut self, op: BackgroundOp, t: u64) {
         let (plane, pages) = match op {
             BackgroundOp::GcCycle { plane, pages } => (plane, pages),
             BackgroundOp::WearLevelSwap { plane, pages } => (plane, pages),
+            BackgroundOp::SlcMigration {
+                plane,
+                block,
+                pages,
+            } => {
+                self.charge_slc_migration(plane, block, pages, t);
+                return;
+            }
         };
         let per_page = self.timing.read_ns + self.timing.program_ns + 2 * self.timing.transfer_ns;
         let mut total = u64::from(pages) * per_page;
@@ -905,6 +984,53 @@ impl Simulator {
         self.diag_gc_stall_ns += die_add;
         self.die_busy_ns += die_add;
         // Channel time for the migrated pages' transfers.
+        let ch_add = u64::from(pages) * 2 * self.timing.transfer_ns / 4;
+        let ch = self.channel_of_plane(plane);
+        self.channel_free[ch] = self.channel_free[ch].max(t) + ch_add;
+        self.channel_busy_ns += ch_add;
+    }
+
+    /// Charges one SLC-cache fold (`pages` SLC reads + capacity programs,
+    /// then an SLC-mode erase) and relocates the folded pages' mappings to
+    /// the capacity tier so later reads pay capacity latency.
+    fn charge_slc_migration(&mut self, plane: u32, block: u32, pages: u32, t: u64) {
+        // Relocate mappings first: anything still pointing at the folded
+        // cache block now lives in the capacity tier (block unknown).
+        let idx = plane as usize * self.slc_cache_blocks as usize + block as usize;
+        let lpns = std::mem::take(&mut self.slc_resident[idx]);
+        for lpn in lpns {
+            if let Some(m) = self.mapping.get(lpn) {
+                if m.plane == plane && m.block == block {
+                    self.mapping.insert(
+                        lpn,
+                        MappedPage {
+                            plane,
+                            block: CAPACITY_RESIDENT,
+                        },
+                    );
+                }
+            }
+        }
+
+        let per_page =
+            self.timing.slc_read_ns + self.timing.program_ns + 2 * self.timing.transfer_ns;
+        let mut total = u64::from(pages) * per_page;
+        if !self.cfg.erase_suspension_enabled {
+            total += self.timing.slc_erase_ns;
+        }
+        self.counters.flash_reads += u64::from(pages);
+
+        let didx = self.die_of_plane(plane);
+        // Folds pace themselves like preemptible GC when the device is
+        // configured for it: half the work hides in idle die time.
+        let die_add = if self.cfg.preemptible_gc {
+            total / 2
+        } else {
+            total
+        };
+        self.die_free[didx] = self.die_free[didx].max(t) + die_add;
+        self.diag_slc_migration_ns += die_add;
+        self.die_busy_ns += die_add;
         let ch_add = u64::from(pages) * 2 * self.timing.transfer_ns / 4;
         let ch = self.channel_of_plane(plane);
         self.channel_free[ch] = self.channel_free[ch].max(t) + ch_add;
@@ -967,7 +1093,9 @@ impl Simulator {
                 },
                 gc_backlog_pages: self.flash.gc_backlog_pages(),
                 write_amplification: if self.host_page_writes > 0 {
-                    (flash_stats.programs + flash_stats.migrated_pages) as f64
+                    (flash_stats.programs
+                        + flash_stats.migrated_pages
+                        + flash_stats.slc_migrated_pages) as f64
                         / self.host_page_writes as f64
                 } else {
                     0.0
@@ -1104,6 +1232,71 @@ mod tests {
         let a = run_with(SsdConfig::default(), WorkloadKind::KvStore, 1_000);
         let b = run_with(SsdConfig::default(), WorkloadKind::KvStore, 1_000);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hybrid_attributes_slc_migration() {
+        // Small geometry so a short write-heavy trace cycles the cache tier.
+        let cfg = SsdConfig {
+            channel_count: 2,
+            chips_per_channel: 1,
+            dies_per_chip: 1,
+            planes_per_die: 1,
+            blocks_per_plane: 32,
+            pages_per_block: 32,
+            ..crate::config::presets::hybrid_slc_qlc()
+        };
+        let r = run_with(cfg, WorkloadKind::Fiu, 3_000);
+        assert!(
+            r.flash.slc_migrated_pages > 0,
+            "write-heavy trace must fold"
+        );
+        assert!(
+            r.bottleneck.slc_migration_ns > 0,
+            "migration stalls must be attributed"
+        );
+        assert!((0.0..=1.0).contains(&r.bottleneck.slc_migration_frac));
+    }
+
+    #[test]
+    fn hybrid_runs_deterministic() {
+        let a = run_with(
+            crate::config::presets::hybrid_slc_qlc(),
+            WorkloadKind::Fiu,
+            1_500,
+        );
+        let b = run_with(
+            crate::config::presets::hybrid_slc_qlc(),
+            WorkloadKind::Fiu,
+            1_500,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hybrid_absorbs_writes_at_slc_latency() {
+        // With write-through exposing program latency, the SLC cache tier
+        // must beat a homogeneous QLC device on write latency.
+        let qlc = SsdConfig {
+            flash_technology: FlashTechnology::Qlc,
+            read_latency_ns: FlashTechnology::Qlc.base_read_ns(),
+            program_latency_ns: FlashTechnology::Qlc.base_program_ns(),
+            erase_latency_ns: FlashTechnology::Qlc.base_erase_ns(),
+            cache_mode: CacheMode::WriteThrough,
+            ..SsdConfig::default()
+        };
+        let hybrid = SsdConfig {
+            cache_mode: CacheMode::WriteThrough,
+            ..crate::config::presets::hybrid_slc_qlc()
+        };
+        let rq = run_with(qlc, WorkloadKind::Fiu, 2_000);
+        let rh = run_with(hybrid, WorkloadKind::Fiu, 2_000);
+        assert!(
+            rh.write_latency.mean_ns < rq.write_latency.mean_ns,
+            "hybrid {} vs qlc {}",
+            rh.write_latency.mean_ns,
+            rq.write_latency.mean_ns
+        );
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! must stay internally consistent for arbitrary configurations.
 
 use proptest::prelude::*;
-use ssdsim::config::{GcPolicy, PlaneAllocationScheme, SsdConfig};
+use ssdsim::config::{
+    DeviceFamily, FlashTechnology, GcPolicy, MigrationPolicy, PlaneAllocationScheme, SsdConfig,
+};
 use ssdsim::flash::{pseudo_location, FlashArray};
 use ssdsim::BottleneckReport;
 
@@ -37,6 +39,24 @@ fn arb_layout() -> impl Strategy<Value = SsdConfig> {
                 ..SsdConfig::default()
             },
         )
+}
+
+fn arb_hybrid_layout() -> impl Strategy<Value = SsdConfig> {
+    (arb_layout(), 5.0f64..=40.0, 10.0f64..=80.0, prop::bool::ANY).prop_map(
+        |(cfg, cache_pct, threshold_pct, watermark)| SsdConfig {
+            flash_technology: FlashTechnology::Qlc,
+            device_family: DeviceFamily::HybridSlcCache {
+                cache_blocks_pct: cache_pct,
+                migration_policy: if watermark {
+                    MigrationPolicy::Watermark
+                } else {
+                    MigrationPolicy::Idle
+                },
+                migration_threshold_pct: threshold_pct,
+            },
+            ..cfg
+        },
+    )
 }
 
 proptest! {
@@ -95,6 +115,60 @@ proptest! {
     }
 
     #[test]
+    fn hybrid_migration_conserves_pages(cfg in arb_hybrid_layout(), writes in 1usize..400) {
+        let mut fa = FlashArray::new(&cfg);
+        let ppb = u64::from(cfg.pages_per_block);
+        let cache_pages = u64::from(fa.slc_cache_blocks()) * ppb;
+        let capacity_pages = cfg.pages_per_plane() - cache_pages;
+        prop_assert!(fa.slc_cache_blocks() >= 1);
+        for i in 0..writes {
+            let plane = fa.next_write_plane();
+            let (block, _page, _ops) = fa.program_page(plane);
+            if i % 3 == 0 {
+                fa.invalidate(plane, block);
+            }
+        }
+        let stats = fa.stats();
+        // Tier accounting is exact: every page the array consumed is either
+        // still free, was reclaimed by an erase, or was paid for by a host
+        // program, a GC migration, or an SLC fold.
+        let free: u64 = (0..cfg.total_planes() as u32)
+            .map(|p| fa.free_pages(p) + fa.cache_free_pages(p))
+            .sum();
+        let reclaimed = stats.erases * ppb;
+        let consumed = stats.programs + stats.migrated_pages + stats.slc_migrated_pages;
+        prop_assert_eq!(cfg.pages_per_plane() * cfg.total_planes() + reclaimed, free + consumed);
+        for p in 0..cfg.total_planes() as u32 {
+            // Neither tier can ever exceed its physical size.
+            prop_assert!(fa.valid_pages(p) <= cfg.pages_per_plane());
+            prop_assert!(fa.free_pages(p) <= capacity_pages);
+            prop_assert!(fa.cache_free_pages(p) <= cache_pages);
+        }
+    }
+
+    #[test]
+    fn hybrid_survives_sustained_overwrites(cfg in arb_hybrid_layout()) {
+        let mut fa = FlashArray::new(&cfg);
+        fa.warm_up(0.5);
+        let churn = cfg.pages_per_plane() * 3;
+        for i in 0..churn {
+            let (block, _page, _ops) = fa.program_page(0);
+            if i % 2 == 0 {
+                fa.invalidate(0, block);
+            } else {
+                fa.invalidate_somewhere(0, i);
+            }
+        }
+        let stats = fa.stats();
+        prop_assert!(stats.slc_migrated_pages > 0, "sustained writes must fold cache blocks");
+        prop_assert!(stats.erases > 0);
+        let cache_pages = u64::from(fa.slc_cache_blocks()) * u64::from(cfg.pages_per_block);
+        prop_assert!(fa.cache_free_pages(0) <= cache_pages);
+        prop_assert!(fa.free_pages(0) <= cfg.pages_per_plane() - cache_pages);
+        prop_assert!(fa.valid_pages(0) <= cfg.pages_per_plane());
+    }
+
+    #[test]
     fn pseudo_locations_are_valid_and_deterministic(cfg in arb_layout(), lpns in prop::collection::vec(0u64..1_000_000, 1..50)) {
         for &lpn in &lpns {
             let a = pseudo_location(&cfg, lpn);
@@ -117,8 +191,9 @@ proptest! {
         gc in 0u64..u64::MAX / 8,
         cache in 0u64..u64::MAX / 8,
         queue in 0u64..u64::MAX / 8,
+        slc in 0u64..u64::MAX / 8,
     ) {
-        let report = BottleneckReport::from_totals(total, channel, plane, gc, cache, queue);
+        let report = BottleneckReport::from_totals(total, channel, plane, gc, cache, queue, slc);
         let mut sum = 0.0f64;
         for (name, frac) in report.fractions() {
             prop_assert!((0.0..=1.0).contains(&frac), "{name} = {frac} out of range");
@@ -126,7 +201,7 @@ proptest! {
         }
         prop_assert!((0.0..=1.0).contains(&report.other_frac), "other = {} out of range", report.other_frac);
         sum += report.other_frac;
-        // The six attributed fractions can never explain more than 100% of
+        // The attributed fractions can never explain more than 100% of
         // the observed latency; `other` absorbs exactly the remainder.
         prop_assert!(sum <= 1.0 + 1e-9, "fractions sum to {sum}");
         if total > 0 {

@@ -20,7 +20,7 @@ ROOT=$(pwd)
 
 ALL_STAGES="fmt build-debug build-release test clippy doc telemetry-smoke \
 regression-gate explain-smoke resume-smoke bo-throughput-smoke place-smoke \
-trend-smoke inspect-smoke bench-smoke"
+family-smoke trend-smoke inspect-smoke bench-smoke"
 
 QUICK=0
 STAGES=""
@@ -353,6 +353,64 @@ if [[ $QUICK -eq 0 ]]; then
         run_stage "place-smoke" place_smoke
     fi
 
+    # --- Stage: family smoke ----------------------------------------------
+    # The hybrid SLC/QLC device family end to end through the CLI: a pinned
+    # short `--family hybrid --flash qlc` tune must emit byte-identical
+    # tuned configurations at 1 and 4 threads, its telemetry must diff
+    # clean against the family golden with only wall-clock metrics ignored,
+    # and resuming a hybrid checkpoint without `--family` must be rejected
+    # with the usage exit code (2) — not silently retuned as homogeneous.
+    FAMILY_GOLDEN=scripts/golden/family-smoke.json
+    family_smoke() {
+        local dir rc
+        dir=$(mktemp -d /tmp/autoblox-ci-family.XXXXXX) || return 1
+        AUTOBLOX_THREADS=1 ./target/release/autoblox tune database \
+            --iterations 3 --events 300 --flash qlc --family hybrid \
+            --telemetry "$dir/tel.json" \
+            >"$dir/config-t1.json" || { rm -rf "$dir"; return 1; }
+        AUTOBLOX_THREADS=4 ./target/release/autoblox tune database \
+            --iterations 3 --events 300 --flash qlc --family hybrid \
+            >"$dir/config-t4.json" || { rm -rf "$dir"; return 1; }
+        cmp -s "$dir/config-t1.json" "$dir/config-t4.json" \
+            || { echo "hybrid tuned configuration differs between 1 and 4 threads"; \
+                 rm -rf "$dir"; return 1; }
+        grep -q '"HybridSlcCache"' "$dir/config-t1.json" \
+            || { echo "tuned configuration lost the hybrid device family"; \
+                 rm -rf "$dir"; return 1; }
+        AUTOBLOX_THREADS=1 ./target/release/autoblox tune database \
+            --iterations 3 --events 300 --flash qlc --family hybrid \
+            --checkpoint "$dir/ck" --stop-after-iter 1 \
+            >/dev/null || { rm -rf "$dir"; return 1; }
+        AUTOBLOX_THREADS=1 ./target/release/autoblox tune database \
+            --iterations 3 --events 300 --flash qlc \
+            --checkpoint "$dir/ck" --resume \
+            >/dev/null 2>"$dir/mismatch.err"
+        rc=$?
+        [[ $rc -eq 2 ]] \
+            || { echo "family-mismatched resume must exit 2, got $rc"; \
+                 rm -rf "$dir"; return 1; }
+        grep -q -- "--family" "$dir/mismatch.err" \
+            || { echo "mismatch error does not name the --family flag:"; \
+                 cat "$dir/mismatch.err"; rm -rf "$dir"; return 1; }
+        ./target/release/autoblox report diff "$FAMILY_GOLDEN" "$dir/tel.json" \
+            --ignore-time >/dev/null
+        rc=$?
+        [[ $rc -eq 0 ]] || echo "hybrid telemetry drifted from the golden"
+        rm -rf "$dir"
+        return $rc
+    }
+    if [[ ! -x ./target/release/autoblox ]]; then
+        skip "family-smoke" "release binary missing (build failed?)"
+    elif [[ ! -f "$FAMILY_GOLDEN" ]]; then
+        echo "==> family-smoke: golden report $FAMILY_GOLDEN absent; skipping"
+        echo "    (regenerate with: AUTOBLOX_THREADS=1 autoblox tune database" \
+             "--iterations 3 --events 300 --flash qlc --family hybrid" \
+             "--telemetry $FAMILY_GOLDEN)"
+        record "family-smoke" SKIP -
+    else
+        run_stage "family-smoke" family_smoke
+    fi
+
     # --- Stage: trend smoke -----------------------------------------------
     # The run observatory end to end: two pinned smoke tunes recorded with
     # --db must land in the registry as run:Database:000001/000002, `report
@@ -478,7 +536,7 @@ if [[ $QUICK -eq 0 ]]; then
         for bin in bench_bo_throughput bench_parallel_validation \
                    bench_device_sampling bench_telemetry_overhead \
                    bench_tracing_overhead bench_journal_tail \
-                   bench_model_obs; do
+                   bench_model_obs bench_hybrid_migration; do
             if [[ ! -x "$ROOT/target/release/$bin" ]]; then
                 echo "release binary $bin missing"
                 rc=1
